@@ -1,0 +1,248 @@
+//! Checksum encoding primitives.
+//!
+//! The fused variants ride on passes GEMM performs anyway; the standalone
+//! variants implement the same algebra as separate O(n^2) sweeps and back
+//! the "traditional ABFT" baseline (fusion ablation).
+
+use ftgemm_core::{MatMut, MatRef, Scalar};
+
+/// Fused `C *= beta` + checksum encode over a column block of `C`.
+///
+/// In one pass over the block: scales each element by `beta`, and
+/// accumulates the scaled values into `enc_row` (length = block rows) and
+/// `enc_col` (length = block cols). Both output vectors are **overwritten**.
+///
+/// `beta == 0` skips reading `C` (fills zeros) and `beta == 1` skips the
+/// write-back, exactly like the plain scaling pass it replaces.
+pub fn scale_encode_c<T: Scalar>(
+    c: &mut MatMut<'_, T>,
+    beta: T,
+    enc_row: &mut [T],
+    enc_col: &mut [T],
+) {
+    let m = c.nrows();
+    let n = c.ncols();
+    assert_eq!(enc_row.len(), m, "scale_encode_c: enc_row length");
+    assert_eq!(enc_col.len(), n, "scale_encode_c: enc_col length");
+    enc_row.fill(T::ZERO);
+
+    if beta == T::ZERO {
+        c.fill(T::ZERO);
+        enc_col.fill(T::ZERO);
+        return;
+    }
+    for j in 0..n {
+        let col = c.col_mut(j);
+        let mut csum = T::ZERO;
+        if beta == T::ONE {
+            for i in 0..m {
+                let v = col[i];
+                csum += v;
+                enc_row[i] += v;
+            }
+        } else {
+            for i in 0..m {
+                let v = beta * col[i];
+                col[i] = v;
+                csum += v;
+                enc_row[i] += v;
+            }
+        }
+        enc_col[j] = csum;
+    }
+}
+
+/// Unfused equivalent of [`scale_encode_c`]: a scaling pass followed by a
+/// second full read of the block for the checksums (the memory traffic the
+/// paper's fusion eliminates).
+pub fn scale_then_encode_c<T: Scalar>(
+    c: &mut MatMut<'_, T>,
+    beta: T,
+    enc_row: &mut [T],
+    enc_col: &mut [T],
+) {
+    ftgemm_core::gemm::scale_c(c, beta);
+    encode_c(&c.as_ref(), enc_row, enc_col);
+}
+
+/// Standalone checksum read of a block: `enc_row[i] = Σ_j C[i,j]`,
+/// `enc_col[j] = Σ_i C[i,j]`. Outputs overwritten.
+pub fn encode_c<T: Scalar>(c: &MatRef<'_, T>, enc_row: &mut [T], enc_col: &mut [T]) {
+    let m = c.nrows();
+    let n = c.ncols();
+    assert_eq!(enc_row.len(), m, "encode_c: enc_row length");
+    assert_eq!(enc_col.len(), n, "encode_c: enc_col length");
+    enc_row.fill(T::ZERO);
+    for j in 0..n {
+        let col = c.col(j);
+        let mut csum = T::ZERO;
+        for i in 0..m {
+            let v = col[i];
+            csum += v;
+            enc_row[i] += v;
+        }
+        enc_col[j] = csum;
+    }
+}
+
+/// Standalone `bc[p] = Σ_j B[p,j]` over a panel (unfused B_c).
+pub fn encode_bc<T: Scalar>(b: &MatRef<'_, T>, bc: &mut [T]) {
+    let k = b.nrows();
+    let n = b.ncols();
+    assert_eq!(bc.len(), k, "encode_bc: bc length");
+    bc.fill(T::ZERO);
+    for j in 0..n {
+        let col = b.col(j);
+        for p in 0..k {
+            bc[p] += col[p];
+        }
+    }
+}
+
+/// Standalone `enc_col[j] += Σ_p ar[p] * B[p,j]` (unfused C_r update).
+pub fn accumulate_enc_col<T: Scalar>(b: &MatRef<'_, T>, ar: &[T], enc_col: &mut [T]) {
+    let k = b.nrows();
+    let n = b.ncols();
+    assert_eq!(ar.len(), k, "accumulate_enc_col: ar length");
+    assert_eq!(enc_col.len(), n, "accumulate_enc_col: enc_col length");
+    for j in 0..n {
+        let col = b.col(j);
+        let mut acc = T::ZERO;
+        for p in 0..k {
+            acc = ar[p].mul_add(col[p], acc);
+        }
+        enc_col[j] += acc;
+    }
+}
+
+/// Standalone `enc_row[i] += alpha * Σ_q A[i,q] * bc[q]` (unfused C_c update).
+pub fn accumulate_enc_row<T: Scalar>(
+    a: &MatRef<'_, T>,
+    alpha: T,
+    bc: &[T],
+    enc_row: &mut [T],
+) {
+    let m = a.nrows();
+    let k = a.ncols();
+    assert_eq!(bc.len(), k, "accumulate_enc_row: bc length");
+    assert_eq!(enc_row.len(), m, "accumulate_enc_row: enc_row length");
+    for q in 0..k {
+        let col = a.col(q);
+        let w = alpha * bc[q];
+        for i in 0..m {
+            enc_row[i] = col[i].mul_add(w, enc_row[i]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftgemm_core::Matrix;
+
+    #[test]
+    fn scale_encode_matches_manual() {
+        let mut c = Matrix::<f64>::random(7, 5, 1);
+        let orig = c.clone();
+        let beta = -1.5;
+        let mut er = vec![9.0; 7];
+        let mut ec = vec![9.0; 5];
+        scale_encode_c(&mut c.as_mut(), beta, &mut er, &mut ec);
+        for j in 0..5 {
+            for i in 0..7 {
+                assert!((c.get(i, j) - beta * orig.get(i, j)).abs() < 1e-15);
+            }
+        }
+        for i in 0..7 {
+            let want: f64 = (0..5).map(|j| c.get(i, j)).sum();
+            assert!((er[i] - want).abs() < 1e-12);
+        }
+        for j in 0..5 {
+            let want: f64 = (0..7).map(|i| c.get(i, j)).sum();
+            assert!((ec[j] - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn scale_encode_beta_zero() {
+        let mut c = Matrix::<f64>::random(4, 4, 2);
+        let mut er = vec![1.0; 4];
+        let mut ec = vec![1.0; 4];
+        scale_encode_c(&mut c.as_mut(), 0.0, &mut er, &mut ec);
+        assert!(c.as_slice().iter().all(|&v| v == 0.0));
+        assert!(er.iter().chain(ec.iter()).all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn scale_encode_beta_one_no_modification() {
+        let mut c = Matrix::<f64>::random(4, 6, 3);
+        let orig = c.clone();
+        let mut er = vec![0.0; 4];
+        let mut ec = vec![0.0; 6];
+        scale_encode_c(&mut c.as_mut(), 1.0, &mut er, &mut ec);
+        assert_eq!(c.as_slice(), orig.as_slice());
+        let want: f64 = (0..4).map(|i| orig.get(i, 2)).sum();
+        assert!((ec[2] - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fused_equals_unfused() {
+        let base = Matrix::<f64>::random(9, 11, 4);
+        let beta = 0.75;
+
+        let mut c1 = base.clone();
+        let mut er1 = vec![0.0; 9];
+        let mut ec1 = vec![0.0; 11];
+        scale_encode_c(&mut c1.as_mut(), beta, &mut er1, &mut ec1);
+
+        let mut c2 = base.clone();
+        let mut er2 = vec![0.0; 9];
+        let mut ec2 = vec![0.0; 11];
+        scale_then_encode_c(&mut c2.as_mut(), beta, &mut er2, &mut ec2);
+
+        assert_eq!(c1.as_slice(), c2.as_slice());
+        for (a, b) in er1.iter().zip(&er2) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        for (a, b) in ec1.iter().zip(&ec2) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn encode_bc_matches() {
+        let b = Matrix::<f64>::random(6, 8, 5);
+        let mut bc = vec![0.0; 6];
+        encode_bc(&b.as_ref(), &mut bc);
+        for p in 0..6 {
+            let want: f64 = (0..8).map(|j| b.get(p, j)).sum();
+            assert!((bc[p] - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn accumulate_enc_col_matches() {
+        let b = Matrix::<f64>::random(5, 7, 6);
+        let ar: Vec<f64> = (0..5).map(|p| p as f64 * 0.3 - 1.0).collect();
+        let mut ec = vec![2.0; 7];
+        accumulate_enc_col(&b.as_ref(), &ar, &mut ec);
+        for j in 0..7 {
+            let want: f64 = 2.0 + (0..5).map(|p| ar[p] * b.get(p, j)).sum::<f64>();
+            assert!((ec[j] - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn accumulate_enc_row_matches() {
+        let a = Matrix::<f64>::random(6, 4, 7);
+        let bc: Vec<f64> = (0..4).map(|q| q as f64 + 0.5).collect();
+        let alpha = -2.0;
+        let mut er = vec![1.0; 6];
+        accumulate_enc_row(&a.as_ref(), alpha, &bc, &mut er);
+        for i in 0..6 {
+            let want: f64 =
+                1.0 + (0..4).map(|q| alpha * a.get(i, q) * bc[q]).sum::<f64>();
+            assert!((er[i] - want).abs() < 1e-12);
+        }
+    }
+}

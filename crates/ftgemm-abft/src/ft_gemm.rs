@@ -1,0 +1,582 @@
+//! Serial fault-tolerant GEMM: the paper's FT-DGEMM (§2.2), type-generic.
+//!
+//! Loop structure is identical to the plain driver (`ftgemm_core::gemm`)
+//! with the ABFT operations threaded through the existing passes:
+//!
+//! ```text
+//! ar = alpha * e^T A                          (one-time encode of A)
+//! for jc (NC blocks of columns):
+//!     scale C(:,jc) by beta, encoding enc_row/enc_col        [fused]
+//!     for pc (KC depth panels):
+//!         pack B~ — also bc (B_c) and enc_col update         [fused]
+//!         for ic (MC row blocks):
+//!             pack A~ — also enc_row update                  [fused]
+//!             macro kernel — also ref_row/ref_col            [fused]
+//!         verify {enc,ref} x {row,col}; locate & correct     ("p-loop: verify")
+//! ```
+
+use crate::checksum;
+use crate::corrector::{self, CorrectionOutcome};
+use crate::{FtConfig, FtError, FtReport, FtResult};
+use ftgemm_core::gemm::validate_shapes;
+use ftgemm_core::pack;
+use ftgemm_core::{macro_kernel::macro_kernel, GemmContext, MatMut, MatRef, Scalar};
+use ftgemm_faults::SiteStream;
+
+/// Reusable state for repeated fault-tolerant GEMM calls: the plain GEMM
+/// context plus the checksum work vectors.
+#[derive(Debug)]
+pub struct FtGemmContext<T: Scalar> {
+    /// Underlying GEMM context (kernel, blocking parameters, pack buffers).
+    pub core: GemmContext<T>,
+    ar: Vec<T>,
+    bc: Vec<T>,
+    enc_row: Vec<T>,
+    enc_col: Vec<T>,
+    ref_row: Vec<T>,
+    ref_col: Vec<T>,
+    /// Checkpoint storage for [`Recovery::RetryPanel`]: the column block of
+    /// `C` plus the encoded checksums at the start of the current panel.
+    snap_c: Vec<T>,
+    snap_enc_row: Vec<T>,
+    snap_enc_col: Vec<T>,
+    call_counter: u64,
+}
+
+use crate::Recovery;
+
+impl<T: Scalar> FtGemmContext<T> {
+    /// Context with auto-detected kernel and blocking parameters.
+    pub fn new() -> Self {
+        Self::from_core(GemmContext::new())
+    }
+
+    /// Context wrapping an explicitly configured core context.
+    pub fn from_core(core: GemmContext<T>) -> Self {
+        FtGemmContext {
+            core,
+            ar: Vec::new(),
+            bc: Vec::new(),
+            enc_row: Vec::new(),
+            enc_col: Vec::new(),
+            ref_row: Vec::new(),
+            ref_col: Vec::new(),
+            snap_c: Vec::new(),
+            snap_enc_row: Vec::new(),
+            snap_enc_col: Vec::new(),
+            call_counter: 0,
+        }
+    }
+}
+
+impl<T: Scalar> Default for FtGemmContext<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Fault-tolerant `C = alpha*A*B + beta*C` with a fresh context.
+pub fn ft_gemm<T: Scalar>(
+    cfg: &FtConfig,
+    alpha: T,
+    a: &MatRef<'_, T>,
+    b: &MatRef<'_, T>,
+    beta: T,
+    c: &mut MatMut<'_, T>,
+) -> FtResult<FtReport> {
+    let mut ctx = FtGemmContext::new();
+    ft_gemm_with_ctx(&mut ctx, cfg, alpha, a, b, beta, c)
+}
+
+/// Fault-tolerant GEMM reusing a caller-held context (benchmark path).
+pub fn ft_gemm_with_ctx<T: Scalar>(
+    ctx: &mut FtGemmContext<T>,
+    cfg: &FtConfig,
+    alpha: T,
+    a: &MatRef<'_, T>,
+    b: &MatRef<'_, T>,
+    beta: T,
+    c: &mut MatMut<'_, T>,
+) -> FtResult<FtReport> {
+    let (m, n, k) = validate_shapes(a, b, c)?;
+    let mut report = FtReport::default();
+
+    if m == 0 || n == 0 {
+        return Ok(report);
+    }
+    if k == 0 || alpha == T::ZERO {
+        ftgemm_core::gemm::scale_c(c, beta);
+        return Ok(report);
+    }
+
+    let p = ctx.core.params;
+    p.validate().map_err(FtError::Core)?;
+    let kernel = ctx.core.kernel;
+
+    // Work vectors.
+    resize(&mut ctx.ar, k);
+    resize(&mut ctx.bc, p.kc);
+    resize(&mut ctx.enc_row, m);
+    resize(&mut ctx.enc_col, p.nc.min(n));
+    resize(&mut ctx.ref_row, m);
+    resize(&mut ctx.ref_col, p.nc.min(n));
+    let retry_panels = match cfg.recovery {
+        Recovery::ReportOnly => 0u32,
+        Recovery::RetryPanel { max_retries } => max_retries,
+    };
+    if retry_panels > 0 {
+        resize(&mut ctx.snap_c, m * p.nc.min(n));
+        resize(&mut ctx.snap_enc_row, m);
+        resize(&mut ctx.snap_enc_col, p.nc.min(n));
+    }
+
+    // A_r = alpha * e^T A — the one O(mk) encode pass (paper §2.3 encodes it
+    // before the main loops).
+    pack::col_sums_scaled(a, alpha, &mut ctx.ar);
+
+    // Injection stream: one site per macro-kernel invocation.
+    ctx.call_counter += 1;
+    let n_sites = n.div_ceil(p.nc) * k.div_ceil(p.kc) * m.div_ceil(p.mc);
+    let mut stream: Option<SiteStream> = cfg
+        .injector
+        .as_ref()
+        .map(|inj| inj.stream(ctx.call_counter, n_sites));
+
+    let a_len = p.mc.div_ceil(p.mr) * p.mr * p.kc;
+    let b_len = p.nc.div_ceil(p.nr) * p.nr * p.kc;
+    let (a_buf, b_buf) = ctx.core.pack_buffers(a_len, b_len).map_err(FtError::Core)?;
+
+    let fusion = cfg.fusion;
+
+    let mut jc = 0;
+    while jc < n {
+        let nc_eff = p.nc.min(n - jc);
+        let enc_col = &mut ctx.enc_col[..nc_eff];
+        let ref_col = &mut ctx.ref_col[..nc_eff];
+        let enc_row = &mut ctx.enc_row[..m];
+        let ref_row = &mut ctx.ref_row[..m];
+
+        // beta-scale + initial checksum encode over this column block.
+        {
+            let mut c_block = c.submatrix_mut(0, jc, m, nc_eff);
+            if fusion.fuse_c_scale {
+                checksum::scale_encode_c(&mut c_block, beta, enc_row, enc_col);
+            } else {
+                checksum::scale_then_encode_c(&mut c_block, beta, enc_row, enc_col);
+            }
+        }
+
+        // Correcting an error of magnitude d leaves an O(eps*d) roundoff
+        // residual at the repaired element; later verifications of this
+        // column block must treat that residual as noise, so the threshold
+        // scale grows with the largest correction applied so far.
+        let mut correction_scale = T::ZERO;
+
+        let mut pc = 0;
+        while pc < k {
+            let kc_eff = p.kc.min(k - pc);
+
+            // Checkpoint for panel-level rollback (Recovery::RetryPanel):
+            // the block of C and the encoded checksums as of this panel's
+            // start. O(m * nc) copies — strictly opt-in paranoia.
+            if retry_panels > 0 {
+                let c_block = c.submatrix_mut(0, jc, m, nc_eff);
+                let cb = c_block.as_ref();
+                for j in 0..nc_eff {
+                    ctx.snap_c[j * m..(j + 1) * m].copy_from_slice(cb.col(j));
+                }
+                ctx.snap_enc_row[..m].copy_from_slice(enc_row);
+                ctx.snap_enc_col[..nc_eff].copy_from_slice(&enc_col[..nc_eff]);
+            }
+
+            let mut attempt = 0u32;
+            'attempts: loop {
+                if attempt > 0 {
+                    // Roll back C and the encoded checksums, then recompute
+                    // the panel from scratch (the inputs A and B are
+                    // untouched by construction).
+                    report.retried_panels += 1;
+                    let mut c_block = c.submatrix_mut(0, jc, m, nc_eff);
+                    for j in 0..nc_eff {
+                        c_block
+                            .col_mut(j)
+                            .copy_from_slice(&ctx.snap_c[j * m..(j + 1) * m]);
+                    }
+                    enc_row.copy_from_slice(&ctx.snap_enc_row[..m]);
+                    enc_col[..nc_eff].copy_from_slice(&ctx.snap_enc_col[..nc_eff]);
+                }
+
+                let bc = &mut ctx.bc[..kc_eff];
+                bc.fill(T::ZERO);
+
+                let b_block = b.submatrix(pc, jc, kc_eff, nc_eff);
+                if fusion.fuse_b_pack {
+                    pack::pack_b_fused(
+                        &b_block,
+                        p.nr,
+                        b_buf,
+                        &ctx.ar[pc..pc + kc_eff],
+                        bc,
+                        enc_col,
+                    );
+                } else {
+                    pack::pack_b(&b_block, p.nr, b_buf);
+                    checksum::encode_bc(&b_block, bc);
+                    checksum::accumulate_enc_col(&b_block, &ctx.ar[pc..pc + kc_eff], enc_col);
+                }
+
+                // Reference checksums cover the whole column block per panel.
+                if fusion.fuse_kernel_refs {
+                    ref_col.fill(T::ZERO);
+                    ref_row.fill(T::ZERO);
+                }
+
+                let mut ic = 0;
+                while ic < m {
+                    let mc_eff = p.mc.min(m - ic);
+                    let a_block = a.submatrix(ic, pc, mc_eff, kc_eff);
+                    if fusion.fuse_a_pack {
+                        pack::pack_a_fused(
+                            &a_block,
+                            alpha,
+                            p.mr,
+                            a_buf,
+                            bc,
+                            &mut enc_row[ic..ic + mc_eff],
+                        );
+                    } else {
+                        pack::pack_a(&a_block, alpha, p.mr, a_buf);
+                        checksum::accumulate_enc_row(
+                            &a_block,
+                            alpha,
+                            bc,
+                            &mut enc_row[ic..ic + mc_eff],
+                        );
+                    }
+
+                    let mut c_block = c.submatrix_mut(ic, jc, mc_eff, nc_eff);
+                    let sums = if fusion.fuse_kernel_refs {
+                        Some((&mut ref_col[..], &mut ref_row[ic..ic + mc_eff]))
+                    } else {
+                        None
+                    };
+                    macro_kernel(&kernel, kc_eff, a_buf, b_buf, &mut c_block, sums);
+
+                    // Source-level fault injection (paper §3.2): corrupt one
+                    // freshly computed element, exactly as a faulty FMA would —
+                    // the in-register reference checksums see the corrupted
+                    // value, the encoded checksums do not.
+                    if let Some(stream) = stream.as_mut() {
+                        if let Some(event) = stream.poll() {
+                            report.injected += 1;
+                            let lane = event.lane;
+                            let i_loc = (lane % mc_eff as u64) as usize;
+                            let j_loc = ((lane / mc_eff as u64) % nc_eff as u64) as usize;
+                            let old = c_block.get(i_loc, j_loc);
+                            let new = T::from_f64(event.apply_f64(old.to_f64()));
+                            c_block.set(i_loc, j_loc, new);
+                            if fusion.fuse_kernel_refs {
+                                let delta = new - old;
+                                ref_col[j_loc] += delta;
+                                ref_row[ic + i_loc] += delta;
+                            }
+                            // (unfused refs re-read C below and see it anyway)
+                        }
+                    }
+                    ic += p.mc;
+                }
+
+                if !fusion.fuse_kernel_refs {
+                    // Traditional ABFT: a separate O(m*nc) read-back pass.
+                    let c_block = c.submatrix_mut(0, jc, m, nc_eff);
+                    checksum::encode_c(&c_block.as_ref(), ref_row, ref_col);
+                }
+
+                // "p-loop: verify" — compare encoded vs reference checksums and
+                // repair (paper Fig. 1, red operations).
+                report.verifications += 1;
+                let k_done = pc + kc_eff;
+                // Scale from the *encoded* checksums only: they are computed
+                // from clean inputs, so a huge corrupted reference value cannot
+                // inflate the threshold and mask smaller concurrent errors.
+                let scale = max_abs2(enc_row, enc_col).max(correction_scale);
+                let th_row = cfg.tolerance.threshold::<T>(k_done, nc_eff, scale);
+                let th_col = cfg.tolerance.threshold::<T>(k_done, m, scale);
+                let row_diffs = corrector::find_discrepancies(enc_row, ref_row, th_row);
+                let col_diffs = corrector::find_discrepancies(enc_col, ref_col, th_col);
+                if !row_diffs.is_empty() || !col_diffs.is_empty() {
+                    correction_scale = row_diffs
+                        .iter()
+                        .chain(col_diffs.iter())
+                        .fold(correction_scale, |acc, d| acc.max(d.delta.abs()));
+                    let mut c_block = c.submatrix_mut(0, jc, m, nc_eff);
+                    let th = th_row.max(th_col);
+                    match corrector::correct_block(&mut c_block, &row_diffs, &col_diffs, th) {
+                        CorrectionOutcome::Clean => {}
+                        CorrectionOutcome::Corrected { count } => {
+                            report.detected += count;
+                            report.corrected += count;
+                            if let Some(inj) = cfg.injector.as_ref() {
+                                for _ in 0..count {
+                                    inj.stats().record_detected();
+                                    inj.stats().record_corrected();
+                                }
+                            }
+                        }
+                        CorrectionOutcome::Unrecoverable { detail } => {
+                            if let Some(inj) = cfg.injector.as_ref() {
+                                inj.stats().record_unrecoverable();
+                            }
+                            if attempt < retry_panels {
+                                attempt += 1;
+                                continue 'attempts;
+                            }
+                            return Err(FtError::Unrecoverable { jc, pc, detail });
+                        }
+                    }
+                }
+                break 'attempts;
+            }
+            pc += p.kc;
+        }
+        jc += p.nc;
+    }
+    Ok(report)
+}
+
+fn resize<T: Scalar>(v: &mut Vec<T>, len: usize) {
+    v.clear();
+    v.resize(len, T::ZERO);
+}
+
+fn max_abs2<T: Scalar>(a: &[T], b: &[T]) -> T {
+    let fold = |s: &[T]| s.iter().fold(T::ZERO, |acc, &x| acc.max(x.abs()));
+    fold(a).max(fold(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FusionConfig;
+    use ftgemm_core::reference::naive_gemm;
+    use ftgemm_core::{IsaLevel, Matrix};
+    use ftgemm_faults::{ErrorModel, FaultInjector, Rate};
+
+    fn run_case(
+        cfg: &FtConfig,
+        m: usize,
+        n: usize,
+        k: usize,
+        alpha: f64,
+        beta: f64,
+    ) -> (Matrix<f64>, Matrix<f64>, FtReport) {
+        let a = Matrix::<f64>::random(m, k, 71);
+        let b = Matrix::<f64>::random(k, n, 72);
+        let mut c = Matrix::<f64>::random(m, n, 73);
+        let mut c_ref = c.clone();
+        let report = ft_gemm(cfg, alpha, &a.as_ref(), &b.as_ref(), beta, &mut c.as_mut()).unwrap();
+        naive_gemm(alpha, &a.as_ref(), &b.as_ref(), beta, &mut c_ref.as_mut());
+        (c, c_ref, report)
+    }
+
+    #[test]
+    fn clean_ft_gemm_matches_reference() {
+        let cfg = FtConfig::default();
+        for &(m, n, k) in &[(17usize, 13usize, 9usize), (64, 64, 64), (130, 70, 90)] {
+            let (c, c_ref, report) = run_case(&cfg, m, n, k, 1.0, 1.0);
+            assert!(c.rel_max_diff(&c_ref) < 1e-10, "{m}x{n}x{k}");
+            assert!(report.verifications > 0);
+            assert_eq!(report.detected, 0, "false positive at {m}x{n}x{k}");
+        }
+    }
+
+    #[test]
+    fn alpha_beta_variants() {
+        let cfg = FtConfig::default();
+        for &(alpha, beta) in &[(0.0, 0.5), (1.0, 0.0), (-2.0, 3.0), (0.5, 1.0)] {
+            let (c, c_ref, _) = run_case(&cfg, 33, 29, 41, alpha, beta);
+            assert!(c.rel_max_diff(&c_ref) < 1e-10, "alpha={alpha} beta={beta}");
+        }
+    }
+
+    #[test]
+    fn all_fusion_configs_agree() {
+        let variants = [
+            FusionConfig::FUSED,
+            FusionConfig::UNFUSED,
+            FusionConfig {
+                fuse_c_scale: true,
+                fuse_b_pack: false,
+                fuse_a_pack: true,
+                fuse_kernel_refs: false,
+            },
+            FusionConfig {
+                fuse_c_scale: false,
+                fuse_b_pack: true,
+                fuse_a_pack: false,
+                fuse_kernel_refs: true,
+            },
+        ];
+        for fusion in variants {
+            let cfg = FtConfig {
+                fusion,
+                ..Default::default()
+            };
+            let (c, c_ref, report) = run_case(&cfg, 47, 53, 61, 1.0, 1.0);
+            assert!(c.rel_max_diff(&c_ref) < 1e-10, "{fusion:?}");
+            assert_eq!(report.detected, 0, "false positive for {fusion:?}");
+        }
+    }
+
+    #[test]
+    fn injected_errors_corrected_fused() {
+        let inj = FaultInjector::new(5, ErrorModel::Additive { magnitude: 1e6 }, Rate::Count(5));
+        let cfg = FtConfig::with_injector(inj.clone());
+        let (c, c_ref, report) = run_case(&cfg, 96, 80, 120, 1.0, 1.0);
+        assert!(report.injected > 0, "no errors injected");
+        assert_eq!(report.corrected, report.injected, "not all corrected: {report:?}");
+        assert!(
+            c.rel_max_diff(&c_ref) < 1e-9,
+            "result diverges after correction: {}",
+            c.rel_max_diff(&c_ref)
+        );
+        assert_eq!(inj.stats().corrected(), report.corrected as u64);
+    }
+
+    #[test]
+    fn injected_errors_corrected_unfused() {
+        let inj = FaultInjector::new(6, ErrorModel::Additive { magnitude: 1e5 }, Rate::Count(3));
+        let cfg = FtConfig {
+            fusion: FusionConfig::UNFUSED,
+            injector: Some(inj),
+            ..Default::default()
+        };
+        let (c, c_ref, report) = run_case(&cfg, 64, 64, 64, 1.0, 1.0);
+        assert!(report.injected > 0);
+        assert_eq!(report.corrected, report.injected);
+        assert!(c.rel_max_diff(&c_ref) < 1e-9);
+    }
+
+    #[test]
+    fn bitflip_errors_corrected() {
+        let inj = FaultInjector::new(9, ErrorModel::BitFlip { bit: None }, Rate::Count(4));
+        let cfg = FtConfig::with_injector(inj);
+        let (c, c_ref, report) = run_case(&cfg, 72, 56, 88, 1.0, 1.0);
+        assert!(report.injected > 0);
+        assert!(
+            c.rel_max_diff(&c_ref) < 1e-9,
+            "diff {} report {report:?}",
+            c.rel_max_diff(&c_ref)
+        );
+    }
+
+    #[test]
+    fn many_errors_across_panels() {
+        // Small blocks create many injection sites and many verification
+        // intervals, each correcting its own batch (the paper's 20-error runs).
+        let mut core = GemmContext::<f64>::new();
+        let kern = core.kernel;
+        core.set_params(ftgemm_core::BlockingParams {
+            mr: kern.mr,
+            nr: kern.nr,
+            mc: kern.mr * 2,
+            nc: kern.nr * 4,
+            kc: 16,
+        })
+        .unwrap();
+        let mut ctx = FtGemmContext::from_core(core);
+        let inj = FaultInjector::new(11, ErrorModel::Additive { magnitude: 3e7 }, Rate::Count(20));
+        let cfg = FtConfig::with_injector(inj);
+        let (m, n, k) = (150, 140, 96);
+        let a = Matrix::<f64>::random(m, k, 71);
+        let b = Matrix::<f64>::random(k, n, 72);
+        let mut c = Matrix::<f64>::random(m, n, 73);
+        let mut c_ref = c.clone();
+        let report =
+            ft_gemm_with_ctx(&mut ctx, &cfg, 1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut c.as_mut())
+                .unwrap();
+        naive_gemm(1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut c_ref.as_mut());
+        assert!(report.injected >= 10, "{report:?}");
+        assert_eq!(report.corrected, report.injected);
+        assert!(c.rel_max_diff(&c_ref) < 1e-9);
+    }
+
+    #[test]
+    fn small_blocking_many_verifications() {
+        let mut core = GemmContext::<f64>::with_isa(IsaLevel::detect());
+        let kern = core.kernel;
+        core.set_params(ftgemm_core::BlockingParams {
+            mr: kern.mr,
+            nr: kern.nr,
+            mc: kern.mr,
+            nc: kern.nr * 2,
+            kc: 8,
+        })
+        .unwrap();
+        let mut ctx = FtGemmContext::from_core(core);
+        let cfg = FtConfig::default();
+        let (m, n, k) = (kern.mr * 3 + 1, kern.nr * 3 + 1, 20);
+        let a = Matrix::<f64>::random(m, k, 1);
+        let b = Matrix::<f64>::random(k, n, 2);
+        let mut c = Matrix::<f64>::random(m, n, 3);
+        let mut c_ref = c.clone();
+        let report =
+            ft_gemm_with_ctx(&mut ctx, &cfg, 1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut c.as_mut())
+                .unwrap();
+        naive_gemm(1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut c_ref.as_mut());
+        assert!(c.rel_max_diff(&c_ref) < 1e-10);
+        assert!(report.verifications >= 6, "{report:?}");
+    }
+
+    #[test]
+    fn f32_ft_gemm() {
+        let cfg = FtConfig::default();
+        let a = Matrix::<f32>::random(40, 30, 1);
+        let b = Matrix::<f32>::random(30, 20, 2);
+        let mut c = Matrix::<f32>::zeros(40, 20);
+        let mut c_ref = c.clone();
+        let report =
+            ft_gemm(&cfg, 1.0f32, &a.as_ref(), &b.as_ref(), 0.0, &mut c.as_mut()).unwrap();
+        naive_gemm(1.0f32, &a.as_ref(), &b.as_ref(), 0.0, &mut c_ref.as_mut());
+        assert!(c.rel_max_diff(&c_ref) < 1e-4);
+        assert_eq!(report.detected, 0);
+    }
+
+    #[test]
+    fn degenerate_dims() {
+        let cfg = FtConfig::default();
+        let a = Matrix::<f64>::zeros(0, 3);
+        let b = Matrix::<f64>::zeros(3, 4);
+        let mut c = Matrix::<f64>::zeros(0, 4);
+        ft_gemm(&cfg, 1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut c.as_mut()).unwrap();
+
+        let a = Matrix::<f64>::zeros(2, 0);
+        let b = Matrix::<f64>::zeros(0, 2);
+        let mut c = Matrix::<f64>::filled(2, 2, 4.0);
+        ft_gemm(&cfg, 1.0, &a.as_ref(), &b.as_ref(), 0.25, &mut c.as_mut()).unwrap();
+        assert!(c.as_slice().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn context_reuse_with_injection_is_deterministic_per_call() {
+        let inj = FaultInjector::new(13, ErrorModel::Additive { magnitude: 1e6 }, Rate::Count(2));
+        let cfg = FtConfig::with_injector(inj);
+        let mut ctx = FtGemmContext::<f64>::new();
+        let a = Matrix::<f64>::random(50, 50, 4);
+        let b = Matrix::<f64>::random(50, 50, 5);
+        for _ in 0..3 {
+            let mut c = Matrix::<f64>::zeros(50, 50);
+            let r = ft_gemm_with_ctx(
+                &mut ctx,
+                &cfg,
+                1.0,
+                &a.as_ref(),
+                &b.as_ref(),
+                0.0,
+                &mut c.as_mut(),
+            )
+            .unwrap();
+            assert_eq!(r.corrected, r.injected);
+        }
+    }
+}

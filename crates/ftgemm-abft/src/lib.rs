@@ -1,0 +1,266 @@
+//! # ftgemm-abft
+//!
+//! The fused ABFT (algorithm-based fault tolerance) layer of FT-GEMM — the
+//! paper's core contribution (§2.2).
+//!
+//! ## The scheme
+//!
+//! For `C = alpha*A*B + beta*C0` the checksum identities (Huang & Abraham
+//! [1984], specialized to full row+column checksum vectors) are
+//!
+//! ```text
+//! row_sums(C) = beta*row_sums(C0) + alpha * A * (B e)        (paper's C_c)
+//! col_sums(C) = beta*col_sums(C0) + alpha * (e^T A) * B      (paper's C_r)
+//! ```
+//!
+//! The driver maintains **encoded** checksums (`enc_*`, predicted from the
+//! inputs) and **reference** checksums (`ref_*`, read back from the computed
+//! `C`), and compares them after every depth panel (`pc` iteration — the
+//! paper's "p-loop: verify"). An error in the computation shows up as a
+//! matching discrepancy in one row and one column; its location and exact
+//! algebraic magnitude follow, so it is corrected in place.
+//!
+//! ## Fusion — why this is fast on AVX-512 machines
+//!
+//! Naively the four checksum passes cost O(n^2) *extra* memory traffic,
+//! which no longer amortizes against O(n^3) compute on wide-SIMD parts
+//! (~15% overhead per the paper). FT-GEMM fuses each pass into memory
+//! traffic GEMM already performs:
+//!
+//! * `enc_*` initialization rides on the `C *= beta` scaling pass,
+//! * `B e` (B_c) and the `enc_col` GEMV ride on packing `B~` (every loaded
+//!   `B` element is used three times),
+//! * the `enc_row` GEMV rides on packing `A~`,
+//! * `ref_*` are accumulated at register level inside the micro-kernel.
+//!
+//! The overhead becomes purely computational: ~1-4% (paper Fig. 2a/2b).
+//!
+//! [`FusionConfig`] lets each fusion point be disabled, which re-creates the
+//! "traditional" unfused ABFT baseline for the ablation experiments (T1/A1
+//! in DESIGN.md).
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod checksum;
+pub mod corrector;
+pub mod ft_gemm;
+pub mod tolerance;
+
+pub use corrector::{CorrectionOutcome, Discrepancy};
+pub use ft_gemm::{ft_gemm, ft_gemm_with_ctx, FtGemmContext};
+pub use tolerance::Tolerance;
+
+use ftgemm_core::CoreError;
+
+/// Configuration for fault-tolerant GEMM.
+#[derive(Debug, Clone)]
+pub struct FtConfig {
+    /// Roundoff tolerance model for checksum verification.
+    pub tolerance: Tolerance,
+    /// Which checksum operations are fused into existing passes. All-on is
+    /// the paper's FT-GEMM; all-off is the traditional ABFT baseline.
+    pub fusion: FusionConfig,
+    /// Optional fault injector (reproduces §3.2's source-level injection).
+    pub injector: Option<ftgemm_faults::FaultInjector>,
+    /// What to do when a verification interval's discrepancy pattern cannot
+    /// be resolved by checksum correction.
+    pub recovery: Recovery,
+}
+
+/// Recovery policy for unrecoverable checksum patterns.
+///
+/// Row+column checksums cannot locate errors that form a cycle across
+/// shared rows *and* columns within one verification interval. The serial
+/// driver can optionally checkpoint each column block of `C` (plus the
+/// encoded checksums) at panel granularity and recompute the panel from
+/// scratch when that happens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Recovery {
+    /// Return [`FtError::Unrecoverable`]; the caller decides (default — no
+    /// checkpoint memory or traffic is spent).
+    ReportOnly,
+    /// Keep an `O(m * NC)` checkpoint per column block and recompute a
+    /// failing panel up to `max_retries` times before giving up.
+    RetryPanel {
+        /// Recompute attempts per panel before reporting failure.
+        max_retries: u32,
+    },
+}
+
+impl Default for FtConfig {
+    fn default() -> Self {
+        FtConfig {
+            tolerance: Tolerance::default(),
+            fusion: FusionConfig::FUSED,
+            injector: None,
+            recovery: Recovery::ReportOnly,
+        }
+    }
+}
+
+impl FtConfig {
+    /// Paper configuration with a fault injector attached.
+    pub fn with_injector(injector: ftgemm_faults::FaultInjector) -> Self {
+        FtConfig {
+            injector: Some(injector),
+            ..Default::default()
+        }
+    }
+
+    /// Traditional (unfused) ABFT configuration for the ablation baseline.
+    pub fn unfused() -> Self {
+        FtConfig {
+            fusion: FusionConfig::UNFUSED,
+            ..Default::default()
+        }
+    }
+}
+
+/// Per-fusion-point switches (ablation experiment A1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FusionConfig {
+    /// Fuse `enc_*` initialization with the `C *= beta` pass.
+    pub fuse_c_scale: bool,
+    /// Fuse `B_c` + `enc_col` encoding with `B~` packing.
+    pub fuse_b_pack: bool,
+    /// Fuse `enc_row` encoding with `A~` packing.
+    pub fuse_a_pack: bool,
+    /// Accumulate `ref_*` at register level in the micro-kernel (vs a
+    /// separate read-back pass over the updated `C` block).
+    pub fuse_kernel_refs: bool,
+}
+
+impl FusionConfig {
+    /// Everything fused — the paper's FT-GEMM.
+    pub const FUSED: FusionConfig = FusionConfig {
+        fuse_c_scale: true,
+        fuse_b_pack: true,
+        fuse_a_pack: true,
+        fuse_kernel_refs: true,
+    };
+    /// Nothing fused — traditional ABFT with separate O(n^2) passes.
+    pub const UNFUSED: FusionConfig = FusionConfig {
+        fuse_c_scale: false,
+        fuse_b_pack: false,
+        fuse_a_pack: false,
+        fuse_kernel_refs: false,
+    };
+}
+
+/// Outcome statistics of one fault-tolerant GEMM call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FtReport {
+    /// Verification passes executed (one per depth panel per column block,
+    /// including retried panels).
+    pub verifications: usize,
+    /// Checksum discrepancies flagged as real errors.
+    pub detected: usize,
+    /// Elements corrected in place.
+    pub corrected: usize,
+    /// Errors injected by the attached injector (0 without one).
+    pub injected: usize,
+    /// Panels rolled back and recomputed under [`Recovery::RetryPanel`].
+    pub retried_panels: usize,
+}
+
+impl FtReport {
+    /// Accumulates another report's counters into this one (used by the
+    /// parallel driver to merge per-thread reports).
+    pub fn absorb(&mut self, other: FtReport) {
+        self.verifications += other.verifications;
+        self.detected += other.detected;
+        self.corrected += other.corrected;
+        self.injected += other.injected;
+        self.retried_panels += other.retried_panels;
+    }
+}
+
+/// Errors from fault-tolerant GEMM.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FtError {
+    /// Underlying GEMM/substrate error.
+    Core(CoreError),
+    /// Checksum verification failed in a pattern the corrector cannot
+    /// resolve (e.g. colliding errors in the same row *and* column within
+    /// one panel).
+    Unrecoverable {
+        /// Column-block start where verification failed.
+        jc: usize,
+        /// Depth-panel start where verification failed.
+        pc: usize,
+        /// Unmatched row/column discrepancy counts.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for FtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FtError::Core(e) => write!(f, "core error: {e}"),
+            FtError::Unrecoverable { jc, pc, detail } => {
+                write!(f, "unrecoverable checksum failure at block (jc={jc}, pc={pc}): {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FtError {}
+
+impl From<CoreError> for FtError {
+    fn from(e: CoreError) -> Self {
+        FtError::Core(e)
+    }
+}
+
+/// Result alias for fault-tolerant operations.
+pub type FtResult<T> = std::result::Result<T, FtError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_fused() {
+        let c = FtConfig::default();
+        assert_eq!(c.fusion, FusionConfig::FUSED);
+        assert!(c.injector.is_none());
+    }
+
+    #[test]
+    fn unfused_config() {
+        let c = FtConfig::unfused();
+        assert!(!c.fusion.fuse_b_pack);
+        assert!(!c.fusion.fuse_kernel_refs);
+    }
+
+    #[test]
+    fn report_absorb() {
+        let mut a = FtReport {
+            verifications: 1,
+            detected: 2,
+            corrected: 2,
+            injected: 3,
+            retried_panels: 0,
+        };
+        a.absorb(FtReport {
+            verifications: 10,
+            detected: 0,
+            corrected: 1,
+            injected: 0,
+            retried_panels: 2,
+        });
+        assert_eq!(a.verifications, 11);
+        assert_eq!(a.corrected, 3);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = FtError::Unrecoverable {
+            jc: 0,
+            pc: 128,
+            detail: "2 rows / 1 col".into(),
+        };
+        assert!(e.to_string().contains("pc=128"));
+    }
+}

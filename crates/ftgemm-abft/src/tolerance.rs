@@ -1,0 +1,107 @@
+//! Roundoff tolerance model for checksum verification.
+//!
+//! Encoded and reference checksums are computed in different summation
+//! orders, so they differ by floating-point roundoff even without faults.
+//! The verifier needs a threshold separating roundoff from injected errors.
+//!
+//! The bound used here follows the standard forward-error analysis of
+//! recursive summation/dot products: an accumulated sum of `k` products of
+//! magnitude `s` carries error `O(k * eps * s)`. We estimate `s` from the
+//! checksum vectors themselves (their max magnitude), which is available
+//! for free during verification.
+
+use ftgemm_core::Scalar;
+
+/// Tolerance model for separating roundoff from soft errors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    /// Safety factor multiplying the analytic roundoff bound. Larger values
+    /// tolerate more roundoff (fewer false positives) at the cost of missing
+    /// smaller errors.
+    pub factor: f64,
+    /// Absolute floor, guarding tiny problems where the relative bound
+    /// underflows.
+    pub floor: f64,
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        // factor sized so n = 20480 parallel runs (the paper's largest) stay
+        // free of false positives with random (-1,1) operands.
+        Tolerance {
+            factor: 128.0,
+            floor: 1e-30,
+        }
+    }
+}
+
+impl Tolerance {
+    /// Strict tolerance for unit tests with small, well-conditioned inputs.
+    pub fn strict() -> Self {
+        Tolerance {
+            factor: 16.0,
+            floor: 1e-30,
+        }
+    }
+
+    /// Computes the absolute verification threshold.
+    ///
+    /// * `k_done` — accumulated depth (dot-product length folded into each
+    ///   checksum entry so far).
+    /// * `extent` — number of elements summed per checksum entry (`m` for
+    ///   column sums, `n` for row sums).
+    /// * `scale` — magnitude estimate (max |checksum| observed).
+    pub fn threshold<T: Scalar>(&self, k_done: usize, extent: usize, scale: T) -> T {
+        let eps = T::EPSILON.to_f64();
+        let work = (k_done.max(1) + extent) as f64;
+        let t = self.factor * eps * work * scale.to_f64().max(1.0);
+        T::from_f64(t.max(self.floor))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_scales_with_k() {
+        let tol = Tolerance::default();
+        let t1 = tol.threshold::<f64>(100, 10, 1.0);
+        let t2 = tol.threshold::<f64>(1000, 10, 1.0);
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    fn threshold_scales_with_magnitude() {
+        let tol = Tolerance::default();
+        let t1 = tol.threshold::<f64>(100, 10, 1.0);
+        let t2 = tol.threshold::<f64>(100, 10, 1000.0);
+        assert!((t2 / t1 - 1000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn floor_applies() {
+        let tol = Tolerance {
+            factor: 1.0,
+            floor: 0.5,
+        };
+        assert_eq!(tol.threshold::<f64>(1, 1, 0.0), 0.5);
+    }
+
+    #[test]
+    fn far_below_injected_error_magnitudes() {
+        // With the default model (additive 1e6), thresholds at realistic
+        // sizes must sit orders of magnitude below the injected error.
+        let tol = Tolerance::default();
+        let t = tol.threshold::<f64>(20_480, 20_480, 20_480.0);
+        assert!(t < 1.0, "threshold {t} too large to detect 1e6 errors");
+    }
+
+    #[test]
+    fn f32_threshold_wider() {
+        let tol = Tolerance::default();
+        let t64 = tol.threshold::<f64>(100, 100, 10.0).to_f64();
+        let t32 = tol.threshold::<f32>(100, 100, 10.0).to_f64();
+        assert!(t32 > t64);
+    }
+}

@@ -1,0 +1,120 @@
+//! Cache-blocked but unpacked GEMM.
+//!
+//! One rung above naive: loop tiling keeps operand blocks cache-resident,
+//! but without packing the inner loops still stride through memory and the
+//! compiler must vectorize strided accesses. The gap between this and the
+//! packed tiers quantifies the value of packing (the paper's §2.1 frame).
+
+use ftgemm_core::{MatMut, MatRef, Scalar};
+
+/// Register/cache-tiled GEMM without packing or explicit SIMD.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockedGemm {
+    /// Tile edge for the i/j/p loops.
+    pub block: usize,
+}
+
+impl Default for BlockedGemm {
+    fn default() -> Self {
+        BlockedGemm { block: 64 }
+    }
+}
+
+impl BlockedGemm {
+    /// Display name for reports.
+    pub const NAME: &'static str = "blocked-nopack";
+
+    /// `C = alpha*A*B + beta*C`.
+    pub fn run<T: Scalar>(
+        &self,
+        alpha: T,
+        a: &MatRef<'_, T>,
+        b: &MatRef<'_, T>,
+        beta: T,
+        c: &mut MatMut<'_, T>,
+    ) {
+        let m = a.nrows();
+        let k = a.ncols();
+        let n = b.ncols();
+        assert_eq!(b.nrows(), k, "BlockedGemm: inner dimension mismatch");
+        assert_eq!(c.nrows(), m, "BlockedGemm: C rows mismatch");
+        assert_eq!(c.ncols(), n, "BlockedGemm: C cols mismatch");
+        let bs = self.block.max(1);
+
+        ftgemm_core::gemm::scale_c(c, beta);
+        if alpha == T::ZERO {
+            return;
+        }
+
+        // jc/pc/ic tiling; the micro loop is j-i-p with a column-contiguous
+        // inner axis so LLVM can vectorize the i loop.
+        let mut jj = 0;
+        while jj < n {
+            let nb = bs.min(n - jj);
+            let mut pp = 0;
+            while pp < k {
+                let kb = bs.min(k - pp);
+                let mut ii = 0;
+                while ii < m {
+                    let mb = bs.min(m - ii);
+                    for j in jj..jj + nb {
+                        for p in pp..pp + kb {
+                            let w = alpha * b.get(p, j);
+                            if w == T::ZERO {
+                                continue;
+                            }
+                            let a_col = &a.col(p)[ii..ii + mb];
+                            let c_col = &mut c.col_mut(j)[ii..ii + mb];
+                            for i in 0..mb {
+                                c_col[i] = a_col[i].mul_add(w, c_col[i]);
+                            }
+                        }
+                    }
+                    ii += bs;
+                }
+                pp += bs;
+            }
+            jj += bs;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftgemm_core::reference::naive_gemm;
+    use ftgemm_core::Matrix;
+
+    #[test]
+    fn matches_naive() {
+        for &(m, n, k) in &[(5usize, 7usize, 9usize), (64, 64, 64), (100, 33, 77)] {
+            let a = Matrix::<f64>::random(m, k, 1);
+            let b = Matrix::<f64>::random(k, n, 2);
+            let mut c1 = Matrix::<f64>::random(m, n, 3);
+            let mut c2 = c1.clone();
+            BlockedGemm::default().run(1.5, &a.as_ref(), &b.as_ref(), -0.5, &mut c1.as_mut());
+            naive_gemm(1.5, &a.as_ref(), &b.as_ref(), -0.5, &mut c2.as_mut());
+            assert!(c1.rel_max_diff(&c2) < 1e-10, "{m}x{n}x{k}");
+        }
+    }
+
+    #[test]
+    fn small_block_size() {
+        let a = Matrix::<f64>::random(20, 20, 4);
+        let b = Matrix::<f64>::random(20, 20, 5);
+        let mut c1 = Matrix::<f64>::zeros(20, 20);
+        let mut c2 = Matrix::<f64>::zeros(20, 20);
+        BlockedGemm { block: 3 }.run(1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut c1.as_mut());
+        naive_gemm(1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut c2.as_mut());
+        assert!(c1.rel_max_diff(&c2) < 1e-10);
+    }
+
+    #[test]
+    fn alpha_zero_scales_only() {
+        let a = Matrix::<f64>::random(4, 4, 6);
+        let b = Matrix::<f64>::random(4, 4, 7);
+        let mut c = Matrix::<f64>::filled(4, 4, 2.0);
+        BlockedGemm::default().run(0.0, &a.as_ref(), &b.as_ref(), 3.0, &mut c.as_mut());
+        assert!(c.as_slice().iter().all(|&v| v == 6.0));
+    }
+}

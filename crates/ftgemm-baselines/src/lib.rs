@@ -1,0 +1,37 @@
+//! # ftgemm-baselines
+//!
+//! Comparator GEMM implementations for the paper's evaluation.
+//!
+//! The paper benchmarks against Intel MKL 2020.2, OpenBLAS 0.3.13 and BLIS
+//! 0.8.0. Those libraries are not linkable here (closed-source / external C
+//! toolchains), so per the substitution policy in `DESIGN.md` each is stood
+//! in by an in-repo packed/blocked GEMM pinned to a distinct optimization
+//! tier, preserving the *relative* structure of the comparison:
+//!
+//! | paper library | stand-in | tier |
+//! |---|---|---|
+//! | BLIS (slowest of the three in the paper) | [`ReferenceGemm::blis`] | packed + blocked, portable auto-vectorized micro-kernel |
+//! | OpenBLAS | [`ReferenceGemm::openblas`] | packed + blocked, AVX2+FMA micro-kernel |
+//! | MKL (strongest comparator) | [`ReferenceGemm::mkl`] | packed + blocked, best SIMD tier (AVX-512 when available) |
+//!
+//! Names carry a `*` suffix in reports to mark them as stand-ins.
+//!
+//! Also provided:
+//! * [`NaiveGemm`] — the triple-loop oracle (sanity floor);
+//! * [`BlockedGemm`] — cache-blocked but unpacked/unvectorized (shows why
+//!   packing matters);
+//! * [`unfused_ft_gemm`] — "traditional" ABFT with separate O(n^2) checksum
+//!   passes (the ~15%-overhead baseline of §2.2).
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+mod blocked;
+mod naive;
+mod tiers;
+mod unfused;
+
+pub use blocked::BlockedGemm;
+pub use naive::NaiveGemm;
+pub use tiers::{ReferenceGemm, ReferenceParGemm, Tier};
+pub use unfused::{unfused_ft_gemm, unfused_par_ft_gemm};

@@ -1,0 +1,42 @@
+//! Triple-loop GEMM: the correctness floor and performance zero-point.
+
+use ftgemm_core::reference::naive_gemm;
+use ftgemm_core::{MatMut, MatRef, Scalar};
+
+/// The unblocked, unvectorized jik-loop GEMM.
+///
+/// Used as the numerical oracle in tests and as the zero-point in the
+/// benchmark harness (it shows where "no optimization at all" lands).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NaiveGemm;
+
+impl NaiveGemm {
+    /// Display name for reports.
+    pub const NAME: &'static str = "naive";
+
+    /// `C = alpha*A*B + beta*C`.
+    pub fn run<T: Scalar>(
+        &self,
+        alpha: T,
+        a: &MatRef<'_, T>,
+        b: &MatRef<'_, T>,
+        beta: T,
+        c: &mut MatMut<'_, T>,
+    ) {
+        naive_gemm(alpha, a, b, beta, c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftgemm_core::Matrix;
+
+    #[test]
+    fn identity_times_identity() {
+        let id = Matrix::<f64>::identity(8);
+        let mut c = Matrix::<f64>::zeros(8, 8);
+        NaiveGemm.run(1.0, &id.as_ref(), &id.as_ref(), 0.0, &mut c.as_mut());
+        assert!(c.max_abs_diff(&id) == 0.0);
+    }
+}

@@ -1,0 +1,61 @@
+//! Criterion benchmarks for the FT-BLAS companion layer: DMR overhead on
+//! memory-bound Level-1/2 routines (FT-BLAS reports ~2x arithmetic for
+//! memory-bound kernels hiding mostly under the bandwidth ceiling).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ftgemm_blas::level1;
+use ftgemm_blas::level1_ft::{ft_axpy, ft_dot};
+use ftgemm_blas::level2::gemv;
+use ftgemm_blas::level2_ft::ft_gemv;
+use ftgemm_blas::DmrConfig;
+use ftgemm_core::Matrix;
+use std::time::Duration;
+
+fn bench_level1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("level1");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    let n = 1 << 16;
+    let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).sin()).collect();
+    let y0: Vec<f64> = (0..n).map(|i| (i as f64 * 0.02).cos()).collect();
+    let mut y = y0.clone();
+    let cfg = DmrConfig::default();
+
+    g.throughput(Throughput::Bytes((n * 8 * 2) as u64));
+    g.bench_function("axpy/plain", |bch| {
+        bch.iter(|| level1::axpy(1.0001, &x, &mut y));
+    });
+    g.bench_function("axpy/dmr", |bch| {
+        bch.iter(|| ft_axpy(&cfg, 1.0001, &x, &mut y));
+    });
+    g.bench_function("dot/plain", |bch| {
+        bch.iter(|| level1::dot(&x, &y0));
+    });
+    g.bench_function("dot/dmr", |bch| {
+        bch.iter(|| ft_dot(&cfg, &x, &y0));
+    });
+    g.finish();
+}
+
+fn bench_level2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("level2");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    let n = 1024;
+    let a = Matrix::<f64>::random(n, n, 5);
+    let x: Vec<f64> = (0..n).map(|i| i as f64 / n as f64).collect();
+    let mut y = vec![0.0; n];
+    let cfg = DmrConfig::default();
+
+    g.throughput(Throughput::Bytes((n * n * 8) as u64));
+    g.bench_function("gemv/plain", |bch| {
+        bch.iter(|| gemv(1.0, &a.as_ref(), &x, 0.0, &mut y));
+    });
+    g.bench_function("gemv/dmr", |bch| {
+        bch.iter(|| ft_gemv(&cfg, 1.0, &a.as_ref(), &x, 0.0, &mut y));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_level1, bench_level2);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! Criterion micro-benchmarks: micro-kernel tiers, packing (plain vs
+//! fused), and checksum primitives. These quantify the *components* of the
+//! paper's fusion argument: the fused variants must cost barely more than
+//! the plain passes they ride on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ftgemm_abft::checksum;
+use ftgemm_core::{pack, select_kernel, AlignedVec, IsaLevel, Matrix};
+use std::time::Duration;
+
+fn bench_microkernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("microkernel");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    let k = 256;
+
+    for isa in IsaLevel::available() {
+        let kern = select_kernel::<f64>(isa);
+        let (mr, nr) = (kern.mr, kern.nr);
+        let a = AlignedVec::<f64>::zeroed(mr * k).unwrap();
+        let b = AlignedVec::<f64>::zeroed(nr * k).unwrap();
+        let mut cbuf = vec![0.0f64; mr * nr];
+        let mut col = vec![0.0f64; nr];
+        let mut row = vec![0.0f64; mr];
+        g.throughput(Throughput::Elements((2 * mr * nr * k) as u64));
+
+        g.bench_with_input(BenchmarkId::new("plain", format!("{isa}-{mr}x{nr}")), &(), |bch, _| {
+            bch.iter(|| {
+                // SAFETY: buffers sized per the kernel contract.
+                unsafe {
+                    (kern.func)(
+                        k,
+                        a.as_ptr(),
+                        b.as_ptr(),
+                        cbuf.as_mut_ptr(),
+                        mr,
+                        mr,
+                        nr,
+                        std::ptr::null_mut(),
+                        std::ptr::null_mut(),
+                    )
+                }
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("ft-sums", format!("{isa}-{mr}x{nr}")), &(), |bch, _| {
+            bch.iter(|| {
+                // SAFETY: as above, with valid sum vectors.
+                unsafe {
+                    (kern.func)(
+                        k,
+                        a.as_ptr(),
+                        b.as_ptr(),
+                        cbuf.as_mut_ptr(),
+                        mr,
+                        mr,
+                        nr,
+                        col.as_mut_ptr(),
+                        row.as_mut_ptr(),
+                    )
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_packing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("packing");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    let (mc, kc, nc) = (128, 256, 512);
+    let (mr, nr) = (16, 8);
+    let a = Matrix::<f64>::random(mc, kc, 1);
+    let b = Matrix::<f64>::random(kc, nc, 2);
+    let mut a_out = vec![0.0; mc.div_ceil(mr) * mr * kc];
+    let mut b_out = vec![0.0; nc.div_ceil(nr) * nr * kc];
+    let ar = vec![1.0; kc];
+    let bc_in = vec![1.0; kc];
+    let mut bc = vec![0.0; kc];
+    let mut enc_col = vec![0.0; nc];
+    let mut enc_row = vec![0.0; mc];
+
+    g.throughput(Throughput::Bytes((kc * nc * 8) as u64));
+    g.bench_function("pack_b/plain", |bch| {
+        bch.iter(|| pack::pack_b(&b.as_ref(), nr, &mut b_out));
+    });
+    g.bench_function("pack_b/fused(bc+enc_col)", |bch| {
+        bch.iter(|| pack::pack_b_fused(&b.as_ref(), nr, &mut b_out, &ar, &mut bc, &mut enc_col));
+    });
+    g.throughput(Throughput::Bytes((mc * kc * 8) as u64));
+    g.bench_function("pack_a/plain", |bch| {
+        bch.iter(|| pack::pack_a(&a.as_ref(), 1.0, mr, &mut a_out));
+    });
+    g.bench_function("pack_a/fused(enc_row)", |bch| {
+        bch.iter(|| pack::pack_a_fused(&a.as_ref(), 1.0, mr, &mut a_out, &bc_in, &mut enc_row));
+    });
+    g.finish();
+}
+
+fn bench_checksums(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checksum");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(1));
+    let n = 768;
+    let mut m = Matrix::<f64>::random(n, n, 3);
+    let mut er = vec![0.0; n];
+    let mut ec = vec![0.0; n];
+
+    g.throughput(Throughput::Bytes((n * n * 8) as u64));
+    g.bench_function("scale_encode_c (fused)", |bch| {
+        bch.iter(|| checksum::scale_encode_c(&mut m.as_mut(), 1.0, &mut er, &mut ec));
+    });
+    g.bench_function("scale_then_encode_c (unfused)", |bch| {
+        bch.iter(|| checksum::scale_then_encode_c(&mut m.as_mut(), 1.0, &mut er, &mut ec));
+    });
+    g.bench_function("encode_c (read-back)", |bch| {
+        bch.iter(|| checksum::encode_c(&m.as_ref(), &mut er, &mut ec));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_microkernels, bench_packing, bench_checksums);
+criterion_main!(benches);

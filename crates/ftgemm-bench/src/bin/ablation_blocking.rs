@@ -1,0 +1,82 @@
+//! Ablation A2: blocking-parameter and ISA-tier sensitivity (the design
+//! choices of paper §2.1 — "the step sizes of these three for loops ...
+//! [are] determined by the size of each layer of the cache").
+//!
+//! Part 1: GFLOPS per ISA tier at a fixed size (value of AVX-512 kernels).
+//! Part 2: GFLOPS over an (MC, KC) grid around the cache-derived defaults.
+//!
+//! Usage: `cargo run -p ftgemm-bench --release --bin ablation_blocking`
+
+use ftgemm_bench::{measure, Args, Table};
+use ftgemm_core::{gemm_with_params, BlockingParams, CacheInfo, IsaLevel, Matrix};
+
+fn main() {
+    let args = Args::parse();
+    let s = args.sizes.as_ref().and_then(|v| v.first().copied()).unwrap_or(768);
+    let a = Matrix::<f64>::random(s, s, 1);
+    let b = Matrix::<f64>::random(s, s, 2);
+
+    // Part 1: ISA tiers.
+    let mut tier_table = Table::new(
+        &format!("A2.1 — micro-kernel ISA tier at {s}^3 (serial)"),
+        &["tier", "MRxNR", "GFLOPS"],
+    );
+    for isa in IsaLevel::available() {
+        let kernel = ftgemm_core::select_kernel::<f64>(isa);
+        let params = BlockingParams::derive::<f64>(&CacheInfo::detect(), kernel.mr, kernel.nr);
+        let mut c = Matrix::<f64>::zeros(s, s);
+        let t = measure(args.warmup, args.reps, || {
+            gemm_with_params(isa, params, 1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut c.as_mut())
+                .unwrap();
+        });
+        tier_table.row(vec![
+            isa.to_string(),
+            format!("{}x{}", kernel.mr, kernel.nr),
+            format!("{:.2}", t.gflops(s, s, s)),
+        ]);
+        eprintln!("tier {isa} done");
+    }
+    tier_table.print();
+
+    // Part 2: (MC, KC) grid at the best tier.
+    let isa = IsaLevel::detect();
+    let kernel = ftgemm_core::select_kernel::<f64>(isa);
+    let base = BlockingParams::derive::<f64>(&CacheInfo::detect(), kernel.mr, kernel.nr);
+    let mc_grid: Vec<usize> = [base.mc / 4, base.mc / 2, base.mc, base.mc * 2]
+        .iter()
+        .map(|&v| v.max(kernel.mr) / kernel.mr * kernel.mr)
+        .collect();
+    let kc_grid: Vec<usize> = vec![base.kc / 4, base.kc / 2, base.kc, base.kc * 2];
+
+    let mut headers: Vec<String> = vec!["MC \\ KC".to_string()];
+    headers.extend(kc_grid.iter().map(|k| k.to_string()));
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut grid_table = Table::new(
+        &format!(
+            "A2.2 — GFLOPS over (MC, KC) grid at {s}^3 (cache-derived default: MC={}, KC={})",
+            base.mc, base.kc
+        ),
+        &headers_ref,
+    );
+    for &mc in &mc_grid {
+        let mut row = vec![mc.to_string()];
+        for &kc in &kc_grid {
+            let params = base.with_blocks(mc, base.nc, kc.max(1));
+            let mut c = Matrix::<f64>::zeros(s, s);
+            let t = measure(args.warmup, args.reps, || {
+                gemm_with_params(isa, params, 1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut c.as_mut())
+                    .unwrap();
+            });
+            row.push(format!("{:.2}", t.gflops(s, s, s)));
+        }
+        grid_table.row(row);
+        eprintln!("mc {mc} done");
+    }
+    grid_table.print();
+
+    let _ = tier_table.write_csv(&args.out_dir, "ablation_isa");
+    match grid_table.write_csv(&args.out_dir, "ablation_blocking") {
+        Ok(p) => println!("\nCSV written to {}", p.display()),
+        Err(e) => eprintln!("CSV write failed: {e}"),
+    }
+}

@@ -1,0 +1,84 @@
+//! Ablation A1: contribution of each fusion point (paper §2.2's design).
+//!
+//! Measures FT overhead over "Ori" as fusion points are enabled one at a
+//! time: none (traditional ABFT) -> +C-scale fusion -> +B-pack fusion ->
+//! +A-pack fusion -> +register-level refs (full FT-GEMM).
+//!
+//! Usage: `cargo run -p ftgemm-bench --release --bin ablation_fusion`
+
+use ftgemm_abft::{ft_gemm_with_ctx, FtConfig, FtGemmContext, FusionConfig};
+use ftgemm_bench::{measure, Args, Table};
+use ftgemm_core::{gemm, GemmContext, Matrix};
+
+fn main() {
+    let args = Args::parse();
+    let sizes = args.serial_sizes();
+
+    let stages: Vec<(&str, FusionConfig)> = vec![
+        ("unfused", FusionConfig::UNFUSED),
+        (
+            "+C-scale",
+            FusionConfig {
+                fuse_c_scale: true,
+                ..FusionConfig::UNFUSED
+            },
+        ),
+        (
+            "+B-pack",
+            FusionConfig {
+                fuse_c_scale: true,
+                fuse_b_pack: true,
+                ..FusionConfig::UNFUSED
+            },
+        ),
+        (
+            "+A-pack",
+            FusionConfig {
+                fuse_c_scale: true,
+                fuse_b_pack: true,
+                fuse_a_pack: true,
+                ..FusionConfig::UNFUSED
+            },
+        ),
+        ("+kernel-refs (full)", FusionConfig::FUSED),
+    ];
+
+    let mut headers: Vec<&str> = vec!["size", "Ori GF"];
+    headers.extend(stages.iter().map(|(n, _)| *n));
+    let mut table = Table::new(
+        "A1 — serial FT overhead by fusion stage (lower is better; paper: ~15% unfused -> ~3% full)",
+        &headers,
+    );
+
+    let mut ori_ctx = GemmContext::<f64>::new();
+    let mut ft_ctx = FtGemmContext::<f64>::new();
+
+    for &s in &sizes {
+        let a = Matrix::<f64>::random(s, s, 1);
+        let b = Matrix::<f64>::random(s, s, 2);
+        let mut c = Matrix::<f64>::zeros(s, s);
+        let t_ori = measure(args.warmup, args.reps, || {
+            gemm(&mut ori_ctx, 1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut c.as_mut()).unwrap();
+        });
+        let mut row = vec![s.to_string(), format!("{:.2}", t_ori.gflops(s, s, s))];
+        for (_, fusion) in &stages {
+            let cfg = FtConfig {
+                fusion: *fusion,
+                ..Default::default()
+            };
+            let t = measure(args.warmup, args.reps, || {
+                ft_gemm_with_ctx(&mut ft_ctx, &cfg, 1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut c.as_mut())
+                    .unwrap();
+            });
+            row.push(format!("{:+.2}%", (t.min / t_ori.min - 1.0) * 100.0));
+        }
+        table.row(row);
+        eprintln!("{s} done");
+    }
+
+    table.print();
+    match table.write_csv(&args.out_dir, "ablation_fusion") {
+        Ok(p) => println!("\nCSV written to {}", p.display()),
+        Err(e) => eprintln!("CSV write failed: {e}"),
+    }
+}

@@ -1,0 +1,43 @@
+//! Figure 2(a): serial DGEMM performance, five curves over a square-size
+//! sweep (paper: 1024..10240 step 1024, average of 20 repetitions).
+//!
+//! Usage: `cargo run -p ftgemm-bench --release --bin fig2a [--paper-sizes]`
+
+use ftgemm_bench::{gflops, measure, Args, Table};
+use ftgemm_core::Matrix;
+
+fn main() {
+    let args = Args::parse();
+    let sizes = args.serial_sizes();
+    let mut suite = ftgemm_bench::runners::serial_suite(None);
+
+    let mut headers: Vec<&str> = vec!["size"];
+    let names: Vec<String> = suite.iter().map(|r| r.name().to_string()).collect();
+    headers.extend(names.iter().map(|s| s.as_str()));
+    let mut table = Table::new(
+        "Fig 2(a) — FT-DGEMM, Serial: GFLOPS (higher is better)",
+        &headers,
+    );
+
+    for &s in &sizes {
+        let a = Matrix::<f64>::random(s, s, 0xA);
+        let b = Matrix::<f64>::random(s, s, 0xB);
+        let mut row = vec![s.to_string()];
+        for runner in &mut suite {
+            let mut c = Matrix::<f64>::zeros(s, s);
+            let meas = measure(args.warmup, args.reps, || {
+                runner.run(&a.as_ref(), &b.as_ref(), &mut c.as_mut());
+            });
+            row.push(format!("{:.2}", gflops(s, s, s, meas.avg)));
+            eprint!(".");
+        }
+        eprintln!(" {s} done");
+        table.row(row);
+    }
+
+    table.print();
+    match table.write_csv(&args.out_dir, "fig2a") {
+        Ok(p) => println!("\nCSV written to {}", p.display()),
+        Err(e) => eprintln!("CSV write failed: {e}"),
+    }
+}

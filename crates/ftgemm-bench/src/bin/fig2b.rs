@@ -1,0 +1,47 @@
+//! Figure 2(b): parallel DGEMM performance, five curves (paper: sizes
+//! 512..19968, all cores).
+//!
+//! Usage: `cargo run -p ftgemm-bench --release --bin fig2b [--paper-sizes]
+//! [--threads N]`
+
+use ftgemm_bench::{gflops, measure, Args, Table};
+use ftgemm_core::Matrix;
+
+fn main() {
+    let args = Args::parse();
+    let sizes = args.parallel_sizes();
+    let mut suite = ftgemm_bench::runners::parallel_suite(args.threads, None);
+
+    let mut headers: Vec<&str> = vec!["size"];
+    let names: Vec<String> = suite.iter().map(|r| r.name().to_string()).collect();
+    headers.extend(names.iter().map(|s| s.as_str()));
+    let mut table = Table::new(
+        &format!(
+            "Fig 2(b) — FT-DGEMM, Parallel ({} threads): GFLOPS",
+            args.threads
+        ),
+        &headers,
+    );
+
+    for &s in &sizes {
+        let a = Matrix::<f64>::random(s, s, 0xA);
+        let b = Matrix::<f64>::random(s, s, 0xB);
+        let mut row = vec![s.to_string()];
+        for runner in &mut suite {
+            let mut c = Matrix::<f64>::zeros(s, s);
+            let meas = measure(args.warmup, args.reps, || {
+                runner.run(&a.as_ref(), &b.as_ref(), &mut c.as_mut());
+            });
+            row.push(format!("{:.2}", gflops(s, s, s, meas.avg)));
+            eprint!(".");
+        }
+        eprintln!(" {s} done");
+        table.row(row);
+    }
+
+    table.print();
+    match table.write_csv(&args.out_dir, "fig2b") {
+        Ok(p) => println!("\nCSV written to {}", p.display()),
+        Err(e) => eprintln!("CSV write failed: {e}"),
+    }
+}

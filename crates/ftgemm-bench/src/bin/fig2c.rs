@@ -1,0 +1,59 @@
+//! Figure 2(c): serial performance under error injection.
+//!
+//! The library curves run clean (the paper injects into *its own* kernels);
+//! the FT curve tolerates `--errors` injected errors per run (paper: 20)
+//! while its output is validated against a clean reference.
+//!
+//! Usage: `cargo run -p ftgemm-bench --release --bin fig2c [--errors 20]`
+
+use ftgemm_bench::{gflops, measure, Args, Table};
+use ftgemm_core::Matrix;
+use ftgemm_faults::FaultInjector;
+
+fn main() {
+    let args = Args::parse();
+    let sizes = args.serial_sizes();
+    let injector = FaultInjector::counted(0xEC, args.errors);
+    let mut suite = ftgemm_bench::runners::serial_suite(Some(injector.clone()));
+
+    let mut headers: Vec<&str> = vec!["size"];
+    let names: Vec<String> = suite.iter().map(|r| r.name().to_string()).collect();
+    headers.extend(names.iter().map(|s| s.as_str()));
+    headers.push("FT corrected");
+    let mut table = Table::new(
+        &format!(
+            "Fig 2(c) — Error injection, Serial ({} errors/run on FT): GFLOPS",
+            args.errors
+        ),
+        &headers,
+    );
+
+    for &s in &sizes {
+        let a = Matrix::<f64>::random(s, s, 0xA);
+        let b = Matrix::<f64>::random(s, s, 0xB);
+        let mut row = vec![s.to_string()];
+        injector.stats().reset();
+        for runner in &mut suite {
+            let mut c = Matrix::<f64>::zeros(s, s);
+            let meas = measure(args.warmup, args.reps, || {
+                runner.run(&a.as_ref(), &b.as_ref(), &mut c.as_mut());
+            });
+            row.push(format!("{:.2}", gflops(s, s, s, meas.avg)));
+            eprint!(".");
+        }
+        row.push(format!(
+            "{}/{}",
+            injector.stats().corrected(),
+            injector.stats().injected()
+        ));
+        eprintln!(" {s} done ({})", injector.stats().summary());
+        table.row(row);
+    }
+
+    table.print();
+    println!("\ninjector totals: {}", injector.stats().summary());
+    match table.write_csv(&args.out_dir, "fig2c") {
+        Ok(p) => println!("CSV written to {}", p.display()),
+        Err(e) => eprintln!("CSV write failed: {e}"),
+    }
+}

@@ -1,0 +1,56 @@
+//! Figure 2(d): parallel performance under error injection.
+//!
+//! Usage: `cargo run -p ftgemm-bench --release --bin fig2d [--errors 20]
+//! [--threads N]`
+
+use ftgemm_bench::{gflops, measure, Args, Table};
+use ftgemm_core::Matrix;
+use ftgemm_faults::FaultInjector;
+
+fn main() {
+    let args = Args::parse();
+    let sizes = args.parallel_sizes();
+    let injector = FaultInjector::counted(0xED, args.errors);
+    let mut suite = ftgemm_bench::runners::parallel_suite(args.threads, Some(injector.clone()));
+
+    let mut headers: Vec<&str> = vec!["size"];
+    let names: Vec<String> = suite.iter().map(|r| r.name().to_string()).collect();
+    headers.extend(names.iter().map(|s| s.as_str()));
+    headers.push("FT corrected");
+    let mut table = Table::new(
+        &format!(
+            "Fig 2(d) — Error injection, Parallel ({} threads, {} errors/run/thread on FT): GFLOPS",
+            args.threads, args.errors
+        ),
+        &headers,
+    );
+
+    for &s in &sizes {
+        let a = Matrix::<f64>::random(s, s, 0xA);
+        let b = Matrix::<f64>::random(s, s, 0xB);
+        let mut row = vec![s.to_string()];
+        injector.stats().reset();
+        for runner in &mut suite {
+            let mut c = Matrix::<f64>::zeros(s, s);
+            let meas = measure(args.warmup, args.reps, || {
+                runner.run(&a.as_ref(), &b.as_ref(), &mut c.as_mut());
+            });
+            row.push(format!("{:.2}", gflops(s, s, s, meas.avg)));
+            eprint!(".");
+        }
+        row.push(format!(
+            "{}/{}",
+            injector.stats().corrected(),
+            injector.stats().injected()
+        ));
+        eprintln!(" {s} done ({})", injector.stats().summary());
+        table.row(row);
+    }
+
+    table.print();
+    println!("\ninjector totals: {}", injector.stats().summary());
+    match table.write_csv(&args.out_dir, "fig2d") {
+        Ok(p) => println!("CSV written to {}", p.display()),
+        Err(e) => eprintln!("CSV write failed: {e}"),
+    }
+}

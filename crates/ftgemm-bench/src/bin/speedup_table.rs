@@ -1,0 +1,88 @@
+//! Experiment T3: FT-GEMM (with FT on) speed relative to the library
+//! stand-ins, serial and parallel.
+//!
+//! Paper claims: +3.5% .. +22.1% over the three libraries overall; under
+//! serial injection +22.89% vs OpenBLAS, +21.56% vs BLIS, +4.98% vs MKL;
+//! parallel +16.83% vs BLIS, comparable to OpenBLAS, slightly below MKL.
+//!
+//! Usage: `cargo run -p ftgemm-bench --release --bin speedup_table`
+
+use ftgemm_bench::{measure, Args, Table};
+use ftgemm_core::Matrix;
+
+fn geomean(v: &[f64]) -> f64 {
+    let s: f64 = v.iter().map(|x| x.ln()).sum();
+    (s / v.len().max(1) as f64).exp()
+}
+
+fn run_suite(
+    args: &Args,
+    sizes: &[usize],
+    parallel: bool,
+) -> (Vec<String>, Vec<Vec<f64>>) {
+    let mut suite = if parallel {
+        ftgemm_bench::runners::parallel_suite(args.threads, None)
+    } else {
+        ftgemm_bench::runners::serial_suite(None)
+    };
+    let names: Vec<String> = suite.iter().map(|r| r.name().to_string()).collect();
+    let mut times: Vec<Vec<f64>> = vec![Vec::new(); suite.len()];
+    for &s in sizes {
+        let a = Matrix::<f64>::random(s, s, 1);
+        let b = Matrix::<f64>::random(s, s, 2);
+        for (i, runner) in suite.iter_mut().enumerate() {
+            let mut c = Matrix::<f64>::zeros(s, s);
+            let meas = measure(args.warmup, args.reps, || {
+                runner.run(&a.as_ref(), &b.as_ref(), &mut c.as_mut());
+            });
+            // Min-of-reps: noise-robust on shared machines.
+            times[i].push(meas.min);
+        }
+        eprintln!("{} {s} done", if parallel { "par" } else { "ser" });
+    }
+    (names, times)
+}
+
+fn main() {
+    let args = Args::parse();
+
+    let mut table = Table::new(
+        "T3 — FT-GEMM:FT speed relative to each comparator (geomean over sweep; >0% means FT-GEMM faster)",
+        &["mode", "vs MKL*", "vs OpenBLAS*", "vs BLIS*", "vs Ori"],
+    );
+
+    for (mode, sizes, parallel) in [
+        ("serial", args.serial_sizes(), false),
+        ("parallel", args.parallel_sizes(), true),
+    ] {
+        let (names, times) = run_suite(&args, &sizes, parallel);
+        let ft_idx = names.iter().position(|n| n == "FT-GEMM: FT").unwrap();
+        let rel = |other: &str| -> String {
+            let oi = names.iter().position(|n| n == other).unwrap();
+            let ratios: Vec<f64> = times[oi]
+                .iter()
+                .zip(&times[ft_idx])
+                .map(|(o, f)| o / f)
+                .collect();
+            format!("{:+.2}%", (geomean(&ratios) - 1.0) * 100.0)
+        };
+        table.row(vec![
+            mode.to_string(),
+            rel("MKL*"),
+            rel("OpenBLAS*"),
+            rel("BLIS*"),
+            rel("FT-GEMM: Ori"),
+        ]);
+    }
+
+    table.print();
+    println!(
+        "\npaper reference: serial +4.98% vs MKL, +22.89% vs OpenBLAS, +21.56% vs BLIS;\n\
+         parallel: slightly below MKL, comparable to OpenBLAS, +16.83% vs BLIS;\n\
+         vs Ori = -(FT overhead)."
+    );
+    match table.write_csv(&args.out_dir, "speedup_table") {
+        Ok(p) => println!("CSV written to {}", p.display()),
+        Err(e) => eprintln!("CSV write failed: {e}"),
+    }
+}

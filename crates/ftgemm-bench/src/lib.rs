@@ -1,0 +1,56 @@
+//! # ftgemm-bench
+//!
+//! Benchmark harness regenerating every figure and table of the FT-GEMM
+//! paper's evaluation (§3). One binary per experiment — see `DESIGN.md`'s
+//! experiment index:
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `fig2a` | Fig. 2(a): serial DGEMM GFLOPS vs size, five curves |
+//! | `fig2b` | Fig. 2(b): parallel DGEMM GFLOPS vs size |
+//! | `fig2c` | Fig. 2(c): serial GFLOPS under error injection |
+//! | `fig2d` | Fig. 2(d): parallel GFLOPS under error injection |
+//! | `overhead_table` | T1/T2: fused vs unfused ABFT overhead percentages |
+//! | `speedup_table` | T3: FT-GEMM speedup over the library stand-ins |
+//! | `reliability` | T4: sustained errors-per-minute campaign with validation |
+//! | `ablation_fusion` | A1: per-fusion-point overhead decomposition |
+//! | `ablation_blocking` | A2: blocking-parameter / ISA-tier sensitivity |
+//!
+//! Every binary prints a paper-style table and writes CSV under
+//! `bench_results/`. Default sweeps are scaled down (CI-sized); pass
+//! `--paper-sizes` for the full-size lists from the paper.
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod report;
+pub mod runners;
+pub mod timing;
+
+pub use args::Args;
+pub use report::{CsvWriter, Table};
+pub use runners::{GemmRunner, RunnerKind};
+pub use timing::{gflops, measure, Measurement};
+
+/// Paper's serial sweep (Fig. 2a/2c): 1024^2 .. 10240^2 step 1024.
+pub fn paper_serial_sizes() -> Vec<usize> {
+    (1..=10).map(|i| i * 1024).collect()
+}
+
+/// Paper's parallel sweep (Fig. 2b/2d): 512 .. 19968.
+pub fn paper_parallel_sizes() -> Vec<usize> {
+    vec![
+        512, 1536, 2560, 3584, 4608, 5632, 6656, 7680, 8704, 9728, 10752, 11776, 12800, 13824,
+        14848, 15872, 16896, 17920, 18944, 19968,
+    ]
+}
+
+/// Scaled-down serial sweep (same shape, laptop/CI budget).
+pub fn scaled_serial_sizes() -> Vec<usize> {
+    vec![256, 384, 512, 640, 768, 896, 1024, 1280]
+}
+
+/// Scaled-down parallel sweep.
+pub fn scaled_parallel_sizes() -> Vec<usize> {
+    vec![256, 512, 768, 1024, 1536, 2048]
+}

@@ -1,0 +1,82 @@
+//! Wall-clock measurement utilities.
+//!
+//! The paper repeats each measurement twenty times and reports the average
+//! (§3); [`measure`] reproduces that protocol with a configurable repeat
+//! count and explicit warm-up iterations (excluded from the statistics).
+
+use std::time::Instant;
+
+/// Statistics over repeated timed runs (seconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Mean of the timed repetitions.
+    pub avg: f64,
+    /// Fastest repetition.
+    pub min: f64,
+    /// Slowest repetition.
+    pub max: f64,
+    /// Number of timed repetitions.
+    pub reps: usize,
+}
+
+impl Measurement {
+    /// GFLOPS for an `m x n x k` GEMM at the mean time.
+    pub fn gflops(&self, m: usize, n: usize, k: usize) -> f64 {
+        gflops(m, n, k, self.avg)
+    }
+}
+
+/// Times `f` for `reps` repetitions after `warmup` unrecorded runs.
+pub fn measure(warmup: usize, reps: usize, mut f: impl FnMut()) -> Measurement {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut times = Vec::with_capacity(reps.max(1));
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        f();
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    let sum: f64 = times.iter().sum();
+    Measurement {
+        avg: sum / times.len() as f64,
+        min: times.iter().copied().fold(f64::INFINITY, f64::min),
+        max: times.iter().copied().fold(0.0, f64::max),
+        reps: times.len(),
+    }
+}
+
+/// GEMM GFLOPS: `2*m*n*k` floating-point operations over `secs` seconds.
+pub fn gflops(m: usize, n: usize, k: usize, secs: f64) -> f64 {
+    if secs <= 0.0 {
+        return 0.0;
+    }
+    (2.0 * m as f64 * n as f64 * k as f64) / secs / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_counts_reps() {
+        let mut calls = 0;
+        let m = measure(2, 5, || calls += 1);
+        assert_eq!(calls, 7);
+        assert_eq!(m.reps, 5);
+        assert!(m.min <= m.avg && m.avg <= m.max);
+    }
+
+    #[test]
+    fn gflops_math() {
+        // 1000^3 GEMM in 2 seconds: 2e9 flop / 2 s = 1 GFLOPS.
+        assert!((gflops(1000, 1000, 1000, 2.0) - 1.0).abs() < 1e-12);
+        assert_eq!(gflops(10, 10, 10, 0.0), 0.0);
+    }
+
+    #[test]
+    fn zero_reps_clamped() {
+        let m = measure(0, 0, || {});
+        assert_eq!(m.reps, 1);
+    }
+}

@@ -1,0 +1,83 @@
+//! DMR configuration and reporting shared by the FT Level-1/2 routines.
+
+use ftgemm_faults::FaultInjector;
+
+/// Configuration for DMR-protected routines.
+#[derive(Debug, Clone)]
+pub struct DmrConfig {
+    /// Block length over which results are duplicated and compared.
+    /// Smaller blocks detect earlier but compare more often.
+    pub block: usize,
+    /// Optional injector; one injection site per duplicated block.
+    pub injector: Option<FaultInjector>,
+    /// Stream id disambiguator (callers bump per invocation).
+    pub stream_id: u64,
+}
+
+impl Default for DmrConfig {
+    fn default() -> Self {
+        DmrConfig {
+            block: 512,
+            injector: None,
+            stream_id: 0,
+        }
+    }
+}
+
+impl DmrConfig {
+    /// Config with an injector attached.
+    pub fn with_injector(injector: FaultInjector) -> Self {
+        DmrConfig {
+            injector: Some(injector),
+            ..Default::default()
+        }
+    }
+}
+
+/// Outcome counters of one DMR-protected call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DmrReport {
+    /// Duplicated blocks processed.
+    pub blocks: usize,
+    /// Blocks whose duplicate results disagreed.
+    pub mismatches: usize,
+    /// Blocks recomputed to resolve a mismatch.
+    pub recomputed: usize,
+    /// Errors injected by the attached injector.
+    pub injected: usize,
+}
+
+impl DmrReport {
+    /// Accumulates another report.
+    pub fn absorb(&mut self, o: DmrReport) {
+        self.blocks += o.blocks;
+        self.mismatches += o.mismatches;
+        self.recomputed += o.recomputed;
+        self.injected += o.injected;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let c = DmrConfig::default();
+        assert_eq!(c.block, 512);
+        assert!(c.injector.is_none());
+    }
+
+    #[test]
+    fn absorb_sums() {
+        let mut a = DmrReport {
+            blocks: 1,
+            mismatches: 2,
+            recomputed: 3,
+            injected: 4,
+        };
+        a.absorb(a);
+        assert_eq!(a.blocks, 2);
+        assert_eq!(a.injected, 8);
+    }
+}

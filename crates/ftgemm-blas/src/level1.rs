@@ -1,0 +1,143 @@
+//! Plain Level-1 BLAS routines (the unprotected baselines).
+//!
+//! Signatures follow BLAS semantics on contiguous slices (increments of 1 —
+//! the common case the paper benchmarks). All are type-generic over
+//! [`Scalar`].
+
+use ftgemm_core::Scalar;
+
+/// `x = alpha * x` (SCAL).
+pub fn scal<T: Scalar>(alpha: T, x: &mut [T]) {
+    for v in x {
+        *v *= alpha;
+    }
+}
+
+/// `y = alpha * x + y` (AXPY).
+pub fn axpy<T: Scalar>(alpha: T, x: &[T], y: &mut [T]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (xi, yi) in x.iter().zip(y.iter_mut()) {
+        *yi = alpha.mul_add(*xi, *yi);
+    }
+}
+
+/// Dot product (DOT).
+pub fn dot<T: Scalar>(x: &[T], y: &[T]) -> T {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    let mut acc = T::ZERO;
+    for (xi, yi) in x.iter().zip(y.iter()) {
+        acc = xi.mul_add(*yi, acc);
+    }
+    acc
+}
+
+/// Euclidean norm (NRM2). Unscaled accumulation — adequate for the
+/// benchmark value ranges; a production BLAS would rescale.
+pub fn nrm2<T: Scalar>(x: &[T]) -> T {
+    let mut acc = T::ZERO;
+    for xi in x {
+        acc = xi.mul_add(*xi, acc);
+    }
+    acc.sqrt()
+}
+
+/// Sum of absolute values (ASUM).
+pub fn asum<T: Scalar>(x: &[T]) -> T {
+    let mut acc = T::ZERO;
+    for xi in x {
+        acc += xi.abs();
+    }
+    acc
+}
+
+/// Index of the element with maximum absolute value (IAMAX).
+/// Returns 0 for an empty slice-of-zero-length contract consistency.
+pub fn iamax<T: Scalar>(x: &[T]) -> usize {
+    let mut best = 0usize;
+    let mut best_v = T::ZERO;
+    for (i, xi) in x.iter().enumerate() {
+        let a = xi.abs();
+        if a > best_v {
+            best_v = a;
+            best = i;
+        }
+    }
+    best
+}
+
+/// `y = x` (COPY).
+pub fn copy<T: Scalar>(x: &[T], y: &mut [T]) {
+    assert_eq!(x.len(), y.len(), "copy: length mismatch");
+    y.copy_from_slice(x);
+}
+
+/// Exchanges `x` and `y` (SWAP).
+pub fn swap<T: Scalar>(x: &mut [T], y: &mut [T]) {
+    assert_eq!(x.len(), y.len(), "swap: length mismatch");
+    x.swap_with_slice(y);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scal_basic() {
+        let mut x = [1.0f64, -2.0, 3.0];
+        scal(2.0, &mut x);
+        assert_eq!(x, [2.0, -4.0, 6.0]);
+    }
+
+    #[test]
+    fn axpy_basic() {
+        let x = [1.0f64, 2.0, 3.0];
+        let mut y = [10.0f64, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0f64, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot::<f64>(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn nrm2_pythagorean() {
+        assert!((nrm2(&[3.0f64, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn asum_abs() {
+        assert_eq!(asum(&[1.0f64, -2.0, 3.0]), 6.0);
+    }
+
+    #[test]
+    fn iamax_finds_largest() {
+        assert_eq!(iamax(&[1.0f64, -7.0, 3.0]), 1);
+        assert_eq!(iamax::<f64>(&[]), 0);
+        // ties keep the first index (BLAS convention)
+        assert_eq!(iamax(&[5.0f64, -5.0]), 0);
+    }
+
+    #[test]
+    fn copy_swap() {
+        let x = [1.0f64, 2.0];
+        let mut y = [0.0f64; 2];
+        copy(&x, &mut y);
+        assert_eq!(y, x);
+        let mut a = [1.0f64, 2.0];
+        let mut b = [3.0f64, 4.0];
+        swap(&mut a, &mut b);
+        assert_eq!(a, [3.0, 4.0]);
+        assert_eq!(b, [1.0, 2.0]);
+    }
+
+    #[test]
+    fn f32_variants() {
+        let mut x = [1.0f32, 2.0];
+        scal(0.5f32, &mut x);
+        assert_eq!(x, [0.5, 1.0]);
+        assert_eq!(dot(&[1.0f32, 1.0], &[2.0, 3.0]), 5.0);
+    }
+}

@@ -1,0 +1,288 @@
+//! DMR-protected Level-1 routines.
+//!
+//! Per block: compute the result twice with identical instruction order
+//! (clean duplicates are bit-identical), compare exactly, and on mismatch
+//! recompute a third time, taking the majority (two equal votes win).
+//! A fault injector, when attached, corrupts copy 1 of a block — every
+//! injected error is therefore detected and voted out.
+
+use crate::dmr::{DmrConfig, DmrReport};
+use crate::level1;
+use ftgemm_core::Scalar;
+use ftgemm_faults::SiteStream;
+
+/// Applies an injection event to one element of the primary copy.
+fn maybe_corrupt<T: Scalar>(stream: &mut Option<SiteStream>, block: &mut [T], rep: &mut DmrReport) {
+    if let Some(s) = stream.as_mut() {
+        if let Some(ev) = s.poll() {
+            if !block.is_empty() {
+                rep.injected += 1;
+                let i = (ev.lane as usize) % block.len();
+                block[i] = T::from_f64(ev.apply_f64(block[i].to_f64()));
+            }
+        }
+    }
+}
+
+/// Majority vote between two copies (with a third recompute on mismatch).
+///
+/// `compute` fills its output slice deterministically from captured inputs.
+fn dmr_blocks<T: Scalar>(
+    cfg: &DmrConfig,
+    out: &mut [T],
+    mut compute: impl FnMut(usize, &mut [T]),
+) -> DmrReport {
+    let mut rep = DmrReport::default();
+    let mut stream = cfg
+        .injector
+        .as_ref()
+        .map(|inj| inj.stream(cfg.stream_id, out.len().div_ceil(cfg.block.max(1))));
+    let block = cfg.block.max(1);
+    let mut tmp1 = vec![T::ZERO; block];
+    let mut tmp2 = vec![T::ZERO; block];
+
+    let mut start = 0;
+    while start < out.len() {
+        let len = block.min(out.len() - start);
+        rep.blocks += 1;
+        let (t1, t2) = (&mut tmp1[..len], &mut tmp2[..len]);
+        compute(start, t1);
+        compute(start, t2);
+        maybe_corrupt(&mut stream, t1, &mut rep);
+        if t1 != t2 {
+            rep.mismatches += 1;
+            rep.recomputed += 1;
+            if let Some(inj) = cfg.injector.as_ref() {
+                inj.stats().record_detected();
+            }
+            // Third vote.
+            let mut t3 = vec![T::ZERO; len];
+            compute(start, &mut t3);
+            let winner: &[T] = if t3 == *t2 {
+                t2
+            } else if t3 == *t1 {
+                t1
+            } else {
+                // All three differ (multiple faults): trust the freshest.
+                &t3
+            };
+            out[start..start + len].copy_from_slice(winner);
+            if let Some(inj) = cfg.injector.as_ref() {
+                inj.stats().record_corrected();
+            }
+        } else {
+            out[start..start + len].copy_from_slice(t1);
+        }
+        start += len;
+    }
+    rep
+}
+
+/// DMR-protected SCAL: `x = alpha * x`.
+pub fn ft_scal<T: Scalar>(cfg: &DmrConfig, alpha: T, x: &mut [T]) -> DmrReport {
+    let input = x.to_vec();
+    dmr_blocks(cfg, x, |start, out| {
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = alpha * input[start + i];
+        }
+    })
+}
+
+/// DMR-protected AXPY: `y = alpha * x + y`.
+pub fn ft_axpy<T: Scalar>(cfg: &DmrConfig, alpha: T, x: &[T], y: &mut [T]) -> DmrReport {
+    assert_eq!(x.len(), y.len(), "ft_axpy: length mismatch");
+    let y0 = y.to_vec();
+    dmr_blocks(cfg, y, |start, out| {
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = alpha.mul_add(x[start + i], y0[start + i]);
+        }
+    })
+}
+
+/// DMR-protected DOT with duplicated accumulators.
+pub fn ft_dot<T: Scalar>(cfg: &DmrConfig, x: &[T], y: &[T]) -> (T, DmrReport) {
+    assert_eq!(x.len(), y.len(), "ft_dot: length mismatch");
+    let mut rep = DmrReport::default();
+    let mut stream = cfg
+        .injector
+        .as_ref()
+        .map(|inj| inj.stream(cfg.stream_id, x.len().div_ceil(cfg.block.max(1))));
+    let block = cfg.block.max(1);
+    let mut acc = T::ZERO;
+    let mut start = 0;
+    while start < x.len() {
+        let len = block.min(x.len() - start);
+        rep.blocks += 1;
+        let mut s1 = level1::dot(&x[start..start + len], &y[start..start + len]);
+        let s2 = level1::dot(&x[start..start + len], &y[start..start + len]);
+        if let Some(s) = stream.as_mut() {
+            if let Some(ev) = s.poll() {
+                rep.injected += 1;
+                s1 = T::from_f64(ev.apply_f64(s1.to_f64()));
+            }
+        }
+        let v = if s1 == s2 {
+            s1
+        } else {
+            rep.mismatches += 1;
+            rep.recomputed += 1;
+            if let Some(inj) = cfg.injector.as_ref() {
+                inj.stats().record_detected();
+                inj.stats().record_corrected();
+            }
+            let s3 = level1::dot(&x[start..start + len], &y[start..start + len]);
+            if s3 == s2 {
+                s2
+            } else if s3 == s1 {
+                s1
+            } else {
+                s3
+            }
+        };
+        acc += v;
+        start += len;
+    }
+    (acc, rep)
+}
+
+/// DMR-protected NRM2.
+pub fn ft_nrm2<T: Scalar>(cfg: &DmrConfig, x: &[T]) -> (T, DmrReport) {
+    let (ss, rep) = ft_dot(cfg, x, x);
+    (ss.sqrt(), rep)
+}
+
+/// DMR-protected ASUM.
+pub fn ft_asum<T: Scalar>(cfg: &DmrConfig, x: &[T]) -> (T, DmrReport) {
+    let mut rep = DmrReport::default();
+    let block = cfg.block.max(1);
+    let mut acc = T::ZERO;
+    let mut start = 0;
+    while start < x.len() {
+        let len = block.min(x.len() - start);
+        rep.blocks += 1;
+        let s1 = level1::asum(&x[start..start + len]);
+        let s2 = level1::asum(&x[start..start + len]);
+        acc += if s1 == s2 {
+            s1
+        } else {
+            rep.mismatches += 1;
+            rep.recomputed += 1;
+            level1::asum(&x[start..start + len])
+        };
+        start += len;
+    }
+    (acc, rep)
+}
+
+/// DMR-protected IAMAX (duplicated scan + compare).
+pub fn ft_iamax<T: Scalar>(cfg: &DmrConfig, x: &[T]) -> (usize, DmrReport) {
+    let mut rep = DmrReport::default();
+    rep.blocks = 1;
+    let i1 = level1::iamax(x);
+    let i2 = level1::iamax(x);
+    let idx = if i1 == i2 {
+        i1
+    } else {
+        rep.mismatches += 1;
+        rep.recomputed += 1;
+        level1::iamax(x)
+    };
+    let _ = cfg;
+    (idx, rep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftgemm_faults::{ErrorModel, FaultInjector, Rate};
+
+    fn vecs(n: usize) -> (Vec<f64>, Vec<f64>) {
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).cos()).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn clean_ft_matches_plain() {
+        let cfg = DmrConfig::default();
+        let (x, y) = vecs(3000);
+
+        let mut y1 = y.clone();
+        let mut y2 = y.clone();
+        level1::axpy(1.5, &x, &mut y1);
+        let rep = ft_axpy(&cfg, 1.5, &x, &mut y2);
+        assert_eq!(y1, y2);
+        assert_eq!(rep.mismatches, 0);
+        assert!(rep.blocks >= 5);
+
+        let (d, _) = ft_dot(&cfg, &x, &y);
+        // Blocked summation reorders; compare with tolerance.
+        assert!((d - level1::dot(&x, &y)).abs() < 1e-10);
+
+        let (nrm, _) = ft_nrm2(&cfg, &x);
+        assert!((nrm - level1::nrm2(&x)).abs() < 1e-10);
+
+        let (s, _) = ft_asum(&cfg, &x);
+        assert!((s - level1::asum(&x)).abs() < 1e-10);
+
+        let (i, _) = ft_iamax(&cfg, &x);
+        assert_eq!(i, level1::iamax(&x));
+    }
+
+    #[test]
+    fn ft_scal_clean() {
+        let cfg = DmrConfig::default();
+        let (x, _) = vecs(1000);
+        let mut x1 = x.clone();
+        let mut x2 = x.clone();
+        level1::scal(-0.25, &mut x1);
+        let rep = ft_scal(&cfg, -0.25, &mut x2);
+        assert_eq!(x1, x2);
+        assert_eq!(rep.mismatches, 0);
+    }
+
+    #[test]
+    fn injected_errors_detected_and_voted_out_axpy() {
+        let inj = FaultInjector::new(3, ErrorModel::Additive { magnitude: 1e6 }, Rate::Count(4));
+        let mut cfg = DmrConfig::with_injector(inj.clone());
+        cfg.block = 64;
+        let (x, y) = vecs(2048);
+        let mut y_ft = y.clone();
+        let rep = ft_axpy(&cfg, 2.0, &x, &mut y_ft);
+        let mut y_ref = y.clone();
+        level1::axpy(2.0, &x, &mut y_ref);
+        assert!(rep.injected > 0, "{rep:?}");
+        assert_eq!(rep.mismatches, rep.injected, "{rep:?}");
+        assert_eq!(y_ft, y_ref, "corrupted result leaked through DMR");
+        assert_eq!(inj.stats().corrected(), rep.recomputed as u64);
+    }
+
+    #[test]
+    fn injected_errors_detected_dot() {
+        let inj = FaultInjector::new(7, ErrorModel::BitFlip { bit: None }, Rate::Count(3));
+        let mut cfg = DmrConfig::with_injector(inj);
+        cfg.block = 128;
+        let (x, y) = vecs(4096);
+        let (d_ft, rep) = ft_dot(&cfg, &x, &y);
+        let d_ref = {
+            // Same blocked order as ft_dot for exact comparison.
+            let mut acc = 0.0;
+            for c in x.chunks(128).zip(y.chunks(128)) {
+                acc += level1::dot(c.0, c.1);
+            }
+            acc
+        };
+        assert!(rep.injected > 0);
+        assert_eq!(d_ft, d_ref, "rep {rep:?}");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let cfg = DmrConfig::default();
+        let mut empty: [f64; 0] = [];
+        let rep = ft_scal(&cfg, 2.0, &mut empty);
+        assert_eq!(rep.blocks, 0);
+        let (d, _) = ft_dot::<f64>(&cfg, &[], &[]);
+        assert_eq!(d, 0.0);
+    }
+}

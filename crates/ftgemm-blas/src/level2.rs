@@ -1,0 +1,159 @@
+//! Plain Level-2 BLAS routines (column-major, unit increments).
+
+use ftgemm_core::{MatRef, Scalar};
+
+/// Whether a triangular matrix is stored in its lower or upper part.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Triangle {
+    /// Lower triangular.
+    Lower,
+    /// Upper triangular.
+    Upper,
+}
+
+/// GEMV: `y = alpha * A * x + beta * y` (column-sweep formulation, the
+/// cache-friendly order for column-major `A`).
+pub fn gemv<T: Scalar>(alpha: T, a: &MatRef<'_, T>, x: &[T], beta: T, y: &mut [T]) {
+    let m = a.nrows();
+    let n = a.ncols();
+    assert_eq!(x.len(), n, "gemv: x length");
+    assert_eq!(y.len(), m, "gemv: y length");
+
+    if beta == T::ZERO {
+        y.fill(T::ZERO);
+    } else if beta != T::ONE {
+        for v in y.iter_mut() {
+            *v *= beta;
+        }
+    }
+    if alpha == T::ZERO {
+        return;
+    }
+    for j in 0..n {
+        let w = alpha * x[j];
+        if w == T::ZERO {
+            continue;
+        }
+        let col = a.col(j);
+        for i in 0..m {
+            y[i] = col[i].mul_add(w, y[i]);
+        }
+    }
+}
+
+/// GER: rank-1 update `A += alpha * x * y^T` applied to a dense buffer in
+/// column-major order with leading dimension `lda`.
+pub fn ger<T: Scalar>(alpha: T, x: &[T], y: &[T], a: &mut [T], lda: usize) {
+    let m = x.len();
+    let n = y.len();
+    assert!(lda >= m.max(1), "ger: lda too small");
+    assert!(a.len() >= if n == 0 { 0 } else { lda * (n - 1) + m }, "ger: A too small");
+    for j in 0..n {
+        let w = alpha * y[j];
+        if w == T::ZERO {
+            continue;
+        }
+        let col = &mut a[j * lda..j * lda + m];
+        for i in 0..m {
+            col[i] = x[i].mul_add(w, col[i]);
+        }
+    }
+}
+
+/// TRSV: solves `T * x = b` in place (`x` holds `b` on entry, the solution
+/// on exit) for a non-unit-diagonal triangular matrix.
+pub fn trsv<T: Scalar>(tri: Triangle, a: &MatRef<'_, T>, x: &mut [T]) {
+    let n = a.nrows();
+    assert_eq!(a.ncols(), n, "trsv: matrix must be square");
+    assert_eq!(x.len(), n, "trsv: x length");
+    match tri {
+        Triangle::Lower => {
+            // Forward substitution, column-oriented.
+            for j in 0..n {
+                let xj = x[j] / a.get(j, j);
+                x[j] = xj;
+                let col = a.col(j);
+                for i in j + 1..n {
+                    x[i] -= col[i] * xj;
+                }
+            }
+        }
+        Triangle::Upper => {
+            // Backward substitution, column-oriented.
+            for j in (0..n).rev() {
+                let xj = x[j] / a.get(j, j);
+                x[j] = xj;
+                let col = a.col(j);
+                for i in 0..j {
+                    x[i] -= col[i] * xj;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftgemm_core::reference::naive_gemv;
+    use ftgemm_core::Matrix;
+
+    #[test]
+    fn gemv_matches_naive() {
+        let a = Matrix::<f64>::random(23, 17, 1);
+        let x: Vec<f64> = (0..17).map(|i| (i as f64).sin()).collect();
+        let mut y1: Vec<f64> = (0..23).map(|i| i as f64).collect();
+        let mut y2 = y1.clone();
+        gemv(1.5, &a.as_ref(), &x, -0.5, &mut y1);
+        naive_gemv(1.5, &a.as_ref(), &x, -0.5, &mut y2);
+        for (p, q) in y1.iter().zip(&y2) {
+            assert!((p - q).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gemv_beta_zero_clears_nan() {
+        let a = Matrix::<f64>::identity(2);
+        let x = [1.0, 2.0];
+        let mut y = [f64::NAN, f64::NAN];
+        gemv(1.0, &a.as_ref(), &x, 0.0, &mut y);
+        assert_eq!(y, [1.0, 2.0]);
+    }
+
+    #[test]
+    fn ger_rank1() {
+        let mut a = vec![0.0f64; 6]; // 2x3, lda=2
+        ger(2.0, &[1.0, 10.0], &[1.0, 2.0, 3.0], &mut a, 2);
+        assert_eq!(a, vec![2.0, 20.0, 4.0, 40.0, 6.0, 60.0]);
+    }
+
+    #[test]
+    fn trsv_lower_and_upper() {
+        let n = 12;
+        let l = Matrix::<f64>::from_fn(n, n, |i, j| {
+            if i == j {
+                2.0 + i as f64 * 0.1
+            } else if i > j {
+                0.3 * ((i * 7 + j) % 5) as f64 / 5.0
+            } else {
+                0.0
+            }
+        });
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
+        // b = L * x_true
+        let mut b = vec![0.0; n];
+        naive_gemv(1.0, &l.as_ref(), &x_true, 0.0, &mut b);
+        trsv(Triangle::Lower, &l.as_ref(), &mut b);
+        for (p, q) in b.iter().zip(&x_true) {
+            assert!((p - q).abs() < 1e-10);
+        }
+
+        let u = l.transpose();
+        let mut b = vec![0.0; n];
+        naive_gemv(1.0, &u.as_ref(), &x_true, 0.0, &mut b);
+        trsv(Triangle::Upper, &u.as_ref(), &mut b);
+        for (p, q) in b.iter().zip(&x_true) {
+            assert!((p - q).abs() < 1e-10);
+        }
+    }
+}

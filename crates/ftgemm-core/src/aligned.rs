@@ -1,0 +1,293 @@
+//! 64-byte aligned heap buffers for packed panels and matrices.
+//!
+//! SIMD micro-kernels issue aligned vector loads against packed panels, and
+//! cache-line (64 B) alignment avoids split loads on every x86-64
+//! micro-architecture the paper targets (Cascade Lake). `Vec<T>` makes no
+//! alignment promise beyond `align_of::<T>()`, so we own the allocation.
+
+use crate::error::{CoreError, Result};
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::ops::{Deref, DerefMut};
+use std::ptr::NonNull;
+
+/// Cache-line alignment (bytes) used for every buffer in the workspace.
+pub const ALIGN: usize = 64;
+
+/// A fixed-length, 64-byte aligned, zero-initialized heap buffer.
+///
+/// Semantically a `Box<[T]>` with stronger alignment. The element type is
+/// restricted to `Copy` types without drop glue, which is all the numeric
+/// code needs; this keeps deallocation trivially correct.
+pub struct AlignedVec<T: Copy> {
+    ptr: NonNull<T>,
+    len: usize,
+}
+
+// SAFETY: AlignedVec owns its allocation exclusively, exactly like Box<[T]>.
+unsafe impl<T: Copy + Send> Send for AlignedVec<T> {}
+// SAFETY: &AlignedVec only hands out &T / &[T].
+unsafe impl<T: Copy + Sync> Sync for AlignedVec<T> {}
+
+impl<T: Copy> AlignedVec<T> {
+    /// Allocates a zeroed buffer of `len` elements.
+    ///
+    /// Returns an error if the byte size overflows `isize` or the layout is
+    /// invalid; aborts (via `handle_alloc_error`) if the allocator itself
+    /// fails, matching `Vec` behaviour.
+    pub fn zeroed(len: usize) -> Result<Self> {
+        if len == 0 {
+            return Ok(Self {
+                ptr: NonNull::dangling(),
+                len: 0,
+            });
+        }
+        let bytes = len
+            .checked_mul(std::mem::size_of::<T>())
+            .ok_or(CoreError::AllocationFailed { bytes: usize::MAX })?;
+        let layout = Layout::from_size_align(bytes, ALIGN.max(std::mem::align_of::<T>()))
+            .map_err(|_| CoreError::AllocationFailed { bytes })?;
+        // SAFETY: layout has non-zero size (len > 0, size_of::<T>() > 0 for
+        // the numeric types used here; zero-sized T would make bytes == 0 and
+        // is rejected by the layout construction below).
+        if bytes == 0 {
+            return Err(CoreError::AllocationFailed { bytes });
+        }
+        let raw = unsafe { alloc_zeroed(layout) };
+        let Some(ptr) = NonNull::new(raw.cast::<T>()) else {
+            handle_alloc_error(layout);
+        };
+        Ok(Self { ptr, len })
+    }
+
+    /// Allocates a zeroed buffer, panicking on failure.
+    ///
+    /// Convenience for contexts (tests, benches) where allocation failure is
+    /// not meaningfully recoverable.
+    pub fn zeroed_or_panic(len: usize) -> Self {
+        Self::zeroed(len).expect("aligned allocation failed")
+    }
+
+    /// Builds a buffer by copying from a slice.
+    pub fn from_slice(src: &[T]) -> Result<Self> {
+        let mut v = Self::zeroed(src.len())?;
+        v.as_mut_slice().copy_from_slice(src);
+        Ok(v)
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Immutable slice view.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        // SAFETY: ptr/len describe an owned, initialized allocation.
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+
+    /// Mutable slice view.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        // SAFETY: exclusive access through &mut self.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+
+    /// Raw const pointer to the first element.
+    #[inline]
+    pub fn as_ptr(&self) -> *const T {
+        self.ptr.as_ptr()
+    }
+
+    /// Raw mutable pointer to the first element.
+    #[inline]
+    pub fn as_mut_ptr(&mut self) -> *mut T {
+        self.ptr.as_ptr()
+    }
+
+    /// Overwrites every element with `value`.
+    pub fn fill(&mut self, value: T) {
+        self.as_mut_slice().fill(value);
+    }
+}
+
+impl<T: Copy> Drop for AlignedVec<T> {
+    fn drop(&mut self) {
+        if self.len == 0 {
+            return;
+        }
+        let bytes = self.len * std::mem::size_of::<T>();
+        let layout =
+            Layout::from_size_align(bytes, ALIGN.max(std::mem::align_of::<T>())).expect("layout");
+        // SAFETY: allocated with the identical layout in `zeroed`.
+        unsafe { dealloc(self.ptr.as_ptr().cast(), layout) };
+    }
+}
+
+impl<T: Copy> Deref for AlignedVec<T> {
+    type Target = [T];
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy> DerefMut for AlignedVec<T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T: Copy> Clone for AlignedVec<T> {
+    fn clone(&self) -> Self {
+        Self::from_slice(self.as_slice()).expect("aligned allocation failed")
+    }
+}
+
+impl<T: Copy + std::fmt::Debug> std::fmt::Debug for AlignedVec<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AlignedVec")
+            .field("len", &self.len)
+            .field("align", &ALIGN)
+            .finish()
+    }
+}
+
+/// A reusable, growable aligned scratch buffer.
+///
+/// GEMM drivers reuse packing buffers across calls; this wrapper grows (never
+/// shrinks) an [`AlignedVec`] on demand and hands out zero-initialized space.
+#[derive(Debug)]
+pub struct Scratch<T: Copy> {
+    buf: AlignedVec<T>,
+}
+
+impl<T: Copy> Scratch<T> {
+    /// New empty scratch.
+    pub fn new() -> Self {
+        Self {
+            buf: AlignedVec::zeroed(0).expect("zero-length allocation cannot fail"),
+        }
+    }
+
+    /// Ensures capacity for `len` elements and returns the mutable slice.
+    ///
+    /// Contents are unspecified (previous data may remain); packing routines
+    /// overwrite the region they use.
+    pub fn get(&mut self, len: usize) -> Result<&mut [T]> {
+        if self.buf.len() < len {
+            // Grow geometrically so repeated GEMMs of increasing size do not
+            // reallocate per call.
+            let new_len = len.max(self.buf.len().saturating_mul(2));
+            self.buf = AlignedVec::zeroed(new_len)?;
+        }
+        Ok(&mut self.buf.as_mut_slice()[..len])
+    }
+
+    /// Current capacity in elements.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+impl<T: Copy> Default for Scratch<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_is_zero_and_aligned() {
+        let v = AlignedVec::<f64>::zeroed(1000).unwrap();
+        assert_eq!(v.len(), 1000);
+        assert!(v.iter().all(|&x| x == 0.0));
+        assert_eq!(v.as_ptr() as usize % ALIGN, 0);
+    }
+
+    #[test]
+    fn zero_length_ok() {
+        let v = AlignedVec::<f32>::zeroed(0).unwrap();
+        assert!(v.is_empty());
+        assert_eq!(v.as_slice(), &[] as &[f32]);
+    }
+
+    #[test]
+    fn from_slice_round_trip() {
+        let src = [1.0f64, 2.0, 3.0, 4.5];
+        let v = AlignedVec::from_slice(&src).unwrap();
+        assert_eq!(v.as_slice(), &src);
+    }
+
+    #[test]
+    fn deref_and_fill() {
+        let mut v = AlignedVec::<f32>::zeroed(8).unwrap();
+        v.fill(2.5);
+        assert_eq!(v[7], 2.5);
+        v[0] = 1.0;
+        assert_eq!(v.as_slice()[0], 1.0);
+    }
+
+    #[test]
+    fn clone_copies() {
+        let mut v = AlignedVec::<f64>::zeroed(4).unwrap();
+        v[2] = 9.0;
+        let w = v.clone();
+        assert_eq!(w[2], 9.0);
+        assert_ne!(v.as_ptr(), w.as_ptr());
+    }
+
+    #[test]
+    fn overflow_rejected() {
+        let r = AlignedVec::<f64>::zeroed(usize::MAX / 2);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn scratch_grows_and_reuses() {
+        let mut s = Scratch::<f64>::new();
+        assert_eq!(s.capacity(), 0);
+        {
+            let sl = s.get(100).unwrap();
+            assert_eq!(sl.len(), 100);
+            sl[99] = 7.0;
+        }
+        let cap_after_100 = s.capacity();
+        assert!(cap_after_100 >= 100);
+        {
+            let sl = s.get(50).unwrap();
+            assert_eq!(sl.len(), 50);
+        }
+        assert_eq!(s.capacity(), cap_after_100, "no shrink");
+        {
+            let sl = s.get(1000).unwrap();
+            assert_eq!(sl.len(), 1000);
+        }
+        assert!(s.capacity() >= 1000);
+    }
+
+    #[test]
+    fn scratch_alignment() {
+        let mut s = Scratch::<f32>::new();
+        let sl = s.get(16).unwrap();
+        assert_eq!(sl.as_ptr() as usize % ALIGN, 0);
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AlignedVec<f64>>();
+        assert_send_sync::<Scratch<f32>>();
+    }
+}

@@ -1,0 +1,116 @@
+//! Error types shared across the FT-GEMM workspace.
+
+use std::fmt;
+
+/// Result alias used throughout `ftgemm-core`.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Errors raised by the GEMM substrate.
+///
+/// The hot paths are panic-free by construction; errors surface only from
+/// argument validation at the public API boundary and from allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// Matrix operand shapes are inconsistent with the requested operation.
+    ShapeMismatch {
+        /// Human-readable description of the conflicting shapes.
+        context: String,
+    },
+    /// A dimension that must be non-zero was zero, or exceeds supported range.
+    InvalidDimension {
+        /// Name of the offending dimension (e.g. `"m"`).
+        name: &'static str,
+        /// The value that was rejected.
+        value: usize,
+    },
+    /// A leading dimension is smaller than the number of rows it must span.
+    InvalidLeadingDimension {
+        /// Name of the operand (e.g. `"A"`).
+        operand: &'static str,
+        /// The leading dimension supplied.
+        ld: usize,
+        /// The minimum acceptable leading dimension.
+        min: usize,
+    },
+    /// Aligned allocation failed (size overflow or allocator failure).
+    AllocationFailed {
+        /// Number of bytes requested.
+        bytes: usize,
+    },
+    /// Blocking parameters are internally inconsistent.
+    InvalidBlocking {
+        /// Human-readable description.
+        context: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::ShapeMismatch { context } => {
+                write!(f, "shape mismatch: {context}")
+            }
+            CoreError::InvalidDimension { name, value } => {
+                write!(f, "invalid dimension {name} = {value}")
+            }
+            CoreError::InvalidLeadingDimension { operand, ld, min } => {
+                write!(
+                    f,
+                    "invalid leading dimension for {operand}: ld = {ld}, need >= {min}"
+                )
+            }
+            CoreError::AllocationFailed { bytes } => {
+                write!(f, "aligned allocation of {bytes} bytes failed")
+            }
+            CoreError::InvalidBlocking { context } => {
+                write!(f, "invalid blocking parameters: {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = CoreError::ShapeMismatch {
+            context: "A is 3x4 but B is 5x6".into(),
+        };
+        assert_eq!(e.to_string(), "shape mismatch: A is 3x4 but B is 5x6");
+    }
+
+    #[test]
+    fn display_invalid_dimension() {
+        let e = CoreError::InvalidDimension { name: "k", value: 0 };
+        assert!(e.to_string().contains("k = 0"));
+    }
+
+    #[test]
+    fn display_invalid_ld() {
+        let e = CoreError::InvalidLeadingDimension {
+            operand: "A",
+            ld: 3,
+            min: 8,
+        };
+        let s = e.to_string();
+        assert!(s.contains("A"));
+        assert!(s.contains("3"));
+        assert!(s.contains("8"));
+    }
+
+    #[test]
+    fn display_allocation_failed() {
+        let e = CoreError::AllocationFailed { bytes: 1024 };
+        assert!(e.to_string().contains("1024"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&CoreError::InvalidDimension { name: "m", value: 0 });
+    }
+}

@@ -1,0 +1,207 @@
+//! AVX2+FMA3 micro-kernels (`std::arch` intrinsics).
+//!
+//! Geometry per the 16-register ymm file (classic Haswell-era shapes used by
+//! OpenBLAS/BLIS):
+//!
+//! * `f64`: 8x6 tile — 12 accumulator ymm (2 per column of 6 columns).
+//! * `f32`: 16x6 tile — same structure with 8-lane vectors.
+//!
+//! Full tiles take the vector path; edge tiles delegate to the portable
+//! generic kernel with matching geometry.
+
+#![allow(unsafe_op_in_unsafe_fn)]
+#![cfg(any(target_arch = "x86_64", doc))]
+
+use super::portable;
+
+/// `f64` micro-tile rows.
+pub const F64_MR: usize = 8;
+/// `f64` micro-tile columns.
+pub const F64_NR: usize = 6;
+/// `f32` micro-tile rows.
+pub const F32_MR: usize = 16;
+/// `f32` micro-tile columns.
+pub const F32_NR: usize = 6;
+
+/// AVX2 DGEMM 8x6 micro-kernel. See the [module contract](super).
+///
+/// # Safety
+/// Caller must uphold the micro-kernel contract **and** guarantee the CPU
+/// supports AVX2 and FMA.
+pub unsafe fn dgemm_8x6(
+    k: usize,
+    a: *const f64,
+    b: *const f64,
+    c: *mut f64,
+    ldc: usize,
+    m_eff: usize,
+    n_eff: usize,
+    col_sums: *mut f64,
+    row_sums: *mut f64,
+) {
+    if m_eff == F64_MR && n_eff == F64_NR {
+        dgemm_8x6_full(k, a, b, c, ldc, col_sums, row_sums);
+    } else {
+        portable::kernel_mn::<f64, F64_MR, F64_NR>(
+            k, a, b, c, ldc, m_eff, n_eff, col_sums, row_sums,
+        );
+    }
+}
+
+#[target_feature(enable = "avx2,fma")]
+unsafe fn dgemm_8x6_full(
+    k: usize,
+    a: *const f64,
+    b: *const f64,
+    c: *mut f64,
+    ldc: usize,
+    col_sums: *mut f64,
+    row_sums: *mut f64,
+) {
+    use std::arch::x86_64::*;
+
+    #[inline(always)]
+    unsafe fn hsum_pd(v: __m256d) -> f64 {
+        let hi = _mm256_extractf128_pd(v, 1);
+        let lo = _mm256_castpd256_pd128(v);
+        let s = _mm_add_pd(lo, hi);
+        let s = _mm_add_sd(s, _mm_unpackhi_pd(s, s));
+        _mm_cvtsd_f64(s)
+    }
+
+    let mut acc_lo = [_mm256_setzero_pd(); F64_NR];
+    let mut acc_hi = [_mm256_setzero_pd(); F64_NR];
+
+    let mut ap = a;
+    let mut bp = b;
+    for _ in 0..k {
+        let a0 = _mm256_loadu_pd(ap);
+        let a1 = _mm256_loadu_pd(ap.add(4));
+        for j in 0..F64_NR {
+            let bv = _mm256_set1_pd(*bp.add(j));
+            acc_lo[j] = _mm256_fmadd_pd(a0, bv, acc_lo[j]);
+            acc_hi[j] = _mm256_fmadd_pd(a1, bv, acc_hi[j]);
+        }
+        ap = ap.add(F64_MR);
+        bp = bp.add(F64_NR);
+    }
+
+    if col_sums.is_null() {
+        for j in 0..F64_NR {
+            let cp = c.add(j * ldc);
+            let v0 = _mm256_add_pd(_mm256_loadu_pd(cp), acc_lo[j]);
+            let v1 = _mm256_add_pd(_mm256_loadu_pd(cp.add(4)), acc_hi[j]);
+            _mm256_storeu_pd(cp, v0);
+            _mm256_storeu_pd(cp.add(4), v1);
+        }
+    } else {
+        let mut rsum_lo = _mm256_setzero_pd();
+        let mut rsum_hi = _mm256_setzero_pd();
+        for j in 0..F64_NR {
+            let cp = c.add(j * ldc);
+            let v0 = _mm256_add_pd(_mm256_loadu_pd(cp), acc_lo[j]);
+            let v1 = _mm256_add_pd(_mm256_loadu_pd(cp.add(4)), acc_hi[j]);
+            _mm256_storeu_pd(cp, v0);
+            _mm256_storeu_pd(cp.add(4), v1);
+            rsum_lo = _mm256_add_pd(rsum_lo, v0);
+            rsum_hi = _mm256_add_pd(rsum_hi, v1);
+            *col_sums.add(j) += hsum_pd(v0) + hsum_pd(v1);
+        }
+        let r0 = _mm256_add_pd(_mm256_loadu_pd(row_sums), rsum_lo);
+        let r1 = _mm256_add_pd(_mm256_loadu_pd(row_sums.add(4)), rsum_hi);
+        _mm256_storeu_pd(row_sums, r0);
+        _mm256_storeu_pd(row_sums.add(4), r1);
+    }
+}
+
+/// AVX2 SGEMM 16x6 micro-kernel. See the [module contract](super).
+///
+/// # Safety
+/// Caller must uphold the micro-kernel contract **and** guarantee the CPU
+/// supports AVX2 and FMA.
+pub unsafe fn sgemm_16x6(
+    k: usize,
+    a: *const f32,
+    b: *const f32,
+    c: *mut f32,
+    ldc: usize,
+    m_eff: usize,
+    n_eff: usize,
+    col_sums: *mut f32,
+    row_sums: *mut f32,
+) {
+    if m_eff == F32_MR && n_eff == F32_NR {
+        sgemm_16x6_full(k, a, b, c, ldc, col_sums, row_sums);
+    } else {
+        portable::kernel_mn::<f32, F32_MR, F32_NR>(
+            k, a, b, c, ldc, m_eff, n_eff, col_sums, row_sums,
+        );
+    }
+}
+
+#[target_feature(enable = "avx2,fma")]
+unsafe fn sgemm_16x6_full(
+    k: usize,
+    a: *const f32,
+    b: *const f32,
+    c: *mut f32,
+    ldc: usize,
+    col_sums: *mut f32,
+    row_sums: *mut f32,
+) {
+    use std::arch::x86_64::*;
+
+    #[inline(always)]
+    unsafe fn hsum_ps(v: __m256) -> f32 {
+        let hi = _mm256_extractf128_ps(v, 1);
+        let lo = _mm256_castps256_ps128(v);
+        let s = _mm_add_ps(lo, hi);
+        let s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+        let s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0b01));
+        _mm_cvtss_f32(s)
+    }
+
+    let mut acc_lo = [_mm256_setzero_ps(); F32_NR];
+    let mut acc_hi = [_mm256_setzero_ps(); F32_NR];
+
+    let mut ap = a;
+    let mut bp = b;
+    for _ in 0..k {
+        let a0 = _mm256_loadu_ps(ap);
+        let a1 = _mm256_loadu_ps(ap.add(8));
+        for j in 0..F32_NR {
+            let bv = _mm256_set1_ps(*bp.add(j));
+            acc_lo[j] = _mm256_fmadd_ps(a0, bv, acc_lo[j]);
+            acc_hi[j] = _mm256_fmadd_ps(a1, bv, acc_hi[j]);
+        }
+        ap = ap.add(F32_MR);
+        bp = bp.add(F32_NR);
+    }
+
+    if col_sums.is_null() {
+        for j in 0..F32_NR {
+            let cp = c.add(j * ldc);
+            let v0 = _mm256_add_ps(_mm256_loadu_ps(cp), acc_lo[j]);
+            let v1 = _mm256_add_ps(_mm256_loadu_ps(cp.add(8)), acc_hi[j]);
+            _mm256_storeu_ps(cp, v0);
+            _mm256_storeu_ps(cp.add(8), v1);
+        }
+    } else {
+        let mut rsum_lo = _mm256_setzero_ps();
+        let mut rsum_hi = _mm256_setzero_ps();
+        for j in 0..F32_NR {
+            let cp = c.add(j * ldc);
+            let v0 = _mm256_add_ps(_mm256_loadu_ps(cp), acc_lo[j]);
+            let v1 = _mm256_add_ps(_mm256_loadu_ps(cp.add(8)), acc_hi[j]);
+            _mm256_storeu_ps(cp, v0);
+            _mm256_storeu_ps(cp.add(8), v1);
+            rsum_lo = _mm256_add_ps(rsum_lo, v0);
+            rsum_hi = _mm256_add_ps(rsum_hi, v1);
+            *col_sums.add(j) += hsum_ps(v0) + hsum_ps(v1);
+        }
+        let r0 = _mm256_add_ps(_mm256_loadu_ps(row_sums), rsum_lo);
+        let r1 = _mm256_add_ps(_mm256_loadu_ps(row_sums.add(8)), rsum_hi);
+        _mm256_storeu_ps(row_sums, r0);
+        _mm256_storeu_ps(row_sums.add(8), r1);
+    }
+}

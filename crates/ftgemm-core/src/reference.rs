@@ -1,0 +1,95 @@
+//! Naive reference implementations used as test oracles.
+//!
+//! Deliberately simple (ijp loops, no blocking, no SIMD) so they are "obviously
+//! correct"; every optimized path in the workspace is validated against these.
+
+use crate::matrix::{MatMut, MatRef};
+use crate::scalar::Scalar;
+
+/// Naive `C = alpha*A*B + beta*C` (jik loop, dot-product accumulation).
+pub fn naive_gemm<T: Scalar>(
+    alpha: T,
+    a: &MatRef<'_, T>,
+    b: &MatRef<'_, T>,
+    beta: T,
+    c: &mut MatMut<'_, T>,
+) {
+    let m = a.nrows();
+    let k = a.ncols();
+    let n = b.ncols();
+    assert_eq!(b.nrows(), k, "naive_gemm: inner dimension mismatch");
+    assert_eq!(c.nrows(), m, "naive_gemm: C rows mismatch");
+    assert_eq!(c.ncols(), n, "naive_gemm: C cols mismatch");
+
+    for j in 0..n {
+        for i in 0..m {
+            let mut acc = T::ZERO;
+            for p in 0..k {
+                acc += a.get(i, p) * b.get(p, j);
+            }
+            let old = c.get(i, j);
+            c.set(i, j, alpha * acc + beta * old);
+        }
+    }
+}
+
+/// Naive `y = alpha*A*x + beta*y`.
+pub fn naive_gemv<T: Scalar>(alpha: T, a: &MatRef<'_, T>, x: &[T], beta: T, y: &mut [T]) {
+    let m = a.nrows();
+    let n = a.ncols();
+    assert_eq!(x.len(), n, "naive_gemv: x length");
+    assert_eq!(y.len(), m, "naive_gemv: y length");
+    for i in 0..m {
+        let mut acc = T::ZERO;
+        for j in 0..n {
+            acc += a.get(i, j) * x[j];
+        }
+        y[i] = alpha * acc + beta * y[i];
+    }
+}
+
+/// Naive dot product.
+pub fn naive_dot<T: Scalar>(x: &[T], y: &[T]) -> T {
+    assert_eq!(x.len(), y.len(), "naive_dot: length mismatch");
+    let mut acc = T::ZERO;
+    for i in 0..x.len() {
+        acc += x[i] * y[i];
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    #[test]
+    fn gemm_2x2_by_hand() {
+        // A = [1 2; 3 4] (col-major), B = [5 6; 7 8], C0 = I
+        let a = Matrix::from_col_major(2, 2, &[1.0, 3.0, 2.0, 4.0]).unwrap();
+        let b = Matrix::from_col_major(2, 2, &[5.0, 7.0, 6.0, 8.0]).unwrap();
+        let mut c = Matrix::<f64>::identity(2);
+        naive_gemm(1.0, &a.as_ref(), &b.as_ref(), 10.0, &mut c.as_mut());
+        // A*B = [19 22; 43 50]; + 10*I
+        assert_eq!(c.get(0, 0), 29.0);
+        assert_eq!(c.get(0, 1), 22.0);
+        assert_eq!(c.get(1, 0), 43.0);
+        assert_eq!(c.get(1, 1), 60.0);
+    }
+
+    #[test]
+    fn gemv_by_hand() {
+        let a = Matrix::from_col_major(2, 3, &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]).unwrap();
+        let x = [1.0, 1.0, 1.0];
+        let mut y = [100.0, 200.0];
+        naive_gemv(2.0, &a.as_ref(), &x, 0.5, &mut y);
+        // A*x = [6, 15]; y = 2*[6,15] + 0.5*[100,200] = [62, 130]
+        assert_eq!(y, [62.0, 130.0]);
+    }
+
+    #[test]
+    fn dot_by_hand() {
+        assert_eq!(naive_dot(&[1.0, 2.0, 3.0], &[4.0f64, 5.0, 6.0]), 32.0);
+        assert_eq!(naive_dot::<f64>(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Empirical blocking-parameter auto-tuning.
+//!
+//! The cache-derived defaults ([`BlockingParams::derive`]) follow the
+//! GotoBLAS analysis the paper adopts (§2.1), but real machines — and
+//! especially shared/virtualized ones — sometimes prefer neighbouring
+//! configurations. This module searches a small grid around the analytic
+//! defaults with short timed probes, the way BLIS's `auto` configs and
+//! ATLAS-style tuners do.
+
+use crate::cpu::{CacheInfo, IsaLevel};
+use crate::gemm::{gemm, GemmContext};
+use crate::matrix::Matrix;
+use crate::params::BlockingParams;
+use crate::scalar::Scalar;
+use std::time::Instant;
+
+/// Tuning configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TuneConfig {
+    /// Probe problem size (`size^3` GEMM per candidate).
+    pub size: usize,
+    /// Timed repetitions per candidate (first run is warm-up).
+    pub reps: usize,
+}
+
+impl Default for TuneConfig {
+    fn default() -> Self {
+        TuneConfig { size: 512, reps: 2 }
+    }
+}
+
+/// One evaluated candidate.
+#[derive(Debug, Clone, Copy)]
+pub struct TuneResult {
+    /// The candidate parameters.
+    pub params: BlockingParams,
+    /// Mean seconds per probe GEMM.
+    pub secs: f64,
+}
+
+/// Searches an (MC, KC) grid around the cache-derived defaults and returns
+/// every candidate with its timing, best first.
+///
+/// The NC dimension is left at its derived value: it targets the shared L3
+/// and the probe sizes used here rarely exercise it.
+pub fn tune<T: Scalar>(isa: IsaLevel, cfg: TuneConfig) -> Vec<TuneResult> {
+    let kernel = crate::microkernel::select_kernel::<T>(isa);
+    let base = BlockingParams::derive::<T>(&CacheInfo::detect(), kernel.mr, kernel.nr);
+
+    let mc_grid: Vec<usize> = [base.mc / 2, base.mc, base.mc * 2]
+        .iter()
+        .map(|&v| (v.max(kernel.mr) / kernel.mr) * kernel.mr)
+        .collect();
+    let kc_grid: Vec<usize> = [base.kc / 2, base.kc, base.kc * 2]
+        .iter()
+        .map(|&v| v.max(16))
+        .collect();
+
+    let s = cfg.size;
+    let a = Matrix::<T>::random(s, s, 0x7E57);
+    let b = Matrix::<T>::random(s, s, 0x7E58);
+    let mut c = Matrix::<T>::zeros(s, s);
+
+    let mut results = Vec::new();
+    for &mc in &mc_grid {
+        for &kc in &kc_grid {
+            let params = base.with_blocks(mc, base.nc, kc);
+            if params.validate().is_err() {
+                continue;
+            }
+            let mut ctx = GemmContext::<T>::with_isa(isa);
+            if ctx.set_params(params).is_err() {
+                continue;
+            }
+            // Warm-up (also populates pack buffers).
+            gemm(&mut ctx, T::ONE, &a.as_ref(), &b.as_ref(), T::ZERO, &mut c.as_mut())
+                .expect("probe gemm failed");
+            let t0 = Instant::now();
+            for _ in 0..cfg.reps.max(1) {
+                gemm(&mut ctx, T::ONE, &a.as_ref(), &b.as_ref(), T::ZERO, &mut c.as_mut())
+                    .expect("probe gemm failed");
+            }
+            let secs = t0.elapsed().as_secs_f64() / cfg.reps.max(1) as f64;
+            results.push(TuneResult { params, secs });
+        }
+    }
+    results.sort_by(|x, y| x.secs.partial_cmp(&y.secs).unwrap_or(std::cmp::Ordering::Equal));
+    results
+}
+
+/// Convenience: the single best parameter set found by [`tune`].
+pub fn tuned_params<T: Scalar>(isa: IsaLevel, cfg: TuneConfig) -> BlockingParams {
+    tune::<T>(isa, cfg)
+        .first()
+        .map(|r| r.params)
+        .unwrap_or_else(|| {
+            let kernel = crate::microkernel::select_kernel::<T>(isa);
+            BlockingParams::derive::<T>(&CacheInfo::detect(), kernel.mr, kernel.nr)
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::naive_gemm;
+
+    #[test]
+    fn tune_returns_valid_sorted_candidates() {
+        let cfg = TuneConfig { size: 96, reps: 1 };
+        let results = tune::<f64>(IsaLevel::detect(), cfg);
+        assert!(!results.is_empty());
+        for r in &results {
+            r.params.validate().unwrap();
+            assert!(r.secs > 0.0);
+        }
+        for w in results.windows(2) {
+            assert!(w[0].secs <= w[1].secs, "not sorted");
+        }
+    }
+
+    #[test]
+    fn tuned_params_produce_correct_gemm() {
+        let cfg = TuneConfig { size: 64, reps: 1 };
+        let params = tuned_params::<f64>(IsaLevel::detect(), cfg);
+        let (m, n, k) = (70, 50, 60);
+        let a = Matrix::<f64>::random(m, k, 1);
+        let b = Matrix::<f64>::random(k, n, 2);
+        let mut c = Matrix::<f64>::zeros(m, n);
+        let mut c_ref = Matrix::<f64>::zeros(m, n);
+        crate::gemm::gemm_with_params(
+            IsaLevel::detect(),
+            params,
+            1.0,
+            &a.as_ref(),
+            &b.as_ref(),
+            0.0,
+            &mut c.as_mut(),
+        )
+        .unwrap();
+        naive_gemm(1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut c_ref.as_mut());
+        assert!(c.rel_max_diff(&c_ref) < 1e-10);
+    }
+
+    #[test]
+    fn tune_f32() {
+        let cfg = TuneConfig { size: 64, reps: 1 };
+        let results = tune::<f32>(IsaLevel::Portable, cfg);
+        assert!(!results.is_empty());
+    }
+}

@@ -1,0 +1,118 @@
+//! Parallel GEMM context: the pool plus kernel/blocking configuration.
+
+use ftgemm_core::{BlockingParams, CacheInfo, GemmContext, IsaLevel, Kernel, Scalar};
+use ftgemm_pool::ThreadPool;
+use std::sync::Arc;
+
+/// Reusable parallel GEMM state: the worker pool and kernel selection.
+///
+/// The pool is `Arc`-shared so one set of workers serves both the plain and
+/// fault-tolerant entry points across many calls (threads are persistent,
+/// like an OpenMP runtime).
+#[derive(Debug, Clone)]
+pub struct ParGemmContext<T: Scalar> {
+    pool: Arc<ThreadPool>,
+    /// Selected micro-kernel (shared by every thread).
+    pub kernel: Kernel<T>,
+    /// Blocking parameters.
+    pub params: BlockingParams,
+}
+
+impl<T: Scalar> ParGemmContext<T> {
+    /// Context using every available core and the best ISA tier.
+    pub fn new() -> Self {
+        Self::with_threads(ftgemm_core::cpu::num_cpus())
+    }
+
+    /// Context with an explicit thread count.
+    pub fn with_threads(nthreads: usize) -> Self {
+        Self::with_threads_and_isa(nthreads, IsaLevel::detect())
+    }
+
+    /// Context with explicit thread count and ISA tier.
+    pub fn with_threads_and_isa(nthreads: usize, isa: IsaLevel) -> Self {
+        let kernel = ftgemm_core::select_kernel::<T>(isa);
+        let params = BlockingParams::derive::<T>(&CacheInfo::detect(), kernel.mr, kernel.nr);
+        ParGemmContext {
+            pool: Arc::new(ThreadPool::new(nthreads)),
+            kernel,
+            params,
+        }
+    }
+
+    /// Context sharing an existing pool.
+    pub fn with_pool(pool: Arc<ThreadPool>, isa: IsaLevel) -> Self {
+        let kernel = ftgemm_core::select_kernel::<T>(isa);
+        let params = BlockingParams::derive::<T>(&CacheInfo::detect(), kernel.mr, kernel.nr);
+        ParGemmContext {
+            pool,
+            kernel,
+            params,
+        }
+    }
+
+    /// The worker pool.
+    pub fn pool(&self) -> &ThreadPool {
+        &self.pool
+    }
+
+    /// Number of threads per region.
+    pub fn nthreads(&self) -> usize {
+        self.pool.nthreads()
+    }
+
+    /// Overrides blocking parameters (validated against the kernel tile).
+    pub fn set_params(&mut self, params: BlockingParams) -> ftgemm_core::Result<()> {
+        // Reuse the serial context validation logic.
+        let mut probe = GemmContext::<T>::with_isa(self.kernel.isa);
+        probe.set_params(params)?;
+        self.params = params;
+        Ok(())
+    }
+}
+
+impl<T: Scalar> Default for ParGemmContext<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_uses_all_cores() {
+        let ctx = ParGemmContext::<f64>::new();
+        assert_eq!(ctx.nthreads(), ftgemm_core::cpu::num_cpus());
+    }
+
+    #[test]
+    fn explicit_thread_count() {
+        let ctx = ParGemmContext::<f64>::with_threads(3);
+        assert_eq!(ctx.nthreads(), 3);
+    }
+
+    #[test]
+    fn pool_sharing() {
+        let a = ParGemmContext::<f64>::with_threads(2);
+        let b = ParGemmContext::<f32>::with_pool(
+            Arc::new(ThreadPool::new(2)),
+            IsaLevel::Portable,
+        );
+        assert_eq!(a.nthreads(), b.nthreads());
+    }
+
+    #[test]
+    fn set_params_validates() {
+        let mut ctx = ParGemmContext::<f64>::with_threads(1);
+        let bad = BlockingParams {
+            mr: ctx.kernel.mr + 1,
+            nr: ctx.kernel.nr,
+            mc: 64,
+            nc: 64,
+            kc: 64,
+        };
+        assert!(ctx.set_params(bad).is_err());
+    }
+}

@@ -1,0 +1,544 @@
+//! Parallel fault-tolerant GEMM — the paper's Fig. 1 algorithm.
+//!
+//! Synchronization structure per depth panel (`pc`):
+//!
+//! ```text
+//! [all]  cooperative fused pack of B~ (N-partition): B~, bc partials,
+//!        enc_col updates on the packer's own column chunk
+//! ---- barrier ----
+//! [t0]   reduce bc partials  ("extra stage of reduction ... B_c", §2.3)
+//! ---- barrier ----
+//! [all]  own-rows compute: fused pack A~ (enc_row update), macro kernels
+//!        (ref_row slice + ref_col partial lane), fault injection sites
+//! ---- barrier ----
+//! [t0]   reduce ref_col lanes; verify enc vs ref (rows + cols); locate,
+//!        correct, or flag unrecoverable   ("p-loop: verify")
+//! ---- barrier ----
+//! [all]  observe verdict; continue or abort
+//! ```
+//!
+//! Row checksums live in each thread's M-slice (disjoint writes into shared
+//! vectors); column checksums cross thread boundaries and go through
+//! sharded-lane reductions.
+
+use crate::ctx::ParGemmContext;
+use crate::shared::SharedVec;
+use ftgemm_abft::corrector::{self, CorrectionOutcome};
+use ftgemm_abft::{checksum, FtConfig, FtError, FtReport, FtResult};
+use ftgemm_core::gemm::validate_shapes;
+use ftgemm_core::macro_kernel::macro_kernel;
+use ftgemm_core::{pack, AlignedVec, MatMut, MatRef, Scalar};
+use ftgemm_pool::ShardedBuffer;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Parallel fault-tolerant `C = alpha*A*B + beta*C`.
+pub fn par_ft_gemm<T: Scalar>(
+    ctx: &ParGemmContext<T>,
+    cfg: &FtConfig,
+    alpha: T,
+    a: &MatRef<'_, T>,
+    b: &MatRef<'_, T>,
+    beta: T,
+    c: &mut MatMut<'_, T>,
+) -> FtResult<FtReport> {
+    let (m, n, k) = validate_shapes(a, b, c)?;
+    let p = ctx.params;
+    p.validate().map_err(FtError::Core)?;
+
+    if m == 0 || n == 0 {
+        return Ok(FtReport::default());
+    }
+    if k == 0 || alpha == T::ZERO {
+        ftgemm_core::gemm::scale_c(c, beta);
+        return Ok(FtReport::default());
+    }
+
+    let kernel = ctx.kernel;
+    let nthreads = ctx.nthreads();
+    let nc_max = p.nc.min(n);
+    let kc_max = p.kc.min(k);
+    let b_len = p.nc.div_ceil(p.nr) * p.nr * p.kc;
+
+    // Shared state (see module docs for the access discipline).
+    let btilde = SharedVec::<T>::zeroed(b_len);
+    let ar_full = SharedVec::<T>::zeroed(k);
+    let bc_reduced = SharedVec::<T>::zeroed(kc_max);
+    let enc_row = SharedVec::<T>::zeroed(m);
+    let ref_row = SharedVec::<T>::zeroed(m);
+    let enc_col = SharedVec::<T>::zeroed(nc_max);
+    let ref_col = SharedVec::<T>::zeroed(nc_max);
+    let enc_col_shards = ShardedBuffer::<T>::new(nthreads, nc_max);
+    let bc_shards = ShardedBuffer::<T>::new(nthreads, kc_max);
+    let ref_col_shards = ShardedBuffer::<T>::new(nthreads, nc_max);
+
+    let abort = AtomicBool::new(false);
+    let verdict: Mutex<Option<FtError>> = Mutex::new(None);
+    let report: Mutex<FtReport> = Mutex::new(FtReport::default());
+    // Threshold inflation after corrections (see serial driver): f64 bits.
+    let correction_scale = AtomicU64::new(0f64.to_bits());
+
+    let c_ptr = SendPtr(c.as_mut_ptr());
+    let ldc = c.ld();
+    let call_nonce: u64 = rand_nonce();
+
+    ctx.pool().run(|w| {
+        let c_ptr = c_ptr; // capture the SendPtr wrapper, not its raw field
+        let rows = w.partition(m, p.mr);
+        let (ms, mlen) = (rows.start, rows.len());
+        let tid = w.tid;
+
+        let a_buf_len = p.mc.div_ceil(p.mr) * p.mr * p.kc;
+        let mut atilde = AlignedVec::<T>::zeroed(a_buf_len).expect("A~ allocation");
+        let mut local_report = FtReport::default();
+
+        // Injection stream per thread (sites = this thread's macro calls).
+        let my_sites = n.div_ceil(p.nc) * k.div_ceil(p.kc) * mlen.div_ceil(p.mc).max(1);
+        let mut stream = cfg
+            .injector
+            .as_ref()
+            .map(|inj| inj.stream(call_nonce ^ (tid as u64) << 32, my_sites));
+
+        // A_r = alpha * e^T A, partitioned along K so writes are disjoint
+        // and no reduction is needed.
+        {
+            let cols = w.partition(k, 1);
+            if !cols.is_empty() {
+                let a_cols = a.submatrix(0, cols.start, m, cols.len());
+                // SAFETY: disjoint k-ranges across threads.
+                let out = unsafe { ar_full.slice_mut(cols.clone()) };
+                pack::col_sums_scaled(&a_cols, alpha, out);
+            }
+        }
+        w.barrier();
+
+        let mut jc = 0;
+        'jc_loop: while jc < n {
+            let nc_eff = p.nc.min(n - jc);
+
+            // beta-scale + initial encode: rows are local, columns go via
+            // lanes and a reduction.
+            {
+                // SAFETY: each thread writes only its own lane pre-barrier.
+                let lane = unsafe { enc_col_shards.lane_mut(tid) };
+                lane[..nc_eff].fill(T::ZERO);
+                if mlen > 0 {
+                    // SAFETY: disjoint row slices.
+                    let mut c_slice = unsafe {
+                        MatMut::<T>::from_raw_parts(
+                            c_ptr.0.add(ms + jc * ldc),
+                            mlen,
+                            nc_eff,
+                            ldc,
+                        )
+                    };
+                    // SAFETY: disjoint row range of enc_row.
+                    let enc_row_slice = unsafe { enc_row.slice_mut(ms..ms + mlen) };
+                    if cfg.fusion.fuse_c_scale {
+                        checksum::scale_encode_c(
+                            &mut c_slice,
+                            beta,
+                            enc_row_slice,
+                            &mut lane[..nc_eff],
+                        );
+                    } else {
+                        checksum::scale_then_encode_c(
+                            &mut c_slice,
+                            beta,
+                            enc_row_slice,
+                            &mut lane[..nc_eff],
+                        );
+                    }
+                }
+            }
+            w.barrier();
+            if tid == 0 {
+                // SAFETY: reduction epoch, lanes quiescent.
+                let out = unsafe { enc_col.slice_mut(0..nc_eff) };
+                enc_col_shards.reduce_into_prefix(out, |x, y| x + y);
+                correction_scale.store(0f64.to_bits(), Ordering::Relaxed);
+            }
+            w.barrier();
+
+            let mut pc = 0;
+            while pc < k {
+                let kc_eff = p.kc.min(k - pc);
+
+                // Zero the per-panel accumulators this thread owns.
+                {
+                    // SAFETY: own lane / own row range, pre-barrier epoch.
+                    unsafe {
+                        bc_shards.lane_mut(tid)[..kc_eff].fill(T::ZERO);
+                        ref_col_shards.lane_mut(tid)[..nc_eff].fill(T::ZERO);
+                        if mlen > 0 {
+                            ref_row.slice_mut(ms..ms + mlen).fill(T::ZERO);
+                        }
+                    }
+                }
+
+                // Cooperative fused packing of B~ along N.
+                {
+                    let cols = w.partition(nc_eff, p.nr);
+                    if !cols.is_empty() {
+                        let b_block = b.submatrix(pc, jc + cols.start, kc_eff, cols.len());
+                        let off = (cols.start / p.nr) * p.nr * kc_eff;
+                        let len = cols.len().div_ceil(p.nr) * p.nr * kc_eff;
+                        // SAFETY: NR-aligned chunks -> disjoint packed slabs;
+                        // enc_col written at this thread's column chunk only.
+                        unsafe {
+                            let out = btilde.slice_mut(off..off + len);
+                            let ar_slice = ar_full.slice(pc..pc + kc_eff);
+                            let enc_col_chunk =
+                                enc_col.slice_mut(cols.start..cols.start + cols.len());
+                            let bc_lane = &mut bc_shards.lane_mut(tid)[..kc_eff];
+                            if cfg.fusion.fuse_b_pack {
+                                pack::pack_b_fused(
+                                    &b_block, p.nr, out, ar_slice, bc_lane, enc_col_chunk,
+                                );
+                            } else {
+                                pack::pack_b(&b_block, p.nr, out);
+                                checksum::encode_bc(&b_block, bc_lane);
+                                checksum::accumulate_enc_col(&b_block, ar_slice, enc_col_chunk);
+                            }
+                        }
+                    }
+                }
+                w.barrier();
+                if tid == 0 {
+                    // The paper's "extra stage of reduction" for B_c.
+                    // SAFETY: reduction epoch.
+                    let out = unsafe { bc_reduced.slice_mut(0..kc_eff) };
+                    bc_shards.reduce_into_prefix(out, |x, y| x + y);
+                }
+                w.barrier();
+
+                // Own-rows compute with fused checksums.
+                if mlen > 0 {
+                    // SAFETY: read-only epochs for btilde/bc_reduced; own
+                    // lane for ref_col; own row ranges for enc/ref rows.
+                    let b_packed = unsafe { btilde.slice(0..b_len) };
+                    let bc_r = unsafe { bc_reduced.slice(0..kc_eff) };
+                    let ref_col_lane = unsafe { ref_col_shards.lane_mut(tid) };
+                    let mut ic = 0;
+                    while ic < mlen {
+                        let mc_eff = p.mc.min(mlen - ic);
+                        let a_block = a.submatrix(ms + ic, pc, mc_eff, kc_eff);
+                        // SAFETY: own row range.
+                        let enc_row_slice =
+                            unsafe { enc_row.slice_mut(ms + ic..ms + ic + mc_eff) };
+                        if cfg.fusion.fuse_a_pack {
+                            pack::pack_a_fused(
+                                &a_block,
+                                alpha,
+                                p.mr,
+                                atilde.as_mut_slice(),
+                                bc_r,
+                                enc_row_slice,
+                            );
+                        } else {
+                            pack::pack_a(&a_block, alpha, p.mr, atilde.as_mut_slice());
+                            checksum::accumulate_enc_row(&a_block, alpha, bc_r, enc_row_slice);
+                        }
+
+                        // SAFETY: disjoint row slice of C.
+                        let mut c_block = unsafe {
+                            MatMut::<T>::from_raw_parts(
+                                c_ptr.0.add(ms + ic + jc * ldc),
+                                mc_eff,
+                                nc_eff,
+                                ldc,
+                            )
+                        };
+                        // SAFETY: own row range of ref_row.
+                        let ref_row_slice =
+                            unsafe { ref_row.slice_mut(ms + ic..ms + ic + mc_eff) };
+                        macro_kernel(
+                            &kernel,
+                            kc_eff,
+                            atilde.as_slice(),
+                            b_packed,
+                            &mut c_block,
+                            Some((&mut ref_col_lane[..nc_eff], ref_row_slice)),
+                        );
+
+                        // Source-level injection: corrupt one element as a
+                        // faulty FMA would (references see it, encodes do
+                        // not).
+                        if let Some(stream) = stream.as_mut() {
+                            if let Some(event) = stream.poll() {
+                                local_report.injected += 1;
+                                let lane = event.lane;
+                                let i_loc = (lane % mc_eff as u64) as usize;
+                                let j_loc = ((lane / mc_eff as u64) % nc_eff as u64) as usize;
+                                let old = c_block.get(i_loc, j_loc);
+                                let new = T::from_f64(event.apply_f64(old.to_f64()));
+                                c_block.set(i_loc, j_loc, new);
+                                let delta = new - old;
+                                ref_col_lane[j_loc] += delta;
+                                // SAFETY: own row element.
+                                unsafe {
+                                    ref_row.slice_mut(
+                                        ms + ic + i_loc..ms + ic + i_loc + 1,
+                                    )[0] += delta;
+                                }
+                            }
+                        }
+                        ic += p.mc;
+                    }
+                }
+                w.barrier();
+
+                // Centralized verification & correction on thread 0
+                // (others are parked at the next barrier, so exclusive
+                // access to C and the checksum vectors is guaranteed).
+                if tid == 0 {
+                    // SAFETY: exclusive verification epoch.
+                    let out = unsafe { ref_col.slice_mut(0..nc_eff) };
+                    ref_col_shards.reduce_into_prefix(out, |x, y| x + y);
+
+                    let enc_row_all = unsafe { enc_row.slice(0..m) };
+                    let ref_row_all = unsafe { ref_row.slice(0..m) };
+                    let enc_col_all = unsafe { enc_col.slice(0..nc_eff) };
+                    let ref_col_all = unsafe { ref_col.slice(0..nc_eff) };
+
+                    let mut rep = report.lock();
+                    rep.verifications += 1;
+                    let k_done = pc + kc_eff;
+                    let cscale =
+                        T::from_f64(f64::from_bits(correction_scale.load(Ordering::Relaxed)));
+                    // Encoded checksums only (clean inputs); corrupted
+                    // references must not inflate the threshold and mask
+                    // smaller concurrent errors.
+                    let scale = max_abs(enc_row_all).max(max_abs(enc_col_all)).max(cscale);
+                    let th_row = cfg.tolerance.threshold::<T>(k_done, nc_eff, scale);
+                    let th_col = cfg.tolerance.threshold::<T>(k_done, m, scale);
+                    let row_diffs =
+                        corrector::find_discrepancies(enc_row_all, ref_row_all, th_row);
+                    let col_diffs =
+                        corrector::find_discrepancies(enc_col_all, ref_col_all, th_col);
+                    if std::env::var("FTGEMM_DEBUG_VERIFY").is_ok() {
+                        eprintln!("verify jc={jc} pc={pc}: rows={} cols={} th_row={th_row:?} th_col={th_col:?} scale={scale:?}",
+                            row_diffs.len(), col_diffs.len());
+                        for d in &row_diffs { eprintln!("  row {} delta {:?}", d.idx, d.delta); }
+                        for d in &col_diffs { eprintln!("  col {} delta {:?}", d.idx, d.delta); }
+                    }
+                    if !row_diffs.is_empty() || !col_diffs.is_empty() {
+                        let worst = row_diffs
+                            .iter()
+                            .chain(col_diffs.iter())
+                            .fold(cscale, |acc, d| acc.max(d.delta.abs()));
+                        correction_scale.store(worst.to_f64().to_bits(), Ordering::Relaxed);
+                        // SAFETY: exclusive access to the whole block here.
+                        let mut c_block = unsafe {
+                            MatMut::<T>::from_raw_parts(
+                                c_ptr.0.add(jc * ldc),
+                                m,
+                                nc_eff,
+                                ldc,
+                            )
+                        };
+                        let th = th_row.max(th_col);
+                        match corrector::correct_block(&mut c_block, &row_diffs, &col_diffs, th)
+                        {
+                            CorrectionOutcome::Clean => {}
+                            CorrectionOutcome::Corrected { count } => {
+                                rep.detected += count;
+                                rep.corrected += count;
+                                if let Some(inj) = cfg.injector.as_ref() {
+                                    for _ in 0..count {
+                                        inj.stats().record_detected();
+                                        inj.stats().record_corrected();
+                                    }
+                                }
+                            }
+                            CorrectionOutcome::Unrecoverable { detail } => {
+                                if let Some(inj) = cfg.injector.as_ref() {
+                                    inj.stats().record_unrecoverable();
+                                }
+                                *verdict.lock() =
+                                    Some(FtError::Unrecoverable { jc, pc, detail });
+                                abort.store(true, Ordering::Release);
+                            }
+                        }
+                    }
+                }
+                w.barrier();
+                if abort.load(Ordering::Acquire) {
+                    break 'jc_loop;
+                }
+                pc += p.kc;
+            }
+            jc += p.nc;
+        }
+
+        report.lock().absorb(FtReport {
+            injected: local_report.injected,
+            ..FtReport::default()
+        });
+    });
+
+    if let Some(err) = verdict.into_inner() {
+        return Err(err);
+    }
+    Ok(report.into_inner())
+}
+
+fn max_abs<T: Scalar>(s: &[T]) -> T {
+    s.iter().fold(T::ZERO, |acc, &x| acc.max(x.abs()))
+}
+
+/// Cheap per-call nonce for injection stream separation (not security RNG).
+fn rand_nonce() -> u64 {
+    use std::sync::atomic::AtomicU64 as A;
+    static COUNTER: A = A::new(0x5EED);
+    COUNTER.fetch_add(0x9E37_79B9, Ordering::Relaxed)
+}
+
+#[derive(Clone, Copy)]
+struct SendPtr<T>(*mut T);
+// SAFETY: dereferences restricted to disjoint row slices per thread, or to
+// exclusive verification epochs.
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftgemm_core::reference::naive_gemm;
+    use ftgemm_core::Matrix;
+    use ftgemm_faults::{ErrorModel, FaultInjector, Rate};
+
+    fn check_clean(threads: usize, m: usize, n: usize, k: usize, alpha: f64, beta: f64) {
+        let ctx = ParGemmContext::<f64>::with_threads(threads);
+        let cfg = FtConfig::default();
+        let a = Matrix::<f64>::random(m, k, 91);
+        let b = Matrix::<f64>::random(k, n, 92);
+        let mut c = Matrix::<f64>::random(m, n, 93);
+        let mut c_ref = c.clone();
+        let rep =
+            par_ft_gemm(&ctx, &cfg, alpha, &a.as_ref(), &b.as_ref(), beta, &mut c.as_mut())
+                .unwrap();
+        naive_gemm(alpha, &a.as_ref(), &b.as_ref(), beta, &mut c_ref.as_mut());
+        let d = c.rel_max_diff(&c_ref);
+        assert!(d < 1e-10, "diff {d} (t={threads} {m}x{n}x{k})");
+        assert_eq!(rep.detected, 0, "false positive (t={threads} {m}x{n}x{k})");
+        assert!(rep.verifications > 0);
+    }
+
+    #[test]
+    fn clean_various_threads() {
+        for t in [1, 2, 4, 8] {
+            check_clean(t, 96, 80, 64, 1.0, 1.0);
+        }
+    }
+
+    #[test]
+    fn clean_ragged_and_alpha_beta() {
+        check_clean(4, 131, 73, 59, -0.5, 2.0);
+        check_clean(3, 17, 200, 33, 1.0, 0.0);
+        check_clean(5, 300, 5, 40, 0.25, 1.0);
+    }
+
+    #[test]
+    fn unfused_parallel_matches() {
+        let ctx = ParGemmContext::<f64>::with_threads(4);
+        let cfg = FtConfig::unfused();
+        let a = Matrix::<f64>::random(90, 70, 1);
+        let b = Matrix::<f64>::random(70, 60, 2);
+        let mut c = Matrix::<f64>::random(90, 60, 3);
+        let mut c_ref = c.clone();
+        let rep =
+            par_ft_gemm(&ctx, &cfg, 1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut c.as_mut()).unwrap();
+        naive_gemm(1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut c_ref.as_mut());
+        assert!(c.rel_max_diff(&c_ref) < 1e-10);
+        assert_eq!(rep.detected, 0);
+    }
+
+    #[test]
+    fn injected_errors_corrected_parallel() {
+        let ctx = ParGemmContext::<f64>::with_threads(4);
+        let inj =
+            FaultInjector::new(17, ErrorModel::Additive { magnitude: 1e6 }, Rate::Count(2));
+        let cfg = FtConfig::with_injector(inj.clone());
+        let a = Matrix::<f64>::random(128, 96, 4);
+        let b = Matrix::<f64>::random(96, 112, 5);
+        let mut c = Matrix::<f64>::zeros(128, 112);
+        let mut c_ref = Matrix::<f64>::zeros(128, 112);
+        let rep =
+            par_ft_gemm(&ctx, &cfg, 1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut c.as_mut()).unwrap();
+        naive_gemm(1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut c_ref.as_mut());
+        assert!(rep.injected > 0, "{rep:?}");
+        assert_eq!(rep.corrected, rep.injected, "{rep:?}");
+        assert!(
+            c.rel_max_diff(&c_ref) < 1e-9,
+            "diff {} rep {rep:?}",
+            c.rel_max_diff(&c_ref)
+        );
+    }
+
+    #[test]
+    fn bitflips_corrected_parallel() {
+        let ctx = ParGemmContext::<f64>::with_threads(6);
+        let inj = FaultInjector::new(23, ErrorModel::BitFlip { bit: None }, Rate::Count(1));
+        let cfg = FtConfig::with_injector(inj);
+        let a = Matrix::<f64>::random(150, 90, 6);
+        let b = Matrix::<f64>::random(90, 100, 7);
+        let mut c = Matrix::<f64>::zeros(150, 100);
+        let mut c_ref = Matrix::<f64>::zeros(150, 100);
+        let rep =
+            par_ft_gemm(&ctx, &cfg, 1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut c.as_mut()).unwrap();
+        naive_gemm(1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut c_ref.as_mut());
+        assert!(rep.injected >= 1);
+        assert!(c.rel_max_diff(&c_ref) < 1e-9, "rep {rep:?}");
+    }
+
+    #[test]
+    fn f32_parallel_ft() {
+        let ctx = ParGemmContext::<f32>::with_threads(3);
+        let cfg = FtConfig::default();
+        let a = Matrix::<f32>::random(64, 48, 8);
+        let b = Matrix::<f32>::random(48, 56, 9);
+        let mut c = Matrix::<f32>::zeros(64, 56);
+        let mut c_ref = Matrix::<f32>::zeros(64, 56);
+        let rep = par_ft_gemm(
+            &ctx,
+            &cfg,
+            1.0f32,
+            &a.as_ref(),
+            &b.as_ref(),
+            0.0,
+            &mut c.as_mut(),
+        )
+        .unwrap();
+        naive_gemm(1.0f32, &a.as_ref(), &b.as_ref(), 0.0, &mut c_ref.as_mut());
+        assert!(c.rel_max_diff(&c_ref) < 1e-4);
+        assert_eq!(rep.detected, 0);
+    }
+
+    #[test]
+    fn repeated_calls_shared_ctx() {
+        let ctx = ParGemmContext::<f64>::with_threads(4);
+        let cfg = FtConfig::default();
+        for s in [40usize, 96, 60] {
+            let a = Matrix::<f64>::random(s, s, s as u64);
+            let b = Matrix::<f64>::random(s, s, s as u64 + 1);
+            let mut c = Matrix::<f64>::zeros(s, s);
+            let mut c_ref = Matrix::<f64>::zeros(s, s);
+            par_ft_gemm(&ctx, &cfg, 1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut c.as_mut())
+                .unwrap();
+            naive_gemm(1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut c_ref.as_mut());
+            assert!(c.rel_max_diff(&c_ref) < 1e-10, "size {s}");
+        }
+    }
+
+    #[test]
+    fn degenerate_dims_parallel() {
+        let ctx = ParGemmContext::<f64>::with_threads(2);
+        let cfg = FtConfig::default();
+        let a = Matrix::<f64>::zeros(2, 0);
+        let b = Matrix::<f64>::zeros(0, 2);
+        let mut c = Matrix::<f64>::filled(2, 2, 8.0);
+        par_ft_gemm(&ctx, &cfg, 1.0, &a.as_ref(), &b.as_ref(), 0.5, &mut c.as_mut()).unwrap();
+        assert!(c.as_slice().iter().all(|&v| v == 4.0));
+    }
+}

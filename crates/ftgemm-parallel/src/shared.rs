@@ -1,0 +1,119 @@
+//! Shared mutable vectors with caller-proved disjoint access.
+//!
+//! Inside a parallel region, several structures are written by multiple
+//! threads at provably disjoint index ranges (the shared packed `B~`, the
+//! `enc_row` vector partitioned by row slice, `enc_col` partitioned by
+//! packing chunk). `SharedVec` is the thin unsafe cell that makes this
+//! explicit: every mutable access names the range it claims.
+
+use ftgemm_core::AlignedVec;
+use std::cell::UnsafeCell;
+use std::ops::Range;
+
+/// A 64-byte-aligned shared vector written concurrently at disjoint ranges.
+#[derive(Debug)]
+pub struct SharedVec<T: Copy> {
+    data: UnsafeCell<AlignedVec<T>>,
+    len: usize,
+}
+
+// SAFETY: all mutable access goes through `slice_mut`, whose contract
+// requires disjoint ranges across threads; reads happen after barriers.
+unsafe impl<T: Copy + Send> Send for SharedVec<T> {}
+unsafe impl<T: Copy + Send + Sync> Sync for SharedVec<T> {}
+
+impl<T: Copy + Default> SharedVec<T> {
+    /// Zero-initialized shared vector of `len` elements.
+    pub fn zeroed(len: usize) -> Self {
+        SharedVec {
+            data: UnsafeCell::new(AlignedVec::zeroed(len).expect("shared buffer allocation")),
+            len,
+        }
+    }
+
+    /// Length in elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Mutable access to `range`.
+    ///
+    /// # Safety
+    /// While the returned slice is live, no other thread may access any
+    /// overlapping range (mutably or immutably). Region barriers delimit
+    /// the access epochs.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn slice_mut(&self, range: Range<usize>) -> &mut [T] {
+        assert!(range.end <= self.len, "SharedVec range out of bounds");
+        // SAFETY: caller contract (disjoint ranges per epoch).
+        unsafe {
+            let base = (*self.data.get()).as_mut_ptr();
+            std::slice::from_raw_parts_mut(base.add(range.start), range.len())
+        }
+    }
+
+    /// Shared read of `range`.
+    ///
+    /// # Safety
+    /// No thread may hold an overlapping mutable slice (reads belong to a
+    /// post-barrier epoch).
+    pub unsafe fn slice(&self, range: Range<usize>) -> &[T] {
+        assert!(range.end <= self.len, "SharedVec range out of bounds");
+        // SAFETY: caller contract.
+        unsafe {
+            let base = (*self.data.get()).as_ptr();
+            std::slice::from_raw_parts(base.add(range.start), range.len())
+        }
+    }
+
+    /// Raw base pointer (for building matrix views over the buffer).
+    pub fn as_ptr(&self) -> *mut T {
+        // SAFETY: pointer extraction only; dereferencing is governed by the
+        // slice contracts.
+        unsafe { (*self.data.get()).as_mut_ptr() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftgemm_pool::ThreadPool;
+
+    #[test]
+    fn zeroed_and_len() {
+        let v = SharedVec::<f64>::zeroed(100);
+        assert_eq!(v.len(), 100);
+        // SAFETY: single-threaded access.
+        assert!(unsafe { v.slice(0..100) }.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn disjoint_parallel_writes() {
+        let pool = ThreadPool::new(8);
+        let v = SharedVec::<f64>::zeroed(801);
+        pool.run(|ctx| {
+            let r = ctx.partition(v.len(), 16);
+            // SAFETY: partition ranges are disjoint across tids.
+            let s = unsafe { v.slice_mut(r) };
+            for x in s {
+                *x = (ctx.tid + 1) as f64;
+            }
+        });
+        // SAFETY: region over, exclusive access.
+        let all = unsafe { v.slice(0..801) };
+        assert!(all.iter().all(|&x| x != 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bounds_enforced() {
+        let v = SharedVec::<f64>::zeroed(4);
+        // SAFETY: assert fires first.
+        let _ = unsafe { v.slice(0..5) };
+    }
+}

@@ -1,0 +1,321 @@
+//! The persistent worker pool and its parallel regions.
+
+use crate::barrier::SenseBarrier;
+use parking_lot::{Condvar, Mutex};
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Type-erased reference to the region closure.
+///
+/// `run` publishes a pointer to a stack closure; the completion barrier at
+/// the end of the region guarantees the closure outlives every use, making
+/// the lifetime erasure sound.
+#[derive(Clone, Copy)]
+struct JobRef {
+    data: *const (),
+    call: unsafe fn(*const (), &WorkerCtx<'_>),
+}
+
+// SAFETY: JobRef is only dereferenced while the publishing `run` call is
+// blocked on the completion barrier, and the underlying closure is Sync.
+unsafe impl Send for JobRef {}
+unsafe impl Sync for JobRef {}
+
+struct Shared {
+    /// Latest published job and its generation.
+    job: Mutex<(u64, Option<JobRef>)>,
+    wake: Condvar,
+    /// Barrier used by `WorkerCtx::barrier` inside regions.
+    region_barrier: SenseBarrier,
+    /// Barrier marking the end of a region (main thread participates).
+    done_barrier: SenseBarrier,
+    generation: AtomicU64,
+}
+
+/// Per-thread context handed to the region closure.
+pub struct WorkerCtx<'a> {
+    /// Thread index in `0..nthreads` (0 is the caller of [`ThreadPool::run`]).
+    pub tid: usize,
+    /// Number of threads in the region.
+    pub nthreads: usize,
+    shared: &'a Shared,
+}
+
+impl WorkerCtx<'_> {
+    /// Synchronizes all threads of the region (OpenMP `#pragma omp barrier`).
+    pub fn barrier(&self) {
+        self.shared.region_barrier.wait();
+    }
+
+    /// This thread's aligned chunk of `0..len` (paper's M/N partitioning).
+    pub fn partition(&self, len: usize, align: usize) -> Range<usize> {
+        crate::partition::partition_aligned(len, self.nthreads, self.tid, align)
+    }
+}
+
+/// A pool of `nthreads - 1` persistent workers; the thread calling
+/// [`ThreadPool::run`] acts as thread 0 of every region.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    nthreads: usize,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("nthreads", &self.nthreads)
+            .finish()
+    }
+}
+
+impl ThreadPool {
+    /// Pool with `nthreads` total region participants (`>= 1`).
+    pub fn new(nthreads: usize) -> Self {
+        assert!(nthreads >= 1, "pool needs at least one thread");
+        let shared = Arc::new(Shared {
+            job: Mutex::new((0, None)),
+            wake: Condvar::new(),
+            region_barrier: SenseBarrier::new(nthreads),
+            done_barrier: SenseBarrier::new(nthreads),
+            generation: AtomicU64::new(0),
+        });
+        let mut handles = Vec::new();
+        for tid in 1..nthreads {
+            let shared = Arc::clone(&shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("ftgemm-worker-{tid}"))
+                    .spawn(move || worker_loop(shared, tid))
+                    .expect("failed to spawn pool worker"),
+            );
+        }
+        ThreadPool {
+            shared,
+            handles,
+            nthreads,
+        }
+    }
+
+    /// Pool sized to the machine (one thread per available CPU).
+    pub fn with_all_cores() -> Self {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::new(n)
+    }
+
+    /// Number of threads participating in each region.
+    pub fn nthreads(&self) -> usize {
+        self.nthreads
+    }
+
+    /// Executes `f` as a parallel region on all threads; returns when every
+    /// thread has finished. Panics in workers propagate as a pool poison
+    /// (abort) rather than deadlocks: the closure is required to be
+    /// panic-free in practice (compute kernels do not panic).
+    pub fn run<F>(&self, f: F)
+    where
+        F: Fn(&WorkerCtx<'_>) + Sync,
+    {
+        if self.nthreads == 1 {
+            // Degenerate pool: run inline, still providing barrier semantics.
+            let ctx = WorkerCtx {
+                tid: 0,
+                nthreads: 1,
+                shared: &self.shared,
+            };
+            f(&ctx);
+            return;
+        }
+
+        unsafe fn call_impl<F: Fn(&WorkerCtx<'_>) + Sync>(data: *const (), ctx: &WorkerCtx<'_>) {
+            // SAFETY: `data` was created from an `&F` in this function and
+            // remains alive until the done-barrier below releases.
+            let f = unsafe { &*data.cast::<F>() };
+            f(ctx);
+        }
+        let job = JobRef {
+            data: (&f as *const F).cast::<()>(),
+            call: call_impl::<F>,
+        };
+
+        // Publish the job and wake workers.
+        {
+            let mut slot = self.shared.job.lock();
+            let gen = self.shared.generation.fetch_add(1, Ordering::Relaxed) + 1;
+            *slot = (gen, Some(job));
+            self.shared.wake.notify_all();
+        }
+
+        // Participate as thread 0.
+        let ctx = WorkerCtx {
+            tid: 0,
+            nthreads: self.nthreads,
+            shared: &self.shared,
+        };
+        f(&ctx);
+
+        // Wait for all workers to finish the region; after this, `f` may be
+        // dropped safely.
+        self.shared.done_barrier.wait();
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut slot = self.shared.job.lock();
+            let gen = self.shared.generation.fetch_add(1, Ordering::Relaxed) + 1;
+            *slot = (gen, None); // None = shutdown signal
+            self.shared.wake.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, tid: usize) {
+    let mut seen_gen = 0u64;
+    loop {
+        let job = {
+            let mut slot = shared.job.lock();
+            while slot.0 == seen_gen {
+                shared.wake.wait(&mut slot);
+            }
+            seen_gen = slot.0;
+            slot.1
+        };
+        let Some(job) = job else {
+            return; // shutdown
+        };
+        let nthreads = shared.done_barrier.participants();
+        let ctx = WorkerCtx {
+            tid,
+            nthreads,
+            shared: &shared,
+        };
+        // SAFETY: the publishing thread blocks on done_barrier until we
+        // arrive below, so the closure behind `job` is still alive.
+        unsafe { (job.call)(job.data, &ctx) };
+        shared.done_barrier.wait();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn all_threads_run_once() {
+        let pool = ThreadPool::new(6);
+        let hits = AtomicUsize::new(0);
+        let tid_mask = AtomicUsize::new(0);
+        pool.run(|ctx| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            tid_mask.fetch_or(1 << ctx.tid, Ordering::Relaxed);
+            assert_eq!(ctx.nthreads, 6);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 6);
+        assert_eq!(tid_mask.load(Ordering::Relaxed), 0b11_1111);
+    }
+
+    #[test]
+    fn regions_run_sequentially() {
+        let pool = ThreadPool::new(4);
+        let counter = AtomicUsize::new(0);
+        for round in 0..50 {
+            pool.run(|_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(counter.load(Ordering::Relaxed), (round + 1) * 4);
+        }
+    }
+
+    #[test]
+    fn barrier_inside_region() {
+        let pool = ThreadPool::new(8);
+        let stage = AtomicUsize::new(0);
+        pool.run(|ctx| {
+            stage.fetch_add(1, Ordering::Relaxed);
+            ctx.barrier();
+            // Every thread must see all 8 first-stage increments.
+            assert!(stage.load(Ordering::Relaxed) >= 8);
+            ctx.barrier();
+            stage.fetch_add(100, Ordering::Relaxed);
+        });
+        assert_eq!(stage.load(Ordering::Relaxed), 8 + 800);
+    }
+
+    #[test]
+    fn writes_to_disjoint_partitions() {
+        let pool = ThreadPool::new(5);
+        let n = 1003;
+        let mut data = vec![0usize; n];
+        let ptr = SendPtr(data.as_mut_ptr());
+        pool.run(|ctx| {
+            let range = ctx.partition(n, 8);
+            let p = ptr;
+            for i in range {
+                // SAFETY: partitions are disjoint per partition_aligned.
+                unsafe { *p.0.add(i) = ctx.tid + 1 };
+            }
+        });
+        assert!(data.iter().all(|&v| v != 0));
+    }
+
+    #[derive(Clone, Copy)]
+    struct SendPtr(*mut usize);
+    unsafe impl Send for SendPtr {}
+    unsafe impl Sync for SendPtr {}
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = ThreadPool::new(1);
+        let mut touched = false;
+        let cell = std::cell::Cell::new(&mut touched);
+        pool.run(|ctx| {
+            assert_eq!(ctx.tid, 0);
+            ctx.barrier(); // must not deadlock
+        });
+        let _ = cell;
+    }
+
+    #[test]
+    fn closure_captures_by_reference() {
+        let pool = ThreadPool::new(3);
+        let input: Vec<usize> = (0..100).collect();
+        let total = AtomicUsize::new(0);
+        pool.run(|ctx| {
+            let r = ctx.partition(input.len(), 1);
+            let s: usize = input[r].iter().sum();
+            total.fetch_add(s, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 4950);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = ThreadPool::new(4);
+        pool.run(|_| {});
+        drop(pool); // must not hang
+    }
+
+    #[test]
+    fn many_small_regions_stress() {
+        let pool = ThreadPool::new(4);
+        let counter = AtomicUsize::new(0);
+        for _ in 0..2000 {
+            pool.run(|ctx| {
+                counter.fetch_add(1, Ordering::Relaxed);
+                ctx.barrier();
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 2000 * 4 * 2);
+    }
+}

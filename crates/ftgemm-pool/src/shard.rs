@@ -1,0 +1,176 @@
+//! Per-thread output lanes with a reduction step.
+//!
+//! The paper's parallel FT-GEMM packs `B` cooperatively along N, so each
+//! thread accumulates a *partial* `B_c` checksum; "an extra stage of
+//! reduction operation among threads is required to compute the final
+//! column checksum B_c" (§2.3). `ShardedBuffer` is that pattern as a safe
+//! API: every thread owns one lane during the parallel phase, and any
+//! single thread reduces the lanes after a barrier.
+
+use std::cell::UnsafeCell;
+
+/// `lanes x len` scratch where lane `t` is written exclusively by thread `t`.
+#[derive(Debug)]
+pub struct ShardedBuffer<T> {
+    data: UnsafeCell<Vec<T>>,
+    lanes: usize,
+    len: usize,
+}
+
+// SAFETY: access discipline is lane-exclusive (enforced by the caller
+// contract of `lane_mut`, which hands out disjoint ranges per tid), and the
+// reduce step happens after a barrier, with no concurrent lane writers.
+unsafe impl<T: Send> Send for ShardedBuffer<T> {}
+unsafe impl<T: Send + Sync> Sync for ShardedBuffer<T> {}
+
+impl<T: Copy + Default> ShardedBuffer<T> {
+    /// Buffer with `lanes` lanes of `len` default-initialized elements.
+    pub fn new(lanes: usize, len: usize) -> Self {
+        ShardedBuffer {
+            data: UnsafeCell::new(vec![T::default(); lanes * len]),
+            lanes,
+            len,
+        }
+    }
+
+    /// Lane length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when lanes are zero-length.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Exclusive access to lane `tid`.
+    ///
+    /// # Safety
+    /// At most one thread may hold lane `tid` at a time, and no thread may
+    /// call [`Self::reduce_into`] or [`Self::fill`] while any lane borrow is
+    /// live. The pool's barrier discipline provides exactly this.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn lane_mut(&self, tid: usize) -> &mut [T] {
+        assert!(tid < self.lanes, "lane out of range");
+        // SAFETY: caller contract gives exclusive lane access; lanes are
+        // disjoint ranges of the backing vector.
+        unsafe {
+            let base = (*self.data.get()).as_mut_ptr();
+            std::slice::from_raw_parts_mut(base.add(tid * self.len), self.len)
+        }
+    }
+
+    /// Reduces all lanes element-wise with `combine` into `out`
+    /// (`out.len() == len`). Must run with no live lane borrows.
+    pub fn reduce_into(&self, out: &mut [T], combine: impl FnMut(T, T) -> T) {
+        assert_eq!(out.len(), self.len, "reduce_into: output length");
+        self.reduce_into_prefix(out, combine);
+    }
+
+    /// Like [`Self::reduce_into`] but reduces only the first `out.len()`
+    /// elements of each lane (lanes are often over-allocated to the maximum
+    /// panel size while a given panel uses a prefix).
+    pub fn reduce_into_prefix(&self, out: &mut [T], mut combine: impl FnMut(T, T) -> T) {
+        assert!(out.len() <= self.len, "reduce_into_prefix: output too long");
+        // SAFETY: caller contract (post-barrier, no lane writers).
+        let data = unsafe { &*self.data.get() };
+        for (i, o) in out.iter_mut().enumerate() {
+            let mut acc = data[i]; // lane 0
+            for t in 1..self.lanes {
+                acc = combine(acc, data[t * self.len + i]);
+            }
+            *o = acc;
+        }
+    }
+
+    /// Resets every lane to `value`. Must run with no live lane borrows.
+    pub fn fill(&self, value: T) {
+        // SAFETY: caller contract (no concurrent lane access).
+        let data = unsafe { &mut *self.data.get() };
+        data.fill(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::ThreadPool;
+
+    #[test]
+    fn lanes_are_disjoint() {
+        let buf = ShardedBuffer::<f64>::new(4, 10);
+        for t in 0..4 {
+            // SAFETY: sequential exclusive access in the test.
+            let lane = unsafe { buf.lane_mut(t) };
+            lane.fill(t as f64 + 1.0);
+        }
+        let mut out = vec![0.0; 10];
+        buf.reduce_into(&mut out, |a, b| a + b);
+        assert!(out.iter().all(|&v| v == 10.0));
+    }
+
+    #[test]
+    fn reduce_with_max() {
+        let buf = ShardedBuffer::<f64>::new(3, 4);
+        for t in 0..3 {
+            // SAFETY: sequential exclusive access.
+            let lane = unsafe { buf.lane_mut(t) };
+            for (i, v) in lane.iter_mut().enumerate() {
+                *v = (t * 10 + i) as f64;
+            }
+        }
+        let mut out = vec![0.0; 4];
+        buf.reduce_into(&mut out, f64::max);
+        assert_eq!(out, vec![20.0, 21.0, 22.0, 23.0]);
+    }
+
+    #[test]
+    fn fill_resets() {
+        let buf = ShardedBuffer::<f64>::new(2, 3);
+        // SAFETY: exclusive in test.
+        unsafe { buf.lane_mut(0) }.fill(5.0);
+        buf.fill(0.0);
+        let mut out = vec![1.0; 3];
+        buf.reduce_into(&mut out, |a, b| a + b);
+        assert!(out.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn parallel_accumulate_and_reduce() {
+        // The exact B_c pattern: threads accumulate partials, barrier,
+        // thread 0 reduces.
+        let pool = ThreadPool::new(6);
+        let buf = ShardedBuffer::<f64>::new(6, 100);
+        let result = std::sync::Mutex::new(vec![0.0f64; 100]);
+        pool.run(|ctx| {
+            // SAFETY: each thread touches only its own lane, pre-barrier.
+            let lane = unsafe { buf.lane_mut(ctx.tid) };
+            for (i, v) in lane.iter_mut().enumerate() {
+                *v = (ctx.tid * i) as f64;
+            }
+            ctx.barrier();
+            if ctx.tid == 0 {
+                buf.reduce_into(&mut result.lock().unwrap(), |a, b| a + b);
+            }
+            ctx.barrier();
+        });
+        let out = result.into_inner().unwrap();
+        for (i, &v) in out.iter().enumerate() {
+            let want = (0..6).map(|t| (t * i) as f64).sum::<f64>();
+            assert_eq!(v, want, "index {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lane out of range")]
+    fn lane_bounds() {
+        let buf = ShardedBuffer::<f64>::new(2, 3);
+        // SAFETY: bounds assert fires before any access.
+        let _ = unsafe { buf.lane_mut(2) };
+    }
+}

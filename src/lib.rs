@@ -1,0 +1,24 @@
+//! # ftgemm — facade crate
+//!
+//! Re-exports the full FT-GEMM workspace behind one dependency:
+//!
+//! * [`core`](ftgemm_core) — matrices, packing, micro-kernels, serial GEMM
+//! * [`abft`](ftgemm_abft) — fused ABFT checksums, serial FT-GEMM
+//! * [`pool`](ftgemm_pool) — persistent worker pool (OpenMP-style regions)
+//! * [`parallel`](ftgemm_parallel) — multithreaded (FT-)GEMM
+//! * [`faults`](ftgemm_faults) — deterministic soft-error injection
+//! * [`baselines`](ftgemm_baselines) — comparator GEMMs and unfused ABFT
+//! * [`blas`](ftgemm_blas) — DMR-protected Level-1/2 routines (FT-BLAS)
+
+pub use ftgemm_abft as abft;
+pub use ftgemm_baselines as baselines;
+pub use ftgemm_blas as blas;
+pub use ftgemm_core as core;
+pub use ftgemm_faults as faults;
+pub use ftgemm_parallel as parallel;
+pub use ftgemm_pool as pool;
+
+pub use ftgemm_abft::{ft_gemm, FtConfig, FtReport};
+pub use ftgemm_core::{gemm, GemmContext, MatMut, MatRef, Matrix};
+pub use ftgemm_faults::FaultInjector;
+pub use ftgemm_parallel::{par_ft_gemm, par_gemm, ParGemmContext};

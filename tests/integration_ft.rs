@@ -1,0 +1,273 @@
+//! End-to-end fault-tolerance integration: injection campaigns across
+//! drivers, thread counts, error models, and seeds, always validating the
+//! corrected output against a clean reference.
+
+use ftgemm::abft::{ft_gemm, ft_gemm_with_ctx, FtConfig, FtGemmContext};
+use ftgemm::core::reference::naive_gemm;
+use ftgemm::core::{BlockingParams, GemmContext, Matrix};
+use ftgemm::faults::{Campaign, CampaignOutcome, ErrorModel, FaultInjector, Rate};
+use ftgemm::parallel::{par_ft_gemm, ParGemmContext};
+use std::time::Duration;
+
+fn clean_reference(m: usize, n: usize, k: usize) -> (Matrix<f64>, Matrix<f64>, Matrix<f64>) {
+    let a = Matrix::<f64>::random(m, k, 42);
+    let b = Matrix::<f64>::random(k, n, 43);
+    let mut c = Matrix::<f64>::zeros(m, n);
+    naive_gemm(1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut c.as_mut());
+    (a, b, c)
+}
+
+/// A context with tiny blocks so even small problems have many injection
+/// sites and verification intervals.
+fn small_block_ctx() -> FtGemmContext<f64> {
+    let mut core = GemmContext::<f64>::new();
+    let kern = core.kernel;
+    core.set_params(BlockingParams {
+        mr: kern.mr,
+        nr: kern.nr,
+        mc: kern.mr * 2,
+        nc: kern.nr * 4,
+        kc: 16,
+    })
+    .unwrap();
+    FtGemmContext::from_core(core)
+}
+
+#[test]
+fn serial_campaign_all_models_many_seeds() {
+    let (m, n, k) = (128, 120, 96);
+    let (a, b, truth) = clean_reference(m, n, k);
+    for model in [
+        ErrorModel::BitFlip { bit: None },
+        ErrorModel::Additive { magnitude: 1e6 },
+        ErrorModel::Scale { factor: -3.0 },
+    ] {
+        for seed in 0..8u64 {
+            let inj = FaultInjector::new(seed, model, Rate::Count(6));
+            let cfg = FtConfig::with_injector(inj);
+            let mut ctx = small_block_ctx();
+            let mut c = Matrix::<f64>::zeros(m, n);
+            let rep = ft_gemm_with_ctx(
+                &mut ctx,
+                &cfg,
+                1.0,
+                &a.as_ref(),
+                &b.as_ref(),
+                0.0,
+                &mut c.as_mut(),
+            )
+            .unwrap_or_else(|e| panic!("{model:?} seed {seed}: {e}"));
+            assert!(rep.injected > 0, "{model:?} seed {seed} injected nothing");
+            assert!(
+                truth.rel_max_diff(&c) < 1e-9,
+                "{model:?} seed {seed}: diff {} rep {rep:?}",
+                truth.rel_max_diff(&c)
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_campaign_many_seeds() {
+    let (m, n, k) = (160, 140, 128);
+    let (a, b, truth) = clean_reference(m, n, k);
+    for threads in [2, 4, 8] {
+        let ctx = ParGemmContext::<f64>::with_threads(threads);
+        for seed in 0..6u64 {
+            let inj = FaultInjector::new(
+                seed.wrapping_mul(7919),
+                ErrorModel::Additive { magnitude: 2e7 },
+                Rate::Count(2),
+            );
+            let cfg = FtConfig::with_injector(inj);
+            let mut c = Matrix::<f64>::zeros(m, n);
+            let rep = par_ft_gemm(&ctx, &cfg, 1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut c.as_mut())
+                .unwrap_or_else(|e| panic!("t={threads} seed {seed}: {e}"));
+            assert!(
+                truth.rel_max_diff(&c) < 1e-9,
+                "t={threads} seed {seed}: diff {} rep {rep:?}",
+                truth.rel_max_diff(&c)
+            );
+            assert_eq!(rep.corrected, rep.injected, "t={threads} seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn ft_without_errors_is_bit_identical_to_plain() {
+    // The fused FT path performs the identical arithmetic on C; clean runs
+    // must match the plain driver bit for bit.
+    let (m, n, k) = (144, 100, 130);
+    let a = Matrix::<f64>::random(m, k, 9);
+    let b = Matrix::<f64>::random(k, n, 10);
+    let mut c_plain = Matrix::<f64>::random(m, n, 11);
+    let mut c_ft = c_plain.clone();
+
+    let mut ctx = GemmContext::<f64>::new();
+    ftgemm::gemm(&mut ctx, 1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut c_plain.as_mut()).unwrap();
+    ft_gemm(&FtConfig::default(), 1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut c_ft.as_mut()).unwrap();
+
+    assert_eq!(c_plain.as_slice(), c_ft.as_slice(), "FT altered the numerics");
+}
+
+#[test]
+fn wall_clock_rate_campaign_validates() {
+    // The paper's reliability claim in miniature: sustained injection at a
+    // wall-clock rate, every iteration validated.
+    let (m, n, k) = (96, 96, 64);
+    let (a, b, truth) = clean_reference(m, n, k);
+    let inj = FaultInjector::new(
+        7,
+        ErrorModel::Additive { magnitude: 1e6 },
+        Rate::PerSecond(500.0),
+    );
+    let campaign = Campaign::new(Duration::from_millis(400), inj);
+    let report = campaign.run(|inj| {
+        let cfg = FtConfig::with_injector(inj.clone());
+        let mut ctx = small_block_ctx();
+        let mut c = Matrix::<f64>::zeros(m, n);
+        match ft_gemm_with_ctx(&mut ctx, &cfg, 1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut c.as_mut())
+        {
+            Ok(_) => {
+                if truth.rel_max_diff(&c) < 1e-9 {
+                    CampaignOutcome::Correct
+                } else {
+                    CampaignOutcome::Mismatch
+                }
+            }
+            Err(_) => CampaignOutcome::Skipped, // flagged, not silent
+        }
+    });
+    assert!(report.runs > 0);
+    assert_eq!(report.mismatches, 0, "{report:?}");
+    assert!(report.injected > 0, "{report:?}");
+}
+
+#[test]
+fn unrecoverable_patterns_are_flagged_not_silent() {
+    // Force a colliding pattern: corrupt C directly in a shape row+col
+    // checksums cannot resolve, via a custom "three corners" injection.
+    // We emulate by injecting many errors into a single tiny verification
+    // interval until an unrecoverable pattern appears for some seed; the
+    // driver must return Err, never a silently wrong Ok.
+    let (m, n, k) = (64, 64, 16);
+    let (a, b, truth) = clean_reference(m, n, k);
+    let mut saw_unrecoverable = false;
+    for seed in 0..40u64 {
+        let inj = FaultInjector::new(seed, ErrorModel::Additive { magnitude: 1e6 }, Rate::PerSite(0.9));
+        let cfg = FtConfig::with_injector(inj);
+        let mut ctx = small_block_ctx();
+        let mut c = Matrix::<f64>::zeros(m, n);
+        match ft_gemm_with_ctx(&mut ctx, &cfg, 1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut c.as_mut())
+        {
+            Ok(rep) => {
+                assert!(
+                    truth.rel_max_diff(&c) < 1e-9,
+                    "seed {seed}: Ok but wrong (diff {}, rep {rep:?})",
+                    truth.rel_max_diff(&c)
+                );
+            }
+            Err(_) => saw_unrecoverable = true,
+        }
+    }
+    // With per-site probability 0.9 and multiple sites per interval, at
+    // least one seed should produce a collision; but the essential
+    // assertion above is that Ok always implies a correct result.
+    let _ = saw_unrecoverable;
+}
+
+#[test]
+fn injector_stats_track_cross_driver() {
+    let inj = FaultInjector::new(3, ErrorModel::Additive { magnitude: 1e6 }, Rate::Count(3));
+    let (m, n, k) = (96, 96, 96);
+    let (a, b, _) = clean_reference(m, n, k);
+
+    let cfg = FtConfig::with_injector(inj.clone());
+    let mut ctx = small_block_ctx();
+    let mut c = Matrix::<f64>::zeros(m, n);
+    ft_gemm_with_ctx(&mut ctx, &cfg, 1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut c.as_mut()).unwrap();
+
+    let par = ParGemmContext::<f64>::with_threads(3);
+    let mut c = Matrix::<f64>::zeros(m, n);
+    par_ft_gemm(&par, &cfg, 1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut c.as_mut()).unwrap();
+
+    assert!(inj.stats().injected() > 0);
+    assert_eq!(inj.stats().injected(), inj.stats().corrected());
+}
+
+#[test]
+fn retry_panel_recovers_colliding_patterns() {
+    use ftgemm::abft::Recovery;
+    // Hunt for a seed whose error pattern is unrecoverable by checksum
+    // correction alone (a cycle across shared rows and columns within one
+    // verification interval), then show the checkpoint-retry policy
+    // recomputes the panel and completes correctly. Count-rate schedules
+    // exhaust after the first pass, so the retried panel runs clean.
+    let (m, n, k) = (96, 96, 48);
+    let (a, b, truth) = clean_reference(m, n, k);
+    let mut recovered = 0;
+    let mut failing_seeds = Vec::new();
+    for seed in 0..200u64 {
+        let inj = FaultInjector::new(seed, ErrorModel::Additive { magnitude: 1e6 }, Rate::PerSite(0.8));
+        let cfg = FtConfig {
+            injector: Some(inj),
+            ..Default::default()
+        };
+        let mut ctx = small_block_ctx();
+        let mut c = Matrix::<f64>::zeros(m, n);
+        if ft_gemm_with_ctx(&mut ctx, &cfg, 1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut c.as_mut())
+            .is_err()
+        {
+            failing_seeds.push(seed);
+            if failing_seeds.len() >= 5 {
+                break;
+            }
+        }
+    }
+    for &seed in &failing_seeds {
+        // Same fault pattern, but with panel checkpoint-retry. Retried
+        // panels poll fresh sites (PerSite keeps injecting), so allow
+        // several attempts; with probability ~0.8^sites per attempt the
+        // panel eventually passes or we accept a final Err as "flagged".
+        let inj = FaultInjector::new(seed, ErrorModel::Additive { magnitude: 1e6 }, Rate::PerSite(0.8));
+        let cfg = FtConfig {
+            injector: Some(inj),
+            recovery: Recovery::RetryPanel { max_retries: 20 },
+            ..Default::default()
+        };
+        let mut ctx = small_block_ctx();
+        let mut c = Matrix::<f64>::zeros(m, n);
+        match ft_gemm_with_ctx(&mut ctx, &cfg, 1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut c.as_mut())
+        {
+            Ok(rep) => {
+                assert!(rep.retried_panels > 0, "seed {seed}: no retry recorded: {rep:?}");
+                assert!(
+                    truth.rel_max_diff(&c) < 1e-9,
+                    "seed {seed}: retry produced wrong result ({})",
+                    truth.rel_max_diff(&c)
+                );
+                recovered += 1;
+            }
+            Err(_) => {} // still flagged after budget — acceptable, never silent
+        }
+    }
+    assert!(
+        failing_seeds.is_empty() || recovered > 0,
+        "retry never succeeded across failing seeds {failing_seeds:?}"
+    );
+}
+
+#[test]
+fn retry_panel_is_inert_on_clean_runs() {
+    use ftgemm::abft::Recovery;
+    let (m, n, k) = (80, 70, 60);
+    let (a, b, truth) = clean_reference(m, n, k);
+    let cfg = FtConfig {
+        recovery: Recovery::RetryPanel { max_retries: 3 },
+        ..Default::default()
+    };
+    let mut c = Matrix::<f64>::zeros(m, n);
+    let rep = ft_gemm(&cfg, 1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut c.as_mut()).unwrap();
+    assert_eq!(rep.retried_panels, 0);
+    assert!(truth.rel_max_diff(&c) < 1e-10);
+}
