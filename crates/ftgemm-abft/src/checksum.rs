@@ -116,12 +116,7 @@ pub fn accumulate_enc_col<T: Scalar>(b: &MatRef<'_, T>, ar: &[T], enc_col: &mut 
 }
 
 /// Standalone `enc_row[i] += alpha * Σ_q A[i,q] * bc[q]` (unfused C_c update).
-pub fn accumulate_enc_row<T: Scalar>(
-    a: &MatRef<'_, T>,
-    alpha: T,
-    bc: &[T],
-    enc_row: &mut [T],
-) {
+pub fn accumulate_enc_row<T: Scalar>(a: &MatRef<'_, T>, alpha: T, bc: &[T], enc_row: &mut [T]) {
     let m = a.nrows();
     let k = a.ncols();
     assert_eq!(bc.len(), k, "accumulate_enc_row: bc length");
@@ -240,8 +235,7 @@ mod tests {
         let mut er = vec![1.0; 6];
         accumulate_enc_row(&a.as_ref(), alpha, &bc, &mut er);
         for i in 0..6 {
-            let want: f64 =
-                1.0 + (0..4).map(|q| alpha * a.get(i, q) * bc[q]).sum::<f64>();
+            let want: f64 = 1.0 + (0..4).map(|q| alpha * a.get(i, q) * bc[q]).sum::<f64>();
             assert!((er[i] - want).abs() < 1e-12);
         }
     }

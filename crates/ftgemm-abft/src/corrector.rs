@@ -14,7 +14,11 @@
 //!   resolves each error individually.
 //!
 //! Colliding patterns beyond that (errors forming a cycle across shared
-//! rows *and* columns) are reported as unrecoverable — the same limitation
+//! rows *and* columns), and **ambiguous** patterns — several errors of
+//! numerically equal magnitude in distinct rows and columns, where every
+//! pairing balances the checksums but only one restores the matrix — are
+//! reported as unrecoverable rather than guessed at; the caller's recovery
+//! policy (e.g. panel recompute) takes over. This is the same limitation
 //! classic row+column ABFT has. The paper verifies every `KC` panel, so the
 //! exposure window for such collisions is one panel update.
 
@@ -157,8 +161,15 @@ pub fn correct_block<T: Scalar>(
             }
         }
 
-        // Peel one matched pair, preferring rows with a unique candidate.
+        // Peel one matched pair. Only rows with a *unique* matching column
+        // are safe to peel: when several remaining rows and columns carry
+        // (numerically) equal deltas, every assignment zeroes the checksums
+        // but only one restores the matrix — guessing would be silent
+        // corruption, so ambiguity is reported as unrecoverable and the
+        // caller's recovery policy (panel recompute under
+        // `Recovery::RetryPanel`) takes over.
         let mut pick: Option<(usize, usize)> = None;
+        let mut saw_ambiguous = false;
         for (ri, r) in rows.iter().enumerate() {
             let candidates: Vec<usize> = cols
                 .iter()
@@ -171,14 +182,19 @@ pub fn correct_block<T: Scalar>(
                     pick = Some((ri, candidates[0]));
                     break;
                 }
-                n if n > 1 && pick.is_none() => pick = Some((ri, candidates[0])),
+                n if n > 1 => saw_ambiguous = true,
                 _ => {}
             }
         }
         let Some((ri, ci)) = pick else {
+            let kind = if saw_ambiguous {
+                "ambiguous pairing (equal-magnitude deltas)"
+            } else {
+                "unmatched pattern"
+            };
             return CorrectionOutcome::Unrecoverable {
                 detail: format!(
-                    "unmatched pattern: {} row / {} col discrepancies remain (of {}/{})",
+                    "{kind}: {} row / {} col discrepancies remain (of {}/{})",
                     rows.len(),
                     cols.len(),
                     row_diffs.len(),
@@ -226,7 +242,10 @@ mod tests {
         let rd = find_discrepancies(&enc_row, &ref_row, th);
         let cd = find_discrepancies(&enc_col, &ref_col, th);
         let out = correct_block(&mut dirty.as_mut(), &rd, &cd, th);
-        if matches!(out, CorrectionOutcome::Corrected { .. } | CorrectionOutcome::Clean) {
+        if matches!(
+            out,
+            CorrectionOutcome::Corrected { .. } | CorrectionOutcome::Clean
+        ) {
             assert!(
                 clean.max_abs_diff(&dirty) < 1e-9,
                 "matrix not restored for {errors:?}"
@@ -286,7 +305,10 @@ mod tests {
         // that match neither the single-row nor single-column cases nor a
         // 1-1 pairing.
         let out = corrupt_and_correct(&[(1, 2, 10.0), (1, 5, 20.0), (8, 2, 40.0)]);
-        assert!(matches!(out, CorrectionOutcome::Unrecoverable { .. }), "got {out:?}");
+        assert!(
+            matches!(out, CorrectionOutcome::Unrecoverable { .. }),
+            "got {out:?}"
+        );
     }
 
     #[test]
@@ -326,13 +348,10 @@ mod tests {
 
     #[test]
     fn equal_delta_errors_distinct_positions() {
-        // Two identical deltas in distinct rows/cols: greedy pairing may
-        // swap the assignment, but checksum-consistent correction restores
-        // the matrix only if the pairing is right. With distinct random
-        // values the restored matrix must match; if the ambiguity strikes
-        // (it cannot here: equal deltas make both pairings checksum-valid,
-        // and our matrix check catches a wrong pairing), we accept either
-        // Corrected outcome but require restoration.
+        // Two identical deltas in distinct rows/cols: both pairings balance
+        // the checksums but only one restores the matrix, so any guess is a
+        // coin flip on silent corruption. The corrector must refuse
+        // (fail-stop) and let the caller's recovery policy recompute.
         let clean = Matrix::<f64>::random(16, 12, 7);
         let (enc_row, enc_col) = sums(&clean);
         let mut dirty = clean.clone();
@@ -344,14 +363,32 @@ mod tests {
         let rd = find_discrepancies(&enc_row, &ref_row, th);
         let cd = find_discrepancies(&enc_col, &ref_col, th);
         let out = correct_block(&mut dirty.as_mut(), &rd, &cd, th);
-        assert!(matches!(out, CorrectionOutcome::Corrected { count: 2 }));
-        // Row/col sums must now be consistent even if the pairing swapped.
-        let (rr, cc) = sums(&dirty);
-        for (a, b) in rr.iter().zip(&enc_row) {
-            assert!((a - b).abs() < 1e-6);
+        match out {
+            CorrectionOutcome::Unrecoverable { detail } => {
+                assert!(detail.contains("ambiguous"), "detail: {detail}");
+            }
+            other => panic!("ambiguous pattern must fail-stop, got {other:?}"),
         }
-        for (a, b) in cc.iter().zip(&enc_col) {
-            assert!((a - b).abs() < 1e-6);
-        }
+    }
+
+    #[test]
+    fn equal_deltas_sharing_one_line_still_resolved() {
+        // Equal magnitudes are only ambiguous across distinct rows AND
+        // columns; two equal errors in the same column resolve through the
+        // single-column sum rule and must still be corrected.
+        assert_eq!(
+            corrupt_and_correct(&[(2, 4, 50.0), (9, 4, 50.0)]),
+            CorrectionOutcome::Corrected { count: 2 }
+        );
+    }
+
+    #[test]
+    fn distinct_deltas_still_corrected_with_equal_pair_present() {
+        // A mixed pattern: one ambiguous-free error plus a unique-magnitude
+        // pair must peel fine (unique matches are found first).
+        assert_eq!(
+            corrupt_and_correct(&[(1, 2, 100.0), (5, 9, -300.0)]),
+            CorrectionOutcome::Corrected { count: 2 }
+        );
     }
 }

@@ -434,7 +434,10 @@ mod tests {
         let cfg = FtConfig::with_injector(inj.clone());
         let (c, c_ref, report) = run_case(&cfg, 96, 80, 120, 1.0, 1.0);
         assert!(report.injected > 0, "no errors injected");
-        assert_eq!(report.corrected, report.injected, "not all corrected: {report:?}");
+        assert_eq!(
+            report.corrected, report.injected,
+            "not all corrected: {report:?}"
+        );
         assert!(
             c.rel_max_diff(&c_ref) < 1e-9,
             "result diverges after correction: {}",
@@ -492,9 +495,16 @@ mod tests {
         let b = Matrix::<f64>::random(k, n, 72);
         let mut c = Matrix::<f64>::random(m, n, 73);
         let mut c_ref = c.clone();
-        let report =
-            ft_gemm_with_ctx(&mut ctx, &cfg, 1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut c.as_mut())
-                .unwrap();
+        let report = ft_gemm_with_ctx(
+            &mut ctx,
+            &cfg,
+            1.0,
+            &a.as_ref(),
+            &b.as_ref(),
+            1.0,
+            &mut c.as_mut(),
+        )
+        .unwrap();
         naive_gemm(1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut c_ref.as_mut());
         assert!(report.injected >= 10, "{report:?}");
         assert_eq!(report.corrected, report.injected);
@@ -520,9 +530,16 @@ mod tests {
         let b = Matrix::<f64>::random(k, n, 2);
         let mut c = Matrix::<f64>::random(m, n, 3);
         let mut c_ref = c.clone();
-        let report =
-            ft_gemm_with_ctx(&mut ctx, &cfg, 1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut c.as_mut())
-                .unwrap();
+        let report = ft_gemm_with_ctx(
+            &mut ctx,
+            &cfg,
+            1.0,
+            &a.as_ref(),
+            &b.as_ref(),
+            1.0,
+            &mut c.as_mut(),
+        )
+        .unwrap();
         naive_gemm(1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut c_ref.as_mut());
         assert!(c.rel_max_diff(&c_ref) < 1e-10);
         assert!(report.verifications >= 6, "{report:?}");
@@ -535,8 +552,7 @@ mod tests {
         let b = Matrix::<f32>::random(30, 20, 2);
         let mut c = Matrix::<f32>::zeros(40, 20);
         let mut c_ref = c.clone();
-        let report =
-            ft_gemm(&cfg, 1.0f32, &a.as_ref(), &b.as_ref(), 0.0, &mut c.as_mut()).unwrap();
+        let report = ft_gemm(&cfg, 1.0f32, &a.as_ref(), &b.as_ref(), 0.0, &mut c.as_mut()).unwrap();
         naive_gemm(1.0f32, &a.as_ref(), &b.as_ref(), 0.0, &mut c_ref.as_mut());
         assert!(c.rel_max_diff(&c_ref) < 1e-4);
         assert_eq!(report.detected, 0);

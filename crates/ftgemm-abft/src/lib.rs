@@ -174,6 +174,32 @@ impl FtReport {
         self.injected += other.injected;
         self.retried_panels += other.retried_panels;
     }
+
+    /// Merges an iterator of reports into one (batch drivers and the serving
+    /// layer aggregate per-request reports this way).
+    pub fn merged(reports: impl IntoIterator<Item = FtReport>) -> FtReport {
+        reports.into_iter().sum()
+    }
+}
+
+impl std::ops::AddAssign for FtReport {
+    fn add_assign(&mut self, other: FtReport) {
+        self.absorb(other);
+    }
+}
+
+impl std::ops::Add for FtReport {
+    type Output = FtReport;
+    fn add(mut self, other: FtReport) -> FtReport {
+        self += other;
+        self
+    }
+}
+
+impl std::iter::Sum for FtReport {
+    fn sum<I: Iterator<Item = FtReport>>(iter: I) -> FtReport {
+        iter.fold(FtReport::default(), |acc, r| acc + r)
+    }
 }
 
 /// Errors from fault-tolerant GEMM.
@@ -199,7 +225,10 @@ impl std::fmt::Display for FtError {
         match self {
             FtError::Core(e) => write!(f, "core error: {e}"),
             FtError::Unrecoverable { jc, pc, detail } => {
-                write!(f, "unrecoverable checksum failure at block (jc={jc}, pc={pc}): {detail}")
+                write!(
+                    f,
+                    "unrecoverable checksum failure at block (jc={jc}, pc={pc}): {detail}"
+                )
             }
         }
     }
@@ -252,6 +281,44 @@ mod tests {
         });
         assert_eq!(a.verifications, 11);
         assert_eq!(a.corrected, 3);
+    }
+
+    #[test]
+    fn report_merge_and_sum() {
+        let r1 = FtReport {
+            verifications: 2,
+            detected: 1,
+            corrected: 1,
+            injected: 1,
+            retried_panels: 0,
+        };
+        let r2 = FtReport {
+            verifications: 3,
+            detected: 0,
+            corrected: 0,
+            injected: 2,
+            retried_panels: 1,
+        };
+        let merged = FtReport::merged([r1, r2]);
+        assert_eq!(merged.verifications, 5);
+        assert_eq!(merged.injected, 3);
+        assert_eq!(merged.retried_panels, 1);
+        let mut acc = r1;
+        acc += r2;
+        assert_eq!(acc, merged);
+        assert_eq!([r1, r2].into_iter().sum::<FtReport>(), merged);
+    }
+
+    #[test]
+    fn config_clone_shares_injector_state() {
+        // The serving layer clones FtConfig per request; the injector inside
+        // is Arc-backed, so clones must observe the same stats counters.
+        let inj = ftgemm_faults::FaultInjector::counted(1, 1);
+        let cfg = FtConfig::with_injector(inj.clone());
+        let cloned = cfg.clone();
+        let mut s = cloned.injector.as_ref().unwrap().stream(0, 1);
+        while s.poll().is_none() && s.visited() < 8 {}
+        assert_eq!(inj.stats().injected(), 1);
     }
 
     #[test]

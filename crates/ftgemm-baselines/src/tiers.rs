@@ -133,7 +133,8 @@ mod tests {
             let b = Matrix::<f64>::random(47, 53, 2);
             let mut c = Matrix::<f64>::random(65, 53, 3);
             let mut c_ref = c.clone();
-            g.run(1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut c.as_mut()).unwrap();
+            g.run(1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut c.as_mut())
+                .unwrap();
             naive_gemm(1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut c_ref.as_mut());
             assert!(c.rel_max_diff(&c_ref) < 1e-10, "{}", g.name());
         }
@@ -147,7 +148,8 @@ mod tests {
             let b = Matrix::<f64>::random(60, 72, 5);
             let mut c = Matrix::<f64>::zeros(96, 72);
             let mut c_ref = Matrix::<f64>::zeros(96, 72);
-            g.run(1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut c.as_mut()).unwrap();
+            g.run(1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut c.as_mut())
+                .unwrap();
             naive_gemm(1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut c_ref.as_mut());
             assert!(c.rel_max_diff(&c_ref) < 1e-10, "{}", g.name());
         }

@@ -51,9 +51,15 @@ mod tests {
         let b = Matrix::<f64>::random(40, 45, 2);
         let mut c = Matrix::<f64>::random(50, 45, 3);
         let mut c_ref = c.clone();
-        let rep =
-            unfused_ft_gemm(&mut ctx, 1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut c.as_mut())
-                .unwrap();
+        let rep = unfused_ft_gemm(
+            &mut ctx,
+            1.0,
+            &a.as_ref(),
+            &b.as_ref(),
+            1.0,
+            &mut c.as_mut(),
+        )
+        .unwrap();
         naive_gemm(1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut c_ref.as_mut());
         assert!(c.rel_max_diff(&c_ref) < 1e-10);
         assert_eq!(rep.detected, 0);

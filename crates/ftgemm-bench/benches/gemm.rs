@@ -29,23 +29,49 @@ fn bench_serial(c: &mut Criterion) {
 
     let mut ori = GemmContext::<f64>::new();
     g.bench_function(BenchmarkId::new("ori", N), |bch| {
-        bch.iter(|| gemm(&mut ori, 1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut cm.as_mut()).unwrap());
+        bch.iter(|| {
+            gemm(
+                &mut ori,
+                1.0,
+                &a.as_ref(),
+                &b.as_ref(),
+                1.0,
+                &mut cm.as_mut(),
+            )
+            .unwrap()
+        });
     });
 
     let mut ft = FtGemmContext::<f64>::new();
     let fused = FtConfig::default();
     g.bench_function(BenchmarkId::new("ft-fused", N), |bch| {
         bch.iter(|| {
-            ft_gemm_with_ctx(&mut ft, &fused, 1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut cm.as_mut())
-                .unwrap()
+            ft_gemm_with_ctx(
+                &mut ft,
+                &fused,
+                1.0,
+                &a.as_ref(),
+                &b.as_ref(),
+                1.0,
+                &mut cm.as_mut(),
+            )
+            .unwrap()
         });
     });
 
     let unfused = FtConfig::unfused();
     g.bench_function(BenchmarkId::new("ft-unfused", N), |bch| {
         bch.iter(|| {
-            ft_gemm_with_ctx(&mut ft, &unfused, 1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut cm.as_mut())
-                .unwrap()
+            ft_gemm_with_ctx(
+                &mut ft,
+                &unfused,
+                1.0,
+                &a.as_ref(),
+                &b.as_ref(),
+                1.0,
+                &mut cm.as_mut(),
+            )
+            .unwrap()
         });
     });
 
@@ -69,7 +95,10 @@ fn bench_serial(c: &mut Criterion) {
     for tier in [Tier::Mkl, Tier::OpenBlas, Tier::Blis] {
         let mut rg = ReferenceGemm::<f64>::new(tier);
         g.bench_function(BenchmarkId::new(rg.name(), N), |bch| {
-            bch.iter(|| rg.run(1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut cm.as_mut()).unwrap());
+            bch.iter(|| {
+                rg.run(1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut cm.as_mut())
+                    .unwrap()
+            });
         });
     }
     g.finish();
@@ -93,12 +122,23 @@ fn bench_parallel(c: &mut Criterion) {
     g.bench_function(BenchmarkId::new("ori", format!("{n}x{threads}t")), |bch| {
         bch.iter(|| par_gemm(&ctx, 1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut cm.as_mut()).unwrap());
     });
-    g.bench_function(BenchmarkId::new("ft-fused", format!("{n}x{threads}t")), |bch| {
-        bch.iter(|| {
-            par_ft_gemm(&ctx, &fused, 1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut cm.as_mut())
+    g.bench_function(
+        BenchmarkId::new("ft-fused", format!("{n}x{threads}t")),
+        |bch| {
+            bch.iter(|| {
+                par_ft_gemm(
+                    &ctx,
+                    &fused,
+                    1.0,
+                    &a.as_ref(),
+                    &b.as_ref(),
+                    1.0,
+                    &mut cm.as_mut(),
+                )
                 .unwrap()
-        });
-    });
+            });
+        },
+    );
     g.finish();
 }
 

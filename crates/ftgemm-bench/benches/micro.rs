@@ -24,42 +24,50 @@ fn bench_microkernels(c: &mut Criterion) {
         let mut row = vec![0.0f64; mr];
         g.throughput(Throughput::Elements((2 * mr * nr * k) as u64));
 
-        g.bench_with_input(BenchmarkId::new("plain", format!("{isa}-{mr}x{nr}")), &(), |bch, _| {
-            bch.iter(|| {
-                // SAFETY: buffers sized per the kernel contract.
-                unsafe {
-                    (kern.func)(
-                        k,
-                        a.as_ptr(),
-                        b.as_ptr(),
-                        cbuf.as_mut_ptr(),
-                        mr,
-                        mr,
-                        nr,
-                        std::ptr::null_mut(),
-                        std::ptr::null_mut(),
-                    )
-                }
-            });
-        });
-        g.bench_with_input(BenchmarkId::new("ft-sums", format!("{isa}-{mr}x{nr}")), &(), |bch, _| {
-            bch.iter(|| {
-                // SAFETY: as above, with valid sum vectors.
-                unsafe {
-                    (kern.func)(
-                        k,
-                        a.as_ptr(),
-                        b.as_ptr(),
-                        cbuf.as_mut_ptr(),
-                        mr,
-                        mr,
-                        nr,
-                        col.as_mut_ptr(),
-                        row.as_mut_ptr(),
-                    )
-                }
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new("plain", format!("{isa}-{mr}x{nr}")),
+            &(),
+            |bch, _| {
+                bch.iter(|| {
+                    // SAFETY: buffers sized per the kernel contract.
+                    unsafe {
+                        (kern.func)(
+                            k,
+                            a.as_ptr(),
+                            b.as_ptr(),
+                            cbuf.as_mut_ptr(),
+                            mr,
+                            mr,
+                            nr,
+                            std::ptr::null_mut(),
+                            std::ptr::null_mut(),
+                        )
+                    }
+                });
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("ft-sums", format!("{isa}-{mr}x{nr}")),
+            &(),
+            |bch, _| {
+                bch.iter(|| {
+                    // SAFETY: as above, with valid sum vectors.
+                    unsafe {
+                        (kern.func)(
+                            k,
+                            a.as_ptr(),
+                            b.as_ptr(),
+                            cbuf.as_mut_ptr(),
+                            mr,
+                            mr,
+                            nr,
+                            col.as_mut_ptr(),
+                            row.as_mut_ptr(),
+                        )
+                    }
+                });
+            },
+        );
     }
     g.finish();
 }

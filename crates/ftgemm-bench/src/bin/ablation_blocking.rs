@@ -12,7 +12,11 @@ use ftgemm_core::{gemm_with_params, BlockingParams, CacheInfo, IsaLevel, Matrix}
 
 fn main() {
     let args = Args::parse();
-    let s = args.sizes.as_ref().and_then(|v| v.first().copied()).unwrap_or(768);
+    let s = args
+        .sizes
+        .as_ref()
+        .and_then(|v| v.first().copied())
+        .unwrap_or(768);
     let a = Matrix::<f64>::random(s, s, 1);
     let b = Matrix::<f64>::random(s, s, 2);
 
@@ -26,8 +30,16 @@ fn main() {
         let params = BlockingParams::derive::<f64>(&CacheInfo::detect(), kernel.mr, kernel.nr);
         let mut c = Matrix::<f64>::zeros(s, s);
         let t = measure(args.warmup, args.reps, || {
-            gemm_with_params(isa, params, 1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut c.as_mut())
-                .unwrap();
+            gemm_with_params(
+                isa,
+                params,
+                1.0,
+                &a.as_ref(),
+                &b.as_ref(),
+                1.0,
+                &mut c.as_mut(),
+            )
+            .unwrap();
         });
         tier_table.row(vec![
             isa.to_string(),
@@ -64,8 +76,16 @@ fn main() {
             let params = base.with_blocks(mc, base.nc, kc.max(1));
             let mut c = Matrix::<f64>::zeros(s, s);
             let t = measure(args.warmup, args.reps, || {
-                gemm_with_params(isa, params, 1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut c.as_mut())
-                    .unwrap();
+                gemm_with_params(
+                    isa,
+                    params,
+                    1.0,
+                    &a.as_ref(),
+                    &b.as_ref(),
+                    1.0,
+                    &mut c.as_mut(),
+                )
+                .unwrap();
             });
             row.push(format!("{:.2}", t.gflops(s, s, s)));
         }

@@ -58,7 +58,15 @@ fn main() {
         let b = Matrix::<f64>::random(s, s, 2);
         let mut c = Matrix::<f64>::zeros(s, s);
         let t_ori = measure(args.warmup, args.reps, || {
-            gemm(&mut ori_ctx, 1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut c.as_mut()).unwrap();
+            gemm(
+                &mut ori_ctx,
+                1.0,
+                &a.as_ref(),
+                &b.as_ref(),
+                1.0,
+                &mut c.as_mut(),
+            )
+            .unwrap();
         });
         let mut row = vec![s.to_string(), format!("{:.2}", t_ori.gflops(s, s, s))];
         for (_, fusion) in &stages {
@@ -67,8 +75,16 @@ fn main() {
                 ..Default::default()
             };
             let t = measure(args.warmup, args.reps, || {
-                ft_gemm_with_ctx(&mut ft_ctx, &cfg, 1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut c.as_mut())
-                    .unwrap();
+                ft_gemm_with_ctx(
+                    &mut ft_ctx,
+                    &cfg,
+                    1.0,
+                    &a.as_ref(),
+                    &b.as_ref(),
+                    1.0,
+                    &mut c.as_mut(),
+                )
+                .unwrap();
             });
             row.push(format!("{:+.2}%", (t.min / t_ori.min - 1.0) * 100.0));
         }

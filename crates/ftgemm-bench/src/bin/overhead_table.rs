@@ -48,26 +48,74 @@ fn main() {
         let mut c = Matrix::<f64>::zeros(s, s);
 
         let t_ori = measure(args.warmup, args.reps, || {
-            gemm(&mut ori_ctx, 1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut c.as_mut()).unwrap();
+            gemm(
+                &mut ori_ctx,
+                1.0,
+                &a.as_ref(),
+                &b.as_ref(),
+                1.0,
+                &mut c.as_mut(),
+            )
+            .unwrap();
         });
         let t_ft = measure(args.warmup, args.reps, || {
-            ft_gemm_with_ctx(&mut ft_ctx, &fused, 1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut c.as_mut())
-                .unwrap();
+            ft_gemm_with_ctx(
+                &mut ft_ctx,
+                &fused,
+                1.0,
+                &a.as_ref(),
+                &b.as_ref(),
+                1.0,
+                &mut c.as_mut(),
+            )
+            .unwrap();
         });
         let t_unf = measure(args.warmup, args.reps, || {
-            ft_gemm_with_ctx(&mut unf_ctx, &unfused, 1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut c.as_mut())
-                .unwrap();
+            ft_gemm_with_ctx(
+                &mut unf_ctx,
+                &unfused,
+                1.0,
+                &a.as_ref(),
+                &b.as_ref(),
+                1.0,
+                &mut c.as_mut(),
+            )
+            .unwrap();
         });
         let t_par_ori = measure(args.warmup, args.reps, || {
-            par_gemm(&par_ctx, 1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut c.as_mut()).unwrap();
+            par_gemm(
+                &par_ctx,
+                1.0,
+                &a.as_ref(),
+                &b.as_ref(),
+                1.0,
+                &mut c.as_mut(),
+            )
+            .unwrap();
         });
         let t_par_ft = measure(args.warmup, args.reps, || {
-            par_ft_gemm(&par_ctx, &fused, 1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut c.as_mut())
-                .unwrap();
+            par_ft_gemm(
+                &par_ctx,
+                &fused,
+                1.0,
+                &a.as_ref(),
+                &b.as_ref(),
+                1.0,
+                &mut c.as_mut(),
+            )
+            .unwrap();
         });
         let t_par_unf = measure(args.warmup, args.reps, || {
-            par_ft_gemm(&par_ctx, &unfused, 1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut c.as_mut())
-                .unwrap();
+            par_ft_gemm(
+                &par_ctx,
+                &unfused,
+                1.0,
+                &a.as_ref(),
+                &b.as_ref(),
+                1.0,
+                &mut c.as_mut(),
+            )
+            .unwrap();
         });
 
         // Min-of-reps: the noise-robust estimator for compute-bound kernels

@@ -16,7 +16,11 @@ use std::time::Duration;
 
 fn main() {
     let args = Args::parse();
-    let s = args.sizes.as_ref().and_then(|v| v.first().copied()).unwrap_or(768);
+    let s = args
+        .sizes
+        .as_ref()
+        .and_then(|v| v.first().copied())
+        .unwrap_or(768);
 
     // Aggressive wall-clock rate: plenty of "errors per minute".
     let injector = FaultInjector::new(
@@ -52,7 +56,15 @@ fn main() {
         let cfg = FtConfig::with_injector(inj.clone());
         let _ = &cfg;
         let mut c = Matrix::<f64>::zeros(s, s);
-        match par_ft_gemm(&ctx, &cfg, 1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut c.as_mut()) {
+        match par_ft_gemm(
+            &ctx,
+            &cfg,
+            1.0,
+            &a.as_ref(),
+            &b.as_ref(),
+            0.0,
+            &mut c.as_mut(),
+        ) {
             Ok(_) => {
                 if c.rel_max_diff(&c_ref) < 1e-6 {
                     CampaignOutcome::Correct
@@ -82,7 +94,9 @@ fn main() {
         report.elapsed.as_secs_f64(),
     );
     if report.mismatches == 0 {
-        println!("RESULT: all evaluated runs matched the clean reference (paper: 'high reliability')");
+        println!(
+            "RESULT: all evaluated runs matched the clean reference (paper: 'high reliability')"
+        );
     } else {
         println!("RESULT: {} runs diverged — investigate", report.mismatches);
     }

@@ -1,0 +1,91 @@
+//! Serving throughput: requests/sec of `GemmService` over batch-coalescing
+//! limits {1, 8, 64}, with fault tolerance off and on, at a fixed small-GEMM
+//! workload. `max_batch = 1` is the no-coalescing baseline (every request
+//! pays its own parallel region), so the sweep isolates what batching buys.
+//!
+//! Usage: `cargo run -p ftgemm-bench --release --bin serve_throughput
+//!         [--reps N] [--threads N]`
+
+use ftgemm_bench::{Args, Table};
+use ftgemm_core::Matrix;
+use ftgemm_serve::{FtPolicy, GemmRequest, GemmService, ServiceConfig};
+use std::time::Instant;
+
+/// Small-GEMM edge; comfortably under any sane routing cutoff.
+const DIM: usize = 64;
+/// Requests per timed run.
+const REQUESTS: usize = 512;
+
+fn run_once(threads: usize, max_batch: usize, policy: FtPolicy) -> f64 {
+    let service = GemmService::<f64>::new(ServiceConfig {
+        threads,
+        max_batch,
+        ..ServiceConfig::default()
+    });
+    // Pre-build operands so the timed section measures serving, not RNG.
+    let problems: Vec<_> = (0..REQUESTS as u64)
+        .map(|i| {
+            (
+                Matrix::<f64>::random(DIM, DIM, i),
+                Matrix::<f64>::random(DIM, DIM, i + 1_000),
+            )
+        })
+        .collect();
+
+    let t0 = Instant::now();
+    let handles: Vec<_> = problems
+        .into_iter()
+        .map(|(a, b)| {
+            service
+                .submit(GemmRequest::new(a, b).with_policy(policy))
+                .expect("submit")
+        })
+        .collect();
+    for h in handles {
+        h.wait().expect("request failed");
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    drop(service);
+    REQUESTS as f64 / elapsed
+}
+
+fn main() {
+    let args = Args::parse();
+    let threads = args.threads;
+    println!(
+        "serve_throughput: {REQUESTS} x {DIM}^3 DGEMM requests, {threads} threads, \
+         best of {} runs\n",
+        args.reps.max(1)
+    );
+
+    let mut table = Table::new(
+        "GemmService throughput — requests/sec (higher is better)",
+        &[
+            "max_batch",
+            "ft off",
+            "ft on (DetectCorrect)",
+            "ft overhead",
+        ],
+    );
+    for &max_batch in &[1usize, 8, 64] {
+        let best = |policy: FtPolicy| {
+            (0..args.reps.max(1))
+                .map(|_| run_once(threads, max_batch, policy))
+                .fold(0.0f64, f64::max)
+        };
+        let off = best(FtPolicy::Off);
+        let on = best(FtPolicy::DetectCorrect);
+        table.row(vec![
+            max_batch.to_string(),
+            format!("{off:.0}"),
+            format!("{on:.0}"),
+            format!("{:.1}%", (off / on - 1.0) * 100.0),
+        ]);
+        eprintln!("max_batch {max_batch} done");
+    }
+    table.print();
+    match table.write_csv(&args.out_dir, "serve_throughput") {
+        Ok(p) => println!("\nCSV written to {}", p.display()),
+        Err(e) => eprintln!("CSV write failed: {e}"),
+    }
+}

@@ -15,11 +15,7 @@ fn geomean(v: &[f64]) -> f64 {
     (s / v.len().max(1) as f64).exp()
 }
 
-fn run_suite(
-    args: &Args,
-    sizes: &[usize],
-    parallel: bool,
-) -> (Vec<String>, Vec<Vec<f64>>) {
+fn run_suite(args: &Args, sizes: &[usize], parallel: bool) -> (Vec<String>, Vec<Vec<f64>>) {
     let mut suite = if parallel {
         ftgemm_bench::runners::parallel_suite(args.threads, None)
     } else {

@@ -118,9 +118,7 @@ mod tests {
         t.row(vec!["1024".into(), "12.5".into()]);
         t.row(vec!["2048".into(), "13,5".into()]);
         let dir = std::env::temp_dir().join("ftgemm-bench-test");
-        let p = t
-            .write_csv(dir.to_str().unwrap(), "t1")
-            .expect("csv write");
+        let p = t.write_csv(dir.to_str().unwrap(), "t1").expect("csv write");
         let s = std::fs::read_to_string(p).unwrap();
         assert!(s.starts_with("size,gflops\n"));
         assert!(s.contains("\"13,5\""));

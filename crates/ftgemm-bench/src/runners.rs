@@ -86,13 +86,11 @@ impl GemmRunner {
             }
             GemmRunner::RefPar(_, g) => g.run(1.0, a, b, 1.0, c).expect("gemm failed"),
             GemmRunner::OriPar(ctx) => par_gemm(ctx, 1.0, a, b, 1.0, c).expect("gemm failed"),
-            GemmRunner::FtPar(_, ctx, cfg) => {
-                match par_ft_gemm(ctx, cfg, 1.0, a, b, 1.0, c) {
-                    Ok(_) => {}
-                    Err(FtError::Unrecoverable { .. }) => {}
-                    Err(e) => panic!("parallel ft gemm failed: {e}"),
-                }
-            }
+            GemmRunner::FtPar(_, ctx, cfg) => match par_ft_gemm(ctx, cfg, 1.0, a, b, 1.0, c) {
+                Ok(_) => {}
+                Err(FtError::Unrecoverable { .. }) => {}
+                Err(e) => panic!("parallel ft gemm failed: {e}"),
+            },
         }
     }
 }

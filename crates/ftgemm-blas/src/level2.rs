@@ -47,7 +47,10 @@ pub fn ger<T: Scalar>(alpha: T, x: &[T], y: &[T], a: &mut [T], lda: usize) {
     let m = x.len();
     let n = y.len();
     assert!(lda >= m.max(1), "ger: lda too small");
-    assert!(a.len() >= if n == 0 { 0 } else { lda * (n - 1) + m }, "ger: A too small");
+    assert!(
+        a.len() >= if n == 0 { 0 } else { lda * (n - 1) + m },
+        "ger: A too small"
+    );
     for j in 0..n {
         let w = alpha * y[j];
         if w == T::ZERO {

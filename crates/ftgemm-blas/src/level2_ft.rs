@@ -91,7 +91,10 @@ pub fn ft_ger<T: Scalar>(
     level2::ger(alpha, x, yv, &mut r1, lda);
     level2::ger(alpha, x, yv, &mut r2, lda);
 
-    let mut stream = cfg.injector.as_ref().map(|inj| inj.stream(cfg.stream_id, 1));
+    let mut stream = cfg
+        .injector
+        .as_ref()
+        .map(|inj| inj.stream(cfg.stream_id, 1));
     if let Some(s) = stream.as_mut() {
         if let Some(ev) = s.poll() {
             if !r1.is_empty() {
@@ -107,7 +110,13 @@ pub fn ft_ger<T: Scalar>(
         rep.recomputed += 1;
         let mut r3 = a0;
         level2::ger(alpha, x, yv, &mut r3, lda);
-        let winner = if r3 == r2 { r2 } else if r3 == r1 { r1 } else { r3 };
+        let winner = if r3 == r2 {
+            r2
+        } else if r3 == r1 {
+            r1
+        } else {
+            r3
+        };
         a.copy_from_slice(&winner);
     } else {
         a.copy_from_slice(&r1);
@@ -130,7 +139,10 @@ pub fn ft_trsv<T: Scalar>(
     level2::trsv(tri, a, &mut r1);
     level2::trsv(tri, a, &mut r2);
 
-    let mut stream = cfg.injector.as_ref().map(|inj| inj.stream(cfg.stream_id, 1));
+    let mut stream = cfg
+        .injector
+        .as_ref()
+        .map(|inj| inj.stream(cfg.stream_id, 1));
     if let Some(s) = stream.as_mut() {
         if let Some(ev) = s.poll() {
             if !r1.is_empty() {
@@ -146,7 +158,13 @@ pub fn ft_trsv<T: Scalar>(
         rep.recomputed += 1;
         let mut r3 = b;
         level2::trsv(tri, a, &mut r3);
-        let winner = if r3 == r2 { r2 } else if r3 == r1 { r1 } else { r3 };
+        let winner = if r3 == r2 {
+            r2
+        } else if r3 == r1 {
+            r1
+        } else {
+            r3
+        };
         x.copy_from_slice(&winner);
     } else {
         x.copy_from_slice(&r1);

@@ -166,7 +166,13 @@ mod tests {
         let b_log = Matrix::<f64>::random(k, n, 2);
         let mut c_exp = Matrix::<f64>::random(m, n, 3);
         let c0 = c_exp.clone();
-        naive_gemm(2.0, &a_log.as_ref(), &b_log.as_ref(), -1.0, &mut c_exp.as_mut());
+        naive_gemm(
+            2.0,
+            &a_log.as_ref(),
+            &b_log.as_ref(),
+            -1.0,
+            &mut c_exp.as_mut(),
+        );
 
         for (ta, tb) in [
             (Transpose::None, Transpose::None),

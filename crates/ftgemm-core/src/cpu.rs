@@ -113,12 +113,12 @@ impl CacheInfo {
             let l1d = read_kb(&format!("{base}/index0/size"))?;
             let l2 = read_kb(&format!("{base}/index2/size"))?;
             let l3 = read_kb(&format!("{base}/index3/size")).unwrap_or(CacheInfo::CASCADE_LAKE.l3);
-            return Some(CacheInfo {
+            Some(CacheInfo {
                 l1d,
                 l2,
                 l3,
                 line: 64,
-            });
+            })
         }
         #[cfg(not(target_os = "linux"))]
         {

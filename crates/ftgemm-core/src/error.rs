@@ -85,7 +85,10 @@ mod tests {
 
     #[test]
     fn display_invalid_dimension() {
-        let e = CoreError::InvalidDimension { name: "k", value: 0 };
+        let e = CoreError::InvalidDimension {
+            name: "k",
+            value: 0,
+        };
         assert!(e.to_string().contains("k = 0"));
     }
 
@@ -111,6 +114,9 @@ mod tests {
     #[test]
     fn error_is_std_error() {
         fn takes_err(_: &dyn std::error::Error) {}
-        takes_err(&CoreError::InvalidDimension { name: "m", value: 0 });
+        takes_err(&CoreError::InvalidDimension {
+            name: "m",
+            value: 0,
+        });
     }
 }

@@ -163,7 +163,12 @@ pub fn gemm<T: Scalar>(
 
                 let mut c_block = c.submatrix_mut(ic, jc, mc_eff, nc_eff);
                 crate::macro_kernel::macro_kernel(
-                    &kernel, kc_eff, a_buf, b_buf, &mut c_block, None,
+                    &kernel,
+                    kc_eff,
+                    a_buf,
+                    b_buf,
+                    &mut c_block,
+                    None,
                 );
                 ic += p.mc;
             }
@@ -305,7 +310,15 @@ mod tests {
         let id = Matrix::<f64>::identity(n);
         let mut c = Matrix::<f64>::zeros(n, n);
         let mut ctx = GemmContext::<f64>::new();
-        gemm(&mut ctx, 1.0, &a.as_ref(), &id.as_ref(), 0.0, &mut c.as_mut()).unwrap();
+        gemm(
+            &mut ctx,
+            1.0,
+            &a.as_ref(),
+            &id.as_ref(),
+            0.0,
+            &mut c.as_mut(),
+        )
+        .unwrap();
         assert!(a.max_abs_diff(&c) < 1e-12);
     }
 
@@ -315,7 +328,14 @@ mod tests {
         let b = Matrix::<f64>::zeros(5, 6);
         let mut c = Matrix::<f64>::zeros(3, 6);
         let mut ctx = GemmContext::<f64>::new();
-        let r = gemm(&mut ctx, 1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut c.as_mut());
+        let r = gemm(
+            &mut ctx,
+            1.0,
+            &a.as_ref(),
+            &b.as_ref(),
+            0.0,
+            &mut c.as_mut(),
+        );
         assert!(matches!(r, Err(CoreError::ShapeMismatch { .. })));
     }
 
@@ -325,7 +345,15 @@ mod tests {
         let b = Matrix::<f64>::zeros(4, 6);
         let mut c = Matrix::<f64>::zeros(3, 5);
         let mut ctx = GemmContext::<f64>::new();
-        assert!(gemm(&mut ctx, 1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut c.as_mut()).is_err());
+        assert!(gemm(
+            &mut ctx,
+            1.0,
+            &a.as_ref(),
+            &b.as_ref(),
+            0.0,
+            &mut c.as_mut()
+        )
+        .is_err());
     }
 
     #[test]
@@ -334,13 +362,29 @@ mod tests {
         let b = Matrix::<f64>::zeros(4, 6);
         let mut c = Matrix::<f64>::zeros(0, 6);
         let mut ctx = GemmContext::<f64>::new();
-        gemm(&mut ctx, 1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut c.as_mut()).unwrap();
+        gemm(
+            &mut ctx,
+            1.0,
+            &a.as_ref(),
+            &b.as_ref(),
+            0.0,
+            &mut c.as_mut(),
+        )
+        .unwrap();
 
         // k == 0: C = beta*C only.
         let a = Matrix::<f64>::zeros(2, 0);
         let b = Matrix::<f64>::zeros(0, 2);
         let mut c = Matrix::<f64>::filled(2, 2, 3.0);
-        gemm(&mut ctx, 1.0, &a.as_ref(), &b.as_ref(), 0.5, &mut c.as_mut()).unwrap();
+        gemm(
+            &mut ctx,
+            1.0,
+            &a.as_ref(),
+            &b.as_ref(),
+            0.5,
+            &mut c.as_mut(),
+        )
+        .unwrap();
         assert!(c.as_slice().iter().all(|&v| v == 1.5));
     }
 
@@ -352,7 +396,15 @@ mod tests {
             let b = Matrix::<f64>::random(s, s, s as u64 + 1);
             let mut c = Matrix::<f64>::zeros(s, s);
             let mut c_ref = Matrix::<f64>::zeros(s, s);
-            gemm(&mut ctx, 1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut c.as_mut()).unwrap();
+            gemm(
+                &mut ctx,
+                1.0,
+                &a.as_ref(),
+                &b.as_ref(),
+                0.0,
+                &mut c.as_mut(),
+            )
+            .unwrap();
             naive_gemm(1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut c_ref.as_mut());
             assert!(c.rel_max_diff(&c_ref) < 1e-10, "size {s}");
         }
@@ -427,7 +479,11 @@ pub fn gemm_op<T: Scalar>(
     }
     if c.nrows() != m || c.ncols() != n {
         return Err(CoreError::ShapeMismatch {
-            context: format!("C is {}x{} but op(A)*op(B) is {m}x{n}", c.nrows(), c.ncols()),
+            context: format!(
+                "C is {}x{} but op(A)*op(B) is {m}x{n}",
+                c.nrows(),
+                c.ncols()
+            ),
         });
     }
     let k = ka;
@@ -476,7 +532,14 @@ pub fn gemm_op<T: Scalar>(
                     }
                 }
                 let mut c_block = c.submatrix_mut(ic, jc, mc_eff, nc_eff);
-                crate::macro_kernel::macro_kernel(&kernel, kc_eff, a_buf, b_buf, &mut c_block, None);
+                crate::macro_kernel::macro_kernel(
+                    &kernel,
+                    kc_eff,
+                    a_buf,
+                    b_buf,
+                    &mut c_block,
+                    None,
+                );
                 ic += p.mc;
             }
             pc += p.kc;
@@ -518,7 +581,13 @@ mod op_tests {
             &mut c.as_mut(),
         )
         .unwrap();
-        naive_gemm(1.5, &a_logical.as_ref(), &b_logical.as_ref(), -0.5, &mut c_ref.as_mut());
+        naive_gemm(
+            1.5,
+            &a_logical.as_ref(),
+            &b_logical.as_ref(),
+            -0.5,
+            &mut c_ref.as_mut(),
+        );
         assert!(
             c.rel_max_diff(&c_ref) < 1e-10,
             "{op_a:?}/{op_b:?} {m}x{n}x{k}: {}",
@@ -543,8 +612,17 @@ mod op_tests {
         let mut c = Matrix::<f64>::zeros(3, 5);
         let mut ctx = GemmContext::<f64>::new();
         // op(A) = 3x4, op(B) = 4x5 -> ok
-        gemm_op(&mut ctx, Op::Trans, Op::NoTrans, 1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut c.as_mut())
-            .unwrap();
+        gemm_op(
+            &mut ctx,
+            Op::Trans,
+            Op::NoTrans,
+            1.0,
+            &a.as_ref(),
+            &b.as_ref(),
+            0.0,
+            &mut c.as_mut(),
+        )
+        .unwrap();
         // wrong C shape
         let mut c_bad = Matrix::<f64>::zeros(4, 5);
         assert!(gemm_op(

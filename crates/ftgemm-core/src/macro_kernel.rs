@@ -67,8 +67,16 @@ pub fn macro_kernel<T: Scalar>(
                     ldc,
                     m_eff,
                     n_eff,
-                    if ft { col_ptr.add(jr) } else { std::ptr::null_mut() },
-                    if ft { row_ptr.add(ir) } else { std::ptr::null_mut() },
+                    if ft {
+                        col_ptr.add(jr)
+                    } else {
+                        std::ptr::null_mut()
+                    },
+                    if ft {
+                        row_ptr.add(ir)
+                    } else {
+                        std::ptr::null_mut()
+                    },
                 );
             }
             ir += mr;

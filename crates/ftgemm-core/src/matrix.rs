@@ -273,7 +273,10 @@ impl<'a, T: Scalar> MatRef<'a, T> {
     /// Zero-copy submatrix `rows x cols` starting at `(i, j)`.
     #[inline]
     pub fn submatrix(&self, i: usize, j: usize, rows: usize, cols: usize) -> MatRef<'a, T> {
-        assert!(i + rows <= self.nrows && j + cols <= self.ncols, "submatrix out of bounds");
+        assert!(
+            i + rows <= self.nrows && j + cols <= self.ncols,
+            "submatrix out of bounds"
+        );
         MatRef {
             // SAFETY: offset stays within the viewed allocation.
             ptr: unsafe { self.ptr.add(i + j * self.ld) },
@@ -408,7 +411,10 @@ impl<'a, T: Scalar> MatMut<'a, T> {
     /// Zero-copy mutable submatrix `rows x cols` starting at `(i, j)`.
     #[inline]
     pub fn submatrix_mut(&mut self, i: usize, j: usize, rows: usize, cols: usize) -> MatMut<'_, T> {
-        assert!(i + rows <= self.nrows && j + cols <= self.ncols, "submatrix out of bounds");
+        assert!(
+            i + rows <= self.nrows && j + cols <= self.ncols,
+            "submatrix out of bounds"
+        );
         MatMut {
             // SAFETY: offset stays within the viewed allocation.
             ptr: unsafe { self.ptr.add(i + j * self.ld) },
@@ -615,7 +621,13 @@ mod tests {
 
     #[test]
     fn norms() {
-        let m = Matrix::<f64>::from_fn(2, 2, |i, j| if i == 0 && j == 0 { 3.0 } else { 4.0 * ((i + j) % 2) as f64 });
+        let m = Matrix::<f64>::from_fn(2, 2, |i, j| {
+            if i == 0 && j == 0 {
+                3.0
+            } else {
+                4.0 * ((i + j) % 2) as f64
+            }
+        });
         // entries: 3, 0 / 4? layout irrelevant; just check frobenius of known matrix
         let m2 = Matrix::<f64>::from_col_major(2, 2, &[3.0, 4.0, 0.0, 0.0]).unwrap();
         assert!((m2.frobenius_norm() - 5.0).abs() < 1e-12);

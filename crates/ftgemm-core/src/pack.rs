@@ -72,7 +72,10 @@ pub fn pack_a_fused<T: Scalar>(
     assert_eq!(bc.len(), k, "pack_a_fused: bc length mismatch");
     assert_eq!(enc_row.len(), m, "pack_a_fused: enc_row length mismatch");
     let panels = m.div_ceil(mr);
-    assert!(out.len() >= panels * mr * k, "pack_a_fused: out buffer too small");
+    assert!(
+        out.len() >= panels * mr * k,
+        "pack_a_fused: out buffer too small"
+    );
 
     for p in 0..panels {
         let row0 = p * mr;
@@ -139,7 +142,10 @@ pub fn pack_b_fused<T: Scalar>(
     assert_eq!(bc.len(), k, "pack_b_fused: bc length mismatch");
     assert_eq!(enc_col.len(), n, "pack_b_fused: enc_col length mismatch");
     let panels = n.div_ceil(nr);
-    assert!(out.len() >= panels * nr * k, "pack_b_fused: out buffer too small");
+    assert!(
+        out.len() >= panels * nr * k,
+        "pack_b_fused: out buffer too small"
+    );
 
     for q in 0..panels {
         let col0 = q * nr;
@@ -240,10 +246,7 @@ mod tests {
         for q in 0..n / nr {
             for p in 0..k {
                 for j in 0..nr {
-                    assert_eq!(
-                        out[q * nr * k + p * nr + j],
-                        (p * 100 + q * nr + j) as f64
-                    );
+                    assert_eq!(out[q * nr * k + p * nr + j], (p * 100 + q * nr + j) as f64);
                 }
             }
         }
@@ -360,7 +363,10 @@ mod tests {
 pub fn pack_a_trans<T: Scalar>(src: &MatRef<'_, T>, alpha: T, mr: usize, out: &mut [T]) {
     let (k, m) = (src.nrows(), src.ncols());
     let panels = m.div_ceil(mr);
-    assert!(out.len() >= panels * mr * k, "pack_a_trans: out buffer too small");
+    assert!(
+        out.len() >= panels * mr * k,
+        "pack_a_trans: out buffer too small"
+    );
 
     for p in 0..panels {
         let row0 = p * mr;
@@ -383,7 +389,10 @@ pub fn pack_a_trans<T: Scalar>(src: &MatRef<'_, T>, alpha: T, mr: usize, out: &m
 pub fn pack_b_trans<T: Scalar>(src: &MatRef<'_, T>, nr: usize, out: &mut [T]) {
     let (n, k) = (src.nrows(), src.ncols());
     let panels = n.div_ceil(nr);
-    assert!(out.len() >= panels * nr * k, "pack_b_trans: out buffer too small");
+    assert!(
+        out.len() >= panels * nr * k,
+        "pack_b_trans: out buffer too small"
+    );
 
     for q in 0..panels {
         let col0 = q * nr;

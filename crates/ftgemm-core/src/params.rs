@@ -100,9 +100,13 @@ impl BlockingParams {
     }
 }
 
-/// Rounds `v` down to a multiple of `mult`, clamped into `[lo, hi]`
-/// (both bounds themselves multiples of `mult`).
+/// Rounds `v` down to a multiple of `mult`, clamped into `[lo, hi]`. The
+/// bounds are first snapped onto the multiple grid (`lo` up, `hi` down) so
+/// the result is a multiple of `mult` even when a bound is not — e.g. the
+/// portable f64 kernel's `nr = 6` against the `nc <= 8192` cap.
 fn clamp_mult(v: usize, mult: usize, lo: usize, hi: usize) -> usize {
+    let lo = lo.div_ceil(mult) * mult;
+    let hi = ((hi / mult) * mult).max(lo);
     let down = (v / mult).max(1) * mult;
     down.clamp(lo, hi)
 }
@@ -136,7 +140,10 @@ mod tests {
         let c = CacheInfo::CASCADE_LAKE;
         let p = BlockingParams::derive::<f64>(&c, 16, 8);
         let a_bytes = p.mc * p.kc * 8;
-        assert!(a_bytes <= c.l2 * 6 / 10, "A~ = {a_bytes} bytes exceeds L2 budget");
+        assert!(
+            a_bytes <= c.l2 * 6 / 10,
+            "A~ = {a_bytes} bytes exceeds L2 budget"
+        );
     }
 
     #[test]
@@ -178,8 +185,8 @@ mod tests {
 
     #[test]
     fn with_blocks_override() {
-        let p = BlockingParams::derive::<f64>(&CacheInfo::CASCADE_LAKE, 16, 8)
-            .with_blocks(32, 64, 128);
+        let p =
+            BlockingParams::derive::<f64>(&CacheInfo::CASCADE_LAKE, 16, 8).with_blocks(32, 64, 128);
         assert_eq!((p.mc, p.nc, p.kc), (32, 64, 128));
         assert_eq!(p.mr, 16);
     }

@@ -207,30 +207,45 @@ mod tests {
     fn f64_ops() {
         exercise::<f64>();
         assert_eq!(f64::NAME, "f64");
-        assert_eq!(f64::BITS, 64);
+        assert_eq!(<f64 as Scalar>::BITS, 64);
     }
 
     #[test]
     fn f32_ops() {
         exercise::<f32>();
         assert_eq!(f32::NAME, "f32");
-        assert_eq!(f32::BITS, 32);
+        assert_eq!(<f32 as Scalar>::BITS, 32);
     }
 
     #[test]
     fn bit_round_trip_f64() {
-        for v in [0.0f64, -1.5, 3.141592653589793, f64::MAX, f64::MIN_POSITIVE] {
+        for v in [
+            0.0f64,
+            -1.5,
+            std::f64::consts::PI,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+        ] {
             assert_eq!(f64::from_bits_u64(v.to_bits_u64()), v);
         }
     }
 
     #[test]
     fn bit_round_trip_f32() {
-        for v in [0.0f32, -1.5, 2.71828, f32::MAX, f32::MIN_POSITIVE] {
+        for v in [
+            0.0f32,
+            -1.5,
+            std::f32::consts::E,
+            f32::MAX,
+            f32::MIN_POSITIVE,
+        ] {
             assert_eq!(f32::from_bits_u64(v.to_bits_u64()), v);
         }
         // High bits must be ignored for f32.
-        assert_eq!(f32::from_bits_u64(0xFFFF_FFFF_0000_0000 | 1.0f32.to_bits() as u64), 1.0);
+        assert_eq!(
+            f32::from_bits_u64(0xFFFF_FFFF_0000_0000 | 1.0f32.to_bits() as u64),
+            1.0
+        );
     }
 
     #[test]

@@ -73,18 +73,36 @@ pub fn tune<T: Scalar>(isa: IsaLevel, cfg: TuneConfig) -> Vec<TuneResult> {
                 continue;
             }
             // Warm-up (also populates pack buffers).
-            gemm(&mut ctx, T::ONE, &a.as_ref(), &b.as_ref(), T::ZERO, &mut c.as_mut())
-                .expect("probe gemm failed");
+            gemm(
+                &mut ctx,
+                T::ONE,
+                &a.as_ref(),
+                &b.as_ref(),
+                T::ZERO,
+                &mut c.as_mut(),
+            )
+            .expect("probe gemm failed");
             let t0 = Instant::now();
             for _ in 0..cfg.reps.max(1) {
-                gemm(&mut ctx, T::ONE, &a.as_ref(), &b.as_ref(), T::ZERO, &mut c.as_mut())
-                    .expect("probe gemm failed");
+                gemm(
+                    &mut ctx,
+                    T::ONE,
+                    &a.as_ref(),
+                    &b.as_ref(),
+                    T::ZERO,
+                    &mut c.as_mut(),
+                )
+                .expect("probe gemm failed");
             }
             let secs = t0.elapsed().as_secs_f64() / cfg.reps.max(1) as f64;
             results.push(TuneResult { params, secs });
         }
     }
-    results.sort_by(|x, y| x.secs.partial_cmp(&y.secs).unwrap_or(std::cmp::Ordering::Equal));
+    results.sort_by(|x, y| {
+        x.secs
+            .partial_cmp(&y.secs)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     results
 }
 

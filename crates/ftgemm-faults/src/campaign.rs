@@ -64,7 +64,10 @@ impl Campaign {
 
     /// Runs the campaign. The iteration receives the injector and returns
     /// its verdict; iterations run back-to-back until the budget expires.
-    pub fn run(&self, mut iteration: impl FnMut(&FaultInjector) -> CampaignOutcome) -> CampaignReport {
+    pub fn run(
+        &self,
+        mut iteration: impl FnMut(&FaultInjector) -> CampaignOutcome,
+    ) -> CampaignReport {
         self.injector.stats().reset();
         let start = Instant::now();
         let mut runs = 0u64;

@@ -49,7 +49,11 @@ impl FaultInjector {
     /// Convenience: `count` errors per stream with the benchmark default
     /// model (large additive corruption).
     pub fn counted(seed: u64, count: usize) -> Self {
-        Self::new(seed, ErrorModel::default_for_benchmarks(), Rate::Count(count))
+        Self::new(
+            seed,
+            ErrorModel::default_for_benchmarks(),
+            Rate::Count(count),
+        )
     }
 
     /// The configured error model.
@@ -75,14 +79,14 @@ impl FaultInjector {
     /// * `expected_sites` — how many sites the driver will visit on this
     ///   stream; used by [`Rate::Count`] to spread the errors uniformly.
     pub fn stream(&self, stream_id: u64, expected_sites: usize) -> SiteStream {
-        let mut rng = StdRng::seed_from_u64(self.seed ^ stream_id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ stream_id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let schedule = match self.rate {
             Rate::Count(count) => {
                 // Sample `count` distinct site indices (with replacement is
                 // acceptable when sites < count; duplicates collapse).
                 let n = expected_sites.max(1);
-                let mut sites: Vec<usize> =
-                    (0..count).map(|_| rng.gen_range(0..n)).collect();
+                let mut sites: Vec<usize> = (0..count).map(|_| rng.gen_range(0..n)).collect();
                 sites.sort_unstable();
                 sites.dedup();
                 Schedule::Sites(sites)
@@ -191,7 +195,7 @@ mod tests {
                 fired += 1;
             }
         }
-        assert!(fired >= 1 && fired <= 5, "fired {fired}");
+        assert!((1..=5).contains(&fired), "fired {fired}");
         assert_eq!(inj.stats().injected(), fired as u64);
     }
 

@@ -1,0 +1,344 @@
+//! Batched (FT-)GEMM: many small problems through one parallel region.
+//!
+//! [`par_ft_gemm`](crate::par_ft_gemm) parallelizes *inside* one matrix —
+//! the right shape when a single GEMM is large enough to feed every core.
+//! A serving workload is the opposite: thousands of small GEMMs, each far
+//! too small to amortize a parallel region of its own. [`par_batch_ft_gemm`]
+//! flips the partitioning axis: the **batch** is distributed over the pool's
+//! threads, and every item runs the *serial* fused-ABFT driver on its owning
+//! thread, reusing that thread's packed-buffer workspace across items (and
+//! across batches, via [`BatchWorkspace`]).
+//!
+//! Scheduling is dynamic (an atomic cursor over the item array, OpenMP
+//! `schedule(dynamic)` style) so heterogeneous batches do not leave threads
+//! idle behind one long item.
+
+use crate::ctx::ParGemmContext;
+use crate::shared::SendPtr;
+use ftgemm_abft::{ft_gemm_with_ctx, FtConfig, FtError, FtGemmContext, FtReport, FtResult};
+use ftgemm_core::{GemmContext, MatMut, MatRef, Scalar};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One GEMM problem inside a batch: `C = alpha*A*B + beta*C`.
+///
+/// `cfg: None` runs the plain (unprotected) serial driver; `Some(cfg)` runs
+/// the fused-ABFT driver with that per-item configuration — items of one
+/// batch may freely mix protection levels.
+pub struct BatchItem<'a, T: Scalar> {
+    /// Scaling factor applied to `A*B`.
+    pub alpha: T,
+    /// Left operand.
+    pub a: MatRef<'a, T>,
+    /// Right operand.
+    pub b: MatRef<'a, T>,
+    /// Scaling factor applied to the input `C`.
+    pub beta: T,
+    /// Output (accumulated in place).
+    pub c: MatMut<'a, T>,
+    /// Per-item fault-tolerance configuration; `None` = no protection.
+    pub cfg: Option<&'a FtConfig>,
+}
+
+/// Per-pool-thread serial FT-GEMM contexts, reused across batches so packed
+/// `A~`/`B~` buffers and checksum vectors are allocated once per thread
+/// rather than once per request.
+///
+/// Slot `t` is only ever locked by pool thread `t` during a batch region, so
+/// the mutexes are uncontended; they exist to keep the type `Sync` and to
+/// allow the owner to be dropped independently of the pool.
+pub struct BatchWorkspace<T: Scalar> {
+    slots: Vec<Mutex<FtGemmContext<T>>>,
+}
+
+impl<T: Scalar> BatchWorkspace<T> {
+    /// One workspace slot per pool thread, configured with the context's
+    /// kernel and blocking parameters.
+    pub fn new(ctx: &ParGemmContext<T>) -> Self {
+        let slots = (0..ctx.nthreads())
+            .map(|_| {
+                let mut core = GemmContext::<T>::with_isa(ctx.kernel.isa);
+                // The probe in ParGemmContext::set_params validated these
+                // params against the same kernel tile; apply cannot fail.
+                core.set_params(ctx.params).expect("params match kernel");
+                Mutex::new(FtGemmContext::from_core(core))
+            })
+            .collect();
+        BatchWorkspace { slots }
+    }
+
+    /// Number of per-thread slots.
+    pub fn slots(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+/// Executes every item of `items` across the pool, one serial driver per
+/// item, and returns one `FtResult<FtReport>` per item (index-aligned).
+///
+/// Plain items (`cfg: None`) report `FtReport::default()` on success. A
+/// shape error in one item is recorded in that item's slot and does not
+/// affect the rest of the batch.
+pub fn par_batch_ft_gemm<T: Scalar>(
+    ctx: &ParGemmContext<T>,
+    ws: &BatchWorkspace<T>,
+    items: &mut [BatchItem<'_, T>],
+) -> Vec<FtResult<FtReport>> {
+    let n = items.len();
+    let mut results: Vec<FtResult<FtReport>> = Vec::with_capacity(n);
+    results.resize_with(n, || Ok(FtReport::default()));
+    if n == 0 {
+        return results;
+    }
+    assert!(
+        ws.slots.len() >= ctx.nthreads(),
+        "workspace has {} slots for a {}-thread pool",
+        ws.slots.len(),
+        ctx.nthreads()
+    );
+
+    let items_ptr = SendPtr(items.as_mut_ptr());
+    let results_ptr = SendPtr(results.as_mut_ptr());
+    let cursor = AtomicUsize::new(0);
+
+    ctx.pool().run(|w| {
+        // Capture the SendPtr wrappers themselves, not their raw fields
+        // (auto-capture of `.0` would capture the non-Send raw pointers).
+        #[allow(clippy::redundant_locals)]
+        let items_ptr = items_ptr;
+        #[allow(clippy::redundant_locals)]
+        let results_ptr = results_ptr;
+        let mut slot = ws.slots[w.tid].lock();
+        loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            // SAFETY: the atomic cursor hands out each index exactly once,
+            // so item/result accesses are disjoint across threads, and the
+            // region barrier in `run` orders them against the caller.
+            let item = unsafe { &mut *items_ptr.0.add(i) };
+            let out = unsafe { &mut *results_ptr.0.add(i) };
+            *out = match item.cfg {
+                Some(cfg) => ft_gemm_with_ctx(
+                    &mut slot,
+                    cfg,
+                    item.alpha,
+                    &item.a,
+                    &item.b,
+                    item.beta,
+                    &mut item.c,
+                ),
+                None => ftgemm_core::gemm(
+                    &mut slot.core,
+                    item.alpha,
+                    &item.a,
+                    &item.b,
+                    item.beta,
+                    &mut item.c,
+                )
+                .map(|()| FtReport::default())
+                .map_err(FtError::Core),
+            };
+        }
+    });
+
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftgemm_abft::ft_gemm;
+    use ftgemm_core::reference::naive_gemm;
+    use ftgemm_core::Matrix;
+    use ftgemm_faults::{ErrorModel, FaultInjector, Rate};
+
+    fn random_problem(
+        m: usize,
+        n: usize,
+        k: usize,
+        seed: u64,
+    ) -> (Matrix<f64>, Matrix<f64>, Matrix<f64>) {
+        (
+            Matrix::<f64>::random(m, k, seed),
+            Matrix::<f64>::random(k, n, seed + 1),
+            Matrix::<f64>::random(m, n, seed + 2),
+        )
+    }
+
+    #[test]
+    fn batch_matches_serial_loop() {
+        let ctx = ParGemmContext::<f64>::with_threads(4);
+        let ws = BatchWorkspace::new(&ctx);
+        let shapes = [
+            (17, 23, 9),
+            (64, 64, 64),
+            (5, 80, 33),
+            (40, 1, 12),
+            (1, 1, 1),
+            (96, 31, 50),
+        ];
+        let cfg = FtConfig::default();
+
+        let mut problems: Vec<_> = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, &(m, n, k))| random_problem(m, n, k, 100 + i as u64 * 7))
+            .collect();
+        let mut expected: Vec<Matrix<f64>> = problems.iter().map(|(_, _, c)| c.clone()).collect();
+        for ((a, b, _), c_exp) in problems.iter().zip(expected.iter_mut()) {
+            ft_gemm(
+                &cfg,
+                1.5,
+                &a.as_ref(),
+                &b.as_ref(),
+                0.5,
+                &mut c_exp.as_mut(),
+            )
+            .unwrap();
+        }
+
+        let mut items: Vec<BatchItem<'_, f64>> = problems
+            .iter_mut()
+            .map(|(a, b, c)| BatchItem {
+                alpha: 1.5,
+                a: a.as_ref(),
+                b: b.as_ref(),
+                beta: 0.5,
+                c: c.as_mut(),
+                cfg: Some(&cfg),
+            })
+            .collect();
+        let results = par_batch_ft_gemm(&ctx, &ws, &mut items);
+        drop(items);
+
+        for (i, r) in results.iter().enumerate() {
+            let rep = r.as_ref().unwrap();
+            assert_eq!(rep.detected, 0, "item {i}");
+            assert!(rep.verifications > 0, "item {i}");
+        }
+        for (i, ((_, _, c), c_exp)) in problems.iter().zip(expected.iter()).enumerate() {
+            assert!(c.rel_max_diff(c_exp) < 1e-12, "item {i}");
+        }
+    }
+
+    #[test]
+    fn mixed_protection_batch() {
+        let ctx = ParGemmContext::<f64>::with_threads(3);
+        let ws = BatchWorkspace::new(&ctx);
+        let cfg = FtConfig::default();
+        let (a, b, c0) = random_problem(30, 40, 20, 9);
+        let mut c_ft = c0.clone();
+        let mut c_plain = c0.clone();
+        let mut c_exp = c0.clone();
+        naive_gemm(2.0, &a.as_ref(), &b.as_ref(), 1.0, &mut c_exp.as_mut());
+
+        let mut items = vec![
+            BatchItem {
+                alpha: 2.0,
+                a: a.as_ref(),
+                b: b.as_ref(),
+                beta: 1.0,
+                c: c_ft.as_mut(),
+                cfg: Some(&cfg),
+            },
+            BatchItem {
+                alpha: 2.0,
+                a: a.as_ref(),
+                b: b.as_ref(),
+                beta: 1.0,
+                c: c_plain.as_mut(),
+                cfg: None,
+            },
+        ];
+        let results = par_batch_ft_gemm(&ctx, &ws, &mut items);
+        drop(items);
+        assert!(results[0].as_ref().unwrap().verifications > 0);
+        assert_eq!(results[1].as_ref().unwrap(), &FtReport::default());
+        assert!(c_ft.rel_max_diff(&c_exp) < 1e-10);
+        assert!(c_plain.rel_max_diff(&c_exp) < 1e-10);
+    }
+
+    #[test]
+    fn injected_errors_corrected_per_item() {
+        let ctx = ParGemmContext::<f64>::with_threads(4);
+        let ws = BatchWorkspace::new(&ctx);
+        let inj = FaultInjector::new(3, ErrorModel::Additive { magnitude: 1e6 }, Rate::Count(1));
+        let cfg = FtConfig::with_injector(inj);
+        let clean_cfg = FtConfig::default();
+
+        let mut problems: Vec<_> = (0..8)
+            .map(|i| random_problem(48, 48, 32, 500 + i))
+            .collect();
+        let mut expected: Vec<Matrix<f64>> = problems.iter().map(|(_, _, c)| c.clone()).collect();
+        for ((a, b, _), c_exp) in problems.iter().zip(expected.iter_mut()) {
+            naive_gemm(1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut c_exp.as_mut());
+        }
+
+        let mut items: Vec<BatchItem<'_, f64>> = problems
+            .iter_mut()
+            .enumerate()
+            .map(|(i, (a, b, c))| BatchItem {
+                alpha: 1.0,
+                a: a.as_ref(),
+                b: b.as_ref(),
+                beta: 1.0,
+                c: c.as_mut(),
+                cfg: Some(if i % 2 == 0 { &cfg } else { &clean_cfg }),
+            })
+            .collect();
+        let results = par_batch_ft_gemm(&ctx, &ws, &mut items);
+        drop(items);
+
+        let total = FtReport::merged(results.iter().map(|r| *r.as_ref().unwrap()));
+        assert!(total.injected > 0);
+        assert_eq!(total.corrected, total.injected);
+        for (i, ((_, _, c), c_exp)) in problems.iter().zip(expected.iter()).enumerate() {
+            assert!(c.rel_max_diff(c_exp) < 1e-9, "item {i}");
+        }
+    }
+
+    #[test]
+    fn shape_error_isolated_to_its_item() {
+        let ctx = ParGemmContext::<f64>::with_threads(2);
+        let ws = BatchWorkspace::new(&ctx);
+        let (a, _b, mut c) = random_problem(10, 10, 10, 1);
+        let bad_b = Matrix::<f64>::zeros(3, 10); // k mismatch
+        let (a2, b2, mut c2) = random_problem(12, 8, 6, 2);
+        let mut c_exp = c2.clone();
+        naive_gemm(1.0, &a2.as_ref(), &b2.as_ref(), 0.0, &mut c_exp.as_mut());
+
+        let mut items = vec![
+            BatchItem {
+                alpha: 1.0,
+                a: a.as_ref(),
+                b: bad_b.as_ref(),
+                beta: 0.0,
+                c: c.as_mut(),
+                cfg: None,
+            },
+            BatchItem {
+                alpha: 1.0,
+                a: a2.as_ref(),
+                b: b2.as_ref(),
+                beta: 0.0,
+                c: c2.as_mut(),
+                cfg: None,
+            },
+        ];
+        let results = par_batch_ft_gemm(&ctx, &ws, &mut items);
+        drop(items);
+        assert!(results[0].is_err());
+        assert!(results[1].is_ok());
+        assert!(c2.rel_max_diff(&c_exp) < 1e-10);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let ctx = ParGemmContext::<f64>::with_threads(2);
+        let ws = BatchWorkspace::new(&ctx);
+        let mut items: Vec<BatchItem<'_, f64>> = Vec::new();
+        assert!(par_batch_ft_gemm(&ctx, &ws, &mut items).is_empty());
+    }
+}

@@ -96,10 +96,7 @@ mod tests {
     #[test]
     fn pool_sharing() {
         let a = ParGemmContext::<f64>::with_threads(2);
-        let b = ParGemmContext::<f32>::with_pool(
-            Arc::new(ThreadPool::new(2)),
-            IsaLevel::Portable,
-        );
+        let b = ParGemmContext::<f32>::with_pool(Arc::new(ThreadPool::new(2)), IsaLevel::Portable);
         assert_eq!(a.nthreads(), b.nthreads());
     }
 

@@ -25,11 +25,13 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+mod batch;
 mod ctx;
 mod par_ft_gemm;
 mod par_gemm;
 mod shared;
 
+pub use batch::{par_batch_ft_gemm, BatchItem, BatchWorkspace};
 pub use ctx::ParGemmContext;
 pub use par_ft_gemm::par_ft_gemm;
 pub use par_gemm::par_gemm;

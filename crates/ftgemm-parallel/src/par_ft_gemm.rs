@@ -22,7 +22,7 @@
 //! sharded-lane reductions.
 
 use crate::ctx::ParGemmContext;
-use crate::shared::SharedVec;
+use crate::shared::{SendPtr, SharedVec};
 use ftgemm_abft::corrector::{self, CorrectionOutcome};
 use ftgemm_abft::{checksum, FtConfig, FtError, FtReport, FtResult};
 use ftgemm_core::gemm::validate_shapes;
@@ -83,7 +83,10 @@ pub fn par_ft_gemm<T: Scalar>(
     let call_nonce: u64 = rand_nonce();
 
     ctx.pool().run(|w| {
-        let c_ptr = c_ptr; // capture the SendPtr wrapper, not its raw field
+        // Capture the SendPtr wrapper itself, not its raw field (auto-capture
+        // of `c_ptr.0` would capture the non-Send raw pointer).
+        #[allow(clippy::redundant_locals)]
+        let c_ptr = c_ptr;
         let rows = w.partition(m, p.mr);
         let (ms, mlen) = (rows.start, rows.len());
         let tid = w.tid;
@@ -394,13 +397,6 @@ fn rand_nonce() -> u64 {
     COUNTER.fetch_add(0x9E37_79B9, Ordering::Relaxed)
 }
 
-#[derive(Clone, Copy)]
-struct SendPtr<T>(*mut T);
-// SAFETY: dereferences restricted to disjoint row slices per thread, or to
-// exclusive verification epochs.
-unsafe impl<T> Send for SendPtr<T> {}
-unsafe impl<T> Sync for SendPtr<T> {}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -415,9 +411,16 @@ mod tests {
         let b = Matrix::<f64>::random(k, n, 92);
         let mut c = Matrix::<f64>::random(m, n, 93);
         let mut c_ref = c.clone();
-        let rep =
-            par_ft_gemm(&ctx, &cfg, alpha, &a.as_ref(), &b.as_ref(), beta, &mut c.as_mut())
-                .unwrap();
+        let rep = par_ft_gemm(
+            &ctx,
+            &cfg,
+            alpha,
+            &a.as_ref(),
+            &b.as_ref(),
+            beta,
+            &mut c.as_mut(),
+        )
+        .unwrap();
         naive_gemm(alpha, &a.as_ref(), &b.as_ref(), beta, &mut c_ref.as_mut());
         let d = c.rel_max_diff(&c_ref);
         assert!(d < 1e-10, "diff {d} (t={threads} {m}x{n}x{k})");
@@ -447,8 +450,16 @@ mod tests {
         let b = Matrix::<f64>::random(70, 60, 2);
         let mut c = Matrix::<f64>::random(90, 60, 3);
         let mut c_ref = c.clone();
-        let rep =
-            par_ft_gemm(&ctx, &cfg, 1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut c.as_mut()).unwrap();
+        let rep = par_ft_gemm(
+            &ctx,
+            &cfg,
+            1.0,
+            &a.as_ref(),
+            &b.as_ref(),
+            1.0,
+            &mut c.as_mut(),
+        )
+        .unwrap();
         naive_gemm(1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut c_ref.as_mut());
         assert!(c.rel_max_diff(&c_ref) < 1e-10);
         assert_eq!(rep.detected, 0);
@@ -457,15 +468,22 @@ mod tests {
     #[test]
     fn injected_errors_corrected_parallel() {
         let ctx = ParGemmContext::<f64>::with_threads(4);
-        let inj =
-            FaultInjector::new(17, ErrorModel::Additive { magnitude: 1e6 }, Rate::Count(2));
+        let inj = FaultInjector::new(17, ErrorModel::Additive { magnitude: 1e6 }, Rate::Count(2));
         let cfg = FtConfig::with_injector(inj.clone());
         let a = Matrix::<f64>::random(128, 96, 4);
         let b = Matrix::<f64>::random(96, 112, 5);
         let mut c = Matrix::<f64>::zeros(128, 112);
         let mut c_ref = Matrix::<f64>::zeros(128, 112);
-        let rep =
-            par_ft_gemm(&ctx, &cfg, 1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut c.as_mut()).unwrap();
+        let rep = par_ft_gemm(
+            &ctx,
+            &cfg,
+            1.0,
+            &a.as_ref(),
+            &b.as_ref(),
+            0.0,
+            &mut c.as_mut(),
+        )
+        .unwrap();
         naive_gemm(1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut c_ref.as_mut());
         assert!(rep.injected > 0, "{rep:?}");
         assert_eq!(rep.corrected, rep.injected, "{rep:?}");
@@ -479,17 +497,70 @@ mod tests {
     #[test]
     fn bitflips_corrected_parallel() {
         let ctx = ParGemmContext::<f64>::with_threads(6);
+        // Six threads inject one bitflip each into the same verification
+        // interval. Bitflip deltas are near powers of two, so some seeds
+        // produce two errors of (numerically) equal magnitude — a pattern
+        // row+column checksums cannot disambiguate (see
+        // corrector::tests::equal_delta_errors_distinct_positions). The seed
+        // is chosen so all six deltas are distinct.
+        let inj = FaultInjector::new(42, ErrorModel::BitFlip { bit: None }, Rate::Count(1));
+        let cfg = FtConfig::with_injector(inj);
+        let a = Matrix::<f64>::random(150, 90, 6);
+        let b = Matrix::<f64>::random(90, 100, 7);
+        let mut c = Matrix::<f64>::zeros(150, 100);
+        let mut c_ref = Matrix::<f64>::zeros(150, 100);
+        let rep = par_ft_gemm(
+            &ctx,
+            &cfg,
+            1.0,
+            &a.as_ref(),
+            &b.as_ref(),
+            0.0,
+            &mut c.as_mut(),
+        )
+        .unwrap();
+        naive_gemm(1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut c_ref.as_mut());
+        assert!(rep.injected >= 1);
+        assert!(c.rel_max_diff(&c_ref) < 1e-9, "rep {rep:?}");
+    }
+
+    #[test]
+    fn ambiguous_bitflip_pattern_never_silently_corrupts() {
+        // Seed 23 makes two of the six simultaneous bitflips land with
+        // numerically equal deltas in distinct rows/columns — the pairing
+        // the corrector cannot disambiguate. The contract is fail-stop:
+        // either every error is located and the result is clean, or the
+        // call errs Unrecoverable ("ambiguous pairing"). What must never
+        // happen is Ok with a wrong result.
+        let ctx = ParGemmContext::<f64>::with_threads(6);
         let inj = FaultInjector::new(23, ErrorModel::BitFlip { bit: None }, Rate::Count(1));
         let cfg = FtConfig::with_injector(inj);
         let a = Matrix::<f64>::random(150, 90, 6);
         let b = Matrix::<f64>::random(90, 100, 7);
         let mut c = Matrix::<f64>::zeros(150, 100);
         let mut c_ref = Matrix::<f64>::zeros(150, 100);
-        let rep =
-            par_ft_gemm(&ctx, &cfg, 1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut c.as_mut()).unwrap();
         naive_gemm(1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut c_ref.as_mut());
-        assert!(rep.injected >= 1);
-        assert!(c.rel_max_diff(&c_ref) < 1e-9, "rep {rep:?}");
+        match par_ft_gemm(
+            &ctx,
+            &cfg,
+            1.0,
+            &a.as_ref(),
+            &b.as_ref(),
+            0.0,
+            &mut c.as_mut(),
+        ) {
+            Ok(rep) => {
+                assert!(
+                    c.rel_max_diff(&c_ref) < 1e-9,
+                    "silent corruption: diff {} rep {rep:?}",
+                    c.rel_max_diff(&c_ref)
+                );
+            }
+            Err(FtError::Unrecoverable { detail, .. }) => {
+                assert!(detail.contains("ambiguous"), "detail: {detail}");
+            }
+            Err(other) => panic!("unexpected error: {other}"),
+        }
     }
 
     #[test]
@@ -524,8 +595,16 @@ mod tests {
             let b = Matrix::<f64>::random(s, s, s as u64 + 1);
             let mut c = Matrix::<f64>::zeros(s, s);
             let mut c_ref = Matrix::<f64>::zeros(s, s);
-            par_ft_gemm(&ctx, &cfg, 1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut c.as_mut())
-                .unwrap();
+            par_ft_gemm(
+                &ctx,
+                &cfg,
+                1.0,
+                &a.as_ref(),
+                &b.as_ref(),
+                0.0,
+                &mut c.as_mut(),
+            )
+            .unwrap();
             naive_gemm(1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut c_ref.as_mut());
             assert!(c.rel_max_diff(&c_ref) < 1e-10, "size {s}");
         }
@@ -538,7 +617,16 @@ mod tests {
         let a = Matrix::<f64>::zeros(2, 0);
         let b = Matrix::<f64>::zeros(0, 2);
         let mut c = Matrix::<f64>::filled(2, 2, 8.0);
-        par_ft_gemm(&ctx, &cfg, 1.0, &a.as_ref(), &b.as_ref(), 0.5, &mut c.as_mut()).unwrap();
+        par_ft_gemm(
+            &ctx,
+            &cfg,
+            1.0,
+            &a.as_ref(),
+            &b.as_ref(),
+            0.5,
+            &mut c.as_mut(),
+        )
+        .unwrap();
         assert!(c.as_slice().iter().all(|&v| v == 4.0));
     }
 }

@@ -2,7 +2,7 @@
 //! ("FT-GEMM: Ori", parallel curves of Fig. 2b).
 
 use crate::ctx::ParGemmContext;
-use crate::shared::SharedVec;
+use crate::shared::{SendPtr, SharedVec};
 use ftgemm_core::gemm::validate_shapes;
 use ftgemm_core::macro_kernel::macro_kernel;
 use ftgemm_core::{pack, AlignedVec, MatMut, MatRef, Result, Scalar};
@@ -40,7 +40,10 @@ pub fn par_gemm<T: Scalar>(
     let ldc = c.ld();
 
     ctx.pool().run(|w| {
-        let c_ptr = c_ptr; // capture the SendPtr wrapper, not its raw field
+        // Capture the SendPtr wrapper itself, not its raw field (auto-capture
+        // of `c_ptr.0` would capture the non-Send raw pointer).
+        #[allow(clippy::redundant_locals)]
+        let c_ptr = c_ptr;
         let rows = w.partition(m, p.mr);
         let (ms, mlen) = (rows.start, rows.len());
 
@@ -52,8 +55,7 @@ pub fn par_gemm<T: Scalar>(
         // beta scaling of the thread's row slice.
         if beta != T::ONE && mlen > 0 {
             // SAFETY: row slices are disjoint across threads.
-            let mut c_slice =
-                unsafe { MatMut::<T>::from_raw_parts(c_ptr.0.add(ms), mlen, n, ldc) };
+            let mut c_slice = unsafe { MatMut::<T>::from_raw_parts(c_ptr.0.add(ms), mlen, n, ldc) };
             ftgemm_core::gemm::scale_c(&mut c_slice, beta);
         }
         w.barrier();
@@ -69,8 +71,7 @@ pub fn par_gemm<T: Scalar>(
                 // whole micro-panels stay within one thread).
                 let cols = w.partition(nc_eff, p.nr);
                 if !cols.is_empty() {
-                    let b_block =
-                        b.submatrix(pc, jc + cols.start, kc_eff, cols.len());
+                    let b_block = b.submatrix(pc, jc + cols.start, kc_eff, cols.len());
                     // Panel q starts at offset q*nr*kc_eff in packed layout.
                     let off = (cols.start / p.nr) * p.nr * kc_eff;
                     let len = cols.len().div_ceil(p.nr) * p.nr * kc_eff;
@@ -120,13 +121,6 @@ pub fn par_gemm<T: Scalar>(
     });
     Ok(())
 }
-
-#[derive(Clone, Copy)]
-struct SendPtr<T>(*mut T);
-// SAFETY: raw pointer shared across the region; dereferences are restricted
-// to disjoint row slices per thread.
-unsafe impl<T> Send for SendPtr<T> {}
-unsafe impl<T> Sync for SendPtr<T> {}
 
 #[cfg(test)]
 mod tests {

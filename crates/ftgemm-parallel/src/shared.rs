@@ -79,6 +79,32 @@ impl<T: Copy + Default> SharedVec<T> {
     }
 }
 
+/// A raw pointer that region closures may capture and share.
+///
+/// The parallel drivers hand stack pointers (the output matrix, batch item
+/// arrays) to pool closures that must be `Send + Sync`; this wrapper is the
+/// single place that unsafe claim lives.
+///
+/// # Safety contract (caller-proved, per use site)
+/// Dereferences must be restricted to disjoint regions per thread — row
+/// slices, uniquely handed-out indices, or exclusive post-barrier epochs —
+/// all within the lifetime of the pointee (guaranteed by the region's
+/// completion barrier).
+pub(crate) struct SendPtr<T>(pub(crate) *mut T);
+
+// Manual Copy/Clone: the derive would add a spurious `T: Copy` bound, and
+// batch items are not `Copy`.
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+// SAFETY: see the struct-level contract; every dereference site carries its
+// own disjointness argument.
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

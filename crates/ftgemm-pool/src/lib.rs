@@ -31,5 +31,5 @@ mod shard;
 
 pub use barrier::SenseBarrier;
 pub use partition::{partition_aligned, partition_even};
-pub use pool::{ThreadPool, WorkerCtx};
+pub use pool::{PoolStats, ThreadPool, WorkerCtx};
 pub use shard::ShardedBuffer;

@@ -32,6 +32,25 @@ struct Shared {
     /// Barrier marking the end of a region (main thread participates).
     done_barrier: SenseBarrier,
     generation: AtomicU64,
+    /// Lifetime counters, readable while regions run (relaxed loads); the
+    /// hook a serving layer uses to report pool utilization without
+    /// instrumenting every call site.
+    regions: AtomicU64,
+    barrier_crossings: AtomicU64,
+}
+
+/// Snapshot of a pool's lifetime activity counters.
+///
+/// `regions` counts [`ThreadPool::run`] invocations; `barrier_crossings`
+/// counts individual thread arrivals at [`WorkerCtx::barrier`] (one region
+/// with `t` threads and `b` barriers contributes `t * b`). Both are
+/// monotonically increasing, so a monitor can difference two snapshots.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Parallel regions executed so far.
+    pub regions: u64,
+    /// Thread arrivals at in-region barriers so far.
+    pub barrier_crossings: u64,
 }
 
 /// Per-thread context handed to the region closure.
@@ -46,6 +65,9 @@ pub struct WorkerCtx<'a> {
 impl WorkerCtx<'_> {
     /// Synchronizes all threads of the region (OpenMP `#pragma omp barrier`).
     pub fn barrier(&self) {
+        self.shared
+            .barrier_crossings
+            .fetch_add(1, Ordering::Relaxed);
         self.shared.region_barrier.wait();
     }
 
@@ -81,6 +103,8 @@ impl ThreadPool {
             region_barrier: SenseBarrier::new(nthreads),
             done_barrier: SenseBarrier::new(nthreads),
             generation: AtomicU64::new(0),
+            regions: AtomicU64::new(0),
+            barrier_crossings: AtomicU64::new(0),
         });
         let mut handles = Vec::new();
         for tid in 1..nthreads {
@@ -112,6 +136,17 @@ impl ThreadPool {
         self.nthreads
     }
 
+    /// Lifetime activity counters (regions run, barrier crossings).
+    ///
+    /// Safe to call concurrently with running regions; the snapshot is a
+    /// pair of independent relaxed loads.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            regions: self.shared.regions.load(Ordering::Relaxed),
+            barrier_crossings: self.shared.barrier_crossings.load(Ordering::Relaxed),
+        }
+    }
+
     /// Executes `f` as a parallel region on all threads; returns when every
     /// thread has finished. Panics in workers propagate as a pool poison
     /// (abort) rather than deadlocks: the closure is required to be
@@ -120,6 +155,7 @@ impl ThreadPool {
     where
         F: Fn(&WorkerCtx<'_>) + Sync,
     {
+        self.shared.regions.fetch_add(1, Ordering::Relaxed);
         if self.nthreads == 1 {
             // Degenerate pool: run inline, still providing barrier semantics.
             let ctx = WorkerCtx {
@@ -296,6 +332,21 @@ mod tests {
             total.fetch_add(s, Ordering::Relaxed);
         });
         assert_eq!(total.load(Ordering::Relaxed), 4950);
+    }
+
+    #[test]
+    fn stats_count_regions_and_barriers() {
+        let pool = ThreadPool::new(3);
+        assert_eq!(pool.stats(), PoolStats::default());
+        for _ in 0..5 {
+            pool.run(|ctx| {
+                ctx.barrier();
+                ctx.barrier();
+            });
+        }
+        let s = pool.stats();
+        assert_eq!(s.regions, 5);
+        assert_eq!(s.barrier_crossings, 5 * 3 * 2);
     }
 
     #[test]

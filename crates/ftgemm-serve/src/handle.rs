@@ -1,0 +1,120 @@
+//! The caller-side future: a blocking one-shot slot per request.
+
+use crate::request::{GemmResponse, ServeError};
+use ftgemm_core::Scalar;
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+/// One-shot rendezvous between the scheduler (producer) and the caller.
+pub(crate) struct ResponseSlot<T: Scalar> {
+    state: Mutex<Option<Result<GemmResponse<T>, ServeError>>>,
+    ready: Condvar,
+}
+
+impl<T: Scalar> ResponseSlot<T> {
+    pub(crate) fn fulfill(&self, result: Result<GemmResponse<T>, ServeError>) {
+        let mut state = self.state.lock();
+        debug_assert!(state.is_none(), "response slot fulfilled twice");
+        *state = Some(result);
+        self.ready.notify_all();
+    }
+}
+
+/// Handle returned by [`GemmService::submit`](crate::GemmService::submit);
+/// redeem it with [`wait`](RequestHandle::wait) for the result.
+///
+/// Dropping the handle without waiting is allowed — the request still runs
+/// (and its effects show up in the service stats); the response is simply
+/// discarded.
+pub struct RequestHandle<T: Scalar> {
+    slot: Arc<ResponseSlot<T>>,
+    id: u64,
+}
+
+impl<T: Scalar> RequestHandle<T> {
+    /// Creates a connected (handle, slot) pair.
+    pub(crate) fn pair(id: u64) -> (Self, Arc<ResponseSlot<T>>) {
+        let slot = Arc::new(ResponseSlot {
+            state: Mutex::new(None),
+            ready: Condvar::new(),
+        });
+        (
+            RequestHandle {
+                slot: Arc::clone(&slot),
+                id,
+            },
+            slot,
+        )
+    }
+
+    /// Service-assigned request id (submission order).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the request completes and returns its result.
+    pub fn wait(self) -> Result<GemmResponse<T>, ServeError> {
+        let mut state = self.slot.state.lock();
+        loop {
+            if let Some(result) = state.take() {
+                return result;
+            }
+            self.slot.ready.wait(&mut state);
+        }
+    }
+
+    /// Non-blocking probe: the result if the request already completed.
+    pub fn try_wait(self) -> Result<Result<GemmResponse<T>, ServeError>, Self> {
+        {
+            let mut state = self.slot.state.lock();
+            if let Some(result) = state.take() {
+                return Ok(result);
+            }
+        }
+        Err(self)
+    }
+}
+
+impl<T: Scalar> std::fmt::Debug for RequestHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RequestHandle")
+            .field("id", &self.id)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftgemm_abft::FtReport;
+    use ftgemm_core::Matrix;
+
+    #[test]
+    fn wait_blocks_until_fulfilled() {
+        let (handle, slot) = RequestHandle::<f64>::pair(7);
+        assert_eq!(handle.id(), 7);
+        let producer = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            slot.fulfill(Ok(GemmResponse {
+                c: Matrix::filled(1, 1, 3.0),
+                report: FtReport::default(),
+                batched: true,
+            }));
+        });
+        let resp = handle.wait().unwrap();
+        assert_eq!(resp.c.get(0, 0), 3.0);
+        assert!(resp.batched);
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn try_wait_before_and_after() {
+        let (handle, slot) = RequestHandle::<f64>::pair(0);
+        let handle = handle.try_wait().unwrap_err(); // not ready yet
+        slot.fulfill(Err(ServeError::Closed));
+        match handle.try_wait() {
+            Ok(Err(ServeError::Closed)) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! # ftgemm-serve
+//!
+//! A batched GEMM serving subsystem on top of the FT-GEMM stack: the layer
+//! that turns single-call fault-tolerant GEMM into a service that can absorb
+//! heavy concurrent traffic.
+//!
+//! ## Architecture
+//!
+//! ```text
+//! submit() x N threads
+//!     │  round-robin over queue shards (uncontended submit path)
+//!     ▼
+//! ShardedQueue ──► scheduler thread ──► route by problem size
+//!                                        │
+//!                      small (≤ cutoff)  │  large (> cutoff)
+//!                 ┌─────────────────────┐│┌──────────────────────┐
+//!                 │ coalesce ≤ max_batch│││ par_ft_gemm /        │
+//!                 │ par_batch_ft_gemm   │││ par_gemm             │
+//!                 │ (batch-parallel,    │││ (matrix-parallel)    │
+//!                 │  per-thread reused  ││└──────────────────────┘
+//!                 │  packed workspaces) ││
+//!                 └─────────────────────┘│     one persistent ThreadPool
+//!                                        ▼
+//!                            RequestHandle::wait() → GemmResponse
+//! ```
+//!
+//! * **Batching.** Small GEMMs cannot amortize a parallel region each; the
+//!   scheduler coalesces up to `max_batch` of them and distributes the
+//!   *batch* across the pool ([`ftgemm_parallel::par_batch_ft_gemm`]), each
+//!   item running the serial fused-ABFT driver with that pool thread's
+//!   reused packed-buffer workspace.
+//! * **Per-request fault tolerance.** Every request carries an [`FtPolicy`]
+//!   (`Off` / `Detect` / `DetectCorrect`) mapped onto the paper's
+//!   [`FtConfig`](ftgemm_abft::FtConfig); each response carries its own
+//!   [`FtReport`](ftgemm_abft::FtReport).
+//! * **Observability.** [`GemmService::stats`] reports throughput, queue
+//!   depth, batch occupancy, corrected-error counters, and worker-pool
+//!   activity ([`ftgemm_pool::PoolStats`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use ftgemm_core::Matrix;
+//! use ftgemm_serve::{FtPolicy, GemmRequest, GemmService, ServiceConfig};
+//!
+//! let service = GemmService::<f64>::new(ServiceConfig {
+//!     threads: 2,
+//!     ..ServiceConfig::default()
+//! });
+//! let a = Matrix::<f64>::random(48, 32, 1);
+//! let b = Matrix::<f64>::random(32, 40, 2);
+//! let handle = service
+//!     .submit(GemmRequest::new(a, b).with_policy(FtPolicy::DetectCorrect))
+//!     .unwrap();
+//! let resp = handle.wait().unwrap();
+//! assert_eq!(resp.c.nrows(), 48);
+//! assert_eq!(resp.report.detected, 0);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+mod handle;
+mod policy;
+mod queue;
+mod request;
+mod service;
+mod stats;
+
+pub use handle::RequestHandle;
+pub use policy::FtPolicy;
+pub use request::{GemmRequest, GemmResponse, ServeError};
+pub use service::{GemmService, ServiceConfig};
+pub use stats::StatsSnapshot;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftgemm_core::reference::naive_gemm;
+    use ftgemm_core::Matrix;
+
+    fn tiny_service() -> GemmService<f64> {
+        GemmService::new(ServiceConfig {
+            threads: 2,
+            queue_shards: 2,
+            max_batch: 4,
+            ..ServiceConfig::default()
+        })
+    }
+
+    #[test]
+    fn single_request_round_trip() {
+        let service = tiny_service();
+        let a = Matrix::<f64>::random(20, 12, 1);
+        let b = Matrix::<f64>::random(12, 16, 2);
+        let mut expected = Matrix::<f64>::zeros(20, 16);
+        naive_gemm(1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut expected.as_mut());
+
+        let resp = service.run(GemmRequest::new(a, b)).unwrap();
+        assert!(resp.c.rel_max_diff(&expected) < 1e-12);
+        assert!(resp.batched);
+        assert!(resp.report.verifications > 0);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected_at_submit() {
+        let service = tiny_service();
+        let req = GemmRequest {
+            alpha: 1.0,
+            a: Matrix::<f64>::zeros(4, 4),
+            b: Matrix::<f64>::zeros(3, 4),
+            beta: 0.0,
+            c: Matrix::<f64>::zeros(4, 4),
+            policy: FtPolicy::Off,
+            injector: None,
+        };
+        assert!(matches!(service.submit(req), Err(ServeError::Shape(_))));
+    }
+
+    #[test]
+    fn submit_after_shutdown_fails() {
+        let service = tiny_service();
+        let stats = service.shutdown();
+        assert_eq!(stats.submitted, stats.completed + stats.failed);
+    }
+
+    #[test]
+    fn stats_reflect_traffic() {
+        let service = tiny_service();
+        let mut handles = Vec::new();
+        for i in 0..10 {
+            let a = Matrix::<f64>::random(16, 16, i);
+            let b = Matrix::<f64>::random(16, 16, i + 100);
+            handles.push(service.submit(GemmRequest::new(a, b)).unwrap());
+        }
+        for h in handles {
+            h.wait().unwrap();
+        }
+        let snap = service.stats();
+        assert_eq!(snap.submitted, 10);
+        assert_eq!(snap.completed, 10);
+        assert_eq!(snap.failed, 0);
+        assert_eq!(snap.batched_requests, 10);
+        assert!(snap.batches >= 3, "max_batch=4 over 10 requests: {snap:?}");
+        assert!(snap.mean_batch_occupancy > 1.0);
+        assert!(snap.requests_per_sec > 0.0);
+        assert!(snap.pool.regions > 0);
+    }
+
+    #[test]
+    fn large_requests_take_matrix_parallel_path() {
+        let service = GemmService::<f64>::new(ServiceConfig {
+            threads: 2,
+            small_flops_cutoff: 2 * 8 * 8 * 8, // everything bigger is "large"
+            ..ServiceConfig::default()
+        });
+        let a = Matrix::<f64>::random(64, 32, 5);
+        let b = Matrix::<f64>::random(32, 48, 6);
+        let mut expected = Matrix::<f64>::zeros(64, 48);
+        naive_gemm(1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut expected.as_mut());
+        let resp = service.run(GemmRequest::new(a, b)).unwrap();
+        assert!(!resp.batched);
+        assert!(resp.c.rel_max_diff(&expected) < 1e-10);
+        assert_eq!(service.stats().direct_large, 1);
+    }
+
+    #[test]
+    fn off_policy_reports_zero() {
+        let service = tiny_service();
+        let a = Matrix::<f64>::random(10, 10, 3);
+        let b = Matrix::<f64>::random(10, 10, 4);
+        let resp = service
+            .run(GemmRequest::new(a, b).with_policy(FtPolicy::Off))
+            .unwrap();
+        assert_eq!(resp.report, Default::default());
+    }
+}

@@ -1,0 +1,99 @@
+//! Per-request fault-tolerance policy and its mapping onto [`FtConfig`].
+
+use ftgemm_abft::{FtConfig, Recovery};
+use ftgemm_faults::FaultInjector;
+
+/// How much ABFT protection one request buys.
+///
+/// The policy is resolved to an [`FtConfig`] at dispatch time (cloning a
+/// config is cheap — the only non-trivial member, the injector, is
+/// `Arc`-backed):
+///
+/// * [`Off`](FtPolicy::Off) — plain GEMM, no checksum work at all.
+/// * [`Detect`](FtPolicy::Detect) — fused checksums verified after every
+///   depth panel; resolvable discrepancy patterns are corrected in place,
+///   unresolvable ones fail the request
+///   ([`Recovery::ReportOnly`]).
+/// * [`DetectCorrect`](FtPolicy::DetectCorrect) — [`Detect`](FtPolicy::Detect)
+///   plus panel checkpointing: patterns correction cannot resolve trigger a
+///   bounded panel recompute ([`Recovery::RetryPanel`]) before the request
+///   is failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FtPolicy {
+    /// No fault tolerance: the plain high-performance driver.
+    Off,
+    /// Verify + in-place correction; unresolvable patterns fail the request.
+    Detect,
+    /// Verify + correction + panel-level recompute of unresolvable patterns.
+    #[default]
+    DetectCorrect,
+}
+
+/// Recompute attempts per panel under [`FtPolicy::DetectCorrect`].
+const DETECT_CORRECT_RETRIES: u32 = 2;
+
+impl FtPolicy {
+    /// Resolves the policy (plus an optional per-request injector, used by
+    /// fault-injection campaigns and tests) into a driver configuration.
+    /// `None` means "run the unprotected driver".
+    pub fn to_config(self, injector: Option<FaultInjector>) -> Option<FtConfig> {
+        let recovery = match self {
+            FtPolicy::Off => return None,
+            FtPolicy::Detect => Recovery::ReportOnly,
+            FtPolicy::DetectCorrect => Recovery::RetryPanel {
+                max_retries: DETECT_CORRECT_RETRIES,
+            },
+        };
+        Some(FtConfig {
+            recovery,
+            injector,
+            ..FtConfig::default()
+        })
+    }
+
+    /// True when the policy runs the fused-ABFT driver.
+    pub fn is_protected(self) -> bool {
+        !matches!(self, FtPolicy::Off)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_maps_to_none() {
+        assert!(FtPolicy::Off.to_config(None).is_none());
+        assert!(!FtPolicy::Off.is_protected());
+    }
+
+    #[test]
+    fn detect_reports_only() {
+        let cfg = FtPolicy::Detect.to_config(None).unwrap();
+        assert_eq!(cfg.recovery, Recovery::ReportOnly);
+        assert!(cfg.injector.is_none());
+    }
+
+    #[test]
+    fn detect_correct_retries_panels() {
+        let cfg = FtPolicy::DetectCorrect.to_config(None).unwrap();
+        assert_eq!(
+            cfg.recovery,
+            Recovery::RetryPanel {
+                max_retries: DETECT_CORRECT_RETRIES
+            }
+        );
+    }
+
+    #[test]
+    fn injector_is_threaded_through() {
+        let inj = FaultInjector::counted(1, 1);
+        let cfg = FtPolicy::DetectCorrect.to_config(Some(inj)).unwrap();
+        assert!(cfg.injector.is_some());
+    }
+
+    #[test]
+    fn default_is_detect_correct() {
+        assert_eq!(FtPolicy::default(), FtPolicy::DetectCorrect);
+    }
+}

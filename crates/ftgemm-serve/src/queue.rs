@@ -1,0 +1,214 @@
+//! Sharded MPMC submission queue.
+//!
+//! Submitters spread envelopes over `shards` independent locks
+//! (round-robin), so concurrent `submit` calls from many frontend threads
+//! do not serialize on one mutex. The scheduler drains all shards; a global
+//! depth counter plus one condvar provide blocking-when-idle semantics.
+
+use crate::handle::ResponseSlot;
+use crate::request::GemmRequest;
+use ftgemm_core::Scalar;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A queued request with its response slot and submission metadata.
+pub(crate) struct Envelope<T: Scalar> {
+    pub req: GemmRequest<T>,
+    pub slot: Arc<ResponseSlot<T>>,
+    /// Submission-order id; mirrors the handle's id for tracing/tests.
+    #[allow(dead_code)]
+    pub id: u64,
+    pub submitted: Instant,
+}
+
+pub(crate) struct ShardedQueue<T: Scalar> {
+    shards: Vec<Mutex<VecDeque<Envelope<T>>>>,
+    /// Round-robin cursor for shard selection on push.
+    rr: AtomicUsize,
+    /// Total queued envelopes across shards.
+    depth: AtomicUsize,
+    /// Monotonic request id source.
+    next_id: AtomicU64,
+    closed: AtomicBool,
+    /// Wakeup for the (single) scheduler thread.
+    wake_lock: Mutex<()>,
+    wake: Condvar,
+}
+
+impl<T: Scalar> ShardedQueue<T> {
+    pub(crate) fn new(shards: usize) -> Self {
+        assert!(shards >= 1, "queue needs at least one shard");
+        ShardedQueue {
+            shards: (0..shards).map(|_| Mutex::new(VecDeque::new())).collect(),
+            rr: AtomicUsize::new(0),
+            depth: AtomicUsize::new(0),
+            next_id: AtomicU64::new(0),
+            closed: AtomicBool::new(false),
+            wake_lock: Mutex::new(()),
+            wake: Condvar::new(),
+        }
+    }
+
+    /// Fresh request id (submission order across all shards).
+    pub(crate) fn next_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Enqueues an envelope; hands it back (boxed — the rejection path is
+    /// cold and the envelope is large) if the queue is closed.
+    pub(crate) fn push(&self, env: Envelope<T>) -> Result<(), Box<Envelope<T>>> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(Box::new(env));
+        }
+        let shard = self.rr.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        let prev_depth = {
+            // Increment depth while the shard lock is held: pop_batch
+            // decrements under the same lock after removing the envelope, so
+            // depth can never transiently underflow.
+            let mut q = self.shards[shard].lock();
+            q.push_back(env);
+            self.depth.fetch_add(1, Ordering::Release)
+        };
+        // Wake the scheduler only on the empty→non-empty transition —
+        // otherwise every submit would serialize on the one wake_lock and
+        // defeat the shard split. This is lost-wakeup-free: the scheduler
+        // only sleeps after observing depth == 0 *under* wake_lock, and the
+        // transitioning producer takes wake_lock before notifying, so either
+        // the scheduler sees the new depth before sleeping or the notify
+        // reaches its wait.
+        if prev_depth == 0 {
+            let _g = self.wake_lock.lock();
+            self.wake.notify_all();
+        }
+        Ok(())
+    }
+
+    /// Pops up to `max` envelopes, sweeping shards round-robin.
+    pub(crate) fn pop_batch(&self, max: usize) -> Vec<Envelope<T>> {
+        let mut out = Vec::new();
+        if max == 0 {
+            return out;
+        }
+        'sweep: loop {
+            let mut drained_any = false;
+            for shard in &self.shards {
+                let mut q = shard.lock();
+                while let Some(env) = q.pop_front() {
+                    self.depth.fetch_sub(1, Ordering::Release);
+                    out.push(env);
+                    drained_any = true;
+                    if out.len() == max {
+                        break 'sweep;
+                    }
+                }
+            }
+            if !drained_any {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Current queue depth (approximate under concurrency).
+    pub(crate) fn depth(&self) -> usize {
+        self.depth.load(Ordering::Acquire)
+    }
+
+    /// Blocks until the queue is non-empty or closed. Returns `false` when
+    /// the queue is closed *and* empty (the scheduler should exit).
+    pub(crate) fn wait_nonempty(&self) -> bool {
+        let mut guard = self.wake_lock.lock();
+        loop {
+            if self.depth() > 0 {
+                return true;
+            }
+            if self.closed.load(Ordering::Acquire) {
+                return false;
+            }
+            self.wake.wait(&mut guard);
+        }
+    }
+
+    /// Marks the queue closed and wakes the scheduler. Envelopes already
+    /// queued remain poppable so shutdown can drain them.
+    pub(crate) fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        let _g = self.wake_lock.lock();
+        self.wake.notify_all();
+    }
+
+    #[cfg(test)]
+    pub(crate) fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handle::RequestHandle;
+    use ftgemm_core::Matrix;
+
+    fn env(q: &ShardedQueue<f64>) -> Envelope<f64> {
+        let id = q.next_id();
+        let (_h, slot) = RequestHandle::pair(id);
+        Envelope {
+            req: GemmRequest::new(Matrix::zeros(2, 2), Matrix::zeros(2, 2)),
+            slot,
+            id,
+            submitted: Instant::now(),
+        }
+    }
+
+    #[test]
+    fn push_pop_preserves_count_and_order_ids() {
+        let q = ShardedQueue::<f64>::new(3);
+        for _ in 0..10 {
+            q.push(env(&q)).map_err(|_| ()).unwrap();
+        }
+        assert_eq!(q.depth(), 10);
+        let batch = q.pop_batch(4);
+        assert_eq!(batch.len(), 4);
+        assert_eq!(q.depth(), 6);
+        let rest = q.pop_batch(usize::MAX);
+        assert_eq!(rest.len(), 6);
+        assert_eq!(q.depth(), 0);
+        let mut ids: Vec<u64> = batch.iter().chain(rest.iter()).map(|e| e.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn close_rejects_new_work_but_drains_old() {
+        let q = ShardedQueue::<f64>::new(2);
+        q.push(env(&q)).map_err(|_| ()).unwrap();
+        q.close();
+        assert!(q.is_closed());
+        assert!(q.push(env(&q)).is_err());
+        assert_eq!(q.pop_batch(8).len(), 1);
+        assert!(!q.wait_nonempty());
+    }
+
+    #[test]
+    fn wait_wakes_on_push() {
+        let q = Arc::new(ShardedQueue::<f64>::new(2));
+        let q2 = Arc::clone(&q);
+        let waiter = std::thread::spawn(move || q2.wait_nonempty());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.push(env(&q)).map_err(|_| ()).unwrap();
+        assert!(waiter.join().unwrap());
+    }
+
+    #[test]
+    fn wait_wakes_on_close() {
+        let q = Arc::new(ShardedQueue::<f64>::new(1));
+        let q2 = Arc::clone(&q);
+        let waiter = std::thread::spawn(move || q2.wait_nonempty());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert!(!waiter.join().unwrap());
+    }
+}

@@ -1,0 +1,175 @@
+//! Request/response types and the service error enum.
+
+use crate::policy::FtPolicy;
+use ftgemm_abft::{FtError, FtReport};
+use ftgemm_core::{Matrix, Scalar};
+use ftgemm_faults::FaultInjector;
+
+/// One GEMM problem submitted to a [`GemmService`](crate::GemmService):
+/// `C = alpha*A*B + beta*C`.
+///
+/// The request owns its operands; the output matrix travels back to the
+/// caller inside the [`GemmResponse`], so no buffers are shared between the
+/// caller and the service threads.
+#[derive(Debug, Clone)]
+pub struct GemmRequest<T: Scalar> {
+    /// Scale on `A*B`.
+    pub alpha: T,
+    /// Left operand (`m x k`).
+    pub a: Matrix<T>,
+    /// Right operand (`k x n`).
+    pub b: Matrix<T>,
+    /// Scale on the input `C`.
+    pub beta: T,
+    /// Output operand (`m x n`), accumulated in place.
+    pub c: Matrix<T>,
+    /// Fault-tolerance policy for this request.
+    pub policy: FtPolicy,
+    /// Optional per-request fault injector (campaigns/tests).
+    pub injector: Option<FaultInjector>,
+}
+
+impl<T: Scalar> GemmRequest<T> {
+    /// `C = A*B` with a zeroed output and the default policy
+    /// ([`FtPolicy::DetectCorrect`]).
+    pub fn new(a: Matrix<T>, b: Matrix<T>) -> Self {
+        let c = Matrix::zeros(a.nrows(), b.ncols());
+        GemmRequest {
+            alpha: T::ONE,
+            a,
+            b,
+            beta: T::ZERO,
+            c,
+            policy: FtPolicy::default(),
+            injector: None,
+        }
+    }
+
+    /// Replaces the output operand (enables `beta != 0` accumulation).
+    pub fn with_c(mut self, beta: T, c: Matrix<T>) -> Self {
+        self.beta = beta;
+        self.c = c;
+        self
+    }
+
+    /// Sets `alpha`.
+    pub fn with_alpha(mut self, alpha: T) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Sets the fault-tolerance policy.
+    pub fn with_policy(mut self, policy: FtPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Attaches a fault injector to this request.
+    pub fn with_injector(mut self, injector: FaultInjector) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+
+    /// Problem dimensions `(m, n, k)` after shape validation.
+    pub fn validate(&self) -> Result<(usize, usize, usize), ServeError> {
+        let (m, k) = (self.a.nrows(), self.a.ncols());
+        let (kb, n) = (self.b.nrows(), self.b.ncols());
+        let (mc, nc) = (self.c.nrows(), self.c.ncols());
+        if k != kb || m != mc || n != nc {
+            return Err(ServeError::Shape(format!(
+                "A is {m}x{k}, B is {kb}x{n}, C is {mc}x{nc}"
+            )));
+        }
+        Ok((m, n, k))
+    }
+
+    /// Multiply-add count of the problem (`2*m*n*k`), the size measure the
+    /// scheduler uses to route between the batched and the matrix-parallel
+    /// path.
+    pub fn flops(&self) -> u64 {
+        2 * self.a.nrows() as u64 * self.b.ncols() as u64 * self.a.ncols() as u64
+    }
+}
+
+/// A completed request.
+#[derive(Debug, Clone)]
+pub struct GemmResponse<T: Scalar> {
+    /// The output matrix (`alpha*A*B + beta*C` of the request operands).
+    pub c: Matrix<T>,
+    /// Fault-tolerance counters for this request (all-zero under
+    /// [`FtPolicy::Off`]).
+    pub report: FtReport,
+    /// True when the request ran on the batched path (coalesced with other
+    /// small requests); false when it ran matrix-parallel.
+    pub batched: bool,
+}
+
+/// Errors a request can fail with.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// Operand shapes are inconsistent (rejected at submit time).
+    Shape(String),
+    /// The fault-tolerant driver gave up (unrecoverable checksum pattern
+    /// after the policy's retry budget, or an internal driver error).
+    Ft(FtError),
+    /// The service is shutting down and no longer accepts or completes work.
+    Closed,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Shape(detail) => write!(f, "shape mismatch: {detail}"),
+            ServeError::Ft(e) => write!(f, "fault-tolerant driver error: {e}"),
+            ServeError::Closed => write!(f, "service closed"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<FtError> for ServeError {
+    fn from(e: FtError) -> Self {
+        ServeError::Ft(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_request_defaults() {
+        let r = GemmRequest::new(Matrix::<f64>::zeros(3, 4), Matrix::<f64>::zeros(4, 5));
+        assert_eq!(r.validate().unwrap(), (3, 5, 4));
+        assert_eq!(r.c.nrows(), 3);
+        assert_eq!(r.c.ncols(), 5);
+        assert_eq!(r.policy, FtPolicy::DetectCorrect);
+        assert_eq!(r.flops(), 2 * 3 * 5 * 4);
+    }
+
+    #[test]
+    fn validate_rejects_mismatch() {
+        let r = GemmRequest {
+            alpha: 1.0f64,
+            a: Matrix::zeros(3, 4),
+            b: Matrix::zeros(5, 6), // k mismatch
+            beta: 0.0,
+            c: Matrix::zeros(3, 6),
+            policy: FtPolicy::Off,
+            injector: None,
+        };
+        assert!(matches!(r.validate(), Err(ServeError::Shape(_))));
+    }
+
+    #[test]
+    fn builder_methods() {
+        let r = GemmRequest::new(Matrix::<f64>::zeros(2, 2), Matrix::<f64>::zeros(2, 2))
+            .with_alpha(2.0)
+            .with_c(0.5, Matrix::filled(2, 2, 1.0))
+            .with_policy(FtPolicy::Detect);
+        assert_eq!(r.alpha, 2.0);
+        assert_eq!(r.beta, 0.5);
+        assert_eq!(r.policy, FtPolicy::Detect);
+    }
+}

@@ -1,0 +1,305 @@
+//! The service: scheduler thread, routing, batching, and lifecycle.
+
+use crate::handle::RequestHandle;
+use crate::queue::{Envelope, ShardedQueue};
+use crate::request::{GemmRequest, GemmResponse, ServeError};
+use crate::stats::{ServiceStats, StatsSnapshot};
+use ftgemm_abft::{FtReport, FtResult};
+use ftgemm_core::Scalar;
+use ftgemm_parallel::{
+    par_batch_ft_gemm, par_ft_gemm, par_gemm, BatchItem, BatchWorkspace, ParGemmContext,
+};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Tuning knobs for a [`GemmService`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Worker threads in the compute pool (`0` = one per available core).
+    pub threads: usize,
+    /// Independent submission-queue shards (reduces submit-side lock
+    /// contention when many frontend threads submit concurrently).
+    pub queue_shards: usize,
+    /// Maximum small requests coalesced into one batched parallel region.
+    pub max_batch: usize,
+    /// Requests with at most this many multiply-adds (`2*m*n*k`) take the
+    /// batched path; larger ones run matrix-parallel via `par_ft_gemm`.
+    /// The default (`2 * 192^3`) is roughly where one GEMM starts having
+    /// enough row-panels to feed every core of a desktop part on its own.
+    pub small_flops_cutoff: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            threads: 0,
+            queue_shards: 4,
+            max_batch: 32,
+            small_flops_cutoff: 2 * 192 * 192 * 192,
+        }
+    }
+}
+
+struct Inner<T: Scalar> {
+    queue: ShardedQueue<T>,
+    stats: ServiceStats,
+    config: ServiceConfig,
+    ctx: ParGemmContext<T>,
+}
+
+/// A batched GEMM server: accepts concurrent [`GemmRequest`]s, coalesces
+/// small problems into batched parallel regions, routes large problems to
+/// the matrix-parallel fused-ABFT driver, and honors a per-request
+/// [`FtPolicy`](crate::FtPolicy).
+///
+/// One dedicated scheduler thread drains the sharded queue; all compute
+/// runs on the service's persistent worker pool. Dropping the service (or
+/// calling [`shutdown`](GemmService::shutdown)) stops intake, drains every
+/// queued request, and joins the scheduler — outstanding handles always
+/// resolve.
+pub struct GemmService<T: Scalar> {
+    inner: Arc<Inner<T>>,
+    scheduler: Option<JoinHandle<()>>,
+}
+
+impl<T: Scalar> GemmService<T> {
+    /// Service with default configuration (all cores).
+    pub fn with_defaults() -> Self {
+        Self::new(ServiceConfig::default())
+    }
+
+    /// Service with explicit configuration.
+    pub fn new(config: ServiceConfig) -> Self {
+        assert!(config.queue_shards >= 1, "need at least one queue shard");
+        assert!(config.max_batch >= 1, "need max_batch >= 1");
+        let ctx = if config.threads == 0 {
+            ParGemmContext::<T>::new()
+        } else {
+            ParGemmContext::<T>::with_threads(config.threads)
+        };
+        let inner = Arc::new(Inner {
+            queue: ShardedQueue::new(config.queue_shards),
+            stats: ServiceStats::new(),
+            config,
+            ctx,
+        });
+        let scheduler_inner = Arc::clone(&inner);
+        let scheduler = std::thread::Builder::new()
+            .name("ftgemm-serve-scheduler".into())
+            .spawn(move || scheduler_loop(&scheduler_inner))
+            .expect("failed to spawn scheduler thread");
+        GemmService {
+            inner,
+            scheduler: Some(scheduler),
+        }
+    }
+
+    /// Submits a request; returns a handle redeemable for the result.
+    ///
+    /// Shape errors are rejected here, synchronously; everything else is
+    /// reported through the handle.
+    pub fn submit(&self, req: GemmRequest<T>) -> Result<RequestHandle<T>, ServeError> {
+        req.validate()?;
+        let id = self.inner.queue.next_id();
+        let (handle, slot) = RequestHandle::pair(id);
+        let env = Envelope {
+            req,
+            slot,
+            id,
+            submitted: Instant::now(),
+        };
+        self.inner.queue.push(env).map_err(|_| ServeError::Closed)?;
+        self.inner.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        Ok(handle)
+    }
+
+    /// Convenience: submit and block for the result.
+    pub fn run(&self, req: GemmRequest<T>) -> Result<GemmResponse<T>, ServeError> {
+        self.submit(req)?.wait()
+    }
+
+    /// Point-in-time service metrics.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner
+            .stats
+            .snapshot(self.inner.queue.depth(), self.inner.ctx.pool().stats())
+    }
+
+    /// Threads in the compute pool.
+    pub fn nthreads(&self) -> usize {
+        self.inner.ctx.nthreads()
+    }
+
+    /// Stops intake, drains queued requests, joins the scheduler, and
+    /// returns the final metrics.
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        self.close_and_join();
+        self.stats()
+    }
+
+    fn close_and_join(&mut self) {
+        self.inner.queue.close();
+        if let Some(handle) = self.scheduler.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<T: Scalar> Drop for GemmService<T> {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+impl<T: Scalar> std::fmt::Debug for GemmService<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GemmService")
+            .field("nthreads", &self.inner.ctx.nthreads())
+            .field("config", &self.inner.config)
+            .field("queue_depth", &self.inner.queue.depth())
+            .finish()
+    }
+}
+
+fn scheduler_loop<T: Scalar>(inner: &Inner<T>) {
+    // Per-pool-thread serial FT workspaces, reused across every batch the
+    // service ever runs (the packed-buffer amortization the batched path is
+    // built around).
+    let workspace = BatchWorkspace::new(&inner.ctx);
+    loop {
+        // Drain aggressively: taking more than one batch's worth per sweep
+        // lets one sweep split into large/small once instead of re-locking
+        // shards per region.
+        let envelopes = inner.queue.pop_batch(4 * inner.config.max_batch);
+        if envelopes.is_empty() {
+            if !inner.queue.wait_nonempty() {
+                return; // closed and fully drained
+            }
+            continue;
+        }
+        dispatch(inner, &workspace, envelopes);
+    }
+}
+
+/// Routes a drained sweep: large requests one-at-a-time through the
+/// matrix-parallel driver, small ones coalesced into batched regions.
+fn dispatch<T: Scalar>(
+    inner: &Inner<T>,
+    workspace: &BatchWorkspace<T>,
+    envelopes: Vec<Envelope<T>>,
+) {
+    let cutoff = inner.config.small_flops_cutoff;
+    let (small, large): (Vec<_>, Vec<_>) = envelopes
+        .into_iter()
+        .partition(|env| env.req.flops() <= cutoff);
+
+    for env in large {
+        inner.stats.direct_large.fetch_add(1, Ordering::Relaxed);
+        run_large(inner, env);
+    }
+
+    let mut small = small;
+    while !small.is_empty() {
+        let take = small.len().min(inner.config.max_batch);
+        let chunk: Vec<Envelope<T>> = small.drain(..take).collect();
+        run_batch(inner, workspace, chunk);
+    }
+}
+
+fn run_large<T: Scalar>(inner: &Inner<T>, env: Envelope<T>) {
+    let Envelope {
+        mut req,
+        slot,
+        submitted,
+        ..
+    } = env;
+    let cfg = req.policy.to_config(req.injector.clone());
+    let result: FtResult<FtReport> = match &cfg {
+        Some(cfg) => par_ft_gemm(
+            &inner.ctx,
+            cfg,
+            req.alpha,
+            &req.a.as_ref(),
+            &req.b.as_ref(),
+            req.beta,
+            &mut req.c.as_mut(),
+        ),
+        None => par_gemm(
+            &inner.ctx,
+            req.alpha,
+            &req.a.as_ref(),
+            &req.b.as_ref(),
+            req.beta,
+            &mut req.c.as_mut(),
+        )
+        .map(|()| FtReport::default())
+        .map_err(ftgemm_abft::FtError::Core),
+    };
+    finish(inner, slot, req.c, result, submitted, false);
+}
+
+fn run_batch<T: Scalar>(
+    inner: &Inner<T>,
+    workspace: &BatchWorkspace<T>,
+    mut envs: Vec<Envelope<T>>,
+) {
+    inner.stats.batches.fetch_add(1, Ordering::Relaxed);
+    inner
+        .stats
+        .batched_requests
+        .fetch_add(envs.len() as u64, Ordering::Relaxed);
+
+    // Per-request configs must outlive the borrowed batch items.
+    let cfgs: Vec<_> = envs
+        .iter()
+        .map(|env| env.req.policy.to_config(env.req.injector.clone()))
+        .collect();
+    let mut items: Vec<BatchItem<'_, T>> = envs
+        .iter_mut()
+        .zip(cfgs.iter())
+        .map(|(env, cfg)| {
+            let req = &mut env.req;
+            BatchItem {
+                alpha: req.alpha,
+                a: req.a.as_ref(),
+                b: req.b.as_ref(),
+                beta: req.beta,
+                c: req.c.as_mut(),
+                cfg: cfg.as_ref(),
+            }
+        })
+        .collect();
+    let results = par_batch_ft_gemm(&inner.ctx, workspace, &mut items);
+    drop(items);
+
+    for (env, result) in envs.into_iter().zip(results) {
+        finish(inner, env.slot, env.req.c, result, env.submitted, true);
+    }
+}
+
+fn finish<T: Scalar>(
+    inner: &Inner<T>,
+    slot: Arc<crate::handle::ResponseSlot<T>>,
+    c: ftgemm_core::Matrix<T>,
+    result: FtResult<FtReport>,
+    submitted: Instant,
+    batched: bool,
+) {
+    inner.stats.turnaround_ns.fetch_add(
+        submitted.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+        Ordering::Relaxed,
+    );
+    match result {
+        Ok(report) => {
+            inner.stats.completed.fetch_add(1, Ordering::Relaxed);
+            inner.stats.absorb_report(&report);
+            slot.fulfill(Ok(GemmResponse { c, report, batched }));
+        }
+        Err(e) => {
+            inner.stats.failed.fetch_add(1, Ordering::Relaxed);
+            slot.fulfill(Err(ServeError::Ft(e)));
+        }
+    }
+}

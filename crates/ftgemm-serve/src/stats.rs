@@ -1,0 +1,168 @@
+//! Service-level counters and derived metrics.
+
+use ftgemm_abft::FtReport;
+use ftgemm_pool::PoolStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Lock-free counters updated by the submit path and the scheduler.
+#[derive(Debug)]
+pub(crate) struct ServiceStats {
+    started: Instant,
+    pub submitted: AtomicU64,
+    pub completed: AtomicU64,
+    pub failed: AtomicU64,
+    /// Coalesced parallel regions executed on the batched path.
+    pub batches: AtomicU64,
+    /// Requests that went through the batched path.
+    pub batched_requests: AtomicU64,
+    /// Requests routed straight to the matrix-parallel driver.
+    pub direct_large: AtomicU64,
+    pub detected: AtomicU64,
+    pub corrected: AtomicU64,
+    pub injected: AtomicU64,
+    pub retried_panels: AtomicU64,
+    /// Summed submit→completion latency, nanoseconds.
+    pub turnaround_ns: AtomicU64,
+}
+
+impl ServiceStats {
+    pub(crate) fn new() -> Self {
+        ServiceStats {
+            started: Instant::now(),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_requests: AtomicU64::new(0),
+            direct_large: AtomicU64::new(0),
+            detected: AtomicU64::new(0),
+            corrected: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+            retried_panels: AtomicU64::new(0),
+            turnaround_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Folds one request's FT report into the service counters.
+    pub(crate) fn absorb_report(&self, report: &FtReport) {
+        self.detected
+            .fetch_add(report.detected as u64, Ordering::Relaxed);
+        self.corrected
+            .fetch_add(report.corrected as u64, Ordering::Relaxed);
+        self.injected
+            .fetch_add(report.injected as u64, Ordering::Relaxed);
+        self.retried_panels
+            .fetch_add(report.retried_panels as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self, queue_depth: usize, pool: PoolStats) -> StatsSnapshot {
+        let completed = self.completed.load(Ordering::Relaxed);
+        let failed = self.failed.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        let batched_requests = self.batched_requests.load(Ordering::Relaxed);
+        let uptime = self.started.elapsed();
+        StatsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed,
+            failed,
+            batches,
+            batched_requests,
+            direct_large: self.direct_large.load(Ordering::Relaxed),
+            detected: self.detected.load(Ordering::Relaxed),
+            corrected: self.corrected.load(Ordering::Relaxed),
+            injected: self.injected.load(Ordering::Relaxed),
+            retried_panels: self.retried_panels.load(Ordering::Relaxed),
+            queue_depth,
+            uptime,
+            requests_per_sec: completed as f64 / uptime.as_secs_f64().max(1e-9),
+            mean_batch_occupancy: if batches == 0 {
+                0.0
+            } else {
+                batched_requests as f64 / batches as f64
+            },
+            mean_turnaround: self
+                .turnaround_ns
+                .load(Ordering::Relaxed)
+                .checked_div(completed + failed)
+                .map_or(Duration::ZERO, Duration::from_nanos),
+            pool,
+        }
+    }
+}
+
+/// Point-in-time view of a service's activity.
+#[derive(Debug, Clone, Copy)]
+pub struct StatsSnapshot {
+    /// Requests accepted by `submit`.
+    pub submitted: u64,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests completed with an error.
+    pub failed: u64,
+    /// Coalesced parallel regions executed on the batched path.
+    pub batches: u64,
+    /// Requests served via the batched path.
+    pub batched_requests: u64,
+    /// Requests served via the matrix-parallel path.
+    pub direct_large: u64,
+    /// Checksum discrepancies flagged as real errors, service-wide.
+    pub detected: u64,
+    /// Elements corrected in place, service-wide.
+    pub corrected: u64,
+    /// Errors injected by request-attached injectors, service-wide.
+    pub injected: u64,
+    /// Panels recomputed under `DetectCorrect`, service-wide.
+    pub retried_panels: u64,
+    /// Envelopes waiting in the queue right now.
+    pub queue_depth: usize,
+    /// Time since the service started.
+    pub uptime: Duration,
+    /// Completed requests per second of uptime.
+    pub requests_per_sec: f64,
+    /// Mean requests coalesced per batched region.
+    pub mean_batch_occupancy: f64,
+    /// Mean submit→completion latency.
+    pub mean_turnaround: Duration,
+    /// Worker-pool activity (regions, barrier crossings).
+    pub pool: PoolStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_derives_rates() {
+        let s = ServiceStats::new();
+        s.submitted.store(10, Ordering::Relaxed);
+        s.completed.store(8, Ordering::Relaxed);
+        s.batches.store(2, Ordering::Relaxed);
+        s.batched_requests.store(6, Ordering::Relaxed);
+        s.turnaround_ns.store(8_000_000, Ordering::Relaxed);
+        let snap = s.snapshot(3, PoolStats::default());
+        assert_eq!(snap.submitted, 10);
+        assert_eq!(snap.queue_depth, 3);
+        assert!(snap.requests_per_sec > 0.0);
+        assert!((snap.mean_batch_occupancy - 3.0).abs() < 1e-12);
+        assert_eq!(snap.mean_turnaround, Duration::from_nanos(1_000_000));
+    }
+
+    #[test]
+    fn absorb_report_accumulates() {
+        let s = ServiceStats::new();
+        s.absorb_report(&FtReport {
+            verifications: 4,
+            detected: 2,
+            corrected: 2,
+            injected: 3,
+            retried_panels: 1,
+        });
+        s.absorb_report(&FtReport::default());
+        let snap = s.snapshot(0, PoolStats::default());
+        assert_eq!(snap.detected, 2);
+        assert_eq!(snap.corrected, 2);
+        assert_eq!(snap.injected, 3);
+        assert_eq!(snap.retried_panels, 1);
+    }
+}

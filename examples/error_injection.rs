@@ -19,7 +19,10 @@ fn main() {
 
     for (label, model) in [
         ("bit flips", ErrorModel::BitFlip { bit: None }),
-        ("additive bursts (~1e6)", ErrorModel::Additive { magnitude: 1e6 }),
+        (
+            "additive bursts (~1e6)",
+            ErrorModel::Additive { magnitude: 1e6 },
+        ),
         ("scaling faults (x8)", ErrorModel::Scale { factor: 8.0 }),
     ] {
         let injector = FaultInjector::new(2024, model, Rate::Count(8));
@@ -42,7 +45,11 @@ fn main() {
     // The same errors without fault tolerance: silent data corruption.
     // (We emulate by injecting into C after a clean run, as a faulty
     // machine would have.)
-    let injector = FaultInjector::new(2024, ErrorModel::Additive { magnitude: 1e6 }, Rate::Count(8));
+    let injector = FaultInjector::new(
+        2024,
+        ErrorModel::Additive { magnitude: 1e6 },
+        Rate::Count(8),
+    );
     let mut c = truth.clone();
     let mut stream = injector.stream(0, 64);
     let mut hits = 0;

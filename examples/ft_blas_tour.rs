@@ -36,7 +36,10 @@ fn main() {
 
     // DOT and NRM2 with duplicated accumulators.
     let (d, rep) = ft_dot(&cfg, &x, &y);
-    println!("ft_dot  : value {d:.6}, {} injected, {} detected", rep.injected, rep.mismatches);
+    println!(
+        "ft_dot  : value {d:.6}, {} injected, {} detected",
+        rep.injected, rep.mismatches
+    );
     let (nrm, _) = ft_nrm2(&cfg, &x);
     println!("ft_nrm2 : value {nrm:.6}");
 

@@ -42,7 +42,16 @@ fn main() {
             par_gemm(&ctx, 1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut c.as_mut()).unwrap();
         });
         let t_ft = time(|| {
-            par_ft_gemm(&ctx, &cfg, 1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut c.as_mut()).unwrap();
+            par_ft_gemm(
+                &ctx,
+                &cfg,
+                1.0,
+                &a.as_ref(),
+                &b.as_ref(),
+                1.0,
+                &mut c.as_mut(),
+            )
+            .unwrap();
         });
 
         let g_ori = flops / t_ori / 1e9;

@@ -16,7 +16,15 @@ fn main() {
     // 1. Plain high-performance serial GEMM ("FT-GEMM: Ori").
     let mut c1 = Matrix::<f64>::zeros(n, n);
     let mut ctx = GemmContext::<f64>::new();
-    gemm(&mut ctx, 1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut c1.as_mut()).unwrap();
+    gemm(
+        &mut ctx,
+        1.0,
+        &a.as_ref(),
+        &b.as_ref(),
+        0.0,
+        &mut c1.as_mut(),
+    )
+    .unwrap();
     println!(
         "serial GEMM    done: kernel = {:?}, C[0,0] = {:.6}",
         ctx.kernel.name,

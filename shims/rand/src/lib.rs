@@ -1,0 +1,226 @@
+//! Offline shim for the `rand` crate (0.8-era API subset).
+//!
+//! The build environment cannot reach a crates registry, so the workspace
+//! vendors the parts of `rand` it uses: [`SeedableRng::seed_from_u64`],
+//! [`rngs::StdRng`], the [`Rng`] extension methods `gen`, `gen_range`,
+//! `gen_bool`, and [`distributions::Uniform`] over `f64`.
+//!
+//! The generator is SplitMix64 — statistically solid for test-input
+//! generation and deterministic fault-site selection (the two uses in this
+//! workspace), and trivially seedable from a `u64`. It is **not** the same
+//! stream as upstream `StdRng` (ChaCha12); everything downstream only
+//! relies on determinism-per-seed, not on specific values.
+
+use std::ops::Range;
+
+/// Seeding interface (subset: `seed_from_u64`).
+pub trait SeedableRng: Sized {
+    /// Creates an RNG deterministically from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be produced uniformly at random by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn draw<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn draw<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn draw<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for usize {
+    fn draw<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    fn draw<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn draw<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Types usable as [`Rng::gen_range`] bounds.
+pub trait SampleUniform: Copy {
+    /// Uniform draw from `[low, high)`.
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                let span = (high as u128).wrapping_sub(low as u128);
+                // Multiply-shift rejection-free mapping; bias is < 2^-64 of
+                // the span, immaterial for test workloads.
+                let r = rng.next_u64() as u128;
+                low.wrapping_add(((r * span) >> 64) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(usize, u64, u32, i64, i32);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low < high, "gen_range: empty range");
+        low + f64::draw(rng) * (high - low)
+    }
+}
+
+/// Core RNG interface plus the `gen*` convenience methods.
+pub trait Rng {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform draw of `T`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::draw(self)
+    }
+
+    /// Uniform draw from `[range.start, range.end)`.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range.start, range.end)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::draw(self) < p
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic 64-bit generator (SplitMix64 core).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood 2014).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Distribution sampling (subset: `Uniform` over floats).
+pub mod distributions {
+    use super::Rng;
+
+    /// A distribution that can be sampled with an RNG.
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Uniform distribution over `[low, high)`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Uniform<T> {
+        low: T,
+        high: T,
+    }
+
+    impl<T: super::SampleUniform + PartialOrd> Uniform<T> {
+        /// Uniform over `[low, high)`; panics if the range is empty.
+        pub fn new(low: T, high: T) -> Self {
+            assert!(low < high, "Uniform::new: empty range");
+            Uniform { low, high }
+        }
+    }
+
+    impl<T: super::SampleUniform> Distribution<T> for Uniform<T> {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+            T::sample_range(rng, self.low, self.high)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(0usize..17);
+            assert!(v < 17);
+        }
+    }
+
+    #[test]
+    fn gen_bool_statistics() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((23_000..27_000).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn uniform_f64_range_and_mean() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dist = Uniform::new(-1.0f64, 1.0);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let v = dist.sample(&mut rng);
+            assert!((-1.0..1.0).contains(&v));
+            sum += v;
+        }
+        assert!((sum / n as f64).abs() < 0.02);
+    }
+}

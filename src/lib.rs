@@ -5,10 +5,25 @@
 //! * [`core`](ftgemm_core) — matrices, packing, micro-kernels, serial GEMM
 //! * [`abft`](ftgemm_abft) — fused ABFT checksums, serial FT-GEMM
 //! * [`pool`](ftgemm_pool) — persistent worker pool (OpenMP-style regions)
-//! * [`parallel`](ftgemm_parallel) — multithreaded (FT-)GEMM
+//! * [`parallel`](ftgemm_parallel) — multithreaded and batched (FT-)GEMM
+//! * [`serve`](ftgemm_serve) — batched GEMM serving: request queue, sharded
+//!   dispatch, per-request fault-tolerance policy
 //! * [`faults`](ftgemm_faults) — deterministic soft-error injection
 //! * [`baselines`](ftgemm_baselines) — comparator GEMMs and unfused ABFT
 //! * [`blas`](ftgemm_blas) — DMR-protected Level-1/2 routines (FT-BLAS)
+//!
+//! ## One-shot calls
+//!
+//! [`ft_gemm`] (serial) and [`par_ft_gemm`] (multithreaded) compute a single
+//! fault-tolerant `C = alpha*A*B + beta*C` with the paper's fused-checksum
+//! scheme; [`gemm`]/[`par_gemm`] are the unprotected equivalents.
+//!
+//! ## Serving many requests
+//!
+//! [`GemmService`] accepts concurrent [`GemmRequest`]s, coalesces small
+//! problems into batched parallel regions, routes large ones to the
+//! matrix-parallel driver, and applies a per-request [`FtPolicy`]. See
+//! `examples/serving_throughput.rs`.
 
 pub use ftgemm_abft as abft;
 pub use ftgemm_baselines as baselines;
@@ -17,8 +32,10 @@ pub use ftgemm_core as core;
 pub use ftgemm_faults as faults;
 pub use ftgemm_parallel as parallel;
 pub use ftgemm_pool as pool;
+pub use ftgemm_serve as serve;
 
 pub use ftgemm_abft::{ft_gemm, FtConfig, FtReport};
 pub use ftgemm_core::{gemm, GemmContext, MatMut, MatRef, Matrix};
 pub use ftgemm_faults::FaultInjector;
-pub use ftgemm_parallel::{par_ft_gemm, par_gemm, ParGemmContext};
+pub use ftgemm_parallel::{par_batch_ft_gemm, par_ft_gemm, par_gemm, ParGemmContext};
+pub use ftgemm_serve::{FtPolicy, GemmRequest, GemmResponse, GemmService, ServiceConfig};

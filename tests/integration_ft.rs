@@ -81,8 +81,16 @@ fn parallel_campaign_many_seeds() {
             );
             let cfg = FtConfig::with_injector(inj);
             let mut c = Matrix::<f64>::zeros(m, n);
-            let rep = par_ft_gemm(&ctx, &cfg, 1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut c.as_mut())
-                .unwrap_or_else(|e| panic!("t={threads} seed {seed}: {e}"));
+            let rep = par_ft_gemm(
+                &ctx,
+                &cfg,
+                1.0,
+                &a.as_ref(),
+                &b.as_ref(),
+                0.0,
+                &mut c.as_mut(),
+            )
+            .unwrap_or_else(|e| panic!("t={threads} seed {seed}: {e}"));
             assert!(
                 truth.rel_max_diff(&c) < 1e-9,
                 "t={threads} seed {seed}: diff {} rep {rep:?}",
@@ -104,10 +112,30 @@ fn ft_without_errors_is_bit_identical_to_plain() {
     let mut c_ft = c_plain.clone();
 
     let mut ctx = GemmContext::<f64>::new();
-    ftgemm::gemm(&mut ctx, 1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut c_plain.as_mut()).unwrap();
-    ft_gemm(&FtConfig::default(), 1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut c_ft.as_mut()).unwrap();
+    ftgemm::gemm(
+        &mut ctx,
+        1.0,
+        &a.as_ref(),
+        &b.as_ref(),
+        1.0,
+        &mut c_plain.as_mut(),
+    )
+    .unwrap();
+    ft_gemm(
+        &FtConfig::default(),
+        1.0,
+        &a.as_ref(),
+        &b.as_ref(),
+        1.0,
+        &mut c_ft.as_mut(),
+    )
+    .unwrap();
 
-    assert_eq!(c_plain.as_slice(), c_ft.as_slice(), "FT altered the numerics");
+    assert_eq!(
+        c_plain.as_slice(),
+        c_ft.as_slice(),
+        "FT altered the numerics"
+    );
 }
 
 #[test]
@@ -126,8 +154,15 @@ fn wall_clock_rate_campaign_validates() {
         let cfg = FtConfig::with_injector(inj.clone());
         let mut ctx = small_block_ctx();
         let mut c = Matrix::<f64>::zeros(m, n);
-        match ft_gemm_with_ctx(&mut ctx, &cfg, 1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut c.as_mut())
-        {
+        match ft_gemm_with_ctx(
+            &mut ctx,
+            &cfg,
+            1.0,
+            &a.as_ref(),
+            &b.as_ref(),
+            0.0,
+            &mut c.as_mut(),
+        ) {
             Ok(_) => {
                 if truth.rel_max_diff(&c) < 1e-9 {
                     CampaignOutcome::Correct
@@ -154,12 +189,23 @@ fn unrecoverable_patterns_are_flagged_not_silent() {
     let (a, b, truth) = clean_reference(m, n, k);
     let mut saw_unrecoverable = false;
     for seed in 0..40u64 {
-        let inj = FaultInjector::new(seed, ErrorModel::Additive { magnitude: 1e6 }, Rate::PerSite(0.9));
+        let inj = FaultInjector::new(
+            seed,
+            ErrorModel::Additive { magnitude: 1e6 },
+            Rate::PerSite(0.9),
+        );
         let cfg = FtConfig::with_injector(inj);
         let mut ctx = small_block_ctx();
         let mut c = Matrix::<f64>::zeros(m, n);
-        match ft_gemm_with_ctx(&mut ctx, &cfg, 1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut c.as_mut())
-        {
+        match ft_gemm_with_ctx(
+            &mut ctx,
+            &cfg,
+            1.0,
+            &a.as_ref(),
+            &b.as_ref(),
+            0.0,
+            &mut c.as_mut(),
+        ) {
             Ok(rep) => {
                 assert!(
                     truth.rel_max_diff(&c) < 1e-9,
@@ -185,11 +231,29 @@ fn injector_stats_track_cross_driver() {
     let cfg = FtConfig::with_injector(inj.clone());
     let mut ctx = small_block_ctx();
     let mut c = Matrix::<f64>::zeros(m, n);
-    ft_gemm_with_ctx(&mut ctx, &cfg, 1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut c.as_mut()).unwrap();
+    ft_gemm_with_ctx(
+        &mut ctx,
+        &cfg,
+        1.0,
+        &a.as_ref(),
+        &b.as_ref(),
+        0.0,
+        &mut c.as_mut(),
+    )
+    .unwrap();
 
     let par = ParGemmContext::<f64>::with_threads(3);
     let mut c = Matrix::<f64>::zeros(m, n);
-    par_ft_gemm(&par, &cfg, 1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut c.as_mut()).unwrap();
+    par_ft_gemm(
+        &par,
+        &cfg,
+        1.0,
+        &a.as_ref(),
+        &b.as_ref(),
+        0.0,
+        &mut c.as_mut(),
+    )
+    .unwrap();
 
     assert!(inj.stats().injected() > 0);
     assert_eq!(inj.stats().injected(), inj.stats().corrected());
@@ -208,15 +272,27 @@ fn retry_panel_recovers_colliding_patterns() {
     let mut recovered = 0;
     let mut failing_seeds = Vec::new();
     for seed in 0..200u64 {
-        let inj = FaultInjector::new(seed, ErrorModel::Additive { magnitude: 1e6 }, Rate::PerSite(0.8));
+        let inj = FaultInjector::new(
+            seed,
+            ErrorModel::Additive { magnitude: 1e6 },
+            Rate::PerSite(0.8),
+        );
         let cfg = FtConfig {
             injector: Some(inj),
             ..Default::default()
         };
         let mut ctx = small_block_ctx();
         let mut c = Matrix::<f64>::zeros(m, n);
-        if ft_gemm_with_ctx(&mut ctx, &cfg, 1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut c.as_mut())
-            .is_err()
+        if ft_gemm_with_ctx(
+            &mut ctx,
+            &cfg,
+            1.0,
+            &a.as_ref(),
+            &b.as_ref(),
+            0.0,
+            &mut c.as_mut(),
+        )
+        .is_err()
         {
             failing_seeds.push(seed);
             if failing_seeds.len() >= 5 {
@@ -229,7 +305,11 @@ fn retry_panel_recovers_colliding_patterns() {
         // panels poll fresh sites (PerSite keeps injecting), so allow
         // several attempts; with probability ~0.8^sites per attempt the
         // panel eventually passes or we accept a final Err as "flagged".
-        let inj = FaultInjector::new(seed, ErrorModel::Additive { magnitude: 1e6 }, Rate::PerSite(0.8));
+        let inj = FaultInjector::new(
+            seed,
+            ErrorModel::Additive { magnitude: 1e6 },
+            Rate::PerSite(0.8),
+        );
         let cfg = FtConfig {
             injector: Some(inj),
             recovery: Recovery::RetryPanel { max_retries: 20 },
@@ -237,10 +317,20 @@ fn retry_panel_recovers_colliding_patterns() {
         };
         let mut ctx = small_block_ctx();
         let mut c = Matrix::<f64>::zeros(m, n);
-        match ft_gemm_with_ctx(&mut ctx, &cfg, 1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut c.as_mut())
-        {
+        match ft_gemm_with_ctx(
+            &mut ctx,
+            &cfg,
+            1.0,
+            &a.as_ref(),
+            &b.as_ref(),
+            0.0,
+            &mut c.as_mut(),
+        ) {
             Ok(rep) => {
-                assert!(rep.retried_panels > 0, "seed {seed}: no retry recorded: {rep:?}");
+                assert!(
+                    rep.retried_panels > 0,
+                    "seed {seed}: no retry recorded: {rep:?}"
+                );
                 assert!(
                     truth.rel_max_diff(&c) < 1e-9,
                     "seed {seed}: retry produced wrong result ({})",

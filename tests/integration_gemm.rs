@@ -43,7 +43,15 @@ fn serial_gemm_grid() {
             let (a, b, (c0, c_exp)) = oracle(m, n, k, alpha, beta);
             let mut ctx = GemmContext::<f64>::new();
             let mut c = c0.clone();
-            gemm(&mut ctx, alpha, &a.as_ref(), &b.as_ref(), beta, &mut c.as_mut()).unwrap();
+            gemm(
+                &mut ctx,
+                alpha,
+                &a.as_ref(),
+                &b.as_ref(),
+                beta,
+                &mut c.as_mut(),
+            )
+            .unwrap();
             assert!(
                 c.rel_max_diff(&c_exp) < 1e-10,
                 "gemm {m}x{n}x{k} a={alpha} b={beta}"
@@ -57,8 +65,15 @@ fn ft_gemm_grid() {
     for &(m, n, k) in SHAPES {
         let (a, b, (c0, c_exp)) = oracle(m, n, k, 1.0, 1.0);
         let mut c = c0.clone();
-        let rep = ft_gemm(&FtConfig::default(), 1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut c.as_mut())
-            .unwrap();
+        let rep = ft_gemm(
+            &FtConfig::default(),
+            1.0,
+            &a.as_ref(),
+            &b.as_ref(),
+            1.0,
+            &mut c.as_mut(),
+        )
+        .unwrap();
         assert!(c.rel_max_diff(&c_exp) < 1e-10, "ft {m}x{n}x{k}");
         assert_eq!(rep.detected, 0, "false positive at {m}x{n}x{k}");
     }
@@ -72,7 +87,10 @@ fn parallel_gemm_grid() {
             let (a, b, (c0, c_exp)) = oracle(m, n, k, 1.0, 1.0);
             let mut c = c0.clone();
             par_gemm(&ctx, 1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut c.as_mut()).unwrap();
-            assert!(c.rel_max_diff(&c_exp) < 1e-10, "par {m}x{n}x{k} t={threads}");
+            assert!(
+                c.rel_max_diff(&c_exp) < 1e-10,
+                "par {m}x{n}x{k} t={threads}"
+            );
         }
     }
 }
@@ -114,13 +132,19 @@ fn baselines_grid() {
         for tier in [Tier::Blis, Tier::OpenBlas, Tier::Mkl] {
             let mut g = ReferenceGemm::<f64>::new(tier);
             let mut c = c0.clone();
-            g.run(1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut c.as_mut()).unwrap();
+            g.run(1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut c.as_mut())
+                .unwrap();
             assert!(c.rel_max_diff(&c_exp) < 1e-10, "{} {m}x{n}x{k}", g.name());
 
             let gp = ReferenceParGemm::<f64>::new(tier, 3);
             let mut c = c0.clone();
-            gp.run(1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut c.as_mut()).unwrap();
-            assert!(c.rel_max_diff(&c_exp) < 1e-10, "par {} {m}x{n}x{k}", gp.name());
+            gp.run(1.0, &a.as_ref(), &b.as_ref(), 1.0, &mut c.as_mut())
+                .unwrap();
+            assert!(
+                c.rel_max_diff(&c_exp) < 1e-10,
+                "par {} {m}x{n}x{k}",
+                gp.name()
+            );
         }
     }
 }
@@ -134,7 +158,15 @@ fn all_isa_tiers_agree_with_each_other() {
     for isa in IsaLevel::available() {
         let mut ctx = GemmContext::<f64>::with_isa(isa);
         let mut c = Matrix::<f64>::zeros(m, n);
-        gemm(&mut ctx, 1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut c.as_mut()).unwrap();
+        gemm(
+            &mut ctx,
+            1.0,
+            &a.as_ref(),
+            &b.as_ref(),
+            0.0,
+            &mut c.as_mut(),
+        )
+        .unwrap();
         results.push((isa, c));
     }
     for w in results.windows(2) {
@@ -153,7 +185,15 @@ fn serial_and_parallel_bitwise_consistent_structure() {
     let mut c1 = Matrix::<f64>::zeros(m, n);
     let mut c2 = Matrix::<f64>::zeros(m, n);
     let mut ctx = GemmContext::<f64>::new();
-    gemm(&mut ctx, 1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut c1.as_mut()).unwrap();
+    gemm(
+        &mut ctx,
+        1.0,
+        &a.as_ref(),
+        &b.as_ref(),
+        0.0,
+        &mut c1.as_mut(),
+    )
+    .unwrap();
     let par = ParGemmContext::<f64>::with_threads(6);
     par_gemm(&par, 1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut c2.as_mut()).unwrap();
     assert!(c1.rel_max_diff(&c2) < 1e-12);
@@ -166,6 +206,14 @@ fn facade_reexports_work() {
     let b = ftgemm::Matrix::<f64>::identity(8);
     let mut c = ftgemm::Matrix::<f64>::zeros(8, 8);
     let mut ctx = ftgemm::GemmContext::<f64>::new();
-    ftgemm::gemm(&mut ctx, 1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut c.as_mut()).unwrap();
+    ftgemm::gemm(
+        &mut ctx,
+        1.0,
+        &a.as_ref(),
+        &b.as_ref(),
+        0.0,
+        &mut c.as_mut(),
+    )
+    .unwrap();
     assert_eq!(c.get(3, 3), 1.0);
 }

@@ -1,0 +1,161 @@
+//! End-to-end tests of the serving subsystem: concurrent mixed-size traffic
+//! must be bit-identical to the serial reference per request, and injected
+//! faults under `DetectCorrect` must be corrected and surfaced.
+
+use ftgemm::core::reference::naive_gemm;
+use ftgemm::serve::{FtPolicy, GemmRequest, GemmService, ServiceConfig};
+use ftgemm::{FaultInjector, Matrix};
+use std::sync::Arc;
+
+fn service(threads: usize, max_batch: usize) -> GemmService<f64> {
+    GemmService::new(ServiceConfig {
+        threads,
+        max_batch,
+        queue_shards: 3,
+        // Pin the routing cutoff so the test's size mix deterministically
+        // exercises both paths regardless of the config default.
+        small_flops_cutoff: 2 * 96 * 96 * 96,
+    })
+}
+
+/// (a) N concurrent mixed-size requests, submitted from several frontend
+/// threads, each produce the same result as a serial naive GEMM.
+#[test]
+fn concurrent_mixed_sizes_match_serial_reference() {
+    // Shapes straddle the small/large cutoff so both paths are exercised;
+    // alpha/beta vary per request.
+    let shapes = [
+        (8usize, 8usize, 8usize),
+        (33, 17, 25),
+        (64, 64, 64),
+        (1, 96, 40),
+        (200, 160, 120), // above the pinned cutoff: matrix-parallel path
+        (50, 3, 77),
+        (128, 128, 96),  // above the pinned cutoff
+        (240, 200, 100), // above the pinned cutoff
+    ];
+    let service = Arc::new(service(4, 4));
+
+    let submitters: Vec<_> = (0..4)
+        .map(|t| {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || {
+                let mut out = Vec::new();
+                for (i, &(m, n, k)) in shapes.iter().enumerate() {
+                    let seed = (t * 100 + i) as u64;
+                    let a = Matrix::<f64>::random(m, k, seed);
+                    let b = Matrix::<f64>::random(k, n, seed + 1);
+                    let c0 = Matrix::<f64>::random(m, n, seed + 2);
+                    let alpha = 1.0 + (i as f64) * 0.25;
+                    let beta = if i % 2 == 0 { 0.5 } else { 0.0 };
+                    let policy = match i % 3 {
+                        0 => FtPolicy::Off,
+                        1 => FtPolicy::Detect,
+                        _ => FtPolicy::DetectCorrect,
+                    };
+                    let req = GemmRequest::new(a.clone(), b.clone())
+                        .with_alpha(alpha)
+                        .with_c(beta, c0.clone())
+                        .with_policy(policy);
+                    let handle = service.submit(req).unwrap();
+                    out.push((a, b, c0, alpha, beta, handle));
+                }
+                // Wait for all of this thread's requests and check them.
+                for (a, b, c0, alpha, beta, handle) in out {
+                    let resp = handle.wait().unwrap();
+                    let mut expected = c0;
+                    naive_gemm(
+                        alpha,
+                        &a.as_ref(),
+                        &b.as_ref(),
+                        beta,
+                        &mut expected.as_mut(),
+                    );
+                    let d = resp.c.rel_max_diff(&expected);
+                    assert!(d < 1e-10, "diff {d} for {}x{}", a.nrows(), b.ncols());
+                    assert_eq!(resp.report.detected, 0, "false positive");
+                }
+            })
+        })
+        .collect();
+    for s in submitters {
+        s.join().unwrap();
+    }
+
+    let snap = service.stats();
+    assert_eq!(snap.submitted, (4 * shapes.len()) as u64);
+    assert_eq!(snap.completed, snap.submitted);
+    assert_eq!(snap.failed, 0);
+    // Both routing paths must have been used.
+    assert!(snap.direct_large >= 8, "large path unused: {snap:?}");
+    assert!(snap.batched_requests > 0, "batched path unused: {snap:?}");
+}
+
+/// (b) With a per-request `FaultInjector` and `DetectCorrect`, injected
+/// errors are corrected (result matches the clean reference) and surfaced in
+/// the request's own `FtReport`.
+#[test]
+fn injected_errors_corrected_and_surfaced() {
+    let service = service(3, 8);
+    let mut checks = Vec::new();
+    for i in 0..6u64 {
+        let (m, n, k) = (96, 80, 64);
+        let a = Matrix::<f64>::random(m, k, 10 + i);
+        let b = Matrix::<f64>::random(k, n, 20 + i);
+        let inj = FaultInjector::counted(300 + i, 2);
+        let req = GemmRequest::new(a.clone(), b.clone())
+            .with_policy(FtPolicy::DetectCorrect)
+            .with_injector(inj);
+        checks.push((a, b, service.submit(req).unwrap()));
+    }
+
+    let mut total_injected = 0;
+    for (a, b, handle) in checks {
+        let resp = handle.wait().unwrap();
+        let mut expected = Matrix::<f64>::zeros(a.nrows(), b.ncols());
+        naive_gemm(1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut expected.as_mut());
+        assert!(
+            resp.c.rel_max_diff(&expected) < 1e-9,
+            "corrupted result slipped through: diff {} report {:?}",
+            resp.c.rel_max_diff(&expected),
+            resp.report
+        );
+        // Surfaced per request: every injected error was corrected.
+        assert!(
+            resp.report.injected > 0,
+            "injector never fired: {:?}",
+            resp.report
+        );
+        assert_eq!(
+            resp.report.corrected, resp.report.injected,
+            "{:?}",
+            resp.report
+        );
+        total_injected += resp.report.injected;
+    }
+    assert!(total_injected >= 6);
+
+    // And service-wide counters aggregate the per-request reports.
+    let snap = service.stats();
+    assert_eq!(snap.injected, total_injected as u64);
+    assert_eq!(snap.corrected, snap.injected);
+}
+
+/// Handles outstanding at shutdown still resolve (drain-on-drop), and the
+/// final stats balance.
+#[test]
+fn shutdown_drains_outstanding_requests() {
+    let service = service(2, 4);
+    let mut handles = Vec::new();
+    for i in 0..32u64 {
+        let a = Matrix::<f64>::random(24, 24, i);
+        let b = Matrix::<f64>::random(24, 24, i + 1000);
+        handles.push(service.submit(GemmRequest::new(a, b)).unwrap());
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.submitted, 32);
+    assert_eq!(stats.completed + stats.failed, 32);
+    for h in handles {
+        h.wait().unwrap();
+    }
+}

@@ -198,7 +198,7 @@ proptest! {
         len in 0usize..300, alpha in -3.0f64..3.0, seed in 0u64..1000
     ) {
         let x: Vec<f64> = (0..len).map(|i| ((i as u64 ^ seed) % 17) as f64 - 8.0).collect();
-        let y0: Vec<f64> = (0..len).map(|i| ((i as u64 * 31 ^ seed) % 13) as f64 - 6.0).collect();
+        let y0: Vec<f64> = (0..len).map(|i| (((i as u64 * 31) ^ seed) % 13) as f64 - 6.0).collect();
         let mut y = y0.clone();
         level1::axpy(alpha, &x, &mut y);
         for i in 0..len {

@@ -1,0 +1,100 @@
+//! Property tests for the serving layer and the batched driver it rides on:
+//! batched execution over an arbitrary batch must equal a per-request serial
+//! `ft_gemm` loop, and the service must agree with the oracle for arbitrary
+//! shapes, policies, and batch geometry.
+
+use ftgemm::abft::{ft_gemm, FtConfig};
+use ftgemm::core::reference::naive_gemm;
+use ftgemm::core::Matrix;
+use ftgemm::parallel::{par_batch_ft_gemm, BatchItem, BatchWorkspace, ParGemmContext};
+use ftgemm::serve::{FtPolicy, GemmRequest, GemmService, ServiceConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// par_batch_ft_gemm over a randomly sized batch of randomly shaped
+    /// problems equals running ft_gemm serially per item.
+    #[test]
+    fn batch_equals_serial_ft_gemm_loop(
+        batch_len in 1usize..12, threads in 1usize..6,
+        alpha in -2.0f64..2.0, beta in -2.0f64..2.0, seed in 0u64..500
+    ) {
+        let ctx = ParGemmContext::<f64>::with_threads(threads);
+        let ws = BatchWorkspace::new(&ctx);
+        let cfg = FtConfig::default();
+
+        let mut problems = Vec::new();
+        for i in 0..batch_len {
+            let s = seed + i as u64 * 13;
+            let (m, n, k) = (1 + (s % 60) as usize, 1 + (s % 47) as usize, 1 + (s % 33) as usize);
+            problems.push((
+                Matrix::<f64>::random(m, k, s),
+                Matrix::<f64>::random(k, n, s + 1),
+                Matrix::<f64>::random(m, n, s + 2),
+            ));
+        }
+        let mut expected: Vec<Matrix<f64>> = problems.iter().map(|(_, _, c)| c.clone()).collect();
+        for ((a, b, _), c_exp) in problems.iter().zip(expected.iter_mut()) {
+            ft_gemm(&cfg, alpha, &a.as_ref(), &b.as_ref(), beta, &mut c_exp.as_mut()).unwrap();
+        }
+
+        let mut items: Vec<BatchItem<'_, f64>> = problems
+            .iter_mut()
+            .map(|(a, b, c)| BatchItem {
+                alpha,
+                a: a.as_ref(),
+                b: b.as_ref(),
+                beta,
+                c: c.as_mut(),
+                cfg: Some(&cfg),
+            })
+            .collect();
+        let results = par_batch_ft_gemm(&ctx, &ws, &mut items);
+        drop(items);
+
+        for (i, r) in results.iter().enumerate() {
+            prop_assert_eq!(r.as_ref().unwrap().detected, 0, "item {}", i);
+        }
+        for (i, ((_, _, c), c_exp)) in problems.iter().zip(expected.iter()).enumerate() {
+            prop_assert!(c.rel_max_diff(c_exp) < 1e-12, "item {} diff {}", i, c.rel_max_diff(c_exp));
+        }
+    }
+
+    /// The service agrees with the naive oracle for arbitrary geometry,
+    /// thread counts, batching limits, and policies.
+    #[test]
+    fn service_matches_oracle(
+        n_requests in 1usize..10, threads in 1usize..5,
+        max_batch in 1usize..6, policy_pick in 0usize..3, seed in 0u64..300
+    ) {
+        let service = GemmService::<f64>::new(ServiceConfig {
+            threads,
+            max_batch,
+            queue_shards: 2,
+            ..ServiceConfig::default()
+        });
+        let policy = [FtPolicy::Off, FtPolicy::Detect, FtPolicy::DetectCorrect][policy_pick];
+
+        let mut pending = Vec::new();
+        for i in 0..n_requests {
+            let s = seed + i as u64 * 31;
+            let (m, n, k) = (1 + (s % 70) as usize, 1 + (s % 51) as usize, 1 + (s % 41) as usize);
+            let a = Matrix::<f64>::random(m, k, s);
+            let b = Matrix::<f64>::random(k, n, s + 1);
+            let req = GemmRequest::new(a.clone(), b.clone()).with_policy(policy);
+            let handle = service.submit(req).unwrap();
+            pending.push((a, b, handle));
+        }
+        for (a, b, handle) in pending {
+            let resp = handle.wait().unwrap();
+            let mut expected = Matrix::<f64>::zeros(a.nrows(), b.ncols());
+            naive_gemm(1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut expected.as_mut());
+            prop_assert!(resp.c.rel_max_diff(&expected) < 1e-10);
+            prop_assert_eq!(resp.report.detected, 0);
+        }
+        let snap = service.stats();
+        prop_assert_eq!(snap.completed, n_requests as u64);
+        prop_assert_eq!(snap.failed, 0);
+    }
+}
