@@ -18,9 +18,14 @@
 //! numerically equal magnitude in distinct rows and columns, where every
 //! pairing balances the checksums but only one restores the matrix — are
 //! reported as unrecoverable rather than guessed at; the caller's recovery
-//! policy (e.g. panel recompute) takes over. This is the same limitation
-//! classic row+column ABFT has. The paper verifies every `KC` panel, so the
-//! exposure window for such collisions is one panel update.
+//! policy (e.g. panel recompute under
+//! [`Recovery::RetryPanel`](crate::Recovery::RetryPanel)) takes over. This
+//! fail-stop-on-ambiguity contract is pinned by the
+//! `tests::equal_delta_errors_distinct_positions` test below and written up
+//! in the crate-level docs ("The ambiguity fail-stop contract") and
+//! `docs/ARCHITECTURE.md`. It is the same limitation classic row+column
+//! ABFT has. The paper verifies every `KC` panel, so the exposure window
+//! for such collisions is one panel update.
 
 use ftgemm_core::{MatMut, Scalar};
 

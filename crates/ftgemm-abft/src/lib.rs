@@ -6,7 +6,7 @@
 //! ## The scheme
 //!
 //! For `C = alpha*A*B + beta*C0` the checksum identities (Huang & Abraham
-//! [1984], specialized to full row+column checksum vectors) are
+//! \[1984\], specialized to full row+column checksum vectors) are
 //!
 //! ```text
 //! row_sums(C) = beta*row_sums(C0) + alpha * A * (B e)        (paper's C_c)
@@ -38,6 +38,31 @@
 //! [`FusionConfig`] lets each fusion point be disabled, which re-creates the
 //! "traditional" unfused ABFT baseline for the ablation experiments (T1/A1
 //! in DESIGN.md).
+//!
+//! ## The ambiguity fail-stop contract
+//!
+//! Row+column checksums carry enough information to locate and repair most
+//! error patterns, but not all. Two patterns are **information-theoretically
+//! unresolvable** within one verification interval:
+//!
+//! * errors forming a cycle across shared rows *and* columns, and
+//! * **equal-magnitude concurrent errors in distinct rows and distinct
+//!   columns** — every pairing of row deltas with column deltas balances
+//!   the checksums, but only one pairing restores the matrix, so picking
+//!   one is a coin flip on silent corruption.
+//!
+//! This crate's contract is **fail-stop, never guess**: the corrector
+//! reports such patterns as [`CorrectionOutcome::Unrecoverable`] (the
+//! equal-magnitude case is pinned by
+//! `corrector::tests::equal_delta_errors_distinct_positions`), and the
+//! driver then applies the caller's [`Recovery`] policy — under
+//! [`Recovery::RetryPanel`] (the serving layer's `DetectCorrect`) the
+//! affected panel is rolled back to its checkpoint and recomputed instead.
+//! Equal magnitudes sharing a single row or column are *not* ambiguous
+//! (the shared-axis sum rule resolves them) and are still corrected. The
+//! paper verifies every `KC`-depth panel, so the exposure window for a
+//! colliding pattern is one panel update. See `docs/ARCHITECTURE.md` for
+//! the system-level view.
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]

@@ -1,6 +1,6 @@
 //! Ablation A2: blocking-parameter and ISA-tier sensitivity (the design
 //! choices of paper §2.1 — "the step sizes of these three for loops ...
-//! [are] determined by the size of each layer of the cache").
+//! \[are\] determined by the size of each layer of the cache").
 //!
 //! Part 1: GFLOPS per ISA tier at a fixed size (value of AVX-512 kernels).
 //! Part 2: GFLOPS over an (MC, KC) grid around the cache-derived defaults.

@@ -3,12 +3,19 @@
 //! workload. `max_batch = 1` is the no-coalescing baseline (every request
 //! pays its own parallel region), so the sweep isolates what batching buys.
 //!
+//! A second table compares the three submit surfaces at a fixed
+//! `max_batch`: blocking handles (`submit` + `wait` each), async futures
+//! (`submit_async` driven by a minimal park-based executor), and the
+//! completion-channel bridge (`submit_streamed` + one drain loop) — i.e.
+//! what the zero-waiter-thread surfaces cost relative to the sync path.
+//!
 //! Usage: `cargo run -p ftgemm-bench --release --bin serve_throughput
 //!         [--reps N] [--threads N]`
 
 use ftgemm_bench::{Args, Table};
 use ftgemm_core::Matrix;
-use ftgemm_serve::{FtPolicy, GemmRequest, GemmService, ServiceConfig};
+use ftgemm_serve::exec::block_on_all;
+use ftgemm_serve::{completion_channel, FtPolicy, GemmRequest, GemmService, ServiceConfig};
 use std::time::Instant;
 
 /// Small-GEMM edge; comfortably under any sane routing cutoff.
@@ -16,7 +23,22 @@ const DIM: usize = 64;
 /// Requests per timed run.
 const REQUESTS: usize = 512;
 
+/// Which submit/redeem surface a timed run exercises.
+#[derive(Clone, Copy, PartialEq)]
+enum Surface {
+    /// `submit` + blocking `wait` per handle.
+    Sync,
+    /// `submit_async` futures driven by `ftgemm_serve::exec::block_on_all`.
+    Async,
+    /// `submit_streamed` into one completion channel, one drain loop.
+    Streamed,
+}
+
 fn run_once(threads: usize, max_batch: usize, policy: FtPolicy) -> f64 {
+    run_surface(threads, max_batch, policy, Surface::Sync)
+}
+
+fn run_surface(threads: usize, max_batch: usize, policy: FtPolicy, surface: Surface) -> f64 {
     let service = GemmService::<f64>::new(ServiceConfig {
         threads,
         max_batch,
@@ -33,16 +55,49 @@ fn run_once(threads: usize, max_batch: usize, policy: FtPolicy) -> f64 {
         .collect();
 
     let t0 = Instant::now();
-    let handles: Vec<_> = problems
-        .into_iter()
-        .map(|(a, b)| {
-            service
-                .submit(GemmRequest::new(a, b).with_policy(policy))
-                .expect("submit")
-        })
-        .collect();
-    for h in handles {
-        h.wait().expect("request failed");
+    match surface {
+        Surface::Sync => {
+            let handles: Vec<_> = problems
+                .into_iter()
+                .map(|(a, b)| {
+                    service
+                        .submit(GemmRequest::new(a, b).with_policy(policy))
+                        .expect("submit")
+                })
+                .collect();
+            for h in handles {
+                h.wait().expect("request failed");
+            }
+        }
+        Surface::Async => {
+            let futures: Vec<_> = problems
+                .into_iter()
+                .map(|(a, b)| {
+                    service
+                        .submit_async(GemmRequest::new(a, b).with_policy(policy))
+                        .expect("submit_async")
+                })
+                .collect();
+            let results = block_on_all(futures);
+            assert_eq!(results.len(), REQUESTS);
+            for r in results {
+                r.expect("request failed");
+            }
+        }
+        Surface::Streamed => {
+            let (sink, mut completions) = completion_channel::<f64>();
+            for (a, b) in problems {
+                service
+                    .submit_streamed(GemmRequest::new(a, b).with_policy(policy), &sink)
+                    .expect("submit_streamed");
+            }
+            let mut drained = 0;
+            while let Some(c) = completions.recv() {
+                c.result.expect("request failed");
+                drained += 1;
+            }
+            assert_eq!(drained, REQUESTS);
+        }
     }
     let elapsed = t0.elapsed().as_secs_f64();
     drop(service);
@@ -85,6 +140,37 @@ fn main() {
     }
     table.print();
     match table.write_csv(&args.out_dir, "serve_throughput") {
+        Ok(p) => println!("\nCSV written to {}", p.display()),
+        Err(e) => eprintln!("CSV write failed: {e}"),
+    }
+
+    // Second table: submission-surface overhead at a fixed coalescing limit.
+    const SURFACE_BATCH: usize = 32;
+    let mut surfaces = Table::new(
+        "Submit-surface overhead — requests/sec at max_batch 32 (higher is better)",
+        &["surface", "ft off", "ft on (DetectCorrect)"],
+    );
+    for (name, surface) in [
+        ("sync (submit + wait)", Surface::Sync),
+        ("async futures (block_on)", Surface::Async),
+        ("streamed (completion chan)", Surface::Streamed),
+    ] {
+        let best = |policy: FtPolicy| {
+            (0..args.reps.max(1))
+                .map(|_| run_surface(threads, SURFACE_BATCH, policy, surface))
+                .fold(0.0f64, f64::max)
+        };
+        let off = best(FtPolicy::Off);
+        let on = best(FtPolicy::DetectCorrect);
+        surfaces.row(vec![
+            name.to_string(),
+            format!("{off:.0}"),
+            format!("{on:.0}"),
+        ]);
+        eprintln!("surface '{name}' done");
+    }
+    surfaces.print();
+    match surfaces.write_csv(&args.out_dir, "serve_surfaces") {
         Ok(p) => println!("\nCSV written to {}", p.display()),
         Err(e) => eprintln!("CSV write failed: {e}"),
     }

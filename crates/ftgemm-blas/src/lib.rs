@@ -4,7 +4,7 @@
 //! modular redundancy) fault tolerance.
 //!
 //! FT-GEMM is built within the FT-BLAS framework (Zhai et al., ICS '21 —
-//! reference [4] of the paper), which splits routines by arithmetic
+//! reference \[4\] of the paper), which splits routines by arithmetic
 //! intensity: compute-bound GEMM gets ABFT checksums (see `ftgemm-abft`),
 //! while **memory-bound** Level-1/2 routines get DMR — every arithmetic
 //! result is computed twice and compared, and a mismatch triggers a

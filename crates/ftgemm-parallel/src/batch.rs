@@ -18,7 +18,8 @@ use crate::shared::SendPtr;
 use ftgemm_abft::{ft_gemm_with_ctx, FtConfig, FtError, FtGemmContext, FtReport, FtResult};
 use ftgemm_core::{GemmContext, MatMut, MatRef, Scalar};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 /// One GEMM problem inside a batch: `C = alpha*A*B + beta*C`.
 ///
@@ -73,6 +74,43 @@ impl<T: Scalar> BatchWorkspace<T> {
     }
 }
 
+/// Per-thread occupancy measurements of one batched parallel region,
+/// returned by [`par_batch_ft_gemm_timed`].
+///
+/// `thread_busy[t]` is the time pool thread `t` spent inside the region
+/// (from entering the region closure to exhausting the work cursor —
+/// i.e. workspace lock, item compute, and cursor traffic). With dynamic
+/// scheduling a thread that drew the one long item shows a busy time near
+/// `wall` while its peers finish early, so the spread of `thread_busy` is
+/// exactly the occupancy imbalance a serving layer wants to watch.
+#[derive(Debug, Clone, Default)]
+pub struct BatchTiming {
+    /// Wall time of the whole parallel region (region entry to barrier exit,
+    /// measured on the calling thread).
+    pub wall: Duration,
+    /// Busy time per pool thread, indexed by thread id (`len == nthreads`).
+    pub thread_busy: Vec<Duration>,
+}
+
+impl BatchTiming {
+    /// Summed busy time across threads.
+    pub fn busy_total(&self) -> Duration {
+        self.thread_busy.iter().sum()
+    }
+
+    /// Mean fraction of the region each thread spent busy:
+    /// `busy_total / (wall * nthreads)`, in `[0, 1]` up to timer noise.
+    /// `0.0` for an empty/degenerate region.
+    pub fn occupancy(&self) -> f64 {
+        let denom = self.wall.as_secs_f64() * self.thread_busy.len() as f64;
+        if denom <= 0.0 {
+            0.0
+        } else {
+            self.busy_total().as_secs_f64() / denom
+        }
+    }
+}
+
 /// Executes every item of `items` across the pool, one serial driver per
 /// item, and returns one `FtResult<FtReport>` per item (index-aligned).
 ///
@@ -84,11 +122,29 @@ pub fn par_batch_ft_gemm<T: Scalar>(
     ws: &BatchWorkspace<T>,
     items: &mut [BatchItem<'_, T>],
 ) -> Vec<FtResult<FtReport>> {
+    par_batch_ft_gemm_timed(ctx, ws, items).0
+}
+
+/// [`par_batch_ft_gemm`] plus per-thread occupancy measurement: returns the
+/// per-item results and a [`BatchTiming`] describing how evenly the batch
+/// loaded the pool. The instrumentation is two `Instant` reads per thread
+/// per region — negligible against any real batch.
+pub fn par_batch_ft_gemm_timed<T: Scalar>(
+    ctx: &ParGemmContext<T>,
+    ws: &BatchWorkspace<T>,
+    items: &mut [BatchItem<'_, T>],
+) -> (Vec<FtResult<FtReport>>, BatchTiming) {
     let n = items.len();
     let mut results: Vec<FtResult<FtReport>> = Vec::with_capacity(n);
     results.resize_with(n, || Ok(FtReport::default()));
     if n == 0 {
-        return results;
+        return (
+            results,
+            BatchTiming {
+                wall: Duration::ZERO,
+                thread_busy: vec![Duration::ZERO; ctx.nthreads()],
+            },
+        );
     }
     assert!(
         ws.slots.len() >= ctx.nthreads(),
@@ -100,7 +156,9 @@ pub fn par_batch_ft_gemm<T: Scalar>(
     let items_ptr = SendPtr(items.as_mut_ptr());
     let results_ptr = SendPtr(results.as_mut_ptr());
     let cursor = AtomicUsize::new(0);
+    let busy_ns: Vec<AtomicU64> = (0..ctx.nthreads()).map(|_| AtomicU64::new(0)).collect();
 
+    let region_start = Instant::now();
     ctx.pool().run(|w| {
         // Capture the SendPtr wrappers themselves, not their raw fields
         // (auto-capture of `.0` would capture the non-Send raw pointers).
@@ -108,6 +166,7 @@ pub fn par_batch_ft_gemm<T: Scalar>(
         let items_ptr = items_ptr;
         #[allow(clippy::redundant_locals)]
         let results_ptr = results_ptr;
+        let thread_start = Instant::now();
         let mut slot = ws.slots[w.tid].lock();
         loop {
             let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -141,9 +200,21 @@ pub fn par_batch_ft_gemm<T: Scalar>(
                 .map_err(FtError::Core),
             };
         }
+        busy_ns[w.tid].store(
+            thread_start.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+            Ordering::Relaxed,
+        );
     });
+    let wall = region_start.elapsed();
 
-    results
+    let timing = BatchTiming {
+        wall,
+        thread_busy: busy_ns
+            .iter()
+            .map(|ns| Duration::from_nanos(ns.load(Ordering::Relaxed)))
+            .collect(),
+    };
+    (results, timing)
 }
 
 #[cfg(test)]
@@ -340,5 +411,79 @@ mod tests {
         let ws = BatchWorkspace::new(&ctx);
         let mut items: Vec<BatchItem<'_, f64>> = Vec::new();
         assert!(par_batch_ft_gemm(&ctx, &ws, &mut items).is_empty());
+        let (_, timing) = par_batch_ft_gemm_timed(&ctx, &ws, &mut items);
+        assert_eq!(timing.thread_busy, vec![Duration::ZERO; 2]);
+        assert_eq!(timing.occupancy(), 0.0);
+    }
+
+    #[test]
+    fn single_thread_busy_tracks_wall() {
+        // With one thread the region closure runs inline on the caller, so
+        // its busy time and the region wall time bracket the same work: the
+        // busy sum must be ≈ the wall time (within scheduling overhead).
+        let ctx = ParGemmContext::<f64>::with_threads(1);
+        let ws = BatchWorkspace::new(&ctx);
+        let mut problems: Vec<_> = (0..6).map(|i| random_problem(96, 96, 96, 40 + i)).collect();
+        let cfg = FtConfig::default();
+        let mut items: Vec<BatchItem<'_, f64>> = problems
+            .iter_mut()
+            .map(|(a, b, c)| BatchItem {
+                alpha: 1.0,
+                a: a.as_ref(),
+                b: b.as_ref(),
+                beta: 0.0,
+                c: c.as_mut(),
+                cfg: Some(&cfg),
+            })
+            .collect();
+        let (results, timing) = par_batch_ft_gemm_timed(&ctx, &ws, &mut items);
+        drop(items);
+        assert!(results.iter().all(|r| r.is_ok()));
+        assert_eq!(timing.thread_busy.len(), 1);
+        assert!(timing.wall > Duration::ZERO);
+        assert!(timing.thread_busy[0] <= timing.wall);
+        assert!(
+            timing.busy_total() >= timing.wall / 2,
+            "busy {:?} vs wall {:?}",
+            timing.busy_total(),
+            timing.wall
+        );
+        assert!(timing.occupancy() > 0.0 && timing.occupancy() <= 1.0 + 1e-6);
+    }
+
+    #[test]
+    fn multi_thread_busy_bounded_by_wall() {
+        let ctx = ParGemmContext::<f64>::with_threads(4);
+        let ws = BatchWorkspace::new(&ctx);
+        let mut problems: Vec<_> = (0..16)
+            .map(|i| random_problem(64, 64, 64, 70 + i))
+            .collect();
+        let cfg = FtConfig::default();
+        let mut items: Vec<BatchItem<'_, f64>> = problems
+            .iter_mut()
+            .map(|(a, b, c)| BatchItem {
+                alpha: 1.0,
+                a: a.as_ref(),
+                b: b.as_ref(),
+                beta: 0.0,
+                c: c.as_mut(),
+                cfg: Some(&cfg),
+            })
+            .collect();
+        let (results, timing) = par_batch_ft_gemm_timed(&ctx, &ws, &mut items);
+        drop(items);
+        assert!(results.iter().all(|r| r.is_ok()));
+        assert_eq!(timing.thread_busy.len(), 4);
+        // Per-thread busy time cannot exceed the region wall time (small
+        // slack for clock granularity across threads).
+        let slack = Duration::from_millis(2);
+        for (t, busy) in timing.thread_busy.iter().enumerate() {
+            assert!(
+                *busy <= timing.wall + slack,
+                "thread {t}: {busy:?} > {:?}",
+                timing.wall
+            );
+        }
+        assert!(timing.busy_total() > Duration::ZERO);
     }
 }

@@ -31,7 +31,9 @@ mod par_ft_gemm;
 mod par_gemm;
 mod shared;
 
-pub use batch::{par_batch_ft_gemm, BatchItem, BatchWorkspace};
+pub use batch::{
+    par_batch_ft_gemm, par_batch_ft_gemm_timed, BatchItem, BatchTiming, BatchWorkspace,
+};
 pub use ctx::ParGemmContext;
 pub use par_ft_gemm::par_ft_gemm;
 pub use par_gemm::par_gemm;

@@ -7,8 +7,9 @@
 //! ## Architecture
 //!
 //! ```text
-//! submit() x N threads
-//!     │  round-robin over queue shards (uncontended submit path)
+//! submit() / submit_async() / submit_streamed()  x N threads
+//!     │  round-robin over queue shards (uncontended submit path;
+//!     │  bounded queue: sync parks, async gets Overloaded back)
 //!     ▼
 //! ShardedQueue ──► scheduler thread ──► route by problem size
 //!                                        │
@@ -21,7 +22,10 @@
 //!                 │  packed workspaces) ││
 //!                 └─────────────────────┘│     one persistent ThreadPool
 //!                                        ▼
-//!                            RequestHandle::wait() → GemmResponse
+//!                               fulfill: store + condvar + fire waker
+//!                                 │            │            │
+//!                    RequestHandle::wait   .await on     Completions
+//!                       (blocking)      AsyncRequestHandle  stream
 //! ```
 //!
 //! * **Batching.** Small GEMMs cannot amortize a parallel region each; the
@@ -29,13 +33,21 @@
 //!   *batch* across the pool ([`ftgemm_parallel::par_batch_ft_gemm`]), each
 //!   item running the serial fused-ABFT driver with that pool thread's
 //!   reused packed-buffer workspace.
+//! * **Three redemption surfaces, one scheduler.** `submit` returns a
+//!   blocking [`RequestHandle`] (condvar; `wait`/`try_wait`/`wait_timeout`),
+//!   `submit_async` returns an [`AsyncRequestHandle`] future (the fulfill
+//!   path fires the task's waker — zero parked threads per request, any
+//!   executor), and `submit_streamed` forwards results into a
+//!   [`completion_channel`] drained blocking or async.
 //! * **Per-request fault tolerance.** Every request carries an [`FtPolicy`]
 //!   (`Off` / `Detect` / `DetectCorrect`) mapped onto the paper's
 //!   [`FtConfig`](ftgemm_abft::FtConfig); each response carries its own
 //!   [`FtReport`](ftgemm_abft::FtReport).
 //! * **Observability.** [`GemmService::stats`] reports throughput, queue
-//!   depth, batch occupancy, corrected-error counters, and worker-pool
-//!   activity ([`ftgemm_pool::PoolStats`]).
+//!   depth, batch occupancy, per-surface submission counts, live async
+//!   futures, per-thread batch busy time (occupancy imbalance),
+//!   corrected-error counters, and worker-pool activity
+//!   ([`ftgemm_pool::PoolStats`]).
 //!
 //! ## Example
 //!
@@ -56,26 +68,55 @@
 //! assert_eq!(resp.c.nrows(), 48);
 //! assert_eq!(resp.report.detected, 0);
 //! ```
+//!
+//! Draining a burst through a completion channel (no thread parked per
+//! request; the same stream also has an async `next()`):
+//!
+//! ```
+//! use ftgemm_core::Matrix;
+//! use ftgemm_serve::{completion_channel, GemmRequest, GemmService, ServiceConfig};
+//!
+//! let service = GemmService::<f64>::new(ServiceConfig {
+//!     threads: 2,
+//!     ..ServiceConfig::default()
+//! });
+//! let (sink, mut completions) = completion_channel::<f64>();
+//! for seed in 0..8 {
+//!     let a = Matrix::<f64>::random(24, 16, seed);
+//!     let b = Matrix::<f64>::random(16, 20, seed + 100);
+//!     service.submit_streamed(GemmRequest::new(a, b), &sink).unwrap();
+//! }
+//! let mut done = 0;
+//! while let Some(completion) = completions.recv() {
+//!     assert!(completion.result.is_ok());
+//!     done += 1;
+//! }
+//! assert_eq!(done, 8);
+//! ```
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod exec;
 mod handle;
 mod policy;
 mod queue;
 mod request;
 mod service;
 mod stats;
+mod stream;
 
-pub use handle::RequestHandle;
+pub use handle::{AsyncRequestHandle, RequestHandle};
 pub use policy::FtPolicy;
 pub use request::{GemmRequest, GemmResponse, ServeError};
 pub use service::{GemmService, ServiceConfig};
 pub use stats::StatsSnapshot;
+pub use stream::{completion_channel, Completion, CompletionSink, Completions, Next};
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::block_on;
     use ftgemm_core::reference::naive_gemm;
     use ftgemm_core::Matrix;
 
@@ -173,5 +214,146 @@ mod tests {
             .run(GemmRequest::new(a, b).with_policy(FtPolicy::Off))
             .unwrap();
         assert_eq!(resp.report, Default::default());
+    }
+
+    #[test]
+    fn async_round_trip_matches_reference() {
+        let service = tiny_service();
+        let a = Matrix::<f64>::random(20, 12, 11);
+        let b = Matrix::<f64>::random(12, 16, 12);
+        let mut expected = Matrix::<f64>::zeros(20, 16);
+        naive_gemm(1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut expected.as_mut());
+
+        let fut = service.submit_async(GemmRequest::new(a, b)).unwrap();
+        let resp = block_on(fut).unwrap();
+        assert!(resp.c.rel_max_diff(&expected) < 1e-12);
+
+        let snap = service.stats();
+        assert_eq!(snap.submitted_async, 1);
+        assert_eq!(snap.submitted_sync, 0);
+        assert_eq!(snap.in_flight_async, 0, "future resolved, gauge released");
+    }
+
+    #[test]
+    fn many_concurrent_async_requests_resolve() {
+        let service = tiny_service();
+        let mut futures = Vec::new();
+        for i in 0..24u64 {
+            let a = Matrix::<f64>::random(16, 16, i);
+            let b = Matrix::<f64>::random(16, 16, i + 500);
+            futures.push(service.submit_async(GemmRequest::new(a, b)).unwrap());
+        }
+        assert_eq!(service.stats().submitted_async, 24);
+        for fut in futures {
+            block_on(fut).unwrap();
+        }
+        let snap = service.stats();
+        assert_eq!(snap.completed, 24);
+        assert_eq!(snap.in_flight_async, 0);
+    }
+
+    #[test]
+    fn dropped_async_future_still_runs_request() {
+        let service = tiny_service();
+        let a = Matrix::<f64>::random(12, 12, 1);
+        let b = Matrix::<f64>::random(12, 12, 2);
+        let fut = service.submit_async(GemmRequest::new(a, b)).unwrap();
+        assert_eq!(service.stats().in_flight_async, 1);
+        drop(fut);
+        assert_eq!(service.stats().in_flight_async, 0);
+        let stats = service.shutdown(); // drains the still-queued request
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn submit_surfaces_counted_separately() {
+        let service = tiny_service();
+        let (sink, mut completions) = completion_channel::<f64>();
+        let mk = |s: u64| {
+            (
+                Matrix::<f64>::random(10, 10, s),
+                Matrix::<f64>::random(10, 10, s + 50),
+            )
+        };
+        let (a, b) = mk(1);
+        let h = service.submit(GemmRequest::new(a, b)).unwrap();
+        let (a, b) = mk(2);
+        let fut = service.submit_async(GemmRequest::new(a, b)).unwrap();
+        let (a, b) = mk(3);
+        service
+            .submit_streamed(GemmRequest::new(a, b), &sink)
+            .unwrap();
+
+        h.wait().unwrap();
+        block_on(fut).unwrap();
+        assert!(completions.recv().unwrap().result.is_ok());
+        assert!(completions.recv().is_none());
+
+        let snap = service.stats();
+        assert_eq!(snap.submitted, 3);
+        assert_eq!(snap.submitted_sync, 1);
+        assert_eq!(snap.submitted_async, 1);
+        assert_eq!(snap.submitted_streamed, 1);
+    }
+
+    #[test]
+    fn async_submit_rejects_shape_error_without_leaking_gauge() {
+        // Shutdown consumes the service, so submit-after-close is not
+        // reachable from safe code (the Closed mapping is covered at the
+        // queue level); what *is* reachable synchronously is shape
+        // rejection, which must not leave the in-flight gauge bumped.
+        let service = tiny_service();
+        let bad = GemmRequest {
+            alpha: 1.0f64,
+            a: Matrix::zeros(4, 4),
+            b: Matrix::zeros(3, 4), // k mismatch
+            beta: 0.0,
+            c: Matrix::zeros(4, 4),
+            policy: FtPolicy::Off,
+            injector: None,
+        };
+        assert!(matches!(
+            service.submit_async(bad),
+            Err(ServeError::Shape(_))
+        ));
+        let snap = service.stats();
+        assert_eq!(snap.submitted_async, 0);
+        assert_eq!(snap.in_flight_async, 0);
+    }
+
+    #[test]
+    fn batch_busy_time_tracks_region_wall() {
+        // One pool thread: the batch region runs inline, so the summed
+        // per-thread busy time must account for most of the summed region
+        // wall time (the remainder is region publish/join overhead).
+        let service = GemmService::<f64>::new(ServiceConfig {
+            threads: 1,
+            max_batch: 8,
+            ..ServiceConfig::default()
+        });
+        let mut handles = Vec::new();
+        for i in 0..16u64 {
+            let a = Matrix::<f64>::random(64, 64, i);
+            let b = Matrix::<f64>::random(64, 64, i + 900);
+            handles.push(service.submit(GemmRequest::new(a, b)).unwrap());
+        }
+        for h in handles {
+            h.wait().unwrap();
+        }
+        let snap = service.stats();
+        assert_eq!(snap.batch_busy_per_thread.len(), 1);
+        let busy: std::time::Duration = snap.batch_busy_per_thread.iter().sum();
+        assert!(busy > std::time::Duration::ZERO);
+        assert!(
+            busy <= snap.batch_wall,
+            "busy {busy:?} > wall {:?}",
+            snap.batch_wall
+        );
+        assert!(
+            busy >= snap.batch_wall / 2,
+            "busy {busy:?} vs wall {:?}",
+            snap.batch_wall
+        );
+        assert!(snap.batch_thread_occupancy > 0.0 && snap.batch_thread_occupancy <= 1.0 + 1e-6);
     }
 }

@@ -1,9 +1,17 @@
-//! Sharded MPMC submission queue.
+//! Sharded MPMC submission queue with optional bounded capacity.
 //!
 //! Submitters spread envelopes over `shards` independent locks
 //! (round-robin), so concurrent `submit` calls from many frontend threads
 //! do not serialize on one mutex. The scheduler drains all shards; a global
 //! depth counter plus one condvar provide blocking-when-idle semantics.
+//!
+//! Backpressure: when constructed with a capacity, the queue exposes both
+//! park-on-full ([`push`](ShardedQueue::push), for synchronous submitters
+//! that may block) and fail-fast ([`try_push`](ShardedQueue::try_push), for
+//! async submitters that must never block — a full queue comes back as
+//! [`PushError::Full`] so the frontend can shed or retry). The capacity is a
+//! *soft* bound: concurrent producers that pass the admission check together
+//! may overshoot it by at most the number of in-flight `push` calls.
 
 use crate::handle::ResponseSlot;
 use crate::request::GemmRequest;
@@ -24,31 +32,50 @@ pub(crate) struct Envelope<T: Scalar> {
     pub submitted: Instant,
 }
 
+/// Why a push was rejected (the envelope is dropped — its response slot
+/// never fulfills, and the submit path reports the error synchronously).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PushError {
+    /// The queue no longer accepts work (service shutting down).
+    Closed,
+    /// The queue is at capacity (only from [`ShardedQueue::try_push`]).
+    Full,
+}
+
 pub(crate) struct ShardedQueue<T: Scalar> {
     shards: Vec<Mutex<VecDeque<Envelope<T>>>>,
     /// Round-robin cursor for shard selection on push.
     rr: AtomicUsize,
     /// Total queued envelopes across shards.
     depth: AtomicUsize,
+    /// Soft depth bound (`usize::MAX` = unbounded).
+    capacity: usize,
     /// Monotonic request id source.
     next_id: AtomicU64,
     closed: AtomicBool,
     /// Wakeup for the (single) scheduler thread.
     wake_lock: Mutex<()>,
     wake: Condvar,
+    /// Wakeup for producers parked on a full queue.
+    space_lock: Mutex<()>,
+    space: Condvar,
 }
 
 impl<T: Scalar> ShardedQueue<T> {
-    pub(crate) fn new(shards: usize) -> Self {
+    /// `capacity == 0` means unbounded.
+    pub(crate) fn new(shards: usize, capacity: usize) -> Self {
         assert!(shards >= 1, "queue needs at least one shard");
         ShardedQueue {
             shards: (0..shards).map(|_| Mutex::new(VecDeque::new())).collect(),
             rr: AtomicUsize::new(0),
             depth: AtomicUsize::new(0),
+            capacity: if capacity == 0 { usize::MAX } else { capacity },
             next_id: AtomicU64::new(0),
             closed: AtomicBool::new(false),
             wake_lock: Mutex::new(()),
             wake: Condvar::new(),
+            space_lock: Mutex::new(()),
+            space: Condvar::new(),
         }
     }
 
@@ -57,12 +84,9 @@ impl<T: Scalar> ShardedQueue<T> {
         self.next_id.fetch_add(1, Ordering::Relaxed)
     }
 
-    /// Enqueues an envelope; hands it back (boxed — the rejection path is
-    /// cold and the envelope is large) if the queue is closed.
-    pub(crate) fn push(&self, env: Envelope<T>) -> Result<(), Box<Envelope<T>>> {
-        if self.closed.load(Ordering::Acquire) {
-            return Err(Box::new(env));
-        }
+    /// Inserts the envelope into a shard and wakes the scheduler. Callers
+    /// have already passed the closed/capacity admission checks.
+    fn insert(&self, env: Envelope<T>) {
         let shard = self.rr.fetch_add(1, Ordering::Relaxed) % self.shards.len();
         let prev_depth = {
             // Increment depth while the shard lock is held: pop_batch
@@ -83,6 +107,41 @@ impl<T: Scalar> ShardedQueue<T> {
             let _g = self.wake_lock.lock();
             self.wake.notify_all();
         }
+    }
+
+    /// Enqueues an envelope, parking the caller while the queue is at
+    /// capacity (synchronous submit surface). Fails only when closed.
+    pub(crate) fn push(&self, env: Envelope<T>) -> Result<(), PushError> {
+        loop {
+            if self.closed.load(Ordering::Acquire) {
+                return Err(PushError::Closed);
+            }
+            if self.depth.load(Ordering::Acquire) < self.capacity {
+                self.insert(env);
+                return Ok(());
+            }
+            // Park until the scheduler drains something. Re-check the
+            // predicate under space_lock: pop_batch notifies under the same
+            // lock after decrementing depth, so the wait cannot miss it.
+            let mut guard = self.space_lock.lock();
+            if self.depth.load(Ordering::Acquire) >= self.capacity
+                && !self.closed.load(Ordering::Acquire)
+            {
+                self.space.wait(&mut guard);
+            }
+        }
+    }
+
+    /// Non-blocking enqueue for async submitters: a full queue comes back
+    /// immediately as [`PushError::Full`] instead of parking the caller.
+    pub(crate) fn try_push(&self, env: Envelope<T>) -> Result<(), PushError> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(PushError::Closed);
+        }
+        if self.depth.load(Ordering::Acquire) >= self.capacity {
+            return Err(PushError::Full);
+        }
+        self.insert(env);
         Ok(())
     }
 
@@ -109,6 +168,11 @@ impl<T: Scalar> ShardedQueue<T> {
                 break;
             }
         }
+        // Space opened up: release producers parked on a full queue.
+        if self.capacity != usize::MAX && !out.is_empty() {
+            let _g = self.space_lock.lock();
+            self.space.notify_all();
+        }
         out
     }
 
@@ -132,12 +196,17 @@ impl<T: Scalar> ShardedQueue<T> {
         }
     }
 
-    /// Marks the queue closed and wakes the scheduler. Envelopes already
-    /// queued remain poppable so shutdown can drain them.
+    /// Marks the queue closed and wakes the scheduler plus any parked
+    /// producers. Envelopes already queued remain poppable so shutdown can
+    /// drain them.
     pub(crate) fn close(&self) {
         self.closed.store(true, Ordering::Release);
-        let _g = self.wake_lock.lock();
-        self.wake.notify_all();
+        {
+            let _g = self.wake_lock.lock();
+            self.wake.notify_all();
+        }
+        let _g = self.space_lock.lock();
+        self.space.notify_all();
     }
 
     #[cfg(test)]
@@ -165,7 +234,7 @@ mod tests {
 
     #[test]
     fn push_pop_preserves_count_and_order_ids() {
-        let q = ShardedQueue::<f64>::new(3);
+        let q = ShardedQueue::<f64>::new(3, 0);
         for _ in 0..10 {
             q.push(env(&q)).map_err(|_| ()).unwrap();
         }
@@ -183,18 +252,19 @@ mod tests {
 
     #[test]
     fn close_rejects_new_work_but_drains_old() {
-        let q = ShardedQueue::<f64>::new(2);
+        let q = ShardedQueue::<f64>::new(2, 0);
         q.push(env(&q)).map_err(|_| ()).unwrap();
         q.close();
         assert!(q.is_closed());
-        assert!(q.push(env(&q)).is_err());
+        assert!(matches!(q.push(env(&q)), Err(PushError::Closed)));
+        assert!(matches!(q.try_push(env(&q)), Err(PushError::Closed)));
         assert_eq!(q.pop_batch(8).len(), 1);
         assert!(!q.wait_nonempty());
     }
 
     #[test]
     fn wait_wakes_on_push() {
-        let q = Arc::new(ShardedQueue::<f64>::new(2));
+        let q = Arc::new(ShardedQueue::<f64>::new(2, 0));
         let q2 = Arc::clone(&q);
         let waiter = std::thread::spawn(move || q2.wait_nonempty());
         std::thread::sleep(std::time::Duration::from_millis(20));
@@ -204,11 +274,52 @@ mod tests {
 
     #[test]
     fn wait_wakes_on_close() {
-        let q = Arc::new(ShardedQueue::<f64>::new(1));
+        let q = Arc::new(ShardedQueue::<f64>::new(1, 0));
         let q2 = Arc::clone(&q);
         let waiter = std::thread::spawn(move || q2.wait_nonempty());
         std::thread::sleep(std::time::Duration::from_millis(20));
         q.close();
         assert!(!waiter.join().unwrap());
+    }
+
+    #[test]
+    fn try_push_fails_fast_at_capacity() {
+        let q = ShardedQueue::<f64>::new(2, 2);
+        q.try_push(env(&q)).map_err(|_| ()).unwrap();
+        q.try_push(env(&q)).map_err(|_| ()).unwrap();
+        assert!(matches!(q.try_push(env(&q)), Err(PushError::Full)));
+        // Draining reopens admission.
+        assert_eq!(q.pop_batch(1).len(), 1);
+        assert!(q.try_push(env(&q)).is_ok());
+    }
+
+    #[test]
+    fn blocking_push_parks_until_drained() {
+        let q = Arc::new(ShardedQueue::<f64>::new(1, 1));
+        q.push(env(&q)).map_err(|_| ()).unwrap();
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || {
+            let e = env(&q2);
+            q2.push(e).map_err(|_| ()).unwrap(); // parks: queue is full
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.depth(), 1, "producer still parked");
+        assert_eq!(q.pop_batch(1).len(), 1); // frees a slot, wakes producer
+        producer.join().unwrap();
+        assert_eq!(q.depth(), 1);
+    }
+
+    #[test]
+    fn close_unparks_blocked_producer() {
+        let q = Arc::new(ShardedQueue::<f64>::new(1, 1));
+        q.push(env(&q)).map_err(|_| ()).unwrap();
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || {
+            let e = env(&q2);
+            matches!(q2.push(e), Err(PushError::Closed))
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert!(producer.join().unwrap());
     }
 }

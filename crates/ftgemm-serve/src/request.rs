@@ -114,6 +114,9 @@ pub enum ServeError {
     Ft(FtError),
     /// The service is shutting down and no longer accepts or completes work.
     Closed,
+    /// The submission queue is at capacity and the caller asked not to
+    /// block (async submit surface). Shed load or retry later.
+    Overloaded,
 }
 
 impl std::fmt::Display for ServeError {
@@ -122,6 +125,7 @@ impl std::fmt::Display for ServeError {
             ServeError::Shape(detail) => write!(f, "shape mismatch: {detail}"),
             ServeError::Ft(e) => write!(f, "fault-tolerant driver error: {e}"),
             ServeError::Closed => write!(f, "service closed"),
+            ServeError::Overloaded => write!(f, "submission queue at capacity"),
         }
     }
 }

@@ -1,13 +1,14 @@
 //! The service: scheduler thread, routing, batching, and lifecycle.
 
-use crate::handle::RequestHandle;
-use crate::queue::{Envelope, ShardedQueue};
+use crate::handle::{AsyncRequestHandle, RequestHandle, ResponseSlot};
+use crate::queue::{Envelope, PushError, ShardedQueue};
 use crate::request::{GemmRequest, GemmResponse, ServeError};
 use crate::stats::{ServiceStats, StatsSnapshot};
+use crate::stream::CompletionSink;
 use ftgemm_abft::{FtReport, FtResult};
 use ftgemm_core::Scalar;
 use ftgemm_parallel::{
-    par_batch_ft_gemm, par_ft_gemm, par_gemm, BatchItem, BatchWorkspace, ParGemmContext,
+    par_batch_ft_gemm_timed, par_ft_gemm, par_gemm, BatchItem, BatchWorkspace, ParGemmContext,
 };
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -29,6 +30,14 @@ pub struct ServiceConfig {
     /// The default (`2 * 192^3`) is roughly where one GEMM starts having
     /// enough row-panels to feed every core of a desktop part on its own.
     pub small_flops_cutoff: u64,
+    /// Submission-queue depth bound (`0` = unbounded, the default). When
+    /// set, blocking [`submit`](GemmService::submit) calls park until the
+    /// scheduler drains space, while the non-blocking async surfaces
+    /// ([`submit_async`](GemmService::submit_async),
+    /// [`submit_streamed`](GemmService::submit_streamed)) fail fast with
+    /// [`ServeError::Overloaded`] so frontends can shed load. The bound is
+    /// soft under concurrency (overshoot ≤ concurrent submitters).
+    pub queue_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -38,6 +47,7 @@ impl Default for ServiceConfig {
             queue_shards: 4,
             max_batch: 32,
             small_flops_cutoff: 2 * 192 * 192 * 192,
+            queue_capacity: 0,
         }
     }
 }
@@ -53,6 +63,13 @@ struct Inner<T: Scalar> {
 /// small problems into batched parallel regions, routes large problems to
 /// the matrix-parallel fused-ABFT driver, and honors a per-request
 /// [`FtPolicy`](crate::FtPolicy).
+///
+/// Three submit surfaces share one scheduler:
+/// [`submit`](GemmService::submit) (blocking condvar handle),
+/// [`submit_async`](GemmService::submit_async) (waker-based future — no
+/// parked thread per request), and
+/// [`submit_streamed`](GemmService::submit_streamed) (results forwarded
+/// into a [`completion_channel`](crate::completion_channel)).
 ///
 /// One dedicated scheduler thread drains the sharded queue; all compute
 /// runs on the service's persistent worker pool. Dropping the service (or
@@ -80,8 +97,8 @@ impl<T: Scalar> GemmService<T> {
             ParGemmContext::<T>::with_threads(config.threads)
         };
         let inner = Arc::new(Inner {
-            queue: ShardedQueue::new(config.queue_shards),
-            stats: ServiceStats::new(),
+            queue: ShardedQueue::new(config.queue_shards, config.queue_capacity),
+            stats: ServiceStats::new(ctx.nthreads()),
             config,
             ctx,
         });
@@ -99,7 +116,11 @@ impl<T: Scalar> GemmService<T> {
     /// Submits a request; returns a handle redeemable for the result.
     ///
     /// Shape errors are rejected here, synchronously; everything else is
-    /// reported through the handle.
+    /// reported through the handle. With a bounded queue
+    /// ([`ServiceConfig::queue_capacity`]), this call parks until space
+    /// opens up — use [`submit_async`](GemmService::submit_async) or
+    /// [`submit_streamed`](GemmService::submit_streamed) for surfaces that
+    /// never block.
     pub fn submit(&self, req: GemmRequest<T>) -> Result<RequestHandle<T>, ServeError> {
         req.validate()?;
         let id = self.inner.queue.next_id();
@@ -112,7 +133,88 @@ impl<T: Scalar> GemmService<T> {
         };
         self.inner.queue.push(env).map_err(|_| ServeError::Closed)?;
         self.inner.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .stats
+            .submitted_sync
+            .fetch_add(1, Ordering::Relaxed);
         Ok(handle)
+    }
+
+    /// Submits a request and returns a [`Future`](std::future::Future)
+    /// resolving to its result — no thread is parked per in-flight request
+    /// (the scheduler's fulfill path fires the task's waker directly).
+    ///
+    /// Never blocks: with a bounded queue
+    /// ([`ServiceConfig::queue_capacity`]) a full queue is reported
+    /// immediately as [`ServeError::Overloaded`] instead of parking, so an
+    /// async frontend can shed load or retry on its own schedule. Shape
+    /// errors and shutdown are likewise rejected synchronously.
+    ///
+    /// The returned future is executor-agnostic; see
+    /// `examples/async_serving.rs` for a hand-rolled `block_on` driving
+    /// hundreds of these concurrently from one thread.
+    pub fn submit_async(&self, req: GemmRequest<T>) -> Result<AsyncRequestHandle<T>, ServeError> {
+        req.validate()?;
+        let id = self.inner.queue.next_id();
+        let (handle, slot) =
+            AsyncRequestHandle::pair(id, Arc::clone(&self.inner.stats.in_flight_async));
+        let env = Envelope {
+            req,
+            slot,
+            id,
+            submitted: Instant::now(),
+        };
+        // On rejection the handle drops here, releasing the in-flight gauge.
+        self.inner.queue.try_push(env).map_err(|e| match e {
+            PushError::Full => ServeError::Overloaded,
+            PushError::Closed => ServeError::Closed,
+        })?;
+        self.inner.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .stats
+            .submitted_async
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(handle)
+    }
+
+    /// Submits a request whose result is delivered into a completion
+    /// channel ([`completion_channel`](crate::completion_channel)) instead
+    /// of a per-request handle; returns the request id used to tag the
+    /// completion. Like [`submit_async`](GemmService::submit_async) this
+    /// never blocks — a full bounded queue is [`ServeError::Overloaded`].
+    ///
+    /// One channel can absorb completions from any number of submissions
+    /// (across threads and even across services), which makes it the
+    /// cheapest way to drain a large burst: one drain loop, zero parked
+    /// threads per request.
+    pub fn submit_streamed(
+        &self,
+        req: GemmRequest<T>,
+        sink: &CompletionSink<T>,
+    ) -> Result<u64, ServeError> {
+        req.validate()?;
+        let id = self.inner.queue.next_id();
+        let slot = ResponseSlot::forwarding(id, sink.clone());
+        sink.register();
+        let env = Envelope {
+            req,
+            slot,
+            id,
+            submitted: Instant::now(),
+        };
+        self.inner.queue.try_push(env).map_err(|e| {
+            sink.unregister();
+            match e {
+                PushError::Full => ServeError::Overloaded,
+                PushError::Closed => ServeError::Closed,
+            }
+        })?;
+        self.inner.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .stats
+            .submitted_streamed
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(id)
     }
 
     /// Convenience: submit and block for the result.
@@ -271,8 +373,9 @@ fn run_batch<T: Scalar>(
             }
         })
         .collect();
-    let results = par_batch_ft_gemm(&inner.ctx, workspace, &mut items);
+    let (results, timing) = par_batch_ft_gemm_timed(&inner.ctx, workspace, &mut items);
     drop(items);
+    inner.stats.absorb_batch_timing(&timing);
 
     for (env, result) in envs.into_iter().zip(results) {
         finish(inner, env.slot, env.req.c, result, env.submitted, true);

@@ -1,8 +1,10 @@
 //! Service-level counters and derived metrics.
 
 use ftgemm_abft::FtReport;
+use ftgemm_parallel::BatchTiming;
 use ftgemm_pool::PoolStats;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Lock-free counters updated by the submit path and the scheduler.
@@ -10,6 +12,15 @@ use std::time::{Duration, Instant};
 pub(crate) struct ServiceStats {
     started: Instant,
     pub submitted: AtomicU64,
+    /// Requests accepted through the blocking `submit` surface.
+    pub submitted_sync: AtomicU64,
+    /// Requests accepted through `submit_async` (waker-based futures).
+    pub submitted_async: AtomicU64,
+    /// Requests accepted through `submit_streamed` (completion channel).
+    pub submitted_streamed: AtomicU64,
+    /// Live `AsyncRequestHandle` futures (gauge, not a counter); shared
+    /// with every handle via `Arc` so drops decrement it from anywhere.
+    pub in_flight_async: Arc<AtomicU64>,
     pub completed: AtomicU64,
     pub failed: AtomicU64,
     /// Coalesced parallel regions executed on the batched path.
@@ -24,13 +35,23 @@ pub(crate) struct ServiceStats {
     pub retried_panels: AtomicU64,
     /// Summed submit→completion latency, nanoseconds.
     pub turnaround_ns: AtomicU64,
+    /// Summed wall time of batched parallel regions, nanoseconds.
+    pub batch_wall_ns: AtomicU64,
+    /// Summed per-pool-thread busy time inside batched regions, indexed by
+    /// pool thread id. The spread across threads is the batch-path
+    /// occupancy imbalance.
+    pub batch_busy_ns: Vec<AtomicU64>,
 }
 
 impl ServiceStats {
-    pub(crate) fn new() -> Self {
+    pub(crate) fn new(nthreads: usize) -> Self {
         ServiceStats {
             started: Instant::now(),
             submitted: AtomicU64::new(0),
+            submitted_sync: AtomicU64::new(0),
+            submitted_async: AtomicU64::new(0),
+            submitted_streamed: AtomicU64::new(0),
+            in_flight_async: Arc::new(AtomicU64::new(0)),
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             batches: AtomicU64::new(0),
@@ -41,6 +62,8 @@ impl ServiceStats {
             injected: AtomicU64::new(0),
             retried_panels: AtomicU64::new(0),
             turnaround_ns: AtomicU64::new(0),
+            batch_wall_ns: AtomicU64::new(0),
+            batch_busy_ns: (0..nthreads).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
@@ -56,14 +79,41 @@ impl ServiceStats {
             .fetch_add(report.retried_panels as u64, Ordering::Relaxed);
     }
 
+    /// Folds one batched region's occupancy measurements into the
+    /// accumulated batch-path load metrics.
+    pub(crate) fn absorb_batch_timing(&self, timing: &BatchTiming) {
+        self.batch_wall_ns.fetch_add(
+            timing.wall.as_nanos().min(u64::MAX as u128) as u64,
+            Ordering::Relaxed,
+        );
+        for (slot, busy) in self.batch_busy_ns.iter().zip(&timing.thread_busy) {
+            slot.fetch_add(
+                busy.as_nanos().min(u64::MAX as u128) as u64,
+                Ordering::Relaxed,
+            );
+        }
+    }
+
     pub(crate) fn snapshot(&self, queue_depth: usize, pool: PoolStats) -> StatsSnapshot {
         let completed = self.completed.load(Ordering::Relaxed);
         let failed = self.failed.load(Ordering::Relaxed);
         let batches = self.batches.load(Ordering::Relaxed);
         let batched_requests = self.batched_requests.load(Ordering::Relaxed);
         let uptime = self.started.elapsed();
+        let batch_wall = Duration::from_nanos(self.batch_wall_ns.load(Ordering::Relaxed));
+        let batch_busy_per_thread: Vec<Duration> = self
+            .batch_busy_ns
+            .iter()
+            .map(|ns| Duration::from_nanos(ns.load(Ordering::Relaxed)))
+            .collect();
+        let busy_total: Duration = batch_busy_per_thread.iter().sum();
+        let occupancy_denom = batch_wall.as_secs_f64() * batch_busy_per_thread.len() as f64;
         StatsSnapshot {
             submitted: self.submitted.load(Ordering::Relaxed),
+            submitted_sync: self.submitted_sync.load(Ordering::Relaxed),
+            submitted_async: self.submitted_async.load(Ordering::Relaxed),
+            submitted_streamed: self.submitted_streamed.load(Ordering::Relaxed),
+            in_flight_async: self.in_flight_async.load(Ordering::Relaxed),
             completed,
             failed,
             batches,
@@ -86,16 +136,33 @@ impl ServiceStats {
                 .load(Ordering::Relaxed)
                 .checked_div(completed + failed)
                 .map_or(Duration::ZERO, Duration::from_nanos),
+            batch_wall,
+            batch_busy_per_thread,
+            batch_thread_occupancy: if occupancy_denom <= 0.0 {
+                0.0
+            } else {
+                busy_total.as_secs_f64() / occupancy_denom
+            },
             pool,
         }
     }
 }
 
 /// Point-in-time view of a service's activity.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct StatsSnapshot {
-    /// Requests accepted by `submit`.
+    /// Requests accepted across all submit surfaces.
     pub submitted: u64,
+    /// Requests accepted via blocking [`submit`](crate::GemmService::submit).
+    pub submitted_sync: u64,
+    /// Requests accepted via
+    /// [`submit_async`](crate::GemmService::submit_async).
+    pub submitted_async: u64,
+    /// Requests accepted via
+    /// [`submit_streamed`](crate::GemmService::submit_streamed).
+    pub submitted_streamed: u64,
+    /// Async futures currently alive (neither resolved nor dropped).
+    pub in_flight_async: u64,
     /// Requests completed successfully.
     pub completed: u64,
     /// Requests completed with an error.
@@ -124,6 +191,16 @@ pub struct StatsSnapshot {
     pub mean_batch_occupancy: f64,
     /// Mean submit→completion latency.
     pub mean_turnaround: Duration,
+    /// Summed wall time of all batched parallel regions.
+    pub batch_wall: Duration,
+    /// Summed busy time per pool thread inside batched regions (index =
+    /// pool thread id). A wide spread means the dynamic item cursor is
+    /// leaving threads idle behind long items.
+    pub batch_busy_per_thread: Vec<Duration>,
+    /// Mean fraction of batched-region time each thread spent busy:
+    /// `sum(batch_busy_per_thread) / (batch_wall * nthreads)`, in `[0, 1]`
+    /// up to timer noise; `0.0` before any batch has run.
+    pub batch_thread_occupancy: f64,
     /// Worker-pool activity (regions, barrier crossings).
     pub pool: PoolStats,
 }
@@ -134,7 +211,7 @@ mod tests {
 
     #[test]
     fn snapshot_derives_rates() {
-        let s = ServiceStats::new();
+        let s = ServiceStats::new(2);
         s.submitted.store(10, Ordering::Relaxed);
         s.completed.store(8, Ordering::Relaxed);
         s.batches.store(2, Ordering::Relaxed);
@@ -146,11 +223,12 @@ mod tests {
         assert!(snap.requests_per_sec > 0.0);
         assert!((snap.mean_batch_occupancy - 3.0).abs() < 1e-12);
         assert_eq!(snap.mean_turnaround, Duration::from_nanos(1_000_000));
+        assert_eq!(snap.batch_thread_occupancy, 0.0, "no timing absorbed yet");
     }
 
     #[test]
     fn absorb_report_accumulates() {
-        let s = ServiceStats::new();
+        let s = ServiceStats::new(1);
         s.absorb_report(&FtReport {
             verifications: 4,
             detected: 2,
@@ -164,5 +242,26 @@ mod tests {
         assert_eq!(snap.corrected, 2);
         assert_eq!(snap.injected, 3);
         assert_eq!(snap.retried_panels, 1);
+    }
+
+    #[test]
+    fn absorb_batch_timing_accumulates_per_thread() {
+        let s = ServiceStats::new(2);
+        s.absorb_batch_timing(&BatchTiming {
+            wall: Duration::from_millis(10),
+            thread_busy: vec![Duration::from_millis(9), Duration::from_millis(7)],
+        });
+        s.absorb_batch_timing(&BatchTiming {
+            wall: Duration::from_millis(10),
+            thread_busy: vec![Duration::from_millis(10), Duration::from_millis(6)],
+        });
+        let snap = s.snapshot(0, PoolStats::default());
+        assert_eq!(snap.batch_wall, Duration::from_millis(20));
+        assert_eq!(
+            snap.batch_busy_per_thread,
+            vec![Duration::from_millis(19), Duration::from_millis(13)]
+        );
+        // 32ms busy over 20ms * 2 threads = 0.8 occupancy.
+        assert!((snap.batch_thread_occupancy - 0.8).abs() < 1e-9);
     }
 }

@@ -124,6 +124,26 @@ impl Condvar {
         guard.guard = Some(reacquired);
     }
 
+    /// Blocks until notified or until `timeout` elapses; the guard is
+    /// released while waiting and re-acquired before returning. Mirrors
+    /// `parking_lot::Condvar::wait_for`.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let std_guard = guard.guard.take().expect("guard present");
+        let (reacquired, timed_out) = match self.inner.wait_timeout(std_guard, timeout) {
+            Ok((g, r)) => (g, r.timed_out()),
+            Err(poisoned) => {
+                let (g, r) = poisoned.into_inner();
+                (g, r.timed_out())
+            }
+        };
+        guard.guard = Some(reacquired);
+        WaitTimeoutResult { timed_out }
+    }
+
     /// Wakes one waiting thread.
     pub fn notify_one(&self) {
         self.inner.notify_one();
@@ -138,6 +158,20 @@ impl Condvar {
 impl Default for Condvar {
     fn default() -> Self {
         Condvar::new()
+    }
+}
+
+/// Outcome of [`Condvar::wait_for`]: whether the wait hit its timeout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// True when the wait returned because the timeout elapsed (a
+    /// notification may still have raced in — re-check the predicate).
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
     }
 }
 
@@ -212,6 +246,31 @@ mod tests {
         }
         h.join().unwrap();
         assert!(*started);
+    }
+
+    #[test]
+    fn wait_for_times_out_and_wakes() {
+        let m = Mutex::new(false);
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let r = cv.wait_for(&mut g, std::time::Duration::from_millis(10));
+        assert!(r.timed_out());
+        drop(g);
+
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (lock, cv) = &*p2;
+            let mut done = lock.lock();
+            *done = true;
+            cv.notify_all();
+        });
+        let (lock, cv) = &*pair;
+        let mut done = lock.lock();
+        while !*done {
+            cv.wait_for(&mut done, std::time::Duration::from_millis(50));
+        }
+        h.join().unwrap();
     }
 
     #[test]

@@ -2,28 +2,37 @@
 //!
 //! Re-exports the full FT-GEMM workspace behind one dependency:
 //!
-//! * [`core`](ftgemm_core) — matrices, packing, micro-kernels, serial GEMM
-//! * [`abft`](ftgemm_abft) — fused ABFT checksums, serial FT-GEMM
-//! * [`pool`](ftgemm_pool) — persistent worker pool (OpenMP-style regions)
-//! * [`parallel`](ftgemm_parallel) — multithreaded and batched (FT-)GEMM
-//! * [`serve`](ftgemm_serve) — batched GEMM serving: request queue, sharded
-//!   dispatch, per-request fault-tolerance policy
-//! * [`faults`](ftgemm_faults) — deterministic soft-error injection
-//! * [`baselines`](ftgemm_baselines) — comparator GEMMs and unfused ABFT
-//! * [`blas`](ftgemm_blas) — DMR-protected Level-1/2 routines (FT-BLAS)
+//! * [`core`] — matrices, packing, micro-kernels, serial GEMM
+//! * [`abft`] — fused ABFT checksums, serial FT-GEMM
+//! * [`pool`] — persistent worker pool (OpenMP-style regions)
+//! * [`parallel`] — multithreaded and batched (FT-)GEMM
+//! * [`serve`] — batched GEMM serving: request queue, sharded dispatch,
+//!   per-request fault-tolerance policy
+//! * [`faults`] — deterministic soft-error injection
+//! * [`baselines`] — comparator GEMMs and unfused ABFT
+//! * [`blas`] — DMR-protected Level-1/2 routines (FT-BLAS)
 //!
 //! ## One-shot calls
 //!
-//! [`ft_gemm`] (serial) and [`par_ft_gemm`] (multithreaded) compute a single
-//! fault-tolerant `C = alpha*A*B + beta*C` with the paper's fused-checksum
-//! scheme; [`gemm`]/[`par_gemm`] are the unprotected equivalents.
+//! [`ft_gemm`](fn@ft_gemm) (serial) and [`par_ft_gemm`] (multithreaded)
+//! compute a single fault-tolerant `C = alpha*A*B + beta*C` with the
+//! paper's fused-checksum scheme; [`gemm`](fn@gemm)/[`par_gemm`] are the
+//! unprotected equivalents.
 //!
 //! ## Serving many requests
 //!
 //! [`GemmService`] accepts concurrent [`GemmRequest`]s, coalesces small
 //! problems into batched parallel regions, routes large ones to the
-//! matrix-parallel driver, and applies a per-request [`FtPolicy`]. See
-//! `examples/serving_throughput.rs`.
+//! matrix-parallel driver, and applies a per-request [`FtPolicy`]. Three
+//! submit surfaces share one scheduler: blocking handles
+//! ([`submit`](serve::GemmService::submit)), waker-based futures
+//! ([`submit_async`](serve::GemmService::submit_async) — no parked thread
+//! per request), and a completion-channel stream
+//! ([`submit_streamed`](serve::GemmService::submit_streamed)). See
+//! `examples/serving_throughput.rs` and `examples/async_serving.rs`.
+//!
+//! For the crate-by-crate map and the request lifecycle, read
+//! `docs/ARCHITECTURE.md`.
 
 pub use ftgemm_abft as abft;
 pub use ftgemm_baselines as baselines;

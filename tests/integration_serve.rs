@@ -3,7 +3,8 @@
 //! faults under `DetectCorrect` must be corrected and surfaced.
 
 use ftgemm::core::reference::naive_gemm;
-use ftgemm::serve::{FtPolicy, GemmRequest, GemmService, ServiceConfig};
+use ftgemm::serve::exec::block_on_all;
+use ftgemm::serve::{completion_channel, FtPolicy, GemmRequest, GemmService, ServiceConfig};
 use ftgemm::{FaultInjector, Matrix};
 use std::sync::Arc;
 
@@ -15,6 +16,7 @@ fn service(threads: usize, max_batch: usize) -> GemmService<f64> {
         // Pin the routing cutoff so the test's size mix deterministically
         // exercises both paths regardless of the config default.
         small_flops_cutoff: 2 * 96 * 96 * 96,
+        ..ServiceConfig::default()
     })
 }
 
@@ -139,6 +141,117 @@ fn injected_errors_corrected_and_surfaced() {
     let snap = service.stats();
     assert_eq!(snap.injected, total_injected as u64);
     assert_eq!(snap.corrected, snap.injected);
+}
+
+/// (d) 96 concurrent async submissions across both routing paths, driven by
+/// one executor thread, each matching the serial reference; the in-flight
+/// gauge returns to zero and per-surface counters balance.
+#[test]
+fn concurrent_async_requests_match_serial_reference() {
+    let service = service(3, 8);
+    let mut futures = Vec::new();
+    let mut references = Vec::new();
+    for i in 0..96u64 {
+        // Every 8th request is above the pinned cutoff → matrix-parallel.
+        let (m, n, k) = if i % 8 == 0 {
+            (160, 128, 96)
+        } else {
+            (40, 32, 24)
+        };
+        let a = Matrix::<f64>::random(m, k, 700 + i);
+        let b = Matrix::<f64>::random(k, n, 800 + i);
+        let mut expected = Matrix::<f64>::zeros(m, n);
+        naive_gemm(1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut expected.as_mut());
+        futures.push(service.submit_async(GemmRequest::new(a, b)).unwrap());
+        references.push(expected);
+    }
+    assert_eq!(service.stats().in_flight_async, 96);
+
+    let results = block_on_all(futures);
+    for (i, (result, expected)) in results.iter().zip(&references).enumerate() {
+        let resp = result.as_ref().unwrap();
+        let d = resp.c.rel_max_diff(expected);
+        assert!(d < 1e-10, "request {i}: diff {d}");
+    }
+
+    let snap = service.stats();
+    assert_eq!(snap.submitted_async, 96);
+    assert_eq!(snap.submitted_sync, 0);
+    assert_eq!(snap.completed, 96);
+    assert_eq!(snap.in_flight_async, 0);
+    assert!(snap.direct_large >= 12, "large path unused: {snap:?}");
+    assert!(snap.batched_requests > 0, "batched path unused: {snap:?}");
+}
+
+/// (e) The completion-channel bridge: submissions from several threads all
+/// drain through one stream, tagged with the ids submit returned.
+#[test]
+fn streamed_completions_drain_from_many_submitters() {
+    let service = Arc::new(service(2, 4));
+    let (sink, mut completions) = completion_channel::<f64>();
+
+    let mut expected_ids = Vec::new();
+    let submitters: Vec<_> = (0..3)
+        .map(|t| {
+            let service = Arc::clone(&service);
+            let sink = sink.clone();
+            std::thread::spawn(move || {
+                (0..16u64)
+                    .map(|i| {
+                        let seed = t * 1000 + i;
+                        let a = Matrix::<f64>::random(20, 20, seed);
+                        let b = Matrix::<f64>::random(20, 20, seed + 1);
+                        service
+                            .submit_streamed(GemmRequest::new(a, b), &sink)
+                            .unwrap()
+                    })
+                    .collect::<Vec<u64>>()
+            })
+        })
+        .collect();
+    for s in submitters {
+        expected_ids.extend(s.join().unwrap());
+    }
+
+    let mut got_ids = Vec::new();
+    while let Some(completion) = completions.recv() {
+        completion.result.unwrap();
+        got_ids.push(completion.id);
+    }
+    expected_ids.sort_unstable();
+    got_ids.sort_unstable();
+    assert_eq!(got_ids, expected_ids);
+    assert_eq!(service.stats().submitted_streamed, 48);
+}
+
+/// (f) Batch-path load metrics accumulate: after batched traffic the
+/// per-thread busy times are populated, bounded by the summed region wall
+/// time, and the derived occupancy is a sane fraction.
+#[test]
+fn batch_load_metrics_populated() {
+    let service = service(2, 8);
+    let mut handles = Vec::new();
+    for i in 0..32u64 {
+        let a = Matrix::<f64>::random(48, 48, i);
+        let b = Matrix::<f64>::random(48, 48, i + 300);
+        handles.push(service.submit(GemmRequest::new(a, b)).unwrap());
+    }
+    for h in handles {
+        h.wait().unwrap();
+    }
+    let snap = service.stats();
+    assert_eq!(snap.batch_busy_per_thread.len(), 2);
+    assert!(snap.batch_wall > std::time::Duration::ZERO);
+    let slack = std::time::Duration::from_millis(2);
+    for (t, busy) in snap.batch_busy_per_thread.iter().enumerate() {
+        assert!(
+            *busy <= snap.batch_wall + slack,
+            "thread {t} busy {busy:?} exceeds wall {:?}",
+            snap.batch_wall
+        );
+    }
+    assert!(snap.batch_thread_occupancy > 0.0);
+    assert!(snap.batch_thread_occupancy <= 1.0 + 1e-6);
 }
 
 /// Handles outstanding at shutdown still resolve (drain-on-drop), and the
