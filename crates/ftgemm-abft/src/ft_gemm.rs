@@ -69,6 +69,35 @@ impl<T: Scalar> FtGemmContext<T> {
     }
 }
 
+impl<T: Scalar> FtGemmContext<T> {
+    /// Pre-sizes every checksum work vector, checkpoint buffer, and packing
+    /// scratch for an `m x n x k` problem under `cfg`, so a subsequent
+    /// [`ft_gemm_with_ctx`] call of that shape performs **no heap
+    /// allocation**. The facade's `GemmPlan` calls this at plan time; the
+    /// sizes mirror the driver exactly, and re-reserving the same shape is
+    /// free.
+    pub fn reserve(&mut self, cfg: &FtConfig, m: usize, n: usize, k: usize) -> FtResult<()> {
+        let p = self.core.params;
+        p.validate().map_err(FtError::Core)?;
+        let nc_max = p.nc.min(n);
+        resize(&mut self.ar, k);
+        resize(&mut self.bc, p.kc);
+        resize(&mut self.enc_row, m);
+        resize(&mut self.enc_col, nc_max);
+        resize(&mut self.ref_row, m);
+        resize(&mut self.ref_col, nc_max);
+        if matches!(cfg.recovery, Recovery::RetryPanel { .. }) {
+            resize(&mut self.snap_c, m * nc_max);
+            resize(&mut self.snap_enc_row, m);
+            resize(&mut self.snap_enc_col, nc_max);
+        }
+        self.core
+            .pack_buffers(p.packed_a_len(), p.packed_b_len())
+            .map_err(FtError::Core)?;
+        Ok(())
+    }
+}
+
 impl<T: Scalar> Default for FtGemmContext<T> {
     fn default() -> Self {
         Self::new()
@@ -110,25 +139,16 @@ pub fn ft_gemm_with_ctx<T: Scalar>(
     }
 
     let p = ctx.core.params;
-    p.validate().map_err(FtError::Core)?;
     let kernel = ctx.core.kernel;
 
-    // Work vectors.
-    resize(&mut ctx.ar, k);
-    resize(&mut ctx.bc, p.kc);
-    resize(&mut ctx.enc_row, m);
-    resize(&mut ctx.enc_col, p.nc.min(n));
-    resize(&mut ctx.ref_row, m);
-    resize(&mut ctx.ref_col, p.nc.min(n));
+    // Work vectors: sized and zeroed by `reserve`, the single authoritative
+    // size list (shared with plan-time preallocation, so a planned call of
+    // this shape re-resizes in place without touching the heap).
+    ctx.reserve(cfg, m, n, k)?;
     let retry_panels = match cfg.recovery {
         Recovery::ReportOnly => 0u32,
         Recovery::RetryPanel { max_retries } => max_retries,
     };
-    if retry_panels > 0 {
-        resize(&mut ctx.snap_c, m * p.nc.min(n));
-        resize(&mut ctx.snap_enc_row, m);
-        resize(&mut ctx.snap_enc_col, p.nc.min(n));
-    }
 
     // A_r = alpha * e^T A — the one O(mk) encode pass (paper §2.3 encodes it
     // before the main loops).
@@ -142,9 +162,10 @@ pub fn ft_gemm_with_ctx<T: Scalar>(
         .as_ref()
         .map(|inj| inj.stream(ctx.call_counter, n_sites));
 
-    let a_len = p.mc.div_ceil(p.mr) * p.mr * p.kc;
-    let b_len = p.nc.div_ceil(p.nr) * p.nr * p.kc;
-    let (a_buf, b_buf) = ctx.core.pack_buffers(a_len, b_len).map_err(FtError::Core)?;
+    let (a_buf, b_buf) = ctx
+        .core
+        .pack_buffers(p.packed_a_len(), p.packed_b_len())
+        .map_err(FtError::Core)?;
 
     let fusion = cfg.fusion;
 

@@ -70,10 +70,12 @@
 pub mod checksum;
 pub mod corrector;
 pub mod ft_gemm;
+pub mod policy;
 pub mod tolerance;
 
 pub use corrector::{CorrectionOutcome, Discrepancy};
 pub use ft_gemm::{ft_gemm, ft_gemm_with_ctx, FtGemmContext};
+pub use policy::FtPolicy;
 pub use tolerance::Tolerance;
 
 use ftgemm_core::CoreError;

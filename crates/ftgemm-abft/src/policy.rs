@@ -1,9 +1,16 @@
-//! Per-request fault-tolerance policy and its mapping onto [`FtConfig`].
+//! The workspace-wide fault-tolerance policy vocabulary.
+//!
+//! [`FtPolicy`] is the *one* knob callers use to say how much ABFT
+//! protection a GEMM buys, shared by every surface of the workspace: the
+//! one-shot entry points, the `GemmOp`/`GemmPlan` builder API in the facade
+//! crate, and the serving layer's per-request configuration. Internally each
+//! driver resolves the policy into a full [`FtConfig`] (tolerance model,
+//! fusion switches, recovery budget).
 
-use ftgemm_abft::{FtConfig, Recovery};
+use crate::{FtConfig, Recovery};
 use ftgemm_faults::FaultInjector;
 
-/// How much ABFT protection one request buys.
+/// How much ABFT protection one GEMM (or one serving request) buys.
 ///
 /// The policy is resolved to an [`FtConfig`] at dispatch time (cloning a
 /// config is cheap — the only non-trivial member, the injector, is
@@ -12,17 +19,16 @@ use ftgemm_faults::FaultInjector;
 /// * [`Off`](FtPolicy::Off) — plain GEMM, no checksum work at all.
 /// * [`Detect`](FtPolicy::Detect) — fused checksums verified after every
 ///   depth panel; resolvable discrepancy patterns are corrected in place,
-///   unresolvable ones fail the request
-///   ([`Recovery::ReportOnly`]).
+///   unresolvable ones fail the call ([`Recovery::ReportOnly`]).
 /// * [`DetectCorrect`](FtPolicy::DetectCorrect) — [`Detect`](FtPolicy::Detect)
 ///   plus panel checkpointing: patterns correction cannot resolve trigger a
-///   bounded panel recompute ([`Recovery::RetryPanel`]) before the request
-///   is failed.
+///   bounded panel recompute ([`Recovery::RetryPanel`]) before the call is
+///   failed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum FtPolicy {
     /// No fault tolerance: the plain high-performance driver.
     Off,
-    /// Verify + in-place correction; unresolvable patterns fail the request.
+    /// Verify + in-place correction; unresolvable patterns fail the call.
     Detect,
     /// Verify + correction + panel-level recompute of unresolvable patterns.
     #[default]
@@ -33,7 +39,7 @@ pub enum FtPolicy {
 const DETECT_CORRECT_RETRIES: u32 = 2;
 
 impl FtPolicy {
-    /// Resolves the policy (plus an optional per-request injector, used by
+    /// Resolves the policy (plus an optional per-call injector, used by
     /// fault-injection campaigns and tests) into a driver configuration.
     /// `None` means "run the unprotected driver".
     pub fn to_config(self, injector: Option<FaultInjector>) -> Option<FtConfig> {
@@ -54,6 +60,16 @@ impl FtPolicy {
     /// True when the policy runs the fused-ABFT driver.
     pub fn is_protected(self) -> bool {
         !matches!(self, FtPolicy::Off)
+    }
+}
+
+/// The configuration the fused-ABFT driver runs under *if* the policy is
+/// protected. [`FtPolicy::Off`] yields the default config, but routing to
+/// the unprotected driver is the dispatcher's job — use
+/// [`FtPolicy::to_config`] when `Off` must select a different code path.
+impl From<FtPolicy> for FtConfig {
+    fn from(policy: FtPolicy) -> FtConfig {
+        policy.to_config(None).unwrap_or_default()
     }
 }
 
@@ -95,5 +111,14 @@ mod tests {
     #[test]
     fn default_is_detect_correct() {
         assert_eq!(FtPolicy::default(), FtPolicy::DetectCorrect);
+    }
+
+    #[test]
+    fn from_policy_matches_to_config() {
+        let via_from: FtConfig = FtPolicy::Detect.into();
+        let via_to = FtPolicy::Detect.to_config(None).unwrap();
+        assert_eq!(via_from.recovery, via_to.recovery);
+        let off: FtConfig = FtPolicy::Off.into();
+        assert_eq!(off.recovery, FtConfig::default().recovery);
     }
 }

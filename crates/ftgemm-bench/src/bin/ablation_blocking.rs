@@ -5,9 +5,13 @@
 //! Part 1: GFLOPS per ISA tier at a fixed size (value of AVX-512 kernels).
 //! Part 2: GFLOPS over an (MC, KC) grid around the cache-derived defaults.
 //!
+//! Besides the console tables / CSVs, the full sweep (per-point throughput
+//! plus p50/p99 of the per-repetition times) is written as machine-readable
+//! `bench_results/BENCH_ablation_blocking.json` for cross-PR tracking.
+//!
 //! Usage: `cargo run -p ftgemm-bench --release --bin ablation_blocking`
 
-use ftgemm_bench::{measure, Args, Table};
+use ftgemm_bench::{gflops, percentile, write_bench_json, Args, JsonValue, Table};
 use ftgemm_core::{gemm_with_params, BlockingParams, CacheInfo, IsaLevel, Matrix};
 
 fn main() {
@@ -25,11 +29,12 @@ fn main() {
         &format!("A2.1 — micro-kernel ISA tier at {s}^3 (serial)"),
         &["tier", "MRxNR", "GFLOPS"],
     );
+    let mut json_tiers = JsonValue::arr();
     for isa in IsaLevel::available() {
         let kernel = ftgemm_core::select_kernel::<f64>(isa);
         let params = BlockingParams::derive::<f64>(&CacheInfo::detect(), kernel.mr, kernel.nr);
         let mut c = Matrix::<f64>::zeros(s, s);
-        let t = measure(args.warmup, args.reps, || {
+        let times = ftgemm_bench::measure_times(args.warmup, args.reps, || {
             gemm_with_params(
                 isa,
                 params,
@@ -41,11 +46,20 @@ fn main() {
             )
             .unwrap();
         });
+        let avg = times.iter().sum::<f64>() / times.len() as f64;
         tier_table.row(vec![
             isa.to_string(),
             format!("{}x{}", kernel.mr, kernel.nr),
-            format!("{:.2}", t.gflops(s, s, s)),
+            format!("{:.2}", gflops(s, s, s, avg)),
         ]);
+        json_tiers = json_tiers.push(
+            JsonValue::obj()
+                .field("tier", isa.to_string())
+                .field("micro_tile", format!("{}x{}", kernel.mr, kernel.nr))
+                .field("gflops", gflops(s, s, s, avg))
+                .field("p50_latency_us", percentile(&times, 50.0) * 1e6)
+                .field("p99_latency_us", percentile(&times, 99.0) * 1e6),
+        );
         eprintln!("tier {isa} done");
     }
     tier_table.print();
@@ -70,12 +84,13 @@ fn main() {
         ),
         &headers_ref,
     );
+    let mut json_grid = JsonValue::arr();
     for &mc in &mc_grid {
         let mut row = vec![mc.to_string()];
         for &kc in &kc_grid {
             let params = base.with_blocks(mc, base.nc, kc.max(1));
             let mut c = Matrix::<f64>::zeros(s, s);
-            let t = measure(args.warmup, args.reps, || {
+            let times = ftgemm_bench::measure_times(args.warmup, args.reps, || {
                 gemm_with_params(
                     isa,
                     params,
@@ -87,7 +102,16 @@ fn main() {
                 )
                 .unwrap();
             });
-            row.push(format!("{:.2}", t.gflops(s, s, s)));
+            let avg = times.iter().sum::<f64>() / times.len() as f64;
+            row.push(format!("{:.2}", gflops(s, s, s, avg)));
+            json_grid = json_grid.push(
+                JsonValue::obj()
+                    .field("mc", mc)
+                    .field("kc", kc.max(1))
+                    .field("gflops", gflops(s, s, s, avg))
+                    .field("p50_latency_us", percentile(&times, 50.0) * 1e6)
+                    .field("p99_latency_us", percentile(&times, 99.0) * 1e6),
+            );
         }
         grid_table.row(row);
         eprintln!("mc {mc} done");
@@ -98,5 +122,23 @@ fn main() {
     match grid_table.write_csv(&args.out_dir, "ablation_blocking") {
         Ok(p) => println!("\nCSV written to {}", p.display()),
         Err(e) => eprintln!("CSV write failed: {e}"),
+    }
+
+    let json = JsonValue::obj()
+        .field("bench", "ablation_blocking")
+        .field("size", s)
+        .field("reps", args.reps.max(1))
+        .field("default_mc", base.mc)
+        .field("default_kc", base.kc)
+        .field("isa_tiers", json_tiers)
+        .field(
+            "blocking_grid",
+            JsonValue::obj()
+                .field("tier", isa.to_string())
+                .field("points", json_grid),
+        );
+    match write_bench_json(&args.out_dir, "ablation_blocking", &json) {
+        Ok(p) => println!("JSON written to {}", p.display()),
+        Err(e) => eprintln!("JSON write failed: {e}"),
     }
 }

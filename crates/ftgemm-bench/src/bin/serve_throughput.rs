@@ -9,13 +9,19 @@
 //! completion-channel bridge (`submit_streamed` + one drain loop) — i.e.
 //! what the zero-waiter-thread surfaces cost relative to the sync path.
 //!
+//! A third pass measures per-request latency (submit → completion, through
+//! the streamed surface) and batch occupancy, and everything is written as
+//! machine-readable `bench_results/BENCH_serve_throughput.json` so the perf
+//! trajectory can be tracked across PRs.
+//!
 //! Usage: `cargo run -p ftgemm-bench --release --bin serve_throughput
 //!         [--reps N] [--threads N]`
 
-use ftgemm_bench::{Args, Table};
+use ftgemm_bench::{percentile, write_bench_json, Args, JsonValue, Table};
 use ftgemm_core::Matrix;
 use ftgemm_serve::exec::block_on_all;
 use ftgemm_serve::{completion_channel, FtPolicy, GemmRequest, GemmService, ServiceConfig};
+use std::collections::HashMap;
 use std::time::Instant;
 
 /// Small-GEMM edge; comfortably under any sane routing cutoff.
@@ -36,6 +42,60 @@ enum Surface {
 
 fn run_once(threads: usize, max_batch: usize, policy: FtPolicy) -> f64 {
     run_surface(threads, max_batch, policy, Surface::Sync)
+}
+
+/// Per-request latency + occupancy: streamed submissions tagged with their
+/// submit instant, latency measured when each completion is drained.
+struct LatencyRun {
+    latencies_us: Vec<f64>,
+    rps: f64,
+    mean_batch_occupancy: f64,
+    batch_thread_occupancy: f64,
+}
+
+fn run_latency(threads: usize, max_batch: usize, policy: FtPolicy) -> LatencyRun {
+    let service = GemmService::<f64>::new(ServiceConfig {
+        threads,
+        max_batch,
+        ..ServiceConfig::default()
+    });
+    let problems: Vec<_> = (0..REQUESTS as u64)
+        .map(|i| {
+            (
+                Matrix::<f64>::random(DIM, DIM, i),
+                Matrix::<f64>::random(DIM, DIM, i + 1_000),
+            )
+        })
+        .collect();
+
+    let (sink, mut completions) = completion_channel::<f64>();
+    let mut submitted_at: HashMap<u64, Instant> = HashMap::with_capacity(REQUESTS);
+    let t0 = Instant::now();
+    for (a, b) in problems {
+        let req = GemmRequest::builder(a, b)
+            .ft(policy)
+            .build()
+            .expect("consistent shapes");
+        let id = service
+            .submit_streamed(req, &sink)
+            .expect("submit_streamed");
+        submitted_at.insert(id, Instant::now());
+    }
+    let mut latencies_us = Vec::with_capacity(REQUESTS);
+    while let Some(completion) = completions.recv() {
+        completion.result.expect("request failed");
+        let submitted = submitted_at[&completion.id];
+        latencies_us.push(submitted.elapsed().as_secs_f64() * 1e6);
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    assert_eq!(latencies_us.len(), REQUESTS);
+    let snap = service.stats();
+    LatencyRun {
+        latencies_us,
+        rps: REQUESTS as f64 / elapsed,
+        mean_batch_occupancy: snap.mean_batch_occupancy,
+        batch_thread_occupancy: snap.batch_thread_occupancy,
+    }
 }
 
 fn run_surface(threads: usize, max_batch: usize, policy: FtPolicy, surface: Surface) -> f64 {
@@ -122,6 +182,7 @@ fn main() {
             "ft overhead",
         ],
     );
+    let mut json_batch_rows = JsonValue::arr();
     for &max_batch in &[1usize, 8, 64] {
         let best = |policy: FtPolicy| {
             (0..args.reps.max(1))
@@ -136,6 +197,12 @@ fn main() {
             format!("{on:.0}"),
             format!("{:.1}%", (off / on - 1.0) * 100.0),
         ]);
+        json_batch_rows = json_batch_rows.push(
+            JsonValue::obj()
+                .field("max_batch", max_batch)
+                .field("ft_off_rps", off)
+                .field("ft_on_rps", on),
+        );
         eprintln!("max_batch {max_batch} done");
     }
     table.print();
@@ -150,10 +217,11 @@ fn main() {
         "Submit-surface overhead — requests/sec at max_batch 32 (higher is better)",
         &["surface", "ft off", "ft on (DetectCorrect)"],
     );
-    for (name, surface) in [
-        ("sync (submit + wait)", Surface::Sync),
-        ("async futures (block_on)", Surface::Async),
-        ("streamed (completion chan)", Surface::Streamed),
+    let mut json_surface_rows = JsonValue::arr();
+    for (name, key, surface) in [
+        ("sync (submit + wait)", "sync", Surface::Sync),
+        ("async futures (block_on)", "async", Surface::Async),
+        ("streamed (completion chan)", "streamed", Surface::Streamed),
     ] {
         let best = |policy: FtPolicy| {
             (0..args.reps.max(1))
@@ -167,11 +235,76 @@ fn main() {
             format!("{off:.0}"),
             format!("{on:.0}"),
         ]);
+        json_surface_rows = json_surface_rows.push(
+            JsonValue::obj()
+                .field("surface", key)
+                .field("ft_off_rps", off)
+                .field("ft_on_rps", on),
+        );
         eprintln!("surface '{name}' done");
     }
     surfaces.print();
     match surfaces.write_csv(&args.out_dir, "serve_surfaces") {
         Ok(p) => println!("\nCSV written to {}", p.display()),
         Err(e) => eprintln!("CSV write failed: {e}"),
+    }
+
+    // Third pass: per-request latency distribution + batch occupancy at the
+    // fixed coalescing limit, with fault tolerance on and off.
+    let mut latency_table = Table::new(
+        &format!("Per-request latency — streamed surface at max_batch {SURFACE_BATCH}"),
+        &["policy", "p50 (us)", "p99 (us)", "req/s", "occupancy"],
+    );
+    let mut json_latency = JsonValue::arr();
+    for (name, policy) in [
+        ("ft off", FtPolicy::Off),
+        ("ft on (DetectCorrect)", FtPolicy::DetectCorrect),
+    ] {
+        let run = run_latency(threads, SURFACE_BATCH, policy);
+        let p50 = percentile(&run.latencies_us, 50.0);
+        let p99 = percentile(&run.latencies_us, 99.0);
+        latency_table.row(vec![
+            name.to_string(),
+            format!("{p50:.0}"),
+            format!("{p99:.0}"),
+            format!("{:.0}", run.rps),
+            format!("{:.2}", run.batch_thread_occupancy),
+        ]);
+        json_latency = json_latency.push(
+            JsonValue::obj()
+                .field("policy", name)
+                .field("p50_latency_us", p50)
+                .field("p99_latency_us", p99)
+                .field("throughput_rps", run.rps)
+                .field("mean_batch_occupancy", run.mean_batch_occupancy)
+                .field("batch_thread_occupancy", run.batch_thread_occupancy),
+        );
+        eprintln!("latency '{name}' done");
+    }
+    latency_table.print();
+
+    let json = JsonValue::obj()
+        .field("bench", "serve_throughput")
+        .field("requests", REQUESTS)
+        .field("dim", DIM)
+        .field("threads", threads)
+        .field("reps", args.reps.max(1))
+        .field("throughput_by_max_batch", json_batch_rows)
+        .field(
+            "throughput_by_surface",
+            JsonValue::obj()
+                .field("max_batch", SURFACE_BATCH)
+                .field("rows", json_surface_rows),
+        )
+        .field(
+            "latency",
+            JsonValue::obj()
+                .field("surface", "streamed")
+                .field("max_batch", SURFACE_BATCH)
+                .field("rows", json_latency),
+        );
+    match write_bench_json(&args.out_dir, "serve_throughput", &json) {
+        Ok(p) => println!("\nJSON written to {}", p.display()),
+        Err(e) => eprintln!("JSON write failed: {e}"),
     }
 }

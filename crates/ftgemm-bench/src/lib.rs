@@ -23,14 +23,16 @@
 #![warn(missing_docs)]
 
 pub mod args;
+pub mod json;
 pub mod report;
 pub mod runners;
 pub mod timing;
 
 pub use args::Args;
+pub use json::{percentile, write_bench_json, JsonValue};
 pub use report::{CsvWriter, Table};
 pub use runners::{GemmRunner, RunnerKind};
-pub use timing::{gflops, measure, Measurement};
+pub use timing::{gflops, measure, measure_times, Measurement};
 
 /// Paper's serial sweep (Fig. 2a/2c): 1024^2 .. 10240^2 step 1024.
 pub fn paper_serial_sizes() -> Vec<usize> {

@@ -26,8 +26,10 @@ impl Measurement {
     }
 }
 
-/// Times `f` for `reps` repetitions after `warmup` unrecorded runs.
-pub fn measure(warmup: usize, reps: usize, mut f: impl FnMut()) -> Measurement {
+/// Times `f` for `reps` repetitions after `warmup` unrecorded runs,
+/// returning the raw per-repetition samples in seconds (for percentile
+/// reporting; [`measure`] summarizes them).
+pub fn measure_times(warmup: usize, reps: usize, mut f: impl FnMut()) -> Vec<f64> {
     for _ in 0..warmup {
         f();
     }
@@ -37,6 +39,12 @@ pub fn measure(warmup: usize, reps: usize, mut f: impl FnMut()) -> Measurement {
         f();
         times.push(t0.elapsed().as_secs_f64());
     }
+    times
+}
+
+/// Times `f` for `reps` repetitions after `warmup` unrecorded runs.
+pub fn measure(warmup: usize, reps: usize, f: impl FnMut()) -> Measurement {
+    let times = measure_times(warmup, reps, f);
     let sum: f64 = times.iter().sum();
     Measurement {
         avg: sum / times.len() as f64,

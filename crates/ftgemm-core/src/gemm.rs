@@ -139,12 +139,10 @@ pub fn gemm<T: Scalar>(
 
     // Packing buffers sized for one block each; Scratch reuses allocations
     // across calls.
-    let a_len = p.mc.div_ceil(p.mr) * p.mr * p.kc;
-    let b_len = p.nc.div_ceil(p.nr) * p.nr * p.kc;
     // Split borrows: scratch lives in ctx, taken as raw slices.
     let (a_buf_owner, b_buf_owner) = (&mut ctx.a_scratch, &mut ctx.b_scratch);
-    let a_buf = a_buf_owner.get(a_len)?;
-    let b_buf = b_buf_owner.get(b_len)?;
+    let a_buf = a_buf_owner.get(p.packed_a_len())?;
+    let b_buf = b_buf_owner.get(p.packed_b_len())?;
 
     let mut jc = 0;
     while jc < n {
@@ -495,9 +493,7 @@ pub fn gemm_op<T: Scalar>(
     let p = ctx.params;
     p.validate()?;
     let kernel = ctx.kernel;
-    let a_len = p.mc.div_ceil(p.mr) * p.mr * p.kc;
-    let b_len = p.nc.div_ceil(p.nr) * p.nr * p.kc;
-    let (a_buf, b_buf) = ctx.pack_buffers(a_len, b_len)?;
+    let (a_buf, b_buf) = ctx.pack_buffers(p.packed_a_len(), p.packed_b_len())?;
 
     let mut jc = 0;
     while jc < n {

@@ -30,11 +30,13 @@ mod ctx;
 mod par_ft_gemm;
 mod par_gemm;
 mod shared;
+mod workspace;
 
 pub use batch::{
     par_batch_ft_gemm, par_batch_ft_gemm_timed, BatchItem, BatchTiming, BatchWorkspace,
 };
 pub use ctx::ParGemmContext;
-pub use par_ft_gemm::par_ft_gemm;
-pub use par_gemm::par_gemm;
+pub use par_ft_gemm::{par_ft_gemm, par_ft_gemm_with_ws};
+pub use par_gemm::{par_gemm, par_gemm_with_ws};
 pub use shared::SharedVec;
+pub use workspace::ParFtWorkspace;

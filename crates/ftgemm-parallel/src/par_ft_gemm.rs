@@ -22,19 +22,50 @@
 //! sharded-lane reductions.
 
 use crate::ctx::ParGemmContext;
-use crate::shared::{SendPtr, SharedVec};
+use crate::shared::SendPtr;
+use crate::workspace::ParFtWorkspace;
 use ftgemm_abft::corrector::{self, CorrectionOutcome};
 use ftgemm_abft::{checksum, FtConfig, FtError, FtReport, FtResult};
 use ftgemm_core::gemm::validate_shapes;
 use ftgemm_core::macro_kernel::macro_kernel;
-use ftgemm_core::{pack, AlignedVec, MatMut, MatRef, Scalar};
-use ftgemm_pool::ShardedBuffer;
+use ftgemm_core::{pack, MatMut, MatRef, Scalar};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
-/// Parallel fault-tolerant `C = alpha*A*B + beta*C`.
+/// Parallel fault-tolerant `C = alpha*A*B + beta*C` with a fresh workspace.
 pub fn par_ft_gemm<T: Scalar>(
     ctx: &ParGemmContext<T>,
+    cfg: &FtConfig,
+    alpha: T,
+    a: &MatRef<'_, T>,
+    b: &MatRef<'_, T>,
+    beta: T,
+    c: &mut MatMut<'_, T>,
+) -> FtResult<FtReport> {
+    validate_shapes(a, b, c)?;
+    ctx.params.validate().map_err(FtError::Core)?;
+    let mut ws = ParFtWorkspace::for_problem(ctx, a.nrows(), b.ncols(), a.ncols());
+    par_ft_gemm_with_ws(ctx, &mut ws, cfg, alpha, a, b, beta, c)
+}
+
+/// Parallel fault-tolerant GEMM reusing a caller-held [`ParFtWorkspace`].
+///
+/// The hot path performs no heap allocation: every shared vector, reduction
+/// lane, and per-thread packed buffer lives in `ws`. Callers that replay one
+/// problem shape (the facade's `GemmPlan`, serving layers) build the
+/// workspace once and amortize it across calls.
+///
+/// The workspace is taken `&mut` even though the region internally shares
+/// it across pool threads: the exclusive borrow is what makes it
+/// impossible for *two* concurrent calls (e.g. on two different pools) to
+/// alias one workspace from safe code.
+///
+/// # Panics
+/// If `ws` was built for a smaller problem or a different thread count
+/// (see [`ParFtWorkspace::fits`]).
+pub fn par_ft_gemm_with_ws<T: Scalar>(
+    ctx: &ParGemmContext<T>,
+    ws: &mut ParFtWorkspace<T>,
     cfg: &FtConfig,
     alpha: T,
     a: &MatRef<'_, T>,
@@ -56,21 +87,28 @@ pub fn par_ft_gemm<T: Scalar>(
 
     let kernel = ctx.kernel;
     let nthreads = ctx.nthreads();
-    let nc_max = p.nc.min(n);
-    let kc_max = p.kc.min(k);
-    let b_len = p.nc.div_ceil(p.nr) * p.nr * p.kc;
+    let b_len = p.packed_b_len();
+    // Downgrade to a shared borrow for the region closure (which every pool
+    // thread runs); exclusivity was enforced by the `&mut` signature above.
+    let ws: &ParFtWorkspace<T> = ws;
+    assert!(
+        ws.fits(ctx, m, n, k),
+        "workspace too small for {m}x{n}x{k} on {nthreads} threads"
+    );
 
-    // Shared state (see module docs for the access discipline).
-    let btilde = SharedVec::<T>::zeroed(b_len);
-    let ar_full = SharedVec::<T>::zeroed(k);
-    let bc_reduced = SharedVec::<T>::zeroed(kc_max);
-    let enc_row = SharedVec::<T>::zeroed(m);
-    let ref_row = SharedVec::<T>::zeroed(m);
-    let enc_col = SharedVec::<T>::zeroed(nc_max);
-    let ref_col = SharedVec::<T>::zeroed(nc_max);
-    let enc_col_shards = ShardedBuffer::<T>::new(nthreads, nc_max);
-    let bc_shards = ShardedBuffer::<T>::new(nthreads, kc_max);
-    let ref_col_shards = ShardedBuffer::<T>::new(nthreads, nc_max);
+    // Shared state lives in the caller's workspace (see the module docs and
+    // `workspace.rs` for the access discipline; every region read below is
+    // rewritten first, so cross-call reuse needs no re-zeroing).
+    let btilde = &ws.btilde;
+    let ar_full = &ws.ar_full;
+    let bc_reduced = &ws.bc_reduced;
+    let enc_row = &ws.enc_row;
+    let ref_row = &ws.ref_row;
+    let enc_col = &ws.enc_col;
+    let ref_col = &ws.ref_col;
+    let enc_col_shards = &ws.enc_col_shards;
+    let bc_shards = &ws.bc_shards;
+    let ref_col_shards = &ws.ref_col_shards;
 
     let abort = AtomicBool::new(false);
     let verdict: Mutex<Option<FtError>> = Mutex::new(None);
@@ -91,8 +129,9 @@ pub fn par_ft_gemm<T: Scalar>(
         let (ms, mlen) = (rows.start, rows.len());
         let tid = w.tid;
 
-        let a_buf_len = p.mc.div_ceil(p.mr) * p.mr * p.kc;
-        let mut atilde = AlignedVec::<T>::zeroed(a_buf_len).expect("A~ allocation");
+        // Thread-private packed A~ from the workspace (slot `tid` is only
+        // ever locked by this thread inside a region — uncontended).
+        let mut atilde = ws.atilde[tid].lock();
         let mut local_report = FtReport::default();
 
         // Injection stream per thread (sites = this thread's macro calls).
@@ -584,6 +623,47 @@ mod tests {
         naive_gemm(1.0f32, &a.as_ref(), &b.as_ref(), 0.0, &mut c_ref.as_mut());
         assert!(c.rel_max_diff(&c_ref) < 1e-4);
         assert_eq!(rep.detected, 0);
+    }
+
+    #[test]
+    fn workspace_reuse_bitmatches_fresh() {
+        // Replaying one shape through a shared ParFtWorkspace must produce
+        // bit-identical results to per-call fresh workspaces (same compute
+        // order), without the workspace buffers moving.
+        let ctx = ParGemmContext::<f64>::with_threads(4);
+        let cfg = FtConfig::default();
+        let mut ws = ParFtWorkspace::for_problem(&ctx, 96, 80, 64);
+        let addr = ws.base_addr();
+        for seed in 0..3u64 {
+            let a = Matrix::<f64>::random(96, 64, seed);
+            let b = Matrix::<f64>::random(64, 80, seed + 10);
+            let mut c = Matrix::<f64>::random(96, 80, seed + 20);
+            let mut c_fresh = c.clone();
+            let rep = par_ft_gemm_with_ws(
+                &ctx,
+                &mut ws,
+                &cfg,
+                1.0,
+                &a.as_ref(),
+                &b.as_ref(),
+                1.0,
+                &mut c.as_mut(),
+            )
+            .unwrap();
+            par_ft_gemm(
+                &ctx,
+                &cfg,
+                1.0,
+                &a.as_ref(),
+                &b.as_ref(),
+                1.0,
+                &mut c_fresh.as_mut(),
+            )
+            .unwrap();
+            assert_eq!(c.as_slice(), c_fresh.as_slice(), "seed {seed}");
+            assert_eq!(rep.detected, 0);
+        }
+        assert_eq!(ws.base_addr(), addr, "workspace must not reallocate");
     }
 
     #[test]

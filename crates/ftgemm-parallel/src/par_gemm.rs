@@ -2,17 +2,43 @@
 //! ("FT-GEMM: Ori", parallel curves of Fig. 2b).
 
 use crate::ctx::ParGemmContext;
-use crate::shared::{SendPtr, SharedVec};
+use crate::shared::SendPtr;
+use crate::workspace::ParFtWorkspace;
 use ftgemm_core::gemm::validate_shapes;
 use ftgemm_core::macro_kernel::macro_kernel;
-use ftgemm_core::{pack, AlignedVec, MatMut, MatRef, Result, Scalar};
+use ftgemm_core::{pack, MatMut, MatRef, Result, Scalar};
 
-/// Parallel `C = alpha*A*B + beta*C`.
+/// Parallel `C = alpha*A*B + beta*C` with a fresh workspace.
 ///
 /// Work is M-partitioned; the packed `B~` is shared and packed
 /// cooperatively along N; each thread packs its own `A~` (paper §2.3).
 pub fn par_gemm<T: Scalar>(
     ctx: &ParGemmContext<T>,
+    alpha: T,
+    a: &MatRef<'_, T>,
+    b: &MatRef<'_, T>,
+    beta: T,
+    c: &mut MatMut<'_, T>,
+) -> Result<()> {
+    validate_shapes(a, b, c)?;
+    ctx.params.validate()?;
+    let mut ws = ParFtWorkspace::for_plain(ctx);
+    par_gemm_with_ws(ctx, &mut ws, alpha, a, b, beta, c)
+}
+
+/// Parallel plain GEMM reusing a caller-held [`ParFtWorkspace`] (only the
+/// packed `B~` and per-thread `A~` slots are touched); the hot path
+/// performs no heap allocation. Taken `&mut` so concurrent calls cannot
+/// alias one workspace from safe code (see
+/// [`par_ft_gemm_with_ws`](crate::par_ft_gemm_with_ws)).
+///
+/// # Panics
+/// If `ws` was built for different blocking parameters or a different
+/// thread count (see [`ParFtWorkspace::fits_plain`]; a slim
+/// [`ParFtWorkspace::for_plain`] workspace suffices here).
+pub fn par_gemm_with_ws<T: Scalar>(
+    ctx: &ParGemmContext<T>,
+    ws: &mut ParFtWorkspace<T>,
     alpha: T,
     a: &MatRef<'_, T>,
     b: &MatRef<'_, T>,
@@ -32,8 +58,15 @@ pub fn par_gemm<T: Scalar>(
     }
 
     let kernel = ctx.kernel;
-    let b_len = p.nc.div_ceil(p.nr) * p.nr * p.kc;
-    let btilde = SharedVec::<T>::zeroed(b_len);
+    let b_len = p.packed_b_len();
+    assert!(
+        ws.fits_plain(ctx),
+        "workspace too small for {m}x{n}x{k} on {} threads",
+        ctx.nthreads()
+    );
+    // Shared reborrow for the region closure; exclusivity came from `&mut`.
+    let ws: &ParFtWorkspace<T> = ws;
+    let btilde = &ws.btilde;
 
     // Raw C access: threads derive disjoint row-slice views.
     let c_ptr = SendPtr(c.as_mut_ptr());
@@ -47,10 +80,9 @@ pub fn par_gemm<T: Scalar>(
         let rows = w.partition(m, p.mr);
         let (ms, mlen) = (rows.start, rows.len());
 
-        // Thread-private A~ buffer (paper: "each thread requests a private
-        // memory buffer for A~").
-        let a_len = p.mc.div_ceil(p.mr) * p.mr * p.kc;
-        let mut atilde = AlignedVec::<T>::zeroed(a_len).expect("A~ allocation");
+        // Thread-private A~ buffer from the workspace (paper: "each thread
+        // requests a private memory buffer for A~").
+        let mut atilde = ws.atilde[w.tid].lock();
 
         // beta scaling of the thread's row slice.
         if beta != T::ONE && mlen > 0 {

@@ -99,17 +99,20 @@
 
 pub mod exec;
 mod handle;
-mod policy;
 mod queue;
 mod request;
 mod service;
 mod stats;
 mod stream;
 
+/// The workspace-wide fault-tolerance policy (defined in
+/// [`ftgemm_abft::policy`] so the one-shot drivers, the facade's
+/// `GemmOp`/`GemmPlan` builder, and this serving layer all share one type).
+pub use ftgemm_abft::FtPolicy;
+
 pub use handle::{AsyncRequestHandle, RequestHandle};
-pub use policy::FtPolicy;
-pub use request::{GemmRequest, GemmResponse, ServeError};
-pub use service::{GemmService, ServiceConfig};
+pub use request::{GemmRequest, GemmRequestBuilder, GemmResponse, ServeError};
+pub use service::{GemmService, ServiceConfig, DEFAULT_SMALL_FLOPS_CUTOFF};
 pub use stats::StatsSnapshot;
 pub use stream::{completion_channel, Completion, CompletionSink, Completions, Next};
 

@@ -1,7 +1,6 @@
 //! Request/response types and the service error enum.
 
-use crate::policy::FtPolicy;
-use ftgemm_abft::{FtError, FtReport};
+use ftgemm_abft::{FtError, FtPolicy, FtReport};
 use ftgemm_core::{Matrix, Scalar};
 use ftgemm_faults::FaultInjector;
 
@@ -32,6 +31,11 @@ pub struct GemmRequest<T: Scalar> {
 impl<T: Scalar> GemmRequest<T> {
     /// `C = A*B` with a zeroed output and the default policy
     /// ([`FtPolicy::DetectCorrect`]).
+    ///
+    /// The output is shaped `a.nrows() x b.ncols()` *without* checking the
+    /// inner dimensions agree; a `k` mismatch is only reported when the
+    /// request is submitted. Prefer [`GemmRequest::builder`], which
+    /// surfaces the shape error at build time.
     pub fn new(a: Matrix<T>, b: Matrix<T>) -> Self {
         let c = Matrix::zeros(a.nrows(), b.ncols());
         GemmRequest {
@@ -45,7 +49,24 @@ impl<T: Scalar> GemmRequest<T> {
         }
     }
 
+    /// Validating builder for a request: `GemmRequest::builder(a, b)
+    /// .alpha(..).ft(..).build()?`. Shares its vocabulary with the facade's
+    /// `GemmOp` builder; [`GemmRequestBuilder::build`] rejects inconsistent
+    /// operand shapes instead of deferring the error to submit time.
+    pub fn builder(a: Matrix<T>, b: Matrix<T>) -> GemmRequestBuilder<T> {
+        GemmRequestBuilder {
+            alpha: T::ONE,
+            a,
+            b,
+            beta: T::ZERO,
+            c: None,
+            policy: FtPolicy::default(),
+            injector: None,
+        }
+    }
+
     /// Replaces the output operand (enables `beta != 0` accumulation).
+    #[must_use]
     pub fn with_c(mut self, beta: T, c: Matrix<T>) -> Self {
         self.beta = beta;
         self.c = c;
@@ -53,18 +74,21 @@ impl<T: Scalar> GemmRequest<T> {
     }
 
     /// Sets `alpha`.
+    #[must_use]
     pub fn with_alpha(mut self, alpha: T) -> Self {
         self.alpha = alpha;
         self
     }
 
     /// Sets the fault-tolerance policy.
+    #[must_use]
     pub fn with_policy(mut self, policy: FtPolicy) -> Self {
         self.policy = policy;
         self
     }
 
     /// Attaches a fault injector to this request.
+    #[must_use]
     pub fn with_injector(mut self, injector: FaultInjector) -> Self {
         self.injector = Some(injector);
         self
@@ -88,6 +112,88 @@ impl<T: Scalar> GemmRequest<T> {
     /// path.
     pub fn flops(&self) -> u64 {
         2 * self.a.nrows() as u64 * self.b.ncols() as u64 * self.a.ncols() as u64
+    }
+}
+
+/// Validating builder for a [`GemmRequest`], created by
+/// [`GemmRequest::builder`].
+///
+/// Mirrors the facade's `GemmOp` vocabulary (`alpha` / `beta` / `ft` /
+/// `injector`); [`build`](Self::build) checks operand consistency
+/// (`a.ncols() == b.nrows()`, and the output shape when one is supplied)
+/// so a malformed request fails where it was constructed, not at submit.
+#[derive(Debug, Clone)]
+pub struct GemmRequestBuilder<T: Scalar> {
+    alpha: T,
+    a: Matrix<T>,
+    b: Matrix<T>,
+    beta: T,
+    c: Option<Matrix<T>>,
+    policy: FtPolicy,
+    injector: Option<FaultInjector>,
+}
+
+impl<T: Scalar> GemmRequestBuilder<T> {
+    /// Sets `alpha` (default `1`).
+    #[must_use]
+    pub fn alpha(mut self, alpha: T) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Supplies the output operand and its scale (enables `beta != 0`
+    /// accumulation). Without this, the output is zeroed and `beta = 0`.
+    #[must_use]
+    pub fn c(mut self, beta: T, c: Matrix<T>) -> Self {
+        self.beta = beta;
+        self.c = Some(c);
+        self
+    }
+
+    /// Sets the fault-tolerance policy (default
+    /// [`FtPolicy::DetectCorrect`]).
+    #[must_use]
+    pub fn ft(mut self, policy: FtPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Attaches a fault injector (campaigns/tests).
+    #[must_use]
+    pub fn injector(mut self, injector: FaultInjector) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+
+    /// Finishes the request, validating operand shapes.
+    pub fn build(self) -> Result<GemmRequest<T>, ServeError> {
+        let (m, k) = (self.a.nrows(), self.a.ncols());
+        let (kb, n) = (self.b.nrows(), self.b.ncols());
+        if k != kb {
+            return Err(ServeError::Shape(format!("A is {m}x{k} but B is {kb}x{n}")));
+        }
+        let c = match self.c {
+            Some(c) => {
+                if c.nrows() != m || c.ncols() != n {
+                    return Err(ServeError::Shape(format!(
+                        "C is {}x{} but A*B is {m}x{n}",
+                        c.nrows(),
+                        c.ncols()
+                    )));
+                }
+                c
+            }
+            None => Matrix::zeros(m, n),
+        };
+        Ok(GemmRequest {
+            alpha: self.alpha,
+            a: self.a,
+            b: self.b,
+            beta: self.beta,
+            c,
+            policy: self.policy,
+            injector: self.injector,
+        })
     }
 }
 
@@ -164,6 +270,38 @@ mod tests {
             injector: None,
         };
         assert!(matches!(r.validate(), Err(ServeError::Shape(_))));
+    }
+
+    #[test]
+    fn builder_validates_inner_dim_at_build_time() {
+        let err = GemmRequest::builder(Matrix::<f64>::zeros(3, 4), Matrix::<f64>::zeros(5, 6))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Shape(_)), "{err}");
+    }
+
+    #[test]
+    fn builder_validates_output_shape() {
+        let err = GemmRequest::builder(Matrix::<f64>::zeros(3, 4), Matrix::<f64>::zeros(4, 6))
+            .c(1.0, Matrix::zeros(3, 5))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Shape(_)), "{err}");
+    }
+
+    #[test]
+    fn builder_builds_valid_request() {
+        let req = GemmRequest::builder(Matrix::<f64>::zeros(3, 4), Matrix::<f64>::zeros(4, 5))
+            .alpha(2.0)
+            .ft(FtPolicy::Detect)
+            .build()
+            .unwrap();
+        assert_eq!(req.validate().unwrap(), (3, 5, 4));
+        assert_eq!(req.alpha, 2.0);
+        assert_eq!(req.beta, 0.0);
+        assert_eq!(req.policy, FtPolicy::Detect);
+        assert_eq!(req.c.nrows(), 3);
+        assert_eq!(req.c.ncols(), 5);
     }
 
     #[test]

@@ -15,6 +15,13 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+/// Default boundary between "small" (batched) and "large" (matrix-parallel)
+/// problems, in multiply-adds (`2*m*n*k`): roughly where one GEMM starts
+/// having enough row-panels to feed every core of a desktop part on its
+/// own. Shared with the facade's `Exec::Auto` routing so a planned one-shot
+/// call and a served request make the same serial-vs-parallel decision.
+pub const DEFAULT_SMALL_FLOPS_CUTOFF: u64 = 2 * 192 * 192 * 192;
+
 /// Tuning knobs for a [`GemmService`].
 #[derive(Debug, Clone, Copy)]
 pub struct ServiceConfig {
@@ -26,9 +33,8 @@ pub struct ServiceConfig {
     /// Maximum small requests coalesced into one batched parallel region.
     pub max_batch: usize,
     /// Requests with at most this many multiply-adds (`2*m*n*k`) take the
-    /// batched path; larger ones run matrix-parallel via `par_ft_gemm`.
-    /// The default (`2 * 192^3`) is roughly where one GEMM starts having
-    /// enough row-panels to feed every core of a desktop part on its own.
+    /// batched path; larger ones run matrix-parallel via `par_ft_gemm`
+    /// (default: [`DEFAULT_SMALL_FLOPS_CUTOFF`]).
     pub small_flops_cutoff: u64,
     /// Submission-queue depth bound (`0` = unbounded, the default). When
     /// set, blocking [`submit`](GemmService::submit) calls park until the
@@ -46,7 +52,7 @@ impl Default for ServiceConfig {
             threads: 0,
             queue_shards: 4,
             max_batch: 32,
-            small_flops_cutoff: 2 * 192 * 192 * 192,
+            small_flops_cutoff: DEFAULT_SMALL_FLOPS_CUTOFF,
             queue_capacity: 0,
         }
     }

@@ -1,48 +1,36 @@
-//! Quickstart: the three ways to multiply matrices with FT-GEMM.
+//! Quickstart: one builder, every way to multiply matrices with FT-GEMM.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use ftgemm::abft::{ft_gemm, FtConfig};
-use ftgemm::core::{gemm, GemmContext, Matrix};
-use ftgemm::parallel::{par_ft_gemm, ParGemmContext};
+use ftgemm::{Exec, FtPolicy, GemmOp, Matrix, ParGemmContext};
 
 fn main() {
     let n = 512;
     let a = Matrix::<f64>::random(n, n, 1);
     let b = Matrix::<f64>::random(n, n, 2);
 
-    // 1. Plain high-performance serial GEMM ("FT-GEMM: Ori").
+    // 1. Plain high-performance serial GEMM ("FT-GEMM: Ori"): the same
+    //    builder with fault tolerance off.
     let mut c1 = Matrix::<f64>::zeros(n, n);
-    let mut ctx = GemmContext::<f64>::new();
-    gemm(
-        &mut ctx,
-        1.0,
-        &a.as_ref(),
-        &b.as_ref(),
-        0.0,
-        &mut c1.as_mut(),
-    )
-    .unwrap();
-    println!(
-        "serial GEMM    done: kernel = {:?}, C[0,0] = {:.6}",
-        ctx.kernel.name,
-        c1.get(0, 0)
-    );
+    GemmOp::new(&a, &b)
+        .ft(FtPolicy::Off)
+        .plan(Exec::Serial)
+        .unwrap()
+        .run(&mut c1.as_mut())
+        .unwrap();
+    println!("serial GEMM    done: C[0,0] = {:.6}", c1.get(0, 0));
 
     // 2. Fault-tolerant serial GEMM ("FT-GEMM: FT"): same result, with
-    //    checksum verification after every depth panel.
+    //    checksum verification after every depth panel. Holding the plan
+    //    makes repeat calls allocation-free.
     let mut c2 = Matrix::<f64>::zeros(n, n);
-    let report = ft_gemm(
-        &FtConfig::default(),
-        1.0,
-        &a.as_ref(),
-        &b.as_ref(),
-        0.0,
-        &mut c2.as_mut(),
-    )
-    .unwrap();
+    let mut plan = GemmOp::new(&a, &b)
+        .ft(FtPolicy::DetectCorrect)
+        .plan(Exec::Serial)
+        .unwrap();
+    let report = plan.run(&mut c2.as_mut()).unwrap();
     println!(
         "serial FT-GEMM done: {} verifications, {} errors detected, max diff vs plain = {:.2e}",
         report.verifications,
@@ -50,19 +38,17 @@ fn main() {
         c1.max_abs_diff(&c2)
     );
 
-    // 3. Parallel fault-tolerant GEMM on all cores.
+    // 3. Parallel fault-tolerant GEMM on all cores: same builder, different
+    //    Exec target. (`Exec::Auto` would route by problem size through the
+    //    serving layer's flops cutoff instead.)
     let par = ParGemmContext::<f64>::new();
     let mut c3 = Matrix::<f64>::zeros(n, n);
-    let report = par_ft_gemm(
-        &par,
-        &FtConfig::default(),
-        1.0,
-        &a.as_ref(),
-        &b.as_ref(),
-        0.0,
-        &mut c3.as_mut(),
-    )
-    .unwrap();
+    let report = GemmOp::new(&a, &b)
+        .ft(FtPolicy::DetectCorrect)
+        .plan(Exec::Parallel(&par))
+        .unwrap()
+        .run(&mut c3.as_mut())
+        .unwrap();
     println!(
         "parallel FT-GEMM done on {} threads: {} verifications, max diff vs plain = {:.2e}",
         par.nthreads(),

@@ -3,7 +3,8 @@
 //! Re-exports the full FT-GEMM workspace behind one dependency:
 //!
 //! * [`core`] — matrices, packing, micro-kernels, serial GEMM
-//! * [`abft`] — fused ABFT checksums, serial FT-GEMM
+//! * [`abft`] — fused ABFT checksums, serial FT-GEMM, the shared
+//!   [`FtPolicy`]
 //! * [`pool`] — persistent worker pool (OpenMP-style regions)
 //! * [`parallel`] — multithreaded and batched (FT-)GEMM
 //! * [`serve`] — batched GEMM serving: request queue, sharded dispatch,
@@ -12,19 +13,39 @@
 //! * [`baselines`] — comparator GEMMs and unfused ABFT
 //! * [`blas`] — DMR-protected Level-1/2 routines (FT-BLAS)
 //!
-//! ## One-shot calls
+//! ## One-shot and planned calls — the [`api`] module
 //!
-//! [`ft_gemm`](fn@ft_gemm) (serial) and [`par_ft_gemm`] (multithreaded)
-//! compute a single fault-tolerant `C = alpha*A*B + beta*C` with the
-//! paper's fused-checksum scheme; [`gemm`](fn@gemm)/[`par_gemm`] are the
+//! [`GemmOp`] describes a problem; [`GemmOp::plan`] validates it once and
+//! returns a [`GemmPlan`] whose [`run`](GemmPlan::run) executes it with
+//! zero per-call allocation, serial or parallel:
+//!
+//! ```
+//! use ftgemm::{Exec, FtPolicy, GemmOp, Matrix};
+//!
+//! let a = Matrix::<f64>::random(96, 64, 1);
+//! let b = Matrix::<f64>::random(64, 80, 2);
+//! let mut c = Matrix::<f64>::zeros(96, 80);
+//! let mut plan = GemmOp::new(&a, &b)
+//!     .ft(FtPolicy::DetectCorrect)
+//!     .plan(Exec::Auto)
+//!     .unwrap();
+//! let report = plan.run(&mut c.as_mut()).unwrap();
+//! assert_eq!(report.detected, 0);
+//! ```
+//!
+//! The pre-existing free functions ([`ft_gemm`](fn@ft_gemm),
+//! [`par_ft_gemm`], [`par_batch_ft_gemm`]) remain available as thin
+//! wrappers over the same machinery; [`gemm`](fn@gemm)/[`par_gemm`] are the
 //! unprotected equivalents.
 //!
 //! ## Serving many requests
 //!
 //! [`GemmService`] accepts concurrent [`GemmRequest`]s, coalesces small
 //! problems into batched parallel regions, routes large ones to the
-//! matrix-parallel driver, and applies a per-request [`FtPolicy`]. Three
-//! submit surfaces share one scheduler: blocking handles
+//! matrix-parallel driver, and applies the same per-request [`FtPolicy`]
+//! the one-shot API uses. Build requests with the validating
+//! [`GemmRequest::builder`] (or [`GemmOp::to_request`]). Three submit
+//! surfaces share one scheduler: blocking handles
 //! ([`submit`](serve::GemmService::submit)), waker-based futures
 //! ([`submit_async`](serve::GemmService::submit_async) — no parked thread
 //! per request), and a completion-channel stream
@@ -43,8 +64,165 @@ pub use ftgemm_parallel as parallel;
 pub use ftgemm_pool as pool;
 pub use ftgemm_serve as serve;
 
-pub use ftgemm_abft::{ft_gemm, FtConfig, FtReport};
+pub mod api;
+
+pub use api::{AsMatRef, Exec, GemmBatch, GemmOp, GemmPlan};
+pub use ftgemm_abft::{FtConfig, FtPolicy, FtReport, FtResult};
 pub use ftgemm_core::{gemm, GemmContext, MatMut, MatRef, Matrix};
 pub use ftgemm_faults::FaultInjector;
-pub use ftgemm_parallel::{par_batch_ft_gemm, par_ft_gemm, par_gemm, ParGemmContext};
-pub use ftgemm_serve::{FtPolicy, GemmRequest, GemmResponse, GemmService, ServiceConfig};
+pub use ftgemm_parallel::{par_gemm, BatchItem, BatchWorkspace, ParFtWorkspace, ParGemmContext};
+pub use ftgemm_serve::{GemmRequest, GemmRequestBuilder, GemmResponse, GemmService, ServiceConfig};
+
+use ftgemm_core::Scalar;
+
+/// Serial fault-tolerant `C = alpha*A*B + beta*C` with a fresh context.
+///
+/// Legacy one-shot entry point; delegates to a single-use
+/// [`GemmPlan`] (`GemmOp::new(..).ft_config(..).plan(Exec::Serial)`).
+/// Callers repeating one shape should hold the plan instead.
+pub fn ft_gemm<T: Scalar>(
+    cfg: &FtConfig,
+    alpha: T,
+    a: &MatRef<'_, T>,
+    b: &MatRef<'_, T>,
+    beta: T,
+    c: &mut MatMut<'_, T>,
+) -> FtResult<FtReport> {
+    GemmOp::new(a, b)
+        .alpha(alpha)
+        .beta(beta)
+        .ft_config(cfg.clone())
+        .plan(Exec::Serial)?
+        .run(c)
+}
+
+/// Parallel fault-tolerant `C = alpha*A*B + beta*C` on `ctx`'s pool.
+///
+/// Legacy one-shot entry point; delegates to a single-use [`GemmPlan`]
+/// (`GemmOp::new(..).ft_config(..).plan(Exec::Parallel(ctx))`). Callers
+/// repeating one shape should hold the plan instead — it keeps the
+/// reduction workspace alive across calls.
+pub fn par_ft_gemm<T: Scalar>(
+    ctx: &ParGemmContext<T>,
+    cfg: &FtConfig,
+    alpha: T,
+    a: &MatRef<'_, T>,
+    b: &MatRef<'_, T>,
+    beta: T,
+    c: &mut MatMut<'_, T>,
+) -> FtResult<FtReport> {
+    GemmOp::new(a, b)
+        .alpha(alpha)
+        .beta(beta)
+        .ft_config(cfg.clone())
+        .plan(Exec::Parallel(ctx))?
+        .run(c)
+}
+
+/// Batched (FT-)GEMM: every item of `items` across the pool, one serial
+/// driver per item; one result per item, index-aligned.
+///
+/// Legacy entry point; delegates to [`GemmBatch::with_workspace`].
+pub fn par_batch_ft_gemm<T: Scalar>(
+    ctx: &ParGemmContext<T>,
+    ws: &BatchWorkspace<T>,
+    items: &mut [BatchItem<'_, T>],
+) -> Vec<FtResult<FtReport>> {
+    GemmBatch::with_workspace(ctx, ws).run(items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftgemm_core::reference::naive_gemm;
+
+    #[test]
+    fn legacy_wrappers_match_underlying_drivers() {
+        let a = Matrix::<f64>::random(48, 36, 1);
+        let b = Matrix::<f64>::random(36, 40, 2);
+        let mut c_wrap = Matrix::<f64>::random(48, 40, 3);
+        let mut c_direct = c_wrap.clone();
+        let cfg = FtConfig::default();
+
+        ft_gemm(
+            &cfg,
+            1.5,
+            &a.as_ref(),
+            &b.as_ref(),
+            0.5,
+            &mut c_wrap.as_mut(),
+        )
+        .unwrap();
+        ftgemm_abft::ft_gemm(
+            &cfg,
+            1.5,
+            &a.as_ref(),
+            &b.as_ref(),
+            0.5,
+            &mut c_direct.as_mut(),
+        )
+        .unwrap();
+        assert_eq!(c_wrap.as_slice(), c_direct.as_slice());
+
+        let ctx = ParGemmContext::<f64>::with_threads(3);
+        let mut c_wrap = Matrix::<f64>::random(48, 40, 4);
+        let mut c_direct = c_wrap.clone();
+        par_ft_gemm(
+            &ctx,
+            &cfg,
+            1.0,
+            &a.as_ref(),
+            &b.as_ref(),
+            1.0,
+            &mut c_wrap.as_mut(),
+        )
+        .unwrap();
+        ftgemm_parallel::par_ft_gemm(
+            &ctx,
+            &cfg,
+            1.0,
+            &a.as_ref(),
+            &b.as_ref(),
+            1.0,
+            &mut c_direct.as_mut(),
+        )
+        .unwrap();
+        assert_eq!(c_wrap.as_slice(), c_direct.as_slice());
+    }
+
+    #[test]
+    fn legacy_batch_wrapper_runs() {
+        let ctx = ParGemmContext::<f64>::with_threads(2);
+        let ws = BatchWorkspace::new(&ctx);
+        let cfg = FtConfig::default();
+        let a = Matrix::<f64>::random(20, 16, 1);
+        let b = Matrix::<f64>::random(16, 24, 2);
+        let mut c = Matrix::<f64>::zeros(20, 24);
+        let mut c_ref = Matrix::<f64>::zeros(20, 24);
+        naive_gemm(1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut c_ref.as_mut());
+        let mut items = vec![BatchItem {
+            alpha: 1.0,
+            a: a.as_ref(),
+            b: b.as_ref(),
+            beta: 0.0,
+            c: c.as_mut(),
+            cfg: Some(&cfg),
+        }];
+        let results = par_batch_ft_gemm(&ctx, &ws, &mut items);
+        drop(items);
+        assert!(results[0].is_ok());
+        assert!(c.rel_max_diff(&c_ref) < 1e-10);
+    }
+
+    #[test]
+    fn shape_mismatch_surfaces_at_plan_time() {
+        let a = Matrix::<f64>::zeros(3, 4);
+        let b = Matrix::<f64>::zeros(5, 6);
+        assert!(matches!(
+            GemmOp::new(&a, &b).plan(Exec::Serial),
+            Err(ftgemm_abft::FtError::Core(
+                ftgemm_core::CoreError::ShapeMismatch { .. }
+            ))
+        ));
+    }
+}

@@ -1,0 +1,114 @@
+//! Pins the `GemmPlan` zero-allocation contract with a counting global
+//! allocator: once a plan exists, `plan.run` must not touch the heap —
+//! serial plans are measured allocation-by-allocation; parallel plans are
+//! additionally pinned by workspace-pointer stability (their worker threads
+//! park/unpark through the pool, which the counter would attribute to the
+//! region even though the GEMM hot path itself is allocation-free).
+
+use ftgemm::{Exec, FtPolicy, GemmOp, Matrix, ParGemmContext};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to the system allocator; the counter is a
+// relaxed atomic with no allocation of its own.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwarded contract.
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: forwarded contract.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwarded contract.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn serial_protected_plan_runs_allocation_free() {
+    let a = Matrix::<f64>::random(96, 72, 1);
+    let b = Matrix::<f64>::random(72, 80, 2);
+    let mut c = Matrix::<f64>::zeros(96, 80);
+
+    let mut plan = GemmOp::new(&a, &b)
+        .ft(FtPolicy::DetectCorrect)
+        .plan(Exec::Serial)
+        .unwrap();
+
+    // Warm-up run (first call may still touch lazily initialized globals,
+    // e.g. CPU feature detection).
+    plan.run(&mut c.as_mut()).unwrap();
+
+    let before = allocations();
+    for _ in 0..5 {
+        let report = plan.run(&mut c.as_mut()).unwrap();
+        assert_eq!(report.detected, 0);
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "serial protected plan.run allocated {} times",
+        after - before
+    );
+}
+
+#[test]
+fn serial_plain_plan_runs_allocation_free() {
+    let a = Matrix::<f64>::random(64, 64, 3);
+    let b = Matrix::<f64>::random(64, 64, 4);
+    let mut c = Matrix::<f64>::zeros(64, 64);
+
+    let mut plan = GemmOp::new(&a, &b)
+        .ft(FtPolicy::Off)
+        .plan(Exec::Serial)
+        .unwrap();
+    plan.run(&mut c.as_mut()).unwrap();
+
+    let before = allocations();
+    for _ in 0..5 {
+        plan.run(&mut c.as_mut()).unwrap();
+    }
+    assert_eq!(allocations() - before, 0);
+}
+
+#[test]
+fn parallel_plan_workspace_is_pointer_stable() {
+    let ctx = ParGemmContext::<f64>::with_threads(3);
+    let a = Matrix::<f64>::random(120, 90, 5);
+    let b = Matrix::<f64>::random(90, 100, 6);
+    let mut c = Matrix::<f64>::zeros(120, 100);
+
+    let mut plan = GemmOp::new(&a, &b)
+        .ft(FtPolicy::DetectCorrect)
+        .plan(Exec::Parallel(&ctx))
+        .unwrap();
+    let addr = plan
+        .workspace_addr()
+        .expect("parallel plan has a workspace");
+    for _ in 0..5 {
+        plan.run(&mut c.as_mut()).unwrap();
+        assert_eq!(
+            plan.workspace_addr(),
+            Some(addr),
+            "workspace reallocated across runs"
+        );
+    }
+}
