@@ -19,6 +19,9 @@ pub struct Args {
     pub errors: usize,
     /// Campaign duration in seconds for the reliability experiment.
     pub duration_secs: u64,
+    /// CI smoke mode: tiny sizes, one repetition, no warm-up — just enough
+    /// to prove the binary and its CSV/JSON emitters still work.
+    pub smoke: bool,
 }
 
 impl Default for Args {
@@ -32,6 +35,7 @@ impl Default for Args {
             out_dir: "bench_results".to_string(),
             errors: 20,
             duration_secs: 10,
+            smoke: false,
         }
     }
 }
@@ -51,6 +55,11 @@ impl Args {
                             .map(|s| s.trim().parse().unwrap_or_else(|_| usage("bad size")))
                             .collect(),
                     );
+                }
+                "--smoke" => {
+                    args.smoke = true;
+                    args.reps = 1;
+                    args.warmup = 0;
                 }
                 "--reps" => args.reps = next_num(&mut it, "--reps"),
                 "--warmup" => args.warmup = next_num(&mut it, "--warmup"),
@@ -111,6 +120,7 @@ fn usage(err: &str) -> ! {
            --threads N           threads for parallel experiments (default: all)\n\
            --errors N            injected errors for fig2c/fig2d (default 20)\n\
            --duration SECS       reliability campaign duration (default 10)\n\
+           --smoke               CI smoke mode: tiny sizes, 1 rep, no warm-up\n\
            --out DIR             CSV output directory (default bench_results)"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
@@ -124,6 +134,7 @@ mod tests {
     fn defaults_sane() {
         let a = Args::default();
         assert!(!a.paper_sizes);
+        assert!(!a.smoke);
         assert!(a.reps >= 1);
         assert!(a.threads >= 1);
     }

@@ -9,7 +9,8 @@
 //! plus p50/p99 of the per-repetition times) is written as machine-readable
 //! `bench_results/BENCH_ablation_blocking.json` for cross-PR tracking.
 //!
-//! Usage: `cargo run -p ftgemm-bench --release --bin ablation_blocking`
+//! Usage: `cargo run -p ftgemm-bench --release --bin ablation_blocking
+//!         [--sizes N] [--reps N] [--smoke]`
 
 use ftgemm_bench::{gflops, percentile, write_bench_json, Args, JsonValue, Table};
 use ftgemm_core::{gemm_with_params, BlockingParams, CacheInfo, IsaLevel, Matrix};
@@ -20,7 +21,7 @@ fn main() {
         .sizes
         .as_ref()
         .and_then(|v| v.first().copied())
-        .unwrap_or(768);
+        .unwrap_or(if args.smoke { 96 } else { 768 });
     let a = Matrix::<f64>::random(s, s, 1);
     let b = Matrix::<f64>::random(s, s, 2);
 

@@ -10,23 +10,33 @@
 //! what the zero-waiter-thread surfaces cost relative to the sync path.
 //!
 //! A third pass measures per-request latency (submit → completion, through
-//! the streamed surface) and batch occupancy, and everything is written as
-//! machine-readable `bench_results/BENCH_serve_throughput.json` so the perf
-//! trajectory can be tracked across PRs.
+//! the streamed surface) and batch occupancy; a fourth compares routing
+//! policies under a mixed small/large workload — the pinned default cutoff
+//! (`RoutingPolicy::Fixed`) against the online-learned one
+//! (`RoutingPolicy::Adaptive`), reporting throughput and where the learned
+//! cutoff landed. Everything is written as machine-readable
+//! `bench_results/BENCH_serve_throughput.json` so the perf trajectory can
+//! be tracked across PRs.
 //!
 //! Usage: `cargo run -p ftgemm-bench --release --bin serve_throughput
-//!         [--reps N] [--threads N]`
+//!         [--reps N] [--threads N] [--smoke]`
 
 use ftgemm_bench::{percentile, write_bench_json, Args, JsonValue, Table};
 use ftgemm_core::Matrix;
 use ftgemm_serve::exec::block_on_all;
-use ftgemm_serve::{completion_channel, FtPolicy, GemmRequest, GemmService, ServiceConfig};
+use ftgemm_serve::{
+    completion_channel, AdaptiveConfig, FtPolicy, GemmRequest, GemmService, RoutingPolicy,
+    ServiceConfig, DEFAULT_SMALL_FLOPS_CUTOFF,
+};
 use std::collections::HashMap;
 use std::time::Instant;
 
 /// Small-GEMM edge; comfortably under any sane routing cutoff.
 const DIM: usize = 64;
-/// Requests per timed run.
+/// Above the default routing cutoff (2·224³ > 2·192³) — the "large" half
+/// of the routing-policy comparison workload.
+const LARGE_DIM: usize = 224;
+/// Requests per timed run (shrunk under `--smoke`).
 const REQUESTS: usize = 512;
 
 /// Which submit/redeem surface a timed run exercises.
@@ -40,8 +50,8 @@ enum Surface {
     Streamed,
 }
 
-fn run_once(threads: usize, max_batch: usize, policy: FtPolicy) -> f64 {
-    run_surface(threads, max_batch, policy, Surface::Sync)
+fn run_once(threads: usize, max_batch: usize, policy: FtPolicy, requests: usize) -> f64 {
+    run_surface(threads, max_batch, policy, Surface::Sync, requests)
 }
 
 /// Per-request latency + occupancy: streamed submissions tagged with their
@@ -53,13 +63,13 @@ struct LatencyRun {
     batch_thread_occupancy: f64,
 }
 
-fn run_latency(threads: usize, max_batch: usize, policy: FtPolicy) -> LatencyRun {
+fn run_latency(threads: usize, max_batch: usize, policy: FtPolicy, requests: usize) -> LatencyRun {
     let service = GemmService::<f64>::new(ServiceConfig {
         threads,
         max_batch,
         ..ServiceConfig::default()
     });
-    let problems: Vec<_> = (0..REQUESTS as u64)
+    let problems: Vec<_> = (0..requests as u64)
         .map(|i| {
             (
                 Matrix::<f64>::random(DIM, DIM, i),
@@ -69,7 +79,7 @@ fn run_latency(threads: usize, max_batch: usize, policy: FtPolicy) -> LatencyRun
         .collect();
 
     let (sink, mut completions) = completion_channel::<f64>();
-    let mut submitted_at: HashMap<u64, Instant> = HashMap::with_capacity(REQUESTS);
+    let mut submitted_at: HashMap<u64, Instant> = HashMap::with_capacity(requests);
     let t0 = Instant::now();
     for (a, b) in problems {
         let req = GemmRequest::builder(a, b)
@@ -81,31 +91,37 @@ fn run_latency(threads: usize, max_batch: usize, policy: FtPolicy) -> LatencyRun
             .expect("submit_streamed");
         submitted_at.insert(id, Instant::now());
     }
-    let mut latencies_us = Vec::with_capacity(REQUESTS);
+    let mut latencies_us = Vec::with_capacity(requests);
     while let Some(completion) = completions.recv() {
         completion.result.expect("request failed");
         let submitted = submitted_at[&completion.id];
         latencies_us.push(submitted.elapsed().as_secs_f64() * 1e6);
     }
     let elapsed = t0.elapsed().as_secs_f64();
-    assert_eq!(latencies_us.len(), REQUESTS);
+    assert_eq!(latencies_us.len(), requests);
     let snap = service.stats();
     LatencyRun {
         latencies_us,
-        rps: REQUESTS as f64 / elapsed,
+        rps: requests as f64 / elapsed,
         mean_batch_occupancy: snap.mean_batch_occupancy,
         batch_thread_occupancy: snap.batch_thread_occupancy,
     }
 }
 
-fn run_surface(threads: usize, max_batch: usize, policy: FtPolicy, surface: Surface) -> f64 {
+fn run_surface(
+    threads: usize,
+    max_batch: usize,
+    policy: FtPolicy,
+    surface: Surface,
+    requests: usize,
+) -> f64 {
     let service = GemmService::<f64>::new(ServiceConfig {
         threads,
         max_batch,
         ..ServiceConfig::default()
     });
     // Pre-build operands so the timed section measures serving, not RNG.
-    let problems: Vec<_> = (0..REQUESTS as u64)
+    let problems: Vec<_> = (0..requests as u64)
         .map(|i| {
             (
                 Matrix::<f64>::random(DIM, DIM, i),
@@ -139,7 +155,7 @@ fn run_surface(threads: usize, max_batch: usize, policy: FtPolicy, surface: Surf
                 })
                 .collect();
             let results = block_on_all(futures);
-            assert_eq!(results.len(), REQUESTS);
+            assert_eq!(results.len(), requests);
             for r in results {
                 r.expect("request failed");
             }
@@ -156,21 +172,77 @@ fn run_surface(threads: usize, max_batch: usize, policy: FtPolicy, surface: Surf
                 c.result.expect("request failed");
                 drained += 1;
             }
-            assert_eq!(drained, REQUESTS);
+            assert_eq!(drained, requests);
         }
     }
     let elapsed = t0.elapsed().as_secs_f64();
     drop(service);
-    REQUESTS as f64 / elapsed
+    requests as f64 / elapsed
+}
+
+/// One mixed small/large run under a given routing policy: half the
+/// requests at `DIM` (batched under the seed cutoff), half at `LARGE_DIM`
+/// (matrix-parallel under it), submitted streamed and drained.
+struct RoutingRun {
+    rps: f64,
+    final_cutoff: u64,
+    cutoff_updates: u64,
+    batched_requests: u64,
+    direct_large: u64,
+}
+
+fn run_routing(threads: usize, requests: usize, routing: RoutingPolicy) -> RoutingRun {
+    let service = GemmService::<f64>::new(ServiceConfig {
+        threads,
+        max_batch: 16,
+        routing,
+        ..ServiceConfig::default()
+    });
+    let problems: Vec<_> = (0..requests as u64)
+        .map(|i| {
+            let dim = if i % 2 == 0 { DIM } else { LARGE_DIM };
+            (
+                Matrix::<f64>::random(dim, dim, i),
+                Matrix::<f64>::random(dim, dim, i + 1_000),
+            )
+        })
+        .collect();
+    let (sink, mut completions) = completion_channel::<f64>();
+    let t0 = Instant::now();
+    for (a, b) in problems {
+        service
+            .submit_streamed(
+                GemmRequest::new(a, b).with_policy(FtPolicy::DetectCorrect),
+                &sink,
+            )
+            .expect("submit_streamed");
+    }
+    let mut drained = 0;
+    while let Some(c) = completions.recv() {
+        c.result.expect("request failed");
+        drained += 1;
+    }
+    assert_eq!(drained, requests);
+    let elapsed = t0.elapsed().as_secs_f64();
+    let snap = service.stats();
+    RoutingRun {
+        rps: requests as f64 / elapsed,
+        final_cutoff: snap.current_cutoff,
+        cutoff_updates: snap.cutoff_updates,
+        batched_requests: snap.batched_requests,
+        direct_large: snap.direct_large,
+    }
 }
 
 fn main() {
     let args = Args::parse();
     let threads = args.threads;
+    let requests = if args.smoke { 48 } else { REQUESTS };
     println!(
-        "serve_throughput: {REQUESTS} x {DIM}^3 DGEMM requests, {threads} threads, \
-         best of {} runs\n",
-        args.reps.max(1)
+        "serve_throughput: {requests} x {DIM}^3 DGEMM requests, {threads} threads, \
+         best of {} runs{}\n",
+        args.reps.max(1),
+        if args.smoke { " (smoke mode)" } else { "" }
     );
 
     let mut table = Table::new(
@@ -186,7 +258,7 @@ fn main() {
     for &max_batch in &[1usize, 8, 64] {
         let best = |policy: FtPolicy| {
             (0..args.reps.max(1))
-                .map(|_| run_once(threads, max_batch, policy))
+                .map(|_| run_once(threads, max_batch, policy, requests))
                 .fold(0.0f64, f64::max)
         };
         let off = best(FtPolicy::Off);
@@ -225,7 +297,7 @@ fn main() {
     ] {
         let best = |policy: FtPolicy| {
             (0..args.reps.max(1))
-                .map(|_| run_surface(threads, SURFACE_BATCH, policy, surface))
+                .map(|_| run_surface(threads, SURFACE_BATCH, policy, surface, requests))
                 .fold(0.0f64, f64::max)
         };
         let off = best(FtPolicy::Off);
@@ -260,7 +332,7 @@ fn main() {
         ("ft off", FtPolicy::Off),
         ("ft on (DetectCorrect)", FtPolicy::DetectCorrect),
     ] {
-        let run = run_latency(threads, SURFACE_BATCH, policy);
+        let run = run_latency(threads, SURFACE_BATCH, policy, requests);
         let p50 = percentile(&run.latencies_us, 50.0);
         let p99 = percentile(&run.latencies_us, 99.0);
         latency_table.row(vec![
@@ -283,9 +355,68 @@ fn main() {
     }
     latency_table.print();
 
+    // Fourth pass: routing policy — the pinned default cutoff vs the
+    // online-learned one, under a mixed small/large workload.
+    let mut routing_table = Table::new(
+        &format!(
+            "Routing policy — mixed {DIM}^3/{LARGE_DIM}^3 workload, DetectCorrect \
+             (seed cutoff {DEFAULT_SMALL_FLOPS_CUTOFF})"
+        ),
+        &[
+            "policy",
+            "req/s",
+            "final cutoff",
+            "updates",
+            "batched",
+            "large",
+        ],
+    );
+    let mut json_routing = JsonValue::arr();
+    for (name, key, policy) in [
+        (
+            "fixed (default cutoff)",
+            "fixed",
+            RoutingPolicy::Fixed(DEFAULT_SMALL_FLOPS_CUTOFF),
+        ),
+        (
+            "adaptive (learned)",
+            "adaptive",
+            RoutingPolicy::Adaptive(AdaptiveConfig::default()),
+        ),
+    ] {
+        let mut best: Option<RoutingRun> = None;
+        for _ in 0..args.reps.max(1) {
+            let run = run_routing(threads, requests, policy);
+            if best.as_ref().is_none_or(|b| run.rps > b.rps) {
+                best = Some(run);
+            }
+        }
+        let run = best.expect("at least one rep");
+        routing_table.row(vec![
+            name.to_string(),
+            format!("{:.0}", run.rps),
+            run.final_cutoff.to_string(),
+            run.cutoff_updates.to_string(),
+            run.batched_requests.to_string(),
+            run.direct_large.to_string(),
+        ]);
+        json_routing = json_routing.push(
+            JsonValue::obj()
+                .field("policy", key)
+                .field("rps", run.rps)
+                .field("final_cutoff", run.final_cutoff)
+                .field("cutoff_updates", run.cutoff_updates)
+                .field("batched_requests", run.batched_requests)
+                .field("direct_large", run.direct_large),
+        );
+        eprintln!("routing '{name}' done");
+    }
+    routing_table.print();
+
     let json = JsonValue::obj()
         .field("bench", "serve_throughput")
-        .field("requests", REQUESTS)
+        .field("requests", requests)
+        .field("smoke", args.smoke)
         .field("dim", DIM)
         .field("threads", threads)
         .field("reps", args.reps.max(1))
@@ -302,6 +433,14 @@ fn main() {
                 .field("surface", "streamed")
                 .field("max_batch", SURFACE_BATCH)
                 .field("rows", json_latency),
+        )
+        .field(
+            "routing",
+            JsonValue::obj()
+                .field("small_dim", DIM)
+                .field("large_dim", LARGE_DIM)
+                .field("seed_cutoff", DEFAULT_SMALL_FLOPS_CUTOFF)
+                .field("rows", json_routing),
         );
     match write_bench_json(&args.out_dir, "serve_throughput", &json) {
         Ok(p) => println!("\nJSON written to {}", p.display()),

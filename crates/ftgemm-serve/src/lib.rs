@@ -32,7 +32,15 @@
 //!   scheduler coalesces up to `max_batch` of them and distributes the
 //!   *batch* across the pool ([`ftgemm_parallel::par_batch_ft_gemm`]), each
 //!   item running the serial fused-ABFT driver with that pool thread's
-//!   reused packed-buffer workspace.
+//!   reused packed-buffer workspace. Coalesced batches run before the
+//!   sweep's large requests so a small request never queues behind a long
+//!   matrix-parallel run it arrived with.
+//! * **Learned routing.** The small/large boundary is a [`RoutingPolicy`]:
+//!   pinned ([`RoutingPolicy::Fixed`]) or — the default — learned online
+//!   ([`RoutingPolicy::Adaptive`]) by a [`CutoffLearner`] that watches both
+//!   paths' observed ns/flop and converges the cutoff to this machine's
+//!   real batched-vs-matrix-parallel break-even
+//!   ([`GemmService::current_cutoff`] exposes the live value).
 //! * **Three redemption surfaces, one scheduler.** `submit` returns a
 //!   blocking [`RequestHandle`] (condvar; `wait`/`try_wait`/`wait_timeout`),
 //!   `submit_async` returns an [`AsyncRequestHandle`] future (the fulfill
@@ -101,6 +109,7 @@ pub mod exec;
 mod handle;
 mod queue;
 mod request;
+pub mod routing;
 mod service;
 mod stats;
 mod stream;
@@ -112,6 +121,7 @@ pub use ftgemm_abft::FtPolicy;
 
 pub use handle::{AsyncRequestHandle, RequestHandle};
 pub use request::{GemmRequest, GemmRequestBuilder, GemmResponse, ServeError};
+pub use routing::{AdaptiveConfig, CutoffLearner, RoutePath, RoutingPolicy, RoutingSnapshot};
 pub use service::{GemmService, ServiceConfig, DEFAULT_SMALL_FLOPS_CUTOFF};
 pub use stats::StatsSnapshot;
 pub use stream::{completion_channel, Completion, CompletionSink, Completions, Next};
@@ -195,7 +205,8 @@ mod tests {
     fn large_requests_take_matrix_parallel_path() {
         let service = GemmService::<f64>::new(ServiceConfig {
             threads: 2,
-            small_flops_cutoff: 2 * 8 * 8 * 8, // everything bigger is "large"
+            // Everything bigger than 8^3 is "large".
+            routing: RoutingPolicy::Fixed(2 * 8 * 8 * 8),
             ..ServiceConfig::default()
         });
         let a = Matrix::<f64>::random(64, 32, 5);

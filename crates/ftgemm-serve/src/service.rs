@@ -3,6 +3,7 @@
 use crate::handle::{AsyncRequestHandle, RequestHandle, ResponseSlot};
 use crate::queue::{Envelope, PushError, ShardedQueue};
 use crate::request::{GemmRequest, GemmResponse, ServeError};
+use crate::routing::{RoutePath, RouteState, RoutingPolicy};
 use crate::stats::{ServiceStats, StatsSnapshot};
 use crate::stream::CompletionSink;
 use ftgemm_abft::{FtReport, FtResult};
@@ -32,10 +33,13 @@ pub struct ServiceConfig {
     pub queue_shards: usize,
     /// Maximum small requests coalesced into one batched parallel region.
     pub max_batch: usize,
-    /// Requests with at most this many multiply-adds (`2*m*n*k`) take the
-    /// batched path; larger ones run matrix-parallel via `par_ft_gemm`
-    /// (default: [`DEFAULT_SMALL_FLOPS_CUTOFF`]).
-    pub small_flops_cutoff: u64,
+    /// Where the batched-vs-matrix-parallel boundary comes from: requests
+    /// with at most the cutoff's multiply-adds (`2*m*n*k`) take the batched
+    /// path, larger ones run matrix-parallel via `par_ft_gemm`. The default
+    /// learns the boundary online from observed region times, seeded at
+    /// [`DEFAULT_SMALL_FLOPS_CUTOFF`]; pin it with
+    /// [`RoutingPolicy::Fixed`] for deterministic routing.
+    pub routing: RoutingPolicy,
     /// Submission-queue depth bound (`0` = unbounded, the default). When
     /// set, blocking [`submit`](GemmService::submit) calls park until the
     /// scheduler drains space, while the non-blocking async surfaces
@@ -52,7 +56,7 @@ impl Default for ServiceConfig {
             threads: 0,
             queue_shards: 4,
             max_batch: 32,
-            small_flops_cutoff: DEFAULT_SMALL_FLOPS_CUTOFF,
+            routing: RoutingPolicy::default(),
             queue_capacity: 0,
         }
     }
@@ -62,6 +66,7 @@ struct Inner<T: Scalar> {
     queue: ShardedQueue<T>,
     stats: ServiceStats,
     config: ServiceConfig,
+    route: RouteState,
     ctx: ParGemmContext<T>,
 }
 
@@ -105,6 +110,7 @@ impl<T: Scalar> GemmService<T> {
         let inner = Arc::new(Inner {
             queue: ShardedQueue::new(config.queue_shards, config.queue_capacity),
             stats: ServiceStats::new(ctx.nthreads()),
+            route: RouteState::new(config.routing),
             config,
             ctx,
         });
@@ -137,12 +143,15 @@ impl<T: Scalar> GemmService<T> {
             id,
             submitted: Instant::now(),
         };
-        self.inner.queue.push(env).map_err(|_| ServeError::Closed)?;
-        self.inner.stats.submitted.fetch_add(1, Ordering::Relaxed);
-        self.inner
-            .stats
-            .submitted_sync
-            .fetch_add(1, Ordering::Relaxed);
+        // Count at admission, *before* the push: once the envelope is in
+        // the queue the scheduler may complete it at any moment, and a
+        // snapshot taken in that window must never see
+        // `completed > submitted`. A rejected push rolls the count back.
+        self.inner.stats.admit(&self.inner.stats.submitted_sync);
+        self.inner.queue.push(env).map_err(|_| {
+            self.inner.stats.reject(&self.inner.stats.submitted_sync);
+            ServeError::Closed
+        })?;
         Ok(handle)
     }
 
@@ -170,16 +179,17 @@ impl<T: Scalar> GemmService<T> {
             id,
             submitted: Instant::now(),
         };
-        // On rejection the handle drops here, releasing the in-flight gauge.
-        self.inner.queue.try_push(env).map_err(|e| match e {
-            PushError::Full => ServeError::Overloaded,
-            PushError::Closed => ServeError::Closed,
+        // Counted at admission (see `submit`); a rejected push rolls the
+        // count back, and the handle drops here too, releasing the
+        // in-flight gauge.
+        self.inner.stats.admit(&self.inner.stats.submitted_async);
+        self.inner.queue.try_push(env).map_err(|e| {
+            self.inner.stats.reject(&self.inner.stats.submitted_async);
+            match e {
+                PushError::Full => ServeError::Overloaded,
+                PushError::Closed => ServeError::Closed,
+            }
         })?;
-        self.inner.stats.submitted.fetch_add(1, Ordering::Relaxed);
-        self.inner
-            .stats
-            .submitted_async
-            .fetch_add(1, Ordering::Relaxed);
         Ok(handle)
     }
 
@@ -208,18 +218,18 @@ impl<T: Scalar> GemmService<T> {
             id,
             submitted: Instant::now(),
         };
+        // Counted at admission (see `submit`); rolled back on rejection.
+        self.inner.stats.admit(&self.inner.stats.submitted_streamed);
         self.inner.queue.try_push(env).map_err(|e| {
+            self.inner
+                .stats
+                .reject(&self.inner.stats.submitted_streamed);
             sink.unregister();
             match e {
                 PushError::Full => ServeError::Overloaded,
                 PushError::Closed => ServeError::Closed,
             }
         })?;
-        self.inner.stats.submitted.fetch_add(1, Ordering::Relaxed);
-        self.inner
-            .stats
-            .submitted_streamed
-            .fetch_add(1, Ordering::Relaxed);
         Ok(id)
     }
 
@@ -230,9 +240,21 @@ impl<T: Scalar> GemmService<T> {
 
     /// Point-in-time service metrics.
     pub fn stats(&self) -> StatsSnapshot {
-        self.inner
-            .stats
-            .snapshot(self.inner.queue.depth(), self.inner.ctx.pool().stats())
+        self.inner.stats.snapshot(
+            self.inner.queue.depth(),
+            self.inner.ctx.pool().stats(),
+            self.inner.route.snapshot(),
+        )
+    }
+
+    /// The flops cutoff the scheduler is routing by right now: the pinned
+    /// constant under [`RoutingPolicy::Fixed`], the live learned estimate
+    /// under [`RoutingPolicy::Adaptive`]. Callers planning one-shot calls
+    /// (`Exec::Auto` is seeded by [`DEFAULT_SMALL_FLOPS_CUTOFF`]) can read
+    /// this to seed their own routing with the value this machine actually
+    /// converged to.
+    pub fn current_cutoff(&self) -> u64 {
+        self.inner.route.cutoff()
     }
 
     /// Threads in the compute pool.
@@ -291,28 +313,35 @@ fn scheduler_loop<T: Scalar>(inner: &Inner<T>) {
     }
 }
 
-/// Routes a drained sweep: large requests one-at-a-time through the
-/// matrix-parallel driver, small ones coalesced into batched regions.
+/// Routes a drained sweep by the live cutoff: small requests coalesced
+/// into batched regions, large ones one-at-a-time through the
+/// matrix-parallel driver.
+///
+/// The batched regions run *first*: a sweep can hold 100+ large requests,
+/// and an early-arriving small request parked behind that loop would see
+/// its latency multiplied for no benefit (the coalesced batches are the
+/// cheap part of the sweep). Pinned by
+/// `small_batches_complete_before_large_requests`.
 fn dispatch<T: Scalar>(
     inner: &Inner<T>,
     workspace: &BatchWorkspace<T>,
     envelopes: Vec<Envelope<T>>,
 ) {
-    let cutoff = inner.config.small_flops_cutoff;
+    let cutoff = inner.route.cutoff();
     let (small, large): (Vec<_>, Vec<_>) = envelopes
         .into_iter()
         .partition(|env| env.req.flops() <= cutoff);
-
-    for env in large {
-        inner.stats.direct_large.fetch_add(1, Ordering::Relaxed);
-        run_large(inner, env);
-    }
 
     let mut small = small;
     while !small.is_empty() {
         let take = small.len().min(inner.config.max_batch);
         let chunk: Vec<Envelope<T>> = small.drain(..take).collect();
         run_batch(inner, workspace, chunk);
+    }
+
+    for env in large {
+        inner.stats.direct_large.fetch_add(1, Ordering::Relaxed);
+        run_large(inner, env);
     }
 }
 
@@ -323,7 +352,9 @@ fn run_large<T: Scalar>(inner: &Inner<T>, env: Envelope<T>) {
         submitted,
         ..
     } = env;
+    let flops = req.flops();
     let cfg = req.policy.to_config(req.injector.clone());
+    let started = Instant::now();
     let result: FtResult<FtReport> = match &cfg {
         Some(cfg) => par_ft_gemm(
             &inner.ctx,
@@ -345,6 +376,11 @@ fn run_large<T: Scalar>(inner: &Inner<T>, env: Envelope<T>) {
         .map(|()| FtReport::default())
         .map_err(ftgemm_abft::FtError::Core),
     };
+    inner.route.observe(
+        RoutePath::Parallel,
+        flops,
+        started.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+    );
     finish(inner, slot, req.c, result, submitted, false);
 }
 
@@ -383,6 +419,21 @@ fn run_batch<T: Scalar>(
     drop(items);
     inner.stats.absorb_batch_timing(&timing);
 
+    // Feed the routing learner: the region's wall time, attributed to each
+    // item in proportion to its flops (the whole region shares one ns/flop,
+    // but each item lands in its own log2(flops) bucket).
+    let total_flops: u64 = envs.iter().map(|env| env.req.flops()).sum();
+    if total_flops > 0 {
+        let wall_ns = timing.wall.as_nanos().min(u64::MAX as u128) as f64;
+        for env in &envs {
+            let flops = env.req.flops();
+            let share_ns = wall_ns * flops as f64 / total_flops as f64;
+            inner
+                .route
+                .observe(RoutePath::Batched, flops, share_ns as u64);
+        }
+    }
+
     for (env, result) in envs.into_iter().zip(results) {
         finish(inner, env.slot, env.req.c, result, env.submitted, true);
     }
@@ -410,5 +461,69 @@ fn finish<T: Scalar>(
             inner.stats.failed.fetch_add(1, Ordering::Relaxed);
             slot.fulfill(Err(ServeError::Ft(e)));
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::RouteState;
+    use crate::stream::completion_channel;
+    use ftgemm_core::Matrix;
+
+    /// Head-of-line regression: a drained sweep must run its coalesced
+    /// small batches before the large loop. Drives `dispatch` directly (no
+    /// scheduler thread) so the sweep's composition — four large requests
+    /// that arrived *before* one small one — is exact and the completion
+    /// order deterministic.
+    #[test]
+    fn small_batches_complete_before_large_requests() {
+        let config = ServiceConfig {
+            threads: 2,
+            max_batch: 4,
+            routing: RoutingPolicy::Fixed(2 * 32 * 32 * 32),
+            ..ServiceConfig::default()
+        };
+        let inner = Inner {
+            queue: ShardedQueue::new(1, 0),
+            stats: ServiceStats::new(2),
+            route: RouteState::new(config.routing),
+            config,
+            ctx: ParGemmContext::<f64>::with_threads(2),
+        };
+        let workspace = BatchWorkspace::new(&inner.ctx);
+        let (sink, mut completions) = completion_channel::<f64>();
+
+        let mk = |id: u64, dim: usize| {
+            let req = GemmRequest::new(
+                Matrix::<f64>::random(dim, dim, id),
+                Matrix::<f64>::random(dim, dim, id + 100),
+            );
+            sink.register();
+            Envelope {
+                req,
+                slot: ResponseSlot::forwarding(id, sink.clone()),
+                id,
+                submitted: Instant::now(),
+            }
+        };
+        // Ids 0..4: large (64^3 > the pinned cutoff); id 4: small (16^3).
+        let mut envelopes: Vec<_> = (0..4u64).map(|id| mk(id, 64)).collect();
+        envelopes.push(mk(4, 16));
+        dispatch(&inner, &workspace, envelopes);
+        drop(sink);
+
+        let mut order = Vec::new();
+        while let Some(c) = completions.recv() {
+            c.result.unwrap();
+            order.push(c.id);
+        }
+        assert_eq!(order.len(), 5);
+        assert_eq!(
+            order[0], 4,
+            "small request waited behind the large loop: {order:?}"
+        );
+        assert_eq!(inner.stats.direct_large.load(Ordering::Relaxed), 4);
+        assert_eq!(inner.stats.batched_requests.load(Ordering::Relaxed), 1);
     }
 }

@@ -1,5 +1,6 @@
 //! Service-level counters and derived metrics.
 
+use crate::routing::RoutingSnapshot;
 use ftgemm_abft::FtReport;
 use ftgemm_parallel::BatchTiming;
 use ftgemm_pool::PoolStats;
@@ -7,10 +8,17 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// Sentinel for "no request has been submitted yet".
+const NO_SUBMIT: u64 = u64::MAX;
+
 /// Lock-free counters updated by the submit path and the scheduler.
 #[derive(Debug)]
 pub(crate) struct ServiceStats {
     started: Instant,
+    /// Nanoseconds after `started` of the first admitted submission
+    /// ([`NO_SUBMIT`] until then); anchors `requests_per_sec` so idle
+    /// warm-up time does not dilute the reported rate.
+    first_submit_ns: AtomicU64,
     pub submitted: AtomicU64,
     /// Requests accepted through the blocking `submit` surface.
     pub submitted_sync: AtomicU64,
@@ -47,6 +55,7 @@ impl ServiceStats {
     pub(crate) fn new(nthreads: usize) -> Self {
         ServiceStats {
             started: Instant::now(),
+            first_submit_ns: AtomicU64::new(NO_SUBMIT),
             submitted: AtomicU64::new(0),
             submitted_sync: AtomicU64::new(0),
             submitted_async: AtomicU64::new(0),
@@ -65,6 +74,37 @@ impl ServiceStats {
             batch_wall_ns: AtomicU64::new(0),
             batch_busy_ns: (0..nthreads).map(|_| AtomicU64::new(0)).collect(),
         }
+    }
+
+    /// Counts a request at admission, before it can reach the queue:
+    /// bumps the total and the given per-surface counter, and stamps the
+    /// first-submission instant. Must be paired with [`reject`](Self::reject)
+    /// if the subsequent queue push fails, so rejected requests do not
+    /// inflate the totals.
+    pub(crate) fn admit(&self, surface: &AtomicU64) {
+        let ns = self
+            .started
+            .elapsed()
+            .as_nanos()
+            .min((NO_SUBMIT - 1) as u128) as u64;
+        // First writer wins; later submissions leave the anchor alone.
+        let _ = self.first_submit_ns.compare_exchange(
+            NO_SUBMIT,
+            ns,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        surface.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Rolls back an [`admit`](Self::admit) whose queue push was rejected.
+    /// Only this request's own increments are undone, so the invariant
+    /// `completed + failed <= submitted` holds throughout (the count is,
+    /// at worst, transiently one high while the rejection unwinds).
+    pub(crate) fn reject(&self, surface: &AtomicU64) {
+        self.submitted.fetch_sub(1, Ordering::Relaxed);
+        surface.fetch_sub(1, Ordering::Relaxed);
     }
 
     /// Folds one request's FT report into the service counters.
@@ -94,12 +134,24 @@ impl ServiceStats {
         }
     }
 
-    pub(crate) fn snapshot(&self, queue_depth: usize, pool: PoolStats) -> StatsSnapshot {
+    pub(crate) fn snapshot(
+        &self,
+        queue_depth: usize,
+        pool: PoolStats,
+        routing: RoutingSnapshot,
+    ) -> StatsSnapshot {
         let completed = self.completed.load(Ordering::Relaxed);
         let failed = self.failed.load(Ordering::Relaxed);
         let batches = self.batches.load(Ordering::Relaxed);
         let batched_requests = self.batched_requests.load(Ordering::Relaxed);
         let uptime = self.started.elapsed();
+        // Throughput is measured over the window from the first submission
+        // to now — a service idle for an hour before its first request
+        // should not report a diluted rate.
+        let serving = match self.first_submit_ns.load(Ordering::Relaxed) {
+            NO_SUBMIT => Duration::ZERO,
+            ns => uptime.saturating_sub(Duration::from_nanos(ns)),
+        };
         let batch_wall = Duration::from_nanos(self.batch_wall_ns.load(Ordering::Relaxed));
         let batch_busy_per_thread: Vec<Duration> = self
             .batch_busy_ns
@@ -125,7 +177,15 @@ impl ServiceStats {
             retried_panels: self.retried_panels.load(Ordering::Relaxed),
             queue_depth,
             uptime,
-            requests_per_sec: completed as f64 / uptime.as_secs_f64().max(1e-9),
+            requests_per_sec: if serving.is_zero() {
+                0.0
+            } else {
+                completed as f64 / serving.as_secs_f64().max(1e-9)
+            },
+            current_cutoff: routing.current_cutoff,
+            routing_batched_observations: routing.batched_observations,
+            routing_parallel_observations: routing.parallel_observations,
+            cutoff_updates: routing.cutoff_updates,
             mean_batch_occupancy: if batches == 0 {
                 0.0
             } else {
@@ -185,8 +245,25 @@ pub struct StatsSnapshot {
     pub queue_depth: usize,
     /// Time since the service started.
     pub uptime: Duration,
-    /// Completed requests per second of uptime.
+    /// Completed requests per second, measured from the **first
+    /// submission** (not service construction) to the snapshot instant, so
+    /// an idle-then-busy service is not diluted toward zero by its warm-up
+    /// gap. `0.0` before any request has been submitted.
     pub requests_per_sec: f64,
+    /// The flops cutoff the scheduler is routing by right now: the pinned
+    /// value under [`RoutingPolicy::Fixed`](crate::RoutingPolicy), the
+    /// live learned estimate under
+    /// [`RoutingPolicy::Adaptive`](crate::RoutingPolicy).
+    pub current_cutoff: u64,
+    /// Timing observations the routing learner absorbed from the batched
+    /// path (always `0` under a fixed policy).
+    pub routing_batched_observations: u64,
+    /// Timing observations the routing learner absorbed from the
+    /// matrix-parallel path (always `0` under a fixed policy).
+    pub routing_parallel_observations: u64,
+    /// Times the published routing cutoff actually changed (always `0`
+    /// under a fixed policy).
+    pub cutoff_updates: u64,
     /// Mean requests coalesced per batched region.
     pub mean_batch_occupancy: f64,
     /// Mean submit→completion latency.
@@ -212,18 +289,63 @@ mod tests {
     #[test]
     fn snapshot_derives_rates() {
         let s = ServiceStats::new(2);
-        s.submitted.store(10, Ordering::Relaxed);
+        for _ in 0..10 {
+            s.admit(&s.submitted_sync);
+        }
         s.completed.store(8, Ordering::Relaxed);
         s.batches.store(2, Ordering::Relaxed);
         s.batched_requests.store(6, Ordering::Relaxed);
         s.turnaround_ns.store(8_000_000, Ordering::Relaxed);
-        let snap = s.snapshot(3, PoolStats::default());
+        // Snapshots are taken strictly after the first admission, so the
+        // serving window is non-empty and the rate is positive.
+        std::thread::sleep(Duration::from_millis(2));
+        let snap = s.snapshot(3, PoolStats::default(), RoutingSnapshot::default());
         assert_eq!(snap.submitted, 10);
+        assert_eq!(snap.submitted_sync, 10);
         assert_eq!(snap.queue_depth, 3);
         assert!(snap.requests_per_sec > 0.0);
         assert!((snap.mean_batch_occupancy - 3.0).abs() < 1e-12);
         assert_eq!(snap.mean_turnaround, Duration::from_nanos(1_000_000));
         assert_eq!(snap.batch_thread_occupancy, 0.0, "no timing absorbed yet");
+    }
+
+    #[test]
+    fn requests_per_sec_measured_from_first_submission() {
+        let s = ServiceStats::new(1);
+        // Before any submission: no serving window, rate pinned to zero
+        // (previously this divided completed work by construction uptime).
+        let snap = s.snapshot(0, PoolStats::default(), RoutingSnapshot::default());
+        assert_eq!(snap.requests_per_sec, 0.0);
+
+        // An idle gap before the first submission must not dilute the
+        // rate: the serving window starts at `admit`, not at `new`, so the
+        // reported rate is strictly above what the old construction-
+        // anchored formula (completed / uptime) would give. Comparing
+        // against that formula instead of a fixed rate keeps the test
+        // immune to descheduling between admit and snapshot.
+        std::thread::sleep(Duration::from_millis(30));
+        s.admit(&s.submitted_sync);
+        s.completed.store(1, Ordering::Relaxed);
+        std::thread::sleep(Duration::from_millis(2));
+        let snap = s.snapshot(0, PoolStats::default(), RoutingSnapshot::default());
+        let construction_anchored = snap.completed as f64 / snap.uptime.as_secs_f64();
+        assert!(
+            snap.requests_per_sec > construction_anchored,
+            "rate diluted by pre-submit idle time: {} vs {construction_anchored}",
+            snap.requests_per_sec
+        );
+        assert!(snap.uptime >= Duration::from_millis(30), "uptime unchanged");
+    }
+
+    #[test]
+    fn reject_rolls_back_admission() {
+        let s = ServiceStats::new(1);
+        s.admit(&s.submitted_async);
+        s.admit(&s.submitted_async);
+        s.reject(&s.submitted_async);
+        let snap = s.snapshot(0, PoolStats::default(), RoutingSnapshot::default());
+        assert_eq!(snap.submitted, 1);
+        assert_eq!(snap.submitted_async, 1);
     }
 
     #[test]
@@ -237,7 +359,7 @@ mod tests {
             retried_panels: 1,
         });
         s.absorb_report(&FtReport::default());
-        let snap = s.snapshot(0, PoolStats::default());
+        let snap = s.snapshot(0, PoolStats::default(), RoutingSnapshot::default());
         assert_eq!(snap.detected, 2);
         assert_eq!(snap.corrected, 2);
         assert_eq!(snap.injected, 3);
@@ -255,7 +377,7 @@ mod tests {
             wall: Duration::from_millis(10),
             thread_busy: vec![Duration::from_millis(10), Duration::from_millis(6)],
         });
-        let snap = s.snapshot(0, PoolStats::default());
+        let snap = s.snapshot(0, PoolStats::default(), RoutingSnapshot::default());
         assert_eq!(snap.batch_wall, Duration::from_millis(20));
         assert_eq!(
             snap.batch_busy_per_thread,

@@ -17,12 +17,19 @@ pub enum Exec<'p, T: Scalar> {
     /// The matrix-parallel driver on the caller's pool. The context is
     /// `Arc`-backed, so the plan clones it cheaply and shares the workers.
     Parallel(&'p ParGemmContext<T>),
-    /// Route by problem size through the same flops cutoff
-    /// [`GemmService`](crate::GemmService) uses
+    /// Route by problem size through the *seed* flops cutoff
+    /// [`GemmService`](crate::GemmService) starts from
     /// ([`DEFAULT_SMALL_FLOPS_CUTOFF`]): small problems plan serial, large
     /// ones plan onto a process-wide shared worker pool (created on first
     /// use, one per process — repeated `Auto` plans reuse it).
     Auto,
+    /// [`Exec::Auto`] with a caller-supplied cutoff instead of the default
+    /// seed — the hook for carrying a served workload's *learned* crossover
+    /// into planned one-shots:
+    /// `op.plan(Exec::AutoAt(service.current_cutoff()))` routes this plan
+    /// by the value an adaptive
+    /// [`GemmService`](crate::GemmService) converged to on this machine.
+    AutoAt(u64),
 }
 
 /// The process-wide pool backing [`Exec::Auto`] for large problems. Shared
@@ -90,8 +97,12 @@ impl<'a, T: Scalar> GemmPlan<'a, T> {
         let backend = match exec {
             Exec::Serial => Self::serial_backend(&cfg, m, n, k)?,
             Exec::Parallel(ctx) => Self::parallel_backend(ctx.clone(), &cfg, m, n, k)?,
-            Exec::Auto => {
-                if op.flops() <= DEFAULT_SMALL_FLOPS_CUTOFF {
+            Exec::Auto | Exec::AutoAt(_) => {
+                let cutoff = match exec {
+                    Exec::AutoAt(cutoff) => cutoff,
+                    _ => DEFAULT_SMALL_FLOPS_CUTOFF,
+                };
+                if op.flops() <= cutoff {
                     Self::serial_backend(&cfg, m, n, k)?
                 } else {
                     Self::parallel_backend(auto_parallel_ctx::<T>(), &cfg, m, n, k)?

@@ -71,7 +71,10 @@ pub use ftgemm_abft::{FtConfig, FtPolicy, FtReport, FtResult};
 pub use ftgemm_core::{gemm, GemmContext, MatMut, MatRef, Matrix};
 pub use ftgemm_faults::FaultInjector;
 pub use ftgemm_parallel::{par_gemm, BatchItem, BatchWorkspace, ParFtWorkspace, ParGemmContext};
-pub use ftgemm_serve::{GemmRequest, GemmRequestBuilder, GemmResponse, GemmService, ServiceConfig};
+pub use ftgemm_serve::{
+    AdaptiveConfig, CutoffLearner, GemmRequest, GemmRequestBuilder, GemmResponse, GemmService,
+    RoutePath, RoutingPolicy, RoutingSnapshot, ServiceConfig,
+};
 
 use ftgemm_core::Scalar;
 

@@ -4,7 +4,10 @@
 
 use ftgemm::core::reference::naive_gemm;
 use ftgemm::serve::exec::block_on_all;
-use ftgemm::serve::{completion_channel, FtPolicy, GemmRequest, GemmService, ServiceConfig};
+use ftgemm::serve::{
+    completion_channel, AdaptiveConfig, FtPolicy, GemmRequest, GemmService, RoutingPolicy,
+    ServiceConfig,
+};
 use ftgemm::{FaultInjector, Matrix};
 use std::sync::Arc;
 
@@ -15,7 +18,7 @@ fn service(threads: usize, max_batch: usize) -> GemmService<f64> {
         queue_shards: 3,
         // Pin the routing cutoff so the test's size mix deterministically
         // exercises both paths regardless of the config default.
-        small_flops_cutoff: 2 * 96 * 96 * 96,
+        routing: RoutingPolicy::Fixed(2 * 96 * 96 * 96),
         ..ServiceConfig::default()
     })
 }
@@ -252,6 +255,258 @@ fn batch_load_metrics_populated() {
     }
     assert!(snap.batch_thread_occupancy > 0.0);
     assert!(snap.batch_thread_occupancy <= 1.0 + 1e-6);
+}
+
+/// (g) Adaptive routing converges away from the seed under a mixed
+/// workload of real traffic. Which *direction* the machine's timings imply
+/// is itself machine- and load-dependent (that is the point of learning
+/// it), and the learner's direction rule is pinned deterministically with
+/// synthetic timings in `ftgemm_serve::routing`'s unit tests
+/// (`parallel_slower_everywhere_pushes_cutoff_up` and its dual); what this
+/// end-to-end test asserts is the deterministic part of the contract:
+/// both paths feed observations, the first eligible re-estimate always
+/// moves the published cutoff off the seed (every reachable target
+/// differs from it), and the scheduler's routing coherently follows the
+/// moved value.
+#[test]
+fn adaptive_cutoff_moves_off_seed_and_routing_follows() {
+    const SMALL: usize = 96; // routed batched by the seed below
+    const LARGE: usize = 160; // routed matrix-parallel by the seed below
+    let small_flops = 2 * (SMALL as u64).pow(3);
+    let large_flops = 2 * (LARGE as u64).pow(3);
+
+    let seed = 2 * 128 * 128 * 128;
+    assert!(
+        small_flops < seed && seed < large_flops,
+        "workload must straddle the seed"
+    );
+    let service = GemmService::<f64>::new(ServiceConfig {
+        threads: 4,
+        max_batch: 4,
+        routing: RoutingPolicy::Adaptive(AdaptiveConfig {
+            seed_cutoff: seed,
+            min_observations: 2,
+            update_interval: 8,
+            ..AdaptiveConfig::default()
+        }),
+        ..ServiceConfig::default()
+    });
+    assert_eq!(service.current_cutoff(), seed, "learner not seeded");
+
+    // Sequential mixed traffic: every run() completes before the next is
+    // submitted, so each size lands squarely on the path the live cutoff
+    // dictates and both paths produce clean per-request timings.
+    for i in 0..48u64 {
+        let dim = if i % 2 == 0 { SMALL } else { LARGE };
+        let a = Matrix::<f64>::random(dim, dim, i);
+        let b = Matrix::<f64>::random(dim, dim, i + 4_000);
+        service.run(GemmRequest::new(a, b)).unwrap();
+    }
+
+    let snap = service.stats();
+    assert!(
+        snap.routing_batched_observations > 0,
+        "batched path never observed: {snap:?}"
+    );
+    assert!(
+        snap.routing_parallel_observations > 0,
+        "parallel path never observed: {snap:?}"
+    );
+    // By observation 8 both paths have >= min_observations, and no
+    // reachable re-estimate target equals the power-of-two seed (targets
+    // are the clamps or `2^b - 1`), so the cutoff must have updated.
+    assert!(snap.cutoff_updates >= 1, "cutoff never updated: {snap:?}");
+    // "Moved away from the seed": either it sits off the seed now, or it
+    // moved and noise walked it back (which still takes >= 2 updates).
+    assert!(
+        snap.current_cutoff != seed || snap.cutoff_updates >= 2,
+        "cutoff never left the seed: {snap:?}"
+    );
+    assert_eq!(service.current_cutoff(), snap.current_cutoff);
+
+    // Routing must follow the learned value: once the cutoff leaves the
+    // [small, large] bracket, later requests of the crossed size switch
+    // paths, so the per-path totals shift off the 24/24 submission split.
+    assert_eq!(snap.batched_requests + snap.direct_large, 48);
+    if snap.current_cutoff < small_flops {
+        assert!(
+            snap.direct_large > 24,
+            "cutoff fell below {SMALL}^3 but no small request went parallel: {snap:?}"
+        );
+    } else if snap.current_cutoff > large_flops {
+        assert!(
+            snap.batched_requests > 24,
+            "cutoff rose above {LARGE}^3 but no large request was batched: {snap:?}"
+        );
+    }
+}
+
+/// (h) Routing choice never changes numerical results: the same problems
+/// through an all-batched service, an all-parallel service, and an
+/// adaptive service (whose cutoff is free to move mid-run) produce
+/// bit-identical outputs. Both execution paths preserve each element's
+/// accumulation order, so this is exact equality on the bits, not a
+/// tolerance check.
+#[test]
+fn routing_choice_never_changes_results() {
+    let mk_service = |routing| {
+        GemmService::<f64>::new(ServiceConfig {
+            threads: 3,
+            max_batch: 4,
+            routing,
+            ..ServiceConfig::default()
+        })
+    };
+    let all_batched = mk_service(RoutingPolicy::Fixed(u64::MAX));
+    let all_parallel = mk_service(RoutingPolicy::Fixed(0));
+    let adaptive = mk_service(RoutingPolicy::Adaptive(AdaptiveConfig {
+        seed_cutoff: 2 * 64 * 64 * 64,
+        min_observations: 1,
+        update_interval: 4,
+        ..AdaptiveConfig::default()
+    }));
+
+    let shapes = [(48usize, 40usize, 32usize), (96, 80, 64), (130, 110, 70)];
+    for round in 0..4u64 {
+        for (i, &(m, n, k)) in shapes.iter().enumerate() {
+            let seed = round * 100 + i as u64;
+            let a = Matrix::<f64>::random(m, k, seed);
+            let b = Matrix::<f64>::random(k, n, seed + 1);
+            let c0 = Matrix::<f64>::random(m, n, seed + 2);
+            let policy = if i % 2 == 0 {
+                FtPolicy::DetectCorrect
+            } else {
+                FtPolicy::Off
+            };
+            let req = || {
+                GemmRequest::new(a.clone(), b.clone())
+                    .with_alpha(1.25)
+                    .with_c(0.5, c0.clone())
+                    .with_policy(policy)
+            };
+            let batched = all_batched.run(req()).unwrap();
+            let parallel = all_parallel.run(req()).unwrap();
+            let learned = adaptive.run(req()).unwrap();
+            assert!(batched.batched, "forced-batched service took large path");
+            assert!(!parallel.batched, "forced-parallel service batched");
+
+            let bits = |m: &Matrix<f64>| -> Vec<u64> {
+                m.as_slice().iter().map(|v| v.to_bits()).collect()
+            };
+            assert_eq!(
+                bits(&batched.c),
+                bits(&parallel.c),
+                "paths disagree at {m}x{n}x{k} round {round}"
+            );
+            assert_eq!(
+                bits(&learned.c),
+                bits(&batched.c),
+                "adaptive routing changed bits at {m}x{n}x{k} round {round}"
+            );
+        }
+    }
+    // The adaptive service genuinely saw traffic (and possibly moved its
+    // cutoff) during the comparison.
+    let snap = adaptive.stats();
+    assert_eq!(snap.completed, 12);
+    assert!(snap.routing_batched_observations + snap.routing_parallel_observations > 0);
+}
+
+/// Satellite regression (counter race): `submitted` is counted at
+/// admission, so a snapshot racing the scheduler can never observe
+/// `completed + failed > submitted`. Hammers tiny requests from several
+/// submitter threads while a watcher thread validates every snapshot.
+#[test]
+fn snapshot_invariant_holds_under_concurrent_submit() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let service = Arc::new(GemmService::<f64>::new(ServiceConfig {
+        threads: 2,
+        max_batch: 8,
+        ..ServiceConfig::default()
+    }));
+    let stop = Arc::new(AtomicBool::new(false));
+    let watcher = {
+        let service = Arc::clone(&service);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut checked = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let snap = service.stats();
+                assert!(
+                    snap.completed + snap.failed <= snap.submitted,
+                    "invariant violated: {snap:?}"
+                );
+                checked += 1;
+            }
+            checked
+        })
+    };
+
+    let submitters: Vec<_> = (0..4)
+        .map(|t| {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || {
+                for i in 0..64u64 {
+                    let seed = t * 1_000 + i;
+                    let a = Matrix::<f64>::random(8, 8, seed);
+                    let b = Matrix::<f64>::random(8, 8, seed + 1);
+                    // Tiny problems complete almost instantly, maximizing
+                    // the submit/complete race window the fix closes.
+                    service
+                        .submit(GemmRequest::new(a, b))
+                        .unwrap()
+                        .wait()
+                        .unwrap();
+                }
+            })
+        })
+        .collect();
+    for s in submitters {
+        s.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    assert!(watcher.join().unwrap() > 0, "watcher never snapshotted");
+
+    let snap = service.stats();
+    assert_eq!(snap.submitted, 256);
+    assert_eq!(snap.completed + snap.failed, 256);
+}
+
+/// Satellite regression (counter rollback): submissions rejected by a full
+/// bounded queue must not inflate `submitted` — the admission count is
+/// rolled back, so accepted == completed == submitted once drained.
+#[test]
+fn rejected_submissions_do_not_inflate_counters() {
+    let service = GemmService::<f64>::new(ServiceConfig {
+        threads: 1,
+        max_batch: 1,
+        queue_capacity: 2,
+        ..ServiceConfig::default()
+    });
+    let mut accepted = Vec::new();
+    let mut rejected = 0u64;
+    for i in 0..64u64 {
+        let a = Matrix::<f64>::random(32, 32, i);
+        let b = Matrix::<f64>::random(32, 32, i + 1);
+        match service.submit_async(GemmRequest::new(a, b)) {
+            Ok(fut) => accepted.push(fut),
+            Err(ftgemm::serve::ServeError::Overloaded) => rejected += 1,
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    let accepted_count = accepted.len() as u64;
+    for result in block_on_all(accepted) {
+        result.unwrap();
+    }
+    let snap = service.stats();
+    assert_eq!(accepted_count + rejected, 64);
+    assert_eq!(
+        snap.submitted, accepted_count,
+        "rejections leaked into submitted"
+    );
+    assert_eq!(snap.submitted_async, accepted_count);
+    assert_eq!(snap.completed, accepted_count);
 }
 
 /// Handles outstanding at shutdown still resolve (drain-on-drop), and the

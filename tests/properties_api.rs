@@ -261,3 +261,25 @@ fn run_with_rejects_wrong_operand_shape() {
         .run_with(&a_bad.as_ref(), &b.as_ref(), &mut c.as_mut())
         .is_err());
 }
+
+#[test]
+fn auto_at_routes_by_the_supplied_cutoff() {
+    // The same op plans serial or parallel depending on the caller-supplied
+    // cutoff — the hook for seeding one-shots with a served workload's
+    // learned crossover (`GemmService::current_cutoff()`).
+    let a = Matrix::<f64>::random(64, 64, 1);
+    let b = Matrix::<f64>::random(64, 64, 2);
+    let flops = 2u64 * 64 * 64 * 64;
+
+    let plan = GemmOp::new(&a, &b).plan(Exec::AutoAt(flops)).unwrap();
+    assert!(!plan.is_parallel(), "at the cutoff must stay serial");
+    let mut plan = GemmOp::new(&a, &b).plan(Exec::AutoAt(flops - 1)).unwrap();
+    assert!(plan.is_parallel(), "above the cutoff must plan parallel");
+
+    // And the routed plan still computes the right thing.
+    let mut c = Matrix::<f64>::zeros(64, 64);
+    plan.run(&mut c.as_mut()).unwrap();
+    let mut c_ref = Matrix::<f64>::zeros(64, 64);
+    naive_gemm(1.0, &a.as_ref(), &b.as_ref(), 0.0, &mut c_ref.as_mut());
+    assert!(c.rel_max_diff(&c_ref) < 1e-10);
+}
