@@ -22,6 +22,10 @@ pub struct Args {
     /// CI smoke mode: tiny sizes, one repetition, no warm-up — just enough
     /// to prove the binary and its CSV/JSON emitters still work.
     pub smoke: bool,
+    /// Forced synthetic topology for NUMA-sharded serving experiments,
+    /// as `(nodes, cores_per_node)` from `--topology NxM` (e.g. `2x2`).
+    /// `None` uses the detected machine topology.
+    pub topology: Option<(usize, usize)>,
 }
 
 impl Default for Args {
@@ -36,6 +40,7 @@ impl Default for Args {
             errors: 20,
             duration_secs: 10,
             smoke: false,
+            topology: None,
         }
     }
 }
@@ -68,6 +73,12 @@ impl Args {
                 "--duration" => args.duration_secs = next_num(&mut it, "--duration") as u64,
                 "--out" => {
                     args.out_dir = it.next().unwrap_or_else(|| usage("--out needs a value"));
+                }
+                "--topology" => {
+                    let v = it
+                        .next()
+                        .unwrap_or_else(|| usage("--topology needs a value like 2x2"));
+                    args.topology = Some(parse_topology(&v));
                 }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
@@ -105,6 +116,14 @@ fn next_num(it: &mut impl Iterator<Item = String>, flag: &str) -> usize {
         .unwrap_or_else(|| usage(&format!("{flag} needs a numeric value")))
 }
 
+/// Parses a forced-topology spec: `NxM` = N nodes of M cores each.
+fn parse_topology(v: &str) -> (usize, usize) {
+    let parse = |s: &str| s.trim().parse::<usize>().ok().filter(|&n| n >= 1);
+    v.split_once(['x', 'X'])
+        .and_then(|(n, m)| Some((parse(n)?, parse(m)?)))
+        .unwrap_or_else(|| usage("--topology expects NxM with N,M >= 1 (e.g. 2x2)"))
+}
+
 fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}\n");
@@ -121,6 +140,7 @@ fn usage(err: &str) -> ! {
            --errors N            injected errors for fig2c/fig2d (default 20)\n\
            --duration SECS       reliability campaign duration (default 10)\n\
            --smoke               CI smoke mode: tiny sizes, 1 rep, no warm-up\n\
+           --topology NxM        force a synthetic N-node, M-cores-per-node topology\n\
            --out DIR             CSV output directory (default bench_results)"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
@@ -137,6 +157,13 @@ mod tests {
         assert!(!a.smoke);
         assert!(a.reps >= 1);
         assert!(a.threads >= 1);
+    }
+
+    #[test]
+    fn topology_spec_parses() {
+        assert_eq!(parse_topology("2x2"), (2, 2));
+        assert_eq!(parse_topology("4X1"), (4, 1));
+        assert_eq!(parse_topology(" 8 x 3 "), (8, 3));
     }
 
     #[test]

@@ -14,19 +14,23 @@
 //! policies under a mixed small/large workload — the pinned default cutoff
 //! (`RoutingPolicy::Fixed`) against the online-learned one
 //! (`RoutingPolicy::Adaptive`), reporting throughput and where the learned
-//! cutoff landed. Everything is written as machine-readable
-//! `bench_results/BENCH_serve_throughput.json` so the perf trajectory can
-//! be tracked across PRs.
+//! cutoff landed; a fifth runs the NUMA-sharded service under a forced
+//! (`--topology NxM`) or detected topology and prints the per-node
+//! occupancy table (dispatch counts, steals, busy time). Everything is
+//! written as machine-readable
+//! `bench_results/BENCH_serve_throughput.json` (per-node rows land in the
+//! `numa.per_node` section) so the perf trajectory can be tracked across
+//! PRs.
 //!
 //! Usage: `cargo run -p ftgemm-bench --release --bin serve_throughput
-//!         [--reps N] [--threads N] [--smoke]`
+//!         [--reps N] [--threads N] [--smoke] [--topology NxM]`
 
 use ftgemm_bench::{percentile, write_bench_json, Args, JsonValue, Table};
 use ftgemm_core::Matrix;
 use ftgemm_serve::exec::block_on_all;
 use ftgemm_serve::{
-    completion_channel, AdaptiveConfig, FtPolicy, GemmRequest, GemmService, RoutingPolicy,
-    ServiceConfig, DEFAULT_SMALL_FLOPS_CUTOFF,
+    completion_channel, AdaptiveConfig, FtPolicy, GemmRequest, GemmService, PlacementPolicy,
+    RoutingPolicy, ServiceConfig, Topology, DEFAULT_SMALL_FLOPS_CUTOFF,
 };
 use std::collections::HashMap;
 use std::time::Instant;
@@ -178,6 +182,70 @@ fn run_surface(
     let elapsed = t0.elapsed().as_secs_f64();
     drop(service);
     requests as f64 / elapsed
+}
+
+/// One NUMA-sharded run: small GEMMs spread round-robin over the
+/// topology's shard groups, drained streamed; reports throughput plus the
+/// per-node occupancy picture (dispatch counts, steals, busy time).
+struct NumaRun {
+    rps: f64,
+    per_node: Vec<NumaNodeRow>,
+}
+
+struct NumaNodeRow {
+    node: usize,
+    threads: usize,
+    dispatched: u64,
+    stolen: u64,
+    busy_ms: f64,
+}
+
+fn run_numa(topology: Topology, requests: usize) -> NumaRun {
+    let service = GemmService::<f64>::new(ServiceConfig {
+        threads: 0, // one worker per topology core
+        max_batch: 16,
+        topology: Some(topology),
+        placement: PlacementPolicy::RoundRobin,
+        ..ServiceConfig::default()
+    });
+    let problems: Vec<_> = (0..requests as u64)
+        .map(|i| {
+            (
+                Matrix::<f64>::random(DIM, DIM, i),
+                Matrix::<f64>::random(DIM, DIM, i + 1_000),
+            )
+        })
+        .collect();
+    let (sink, mut completions) = completion_channel::<f64>();
+    let t0 = Instant::now();
+    for (a, b) in problems {
+        service
+            .submit_streamed(GemmRequest::new(a, b), &sink)
+            .expect("submit_streamed");
+    }
+    let mut drained = 0;
+    while let Some(c) = completions.recv() {
+        c.result.expect("request failed");
+        drained += 1;
+    }
+    assert_eq!(drained, requests);
+    let elapsed = t0.elapsed().as_secs_f64();
+    let snap = service.stats();
+    let per_node = snap
+        .per_node
+        .iter()
+        .map(|n| NumaNodeRow {
+            node: n.node,
+            threads: n.threads,
+            dispatched: n.dispatched,
+            stolen: n.stolen,
+            busy_ms: n.batch_busy.as_secs_f64() * 1e3,
+        })
+        .collect();
+    NumaRun {
+        rps: requests as f64 / elapsed,
+        per_node,
+    }
 }
 
 /// One mixed small/large run under a given routing policy: half the
@@ -413,6 +481,53 @@ fn main() {
     }
     routing_table.print();
 
+    // Fifth pass: NUMA-sharded serving — per-node shard groups and pinned
+    // worker subsets under a forced (`--topology NxM`) or detected
+    // topology, requests spread round-robin so the table shows how evenly
+    // the nodes carry the load.
+    let (topology, forced) = match args.topology {
+        Some((n, m)) => (Topology::synthetic(n, m), true),
+        None => (Topology::detect(), false),
+    };
+    let topo_desc: String = topology
+        .nodes()
+        .iter()
+        .map(|n| n.cores.to_string())
+        .collect::<Vec<_>>()
+        .join("+");
+    let numa = run_numa(topology.clone(), requests);
+    let mut numa_table = Table::new(
+        &format!(
+            "NUMA-sharded serving — {} topology [{topo_desc} cores], round-robin placement",
+            if forced { "forced" } else { "detected" }
+        ),
+        &["node", "threads", "dispatched", "stolen", "busy (ms)"],
+    );
+    let mut json_numa_rows = JsonValue::arr();
+    for row in &numa.per_node {
+        numa_table.row(vec![
+            row.node.to_string(),
+            row.threads.to_string(),
+            row.dispatched.to_string(),
+            row.stolen.to_string(),
+            format!("{:.1}", row.busy_ms),
+        ]);
+        json_numa_rows = json_numa_rows.push(
+            JsonValue::obj()
+                .field("node", row.node)
+                .field("threads", row.threads)
+                .field("dispatched", row.dispatched)
+                .field("stolen", row.stolen)
+                .field("busy_ms", row.busy_ms),
+        );
+    }
+    numa_table.print();
+    println!(
+        "numa run: {:.0} req/s over {} nodes",
+        numa.rps,
+        topology.num_nodes()
+    );
+
     let json = JsonValue::obj()
         .field("bench", "serve_throughput")
         .field("requests", requests)
@@ -441,6 +556,16 @@ fn main() {
                 .field("large_dim", LARGE_DIM)
                 .field("seed_cutoff", DEFAULT_SMALL_FLOPS_CUTOFF)
                 .field("rows", json_routing),
+        )
+        .field(
+            "numa",
+            JsonValue::obj()
+                .field("forced", forced)
+                .field("nodes", topology.num_nodes())
+                .field("total_cores", topology.total_cores())
+                .field("placement", "round_robin")
+                .field("rps", numa.rps)
+                .field("per_node", json_numa_rows),
         );
     match write_bench_json(&args.out_dir, "serve_throughput", &json) {
         Ok(p) => println!("\nJSON written to {}", p.display()),

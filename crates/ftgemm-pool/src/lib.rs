@@ -16,7 +16,12 @@
 //! * [`partition_aligned`] — static loop partitioning with alignment (the
 //!   `M`-dimension split must respect the micro-tile height `MR`);
 //! * [`ShardedBuffer`] — per-thread output lanes with a safe reduce step
-//!   (the paper's cross-thread reduction of the `B_c` checksum).
+//!   (the paper's cross-thread reduction of the `B_c` checksum);
+//! * [`topology`] — memory-domain awareness: [`Topology`] (detected from
+//!   sysfs or built synthetically for deterministic tests) and
+//!   [`PoolPartition`], which pins contiguous worker subsets per NUMA node
+//!   ([`ThreadPool::with_topology`], [`WorkerCtx::node`] /
+//!   [`WorkerCtx::node_partition`]).
 //!
 //! Workers park on a condvar between regions, so an idle pool costs nothing;
 //! inside a region, barriers spin briefly and then yield.
@@ -28,8 +33,10 @@ mod barrier;
 mod partition;
 mod pool;
 mod shard;
+pub mod topology;
 
 pub use barrier::SenseBarrier;
 pub use partition::{partition_aligned, partition_even};
 pub use pool::{PoolStats, ThreadPool, WorkerCtx};
 pub use shard::ShardedBuffer;
+pub use topology::{NodeSpec, PoolPartition, Topology};

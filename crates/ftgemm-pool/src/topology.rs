@@ -1,0 +1,354 @@
+//! Memory-domain topology: what the scheduler needs to know about NUMA.
+//!
+//! A GEMM's operands, packing buffers, and worker threads should live on the
+//! same memory domain; everything above this module (pool partitioning,
+//! queue sharding, request placement) keys off a [`Topology`] rather than
+//! probing the machine directly. That indirection is deliberate: production
+//! builds call [`Topology::detect`] once, while tests build any shape they
+//! want with [`Topology::synthetic`] and get **deterministic** placement —
+//! no sysfs, no wall clock, no machine dependence in any decision path.
+
+use std::ops::Range;
+
+/// One memory domain (NUMA node) and the cores attached to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeSpec {
+    /// Node id, dense in `0..num_nodes` (detected ids are re-densified so
+    /// sparse sysfs numbering never leaks into scheduling math).
+    pub id: usize,
+    /// Cores attached to this node (always `>= 1`).
+    pub cores: usize,
+}
+
+/// The machine's memory-domain layout, as the scheduling layers see it.
+///
+/// Construction:
+/// * [`Topology::detect`] — Linux sysfs (`/sys/devices/system/node`), with
+///   a single-node fallback everywhere else;
+/// * [`Topology::synthetic`] — an arbitrary `nodes x cores_per_node` shape
+///   for tests and for forcing a layout from benchmarks (`--topology 2x2`);
+/// * [`Topology::single`] — the explicit UMA case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    nodes: Vec<NodeSpec>,
+}
+
+impl Topology {
+    /// Topology of the running machine: parsed from
+    /// `/sys/devices/system/node/node*/cpulist` on Linux, one node holding
+    /// every available core anywhere that fails (non-Linux, masked sysfs,
+    /// containers).
+    pub fn detect() -> Self {
+        detect_linux().unwrap_or_else(|| Self::single(available_cores()))
+    }
+
+    /// A synthetic `nodes x cores_per_node` topology for tests and forced
+    /// layouts. Panics if either dimension is zero.
+    pub fn synthetic(nodes: usize, cores_per_node: usize) -> Self {
+        assert!(nodes >= 1, "topology needs at least one node");
+        assert!(cores_per_node >= 1, "nodes need at least one core");
+        Topology {
+            nodes: (0..nodes)
+                .map(|id| NodeSpec {
+                    id,
+                    cores: cores_per_node,
+                })
+                .collect(),
+        }
+    }
+
+    /// A single-domain (UMA) topology with `cores` cores.
+    pub fn single(cores: usize) -> Self {
+        Self::synthetic(1, cores.max(1))
+    }
+
+    /// Topology from explicit per-node core counts (ids are assigned
+    /// densely in order). Zero-core entries are rejected.
+    pub fn from_core_counts(cores: &[usize]) -> Self {
+        assert!(!cores.is_empty(), "topology needs at least one node");
+        assert!(
+            cores.iter().all(|&c| c >= 1),
+            "nodes need at least one core"
+        );
+        Topology {
+            nodes: cores
+                .iter()
+                .enumerate()
+                .map(|(id, &cores)| NodeSpec { id, cores })
+                .collect(),
+        }
+    }
+
+    /// The nodes, ordered by id.
+    pub fn nodes(&self) -> &[NodeSpec] {
+        &self.nodes
+    }
+
+    /// Number of memory domains.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total cores across all nodes.
+    pub fn total_cores(&self) -> usize {
+        self.nodes.iter().map(|n| n.cores).sum()
+    }
+
+    /// True for a single-domain machine, where every NUMA decision
+    /// degenerates to the status quo.
+    pub fn is_uniform(&self) -> bool {
+        self.nodes.len() == 1
+    }
+}
+
+/// Cores reported by the OS, `1` when unknown.
+fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Parses `/sys/devices/system/node`. `None` when the hierarchy is missing,
+/// unreadable, or degenerate — callers fall back to a single node.
+fn detect_linux() -> Option<Topology> {
+    if !cfg!(target_os = "linux") {
+        return None;
+    }
+    let dir = std::fs::read_dir("/sys/devices/system/node").ok()?;
+    let mut found: Vec<(usize, usize)> = Vec::new();
+    for entry in dir.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let Some(idx) = name
+            .strip_prefix("node")
+            .and_then(|s| s.parse::<usize>().ok())
+        else {
+            continue;
+        };
+        let cpulist = std::fs::read_to_string(entry.path().join("cpulist")).ok()?;
+        let cores = parse_cpulist(cpulist.trim());
+        if cores > 0 {
+            found.push((idx, cores));
+        }
+    }
+    if found.is_empty() {
+        return None;
+    }
+    found.sort_unstable_by_key(|&(idx, _)| idx);
+    Some(Topology::from_core_counts(
+        &found.iter().map(|&(_, cores)| cores).collect::<Vec<_>>(),
+    ))
+}
+
+/// Counts CPUs in a kernel cpulist string (`"0-3,8,10-11"` → 7). Malformed
+/// chunks count zero rather than failing the whole detection.
+fn parse_cpulist(list: &str) -> usize {
+    list.split(',')
+        .filter(|chunk| !chunk.trim().is_empty())
+        .map(|chunk| {
+            let chunk = chunk.trim();
+            match chunk.split_once('-') {
+                Some((lo, hi)) => match (lo.trim().parse::<usize>(), hi.trim().parse::<usize>()) {
+                    (Ok(lo), Ok(hi)) if hi >= lo => hi - lo + 1,
+                    _ => 0,
+                },
+                None => usize::from(chunk.parse::<usize>().is_ok()),
+            }
+        })
+        .sum()
+}
+
+/// How a pool's `nthreads` region participants split across a topology's
+/// nodes: node `i` owns the contiguous thread-id range `workers(i)`.
+///
+/// Threads are distributed proportionally to each node's core share (exact
+/// when `nthreads == total_cores`, largest-remainder otherwise), so a pool
+/// sized to the machine maps one thread per core per node. Nodes can come
+/// out empty when `nthreads < num_nodes`; scheduling layers that need every
+/// node populated (the serving layer does) size per-node pools themselves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolPartition {
+    node_ranges: Vec<Range<usize>>,
+}
+
+impl PoolPartition {
+    /// Splits `nthreads` across `topology`'s nodes by core share.
+    pub fn new(topology: &Topology, nthreads: usize) -> Self {
+        let total = topology.total_cores().max(1);
+        let mut node_ranges = Vec::with_capacity(topology.num_nodes());
+        let mut cum_cores = 0usize;
+        let mut start = 0usize;
+        for node in topology.nodes() {
+            cum_cores += node.cores;
+            // Cumulative rounding keeps ranges contiguous and exactly
+            // covering 0..nthreads.
+            let end = (nthreads * cum_cores + total / 2) / total;
+            let end = end.clamp(start, nthreads);
+            node_ranges.push(start..end);
+            start = end;
+        }
+        if let Some(last) = node_ranges.last_mut() {
+            last.end = nthreads; // absorb rounding slack
+        }
+        PoolPartition { node_ranges }
+    }
+
+    /// Everything on one node (the UMA degenerate case).
+    pub fn single(nthreads: usize) -> Self {
+        Self::for_node(0, nthreads)
+    }
+
+    /// A node-scoped partition: all `nthreads` threads belong to `node`
+    /// (nodes `0..node` exist but own no threads). This is what a pool
+    /// serving exactly one memory domain carries, so its workers report
+    /// the *real* node id through `WorkerCtx::node`, not `0`.
+    pub fn for_node(node: usize, nthreads: usize) -> Self {
+        let mut node_ranges = vec![0..0; node];
+        node_ranges.push(0..nthreads);
+        PoolPartition { node_ranges }
+    }
+
+    /// Number of nodes (including any that received no threads).
+    pub fn num_nodes(&self) -> usize {
+        self.node_ranges.len()
+    }
+
+    /// Total threads covered.
+    pub fn nthreads(&self) -> usize {
+        self.node_ranges.last().map_or(0, |r| r.end)
+    }
+
+    /// The node owning pool thread `tid`.
+    pub fn node_of(&self, tid: usize) -> usize {
+        assert!(tid < self.nthreads(), "tid out of range");
+        self.node_ranges
+            .iter()
+            .position(|r| r.contains(&tid))
+            .expect("ranges cover 0..nthreads")
+    }
+
+    /// The contiguous thread-id range pinned to `node`.
+    pub fn workers(&self, node: usize) -> Range<usize> {
+        self.node_ranges[node].clone()
+    }
+
+    /// Threads pinned to `node`.
+    pub fn threads_on(&self, node: usize) -> usize {
+        self.node_ranges[node].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_shape() {
+        let t = Topology::synthetic(4, 2);
+        assert_eq!(t.num_nodes(), 4);
+        assert_eq!(t.total_cores(), 8);
+        assert!(!t.is_uniform());
+        assert_eq!(t.nodes()[3], NodeSpec { id: 3, cores: 2 });
+    }
+
+    #[test]
+    fn single_is_uniform() {
+        let t = Topology::single(6);
+        assert!(t.is_uniform());
+        assert_eq!(t.total_cores(), 6);
+        assert!(Topology::single(0).total_cores() >= 1);
+    }
+
+    #[test]
+    fn detect_never_panics_and_is_sane() {
+        let t = Topology::detect();
+        assert!(t.num_nodes() >= 1);
+        assert!(t.total_cores() >= 1);
+        assert!(t.nodes().iter().enumerate().all(|(i, n)| n.id == i));
+    }
+
+    #[test]
+    fn from_core_counts_uneven() {
+        let t = Topology::from_core_counts(&[3, 1, 2]);
+        assert_eq!(t.num_nodes(), 3);
+        assert_eq!(t.total_cores(), 6);
+        assert_eq!(t.nodes()[1].cores, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_core_node_rejected() {
+        let _ = Topology::from_core_counts(&[2, 0]);
+    }
+
+    #[test]
+    fn cpulist_parsing() {
+        assert_eq!(parse_cpulist("0-3,8,10-11"), 7);
+        assert_eq!(parse_cpulist("0"), 1);
+        assert_eq!(parse_cpulist(""), 0);
+        assert_eq!(parse_cpulist("junk"), 0);
+        assert_eq!(parse_cpulist("4-2"), 0, "inverted range ignored");
+    }
+
+    #[test]
+    fn partition_exact_when_threads_match_cores() {
+        let t = Topology::synthetic(2, 3);
+        let p = PoolPartition::new(&t, 6);
+        assert_eq!(p.workers(0), 0..3);
+        assert_eq!(p.workers(1), 3..6);
+        assert_eq!(p.node_of(0), 0);
+        assert_eq!(p.node_of(2), 0);
+        assert_eq!(p.node_of(3), 1);
+        assert_eq!(p.nthreads(), 6);
+    }
+
+    #[test]
+    fn partition_proportional_to_core_share() {
+        let t = Topology::from_core_counts(&[6, 2]);
+        let p = PoolPartition::new(&t, 4);
+        assert_eq!(p.threads_on(0), 3);
+        assert_eq!(p.threads_on(1), 1);
+    }
+
+    #[test]
+    fn partition_covers_and_is_contiguous() {
+        for (nodes, cores, nthreads) in [(1, 4, 4), (3, 2, 7), (4, 1, 2), (2, 8, 1), (5, 3, 0)] {
+            let t = Topology::synthetic(nodes, cores);
+            let p = PoolPartition::new(&t, nthreads);
+            let mut prev_end = 0;
+            for node in 0..p.num_nodes() {
+                let r = p.workers(node);
+                assert_eq!(r.start, prev_end, "contiguous");
+                prev_end = r.end;
+            }
+            assert_eq!(prev_end, nthreads, "covers exactly");
+            assert_eq!(p.nthreads(), nthreads);
+        }
+    }
+
+    #[test]
+    fn partition_single_owns_everything() {
+        let p = PoolPartition::single(5);
+        assert_eq!(p.num_nodes(), 1);
+        assert_eq!(p.workers(0), 0..5);
+        assert_eq!(p.node_of(4), 0);
+    }
+
+    #[test]
+    fn partition_for_node_reports_the_real_node_id() {
+        let p = PoolPartition::for_node(3, 2);
+        assert_eq!(p.num_nodes(), 4);
+        assert_eq!(p.nthreads(), 2);
+        assert_eq!(p.node_of(0), 3);
+        assert_eq!(p.node_of(1), 3);
+        assert_eq!(p.workers(3), 0..2);
+        assert!(p.workers(0).is_empty());
+        assert_eq!(p.threads_on(2), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tid out of range")]
+    fn node_of_bounds_checked() {
+        PoolPartition::single(2).node_of(2);
+    }
+}

@@ -276,6 +276,8 @@ mod tests {
             c: Matrix::filled(1, 1, v),
             report: FtReport::default(),
             batched: true,
+            affinity_node: 0,
+            executed_node: 0,
         })
     }
 

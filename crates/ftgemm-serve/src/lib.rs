@@ -11,7 +11,7 @@
 //!     │  round-robin over queue shards (uncontended submit path;
 //!     │  bounded queue: sync parks, async gets Overloaded back)
 //!     ▼
-//! ShardedQueue ──► scheduler thread ──► route by problem size
+//! ShardedQueue ──► per-node dispatcher ──► route by problem size
 //!                                        │
 //!                      small (≤ cutoff)  │  large (> cutoff)
 //!                 ┌─────────────────────┐│┌──────────────────────┐
@@ -20,7 +20,7 @@
 //!                 │ (batch-parallel,    │││ (matrix-parallel)    │
 //!                 │  per-thread reused  ││└──────────────────────┘
 //!                 │  packed workspaces) ││
-//!                 └─────────────────────┘│     one persistent ThreadPool
+//!                 └─────────────────────┘│   one persistent pool per node
 //!                                        ▼
 //!                               fulfill: store + condvar + fire waker
 //!                                 │            │            │
@@ -47,6 +47,14 @@
 //!   path fires the task's waker — zero parked threads per request, any
 //!   executor), and `submit_streamed` forwards results into a
 //!   [`completion_channel`] drained blocking or async.
+//! * **NUMA-aware sharding.** The service shards itself around a
+//!   [`Topology`] (detected, or [`Topology::synthetic`] for deterministic
+//!   tests / `ServiceConfig::topology`): one queue shard group and one
+//!   pinned node-scoped worker pool per memory domain. A
+//!   [`PlacementPolicy`] stamps each request's node affinity at submit
+//!   time (`RoundRobin` / `OperandHome` / `LeastLoaded`); work leaves its
+//!   affinity node only when a dry node steals off the deepest backlog
+//!   ([`GemmResponse::stolen`], [`StatsSnapshot::per_node`]).
 //! * **Per-request fault tolerance.** Every request carries an [`FtPolicy`]
 //!   (`Off` / `Detect` / `DetectCorrect`) mapped onto the paper's
 //!   [`FtConfig`](ftgemm_abft::FtConfig); each response carries its own
@@ -107,6 +115,7 @@
 
 pub mod exec;
 mod handle;
+mod placement;
 mod queue;
 mod request;
 pub mod routing;
@@ -118,12 +127,17 @@ mod stream;
 /// [`ftgemm_abft::policy`] so the one-shot drivers, the facade's
 /// `GemmOp`/`GemmPlan` builder, and this serving layer all share one type).
 pub use ftgemm_abft::FtPolicy;
+/// The memory-domain layout the service shards itself around (defined in
+/// [`ftgemm_pool::topology`]; [`Topology::synthetic`] makes every placement
+/// decision deterministic for tests).
+pub use ftgemm_pool::{NodeSpec, Topology};
 
 pub use handle::{AsyncRequestHandle, RequestHandle};
+pub use placement::PlacementPolicy;
 pub use request::{GemmRequest, GemmRequestBuilder, GemmResponse, ServeError};
 pub use routing::{AdaptiveConfig, CutoffLearner, RoutePath, RoutingPolicy, RoutingSnapshot};
 pub use service::{GemmService, ServiceConfig, DEFAULT_SMALL_FLOPS_CUTOFF};
-pub use stats::StatsSnapshot;
+pub use stats::{NodeStats, StatsSnapshot};
 pub use stream::{completion_channel, Completion, CompletionSink, Completions, Next};
 
 #[cfg(test)]
@@ -167,6 +181,7 @@ mod tests {
             c: Matrix::<f64>::zeros(4, 4),
             policy: FtPolicy::Off,
             injector: None,
+            home: None,
         };
         assert!(matches!(service.submit(req), Err(ServeError::Shape(_))));
     }
@@ -325,6 +340,7 @@ mod tests {
             c: Matrix::zeros(4, 4),
             policy: FtPolicy::Off,
             injector: None,
+            home: None,
         };
         assert!(matches!(
             service.submit_async(bad),

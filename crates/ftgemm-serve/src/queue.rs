@@ -1,17 +1,32 @@
-//! Sharded MPMC submission queue with optional bounded capacity.
+//! Sharded MPMC submission queue: one shard group per NUMA node, one
+//! dispatcher wakeup per group, optional bounded capacity.
 //!
-//! Submitters spread envelopes over `shards` independent locks
-//! (round-robin), so concurrent `submit` calls from many frontend threads
-//! do not serialize on one mutex. The scheduler drains all shards; a global
-//! depth counter plus one condvar provide blocking-when-idle semantics.
+//! The queue is organized as `nodes x shards_per_node` independent locks.
+//! A request's placement policy stamps a node affinity at submit time; the
+//! push lands in that node's **shard group**, round-robining over the
+//! group's shards so concurrent submitters to one node still do not
+//! serialize on a single mutex. Each node's dispatcher thread drains its
+//! own group ([`pop_node`](ShardedQueue::pop_node)) and parks on its own
+//! condvar ([`wait_node`](ShardedQueue::wait_node)) — pushes wake only the
+//! affinity node's dispatcher, so idle nodes stay parked.
+//!
+//! **Steal wakeups.** A push that lifts a group's depth *past the steal
+//! threshold* wakes every dispatcher: dry nodes then find the backlogged
+//! group through [`steal_gate`](ShardedQueue::steal_gate) /
+//! [`node_depth`](ShardedQueue::node_depth) and migrate a batch. Below the
+//! threshold no cross-node wakeup ever fires, which is what makes
+//! "balanced load steals nothing" a hard invariant rather than a
+//! heuristic. After [`close`](ShardedQueue::close) the gate drops to zero
+//! so any dispatcher can drain any group's remainder.
 //!
 //! Backpressure: when constructed with a capacity, the queue exposes both
 //! park-on-full ([`push`](ShardedQueue::push), for synchronous submitters
 //! that may block) and fail-fast ([`try_push`](ShardedQueue::try_push), for
 //! async submitters that must never block — a full queue comes back as
-//! [`PushError::Full`] so the frontend can shed or retry). The capacity is a
-//! *soft* bound: concurrent producers that pass the admission check together
-//! may overshoot it by at most the number of in-flight `push` calls.
+//! [`PushError::Full`] so the frontend can shed or retry). The capacity is
+//! a *global, soft* bound: concurrent producers that pass the admission
+//! check together may overshoot it by at most the number of in-flight
+//! `push` calls.
 
 use crate::handle::ResponseSlot;
 use crate::request::GemmRequest;
@@ -29,6 +44,9 @@ pub(crate) struct Envelope<T: Scalar> {
     /// Submission-order id; mirrors the handle's id for tracing/tests.
     #[allow(dead_code)]
     pub id: u64,
+    /// Node affinity the placement policy stamped at submit time (selects
+    /// the shard group; travels into the response for steal accounting).
+    pub affinity: usize,
     pub submitted: Instant,
 }
 
@@ -42,70 +60,124 @@ pub(crate) enum PushError {
     Full,
 }
 
-pub(crate) struct ShardedQueue<T: Scalar> {
+/// One node's independent set of submission shards plus its dispatcher's
+/// parking spot.
+struct NodeGroup<T: Scalar> {
     shards: Vec<Mutex<VecDeque<Envelope<T>>>>,
-    /// Round-robin cursor for shard selection on push.
+    /// Round-robin cursor for shard selection within the group.
     rr: AtomicUsize,
-    /// Total queued envelopes across shards.
+    /// Queued envelopes in this group (read by `LeastLoaded` placement and
+    /// the steal heuristic).
     depth: AtomicUsize,
-    /// Soft depth bound (`usize::MAX` = unbounded).
+    /// Wakeup for this node's dispatcher thread.
+    wake_lock: Mutex<()>,
+    wake: Condvar,
+}
+
+pub(crate) struct ShardedQueue<T: Scalar> {
+    groups: Vec<NodeGroup<T>>,
+    /// Total queued envelopes across every group.
+    depth: AtomicUsize,
+    /// Soft global depth bound (`usize::MAX` = unbounded).
     capacity: usize,
+    /// A group deeper than this is steal-eligible (and crossing it wakes
+    /// every dispatcher).
+    steal_threshold: usize,
     /// Monotonic request id source.
     next_id: AtomicU64,
     closed: AtomicBool,
-    /// Wakeup for the (single) scheduler thread.
-    wake_lock: Mutex<()>,
-    wake: Condvar,
     /// Wakeup for producers parked on a full queue.
     space_lock: Mutex<()>,
     space: Condvar,
 }
 
 impl<T: Scalar> ShardedQueue<T> {
-    /// `capacity == 0` means unbounded.
-    pub(crate) fn new(shards: usize, capacity: usize) -> Self {
-        assert!(shards >= 1, "queue needs at least one shard");
+    /// `nodes` shard groups of `shards_per_node` shards each;
+    /// `capacity == 0` means unbounded. Groups deeper than
+    /// `steal_threshold` become steal-eligible.
+    pub(crate) fn new(
+        nodes: usize,
+        shards_per_node: usize,
+        capacity: usize,
+        steal_threshold: usize,
+    ) -> Self {
+        assert!(nodes >= 1, "queue needs at least one node group");
+        assert!(shards_per_node >= 1, "groups need at least one shard");
         ShardedQueue {
-            shards: (0..shards).map(|_| Mutex::new(VecDeque::new())).collect(),
-            rr: AtomicUsize::new(0),
+            groups: (0..nodes)
+                .map(|_| NodeGroup {
+                    shards: (0..shards_per_node)
+                        .map(|_| Mutex::new(VecDeque::new()))
+                        .collect(),
+                    rr: AtomicUsize::new(0),
+                    depth: AtomicUsize::new(0),
+                    wake_lock: Mutex::new(()),
+                    wake: Condvar::new(),
+                })
+                .collect(),
             depth: AtomicUsize::new(0),
             capacity: if capacity == 0 { usize::MAX } else { capacity },
+            steal_threshold: steal_threshold.max(1),
             next_id: AtomicU64::new(0),
             closed: AtomicBool::new(false),
-            wake_lock: Mutex::new(()),
-            wake: Condvar::new(),
             space_lock: Mutex::new(()),
             space: Condvar::new(),
         }
     }
 
-    /// Fresh request id (submission order across all shards).
+    /// Fresh request id (submission order across all groups).
     pub(crate) fn next_id(&self) -> u64 {
         self.next_id.fetch_add(1, Ordering::Relaxed)
     }
 
-    /// Inserts the envelope into a shard and wakes the scheduler. Callers
-    /// have already passed the closed/capacity admission checks.
+    /// The live steal gate: a group must be deeper than this before a dry
+    /// dispatcher may migrate its work. Zero once the queue is closed, so
+    /// shutdown can drain every group through any dispatcher.
+    pub(crate) fn steal_gate(&self) -> usize {
+        if self.closed.load(Ordering::Acquire) {
+            0
+        } else {
+            self.steal_threshold
+        }
+    }
+
+    /// Inserts the envelope into its affinity node's group and wakes the
+    /// dispatchers that could serve it. Callers have already passed the
+    /// closed/capacity admission checks.
     fn insert(&self, env: Envelope<T>) {
-        let shard = self.rr.fetch_add(1, Ordering::Relaxed) % self.shards.len();
-        let prev_depth = {
-            // Increment depth while the shard lock is held: pop_batch
-            // decrements under the same lock after removing the envelope, so
-            // depth can never transiently underflow.
-            let mut q = self.shards[shard].lock();
+        let node = env.affinity % self.groups.len();
+        let group = &self.groups[node];
+        let shard = group.rr.fetch_add(1, Ordering::Relaxed) % group.shards.len();
+        let prev_group_depth = {
+            // Increment depths while the shard lock is held: pop paths
+            // decrement under the same lock after removing the envelope, so
+            // neither counter can transiently underflow.
+            let mut q = group.shards[shard].lock();
             q.push_back(env);
-            self.depth.fetch_add(1, Ordering::Release)
+            self.depth.fetch_add(1, Ordering::Release);
+            group.depth.fetch_add(1, Ordering::Release)
         };
-        // Wake the scheduler only on the empty→non-empty transition —
-        // otherwise every submit would serialize on the one wake_lock and
-        // defeat the shard split. This is lost-wakeup-free: the scheduler
-        // only sleeps after observing depth == 0 *under* wake_lock, and the
-        // transitioning producer takes wake_lock before notifying, so either
-        // the scheduler sees the new depth before sleeping or the notify
-        // reaches its wait.
-        if prev_depth == 0 {
-            let _g = self.wake_lock.lock();
-            self.wake.notify_all();
+        // Wake this node's dispatcher on the group's empty→non-empty
+        // transition. Lost-wakeup-free: the dispatcher only sleeps after
+        // observing its group depth == 0 *under* its wake_lock, and the
+        // transitioning producer takes that lock before notifying.
+        if prev_group_depth == 0 {
+            let _g = group.wake_lock.lock();
+            group.wake.notify_all();
+        }
+        // Crossing the steal threshold makes this group steal-eligible:
+        // wake everyone so dry dispatchers can migrate batches. The same
+        // lock discipline applies per dispatcher (a dry dispatcher checks
+        // the gate predicate under its own wake_lock before sleeping).
+        if prev_group_depth + 1 == self.steal_threshold + 1 {
+            self.notify_all_groups();
+        }
+    }
+
+    fn notify_all_groups(&self) {
+        for group in &self.groups {
+            let _g = group.wake_lock.lock();
+            group.wake.notify_all();
         }
     }
 
@@ -120,9 +192,10 @@ impl<T: Scalar> ShardedQueue<T> {
                 self.insert(env);
                 return Ok(());
             }
-            // Park until the scheduler drains something. Re-check the
-            // predicate under space_lock: pop_batch notifies under the same
-            // lock after decrementing depth, so the wait cannot miss it.
+            // Park until a dispatcher drains something. Re-check the
+            // predicate under space_lock: the pop paths notify under the
+            // same lock after decrementing depth, so the wait cannot miss
+            // it.
             let mut guard = self.space_lock.lock();
             if self.depth.load(Ordering::Acquire) >= self.capacity
                 && !self.closed.load(Ordering::Acquire)
@@ -145,17 +218,20 @@ impl<T: Scalar> ShardedQueue<T> {
         Ok(())
     }
 
-    /// Pops up to `max` envelopes, sweeping shards round-robin.
-    pub(crate) fn pop_batch(&self, max: usize) -> Vec<Envelope<T>> {
+    /// Pops up to `max` envelopes from one node's shard group, sweeping its
+    /// shards round-robin.
+    pub(crate) fn pop_node(&self, node: usize, max: usize) -> Vec<Envelope<T>> {
         let mut out = Vec::new();
         if max == 0 {
             return out;
         }
+        let group = &self.groups[node];
         'sweep: loop {
             let mut drained_any = false;
-            for shard in &self.shards {
+            for shard in &group.shards {
                 let mut q = shard.lock();
                 while let Some(env) = q.pop_front() {
+                    group.depth.fetch_sub(1, Ordering::Release);
                     self.depth.fetch_sub(1, Ordering::Release);
                     out.push(env);
                     drained_any = true;
@@ -168,43 +244,83 @@ impl<T: Scalar> ShardedQueue<T> {
                 break;
             }
         }
-        // Space opened up: release producers parked on a full queue.
-        if self.capacity != usize::MAX && !out.is_empty() {
-            let _g = self.space_lock.lock();
-            self.space.notify_all();
+        self.after_pop(&out);
+        out
+    }
+
+    /// Pops up to `max` envelopes sweeping *all* node groups (shutdown
+    /// drain); one [`pop_node`](Self::pop_node) per group keeps the
+    /// locking/accounting logic in a single place.
+    pub(crate) fn pop_batch(&self, max: usize) -> Vec<Envelope<T>> {
+        let mut out = Vec::new();
+        for node in 0..self.groups.len() {
+            if out.len() >= max {
+                break;
+            }
+            out.extend(self.pop_node(node, max - out.len()));
         }
         out
     }
 
-    /// Current queue depth (approximate under concurrency).
+    /// Post-pop bookkeeping: release producers parked on a full queue.
+    /// (No dispatcher wakeup is needed here: a dispatcher never parks on a
+    /// closed queue — [`wait_node`](Self::wait_node) returns immediately in
+    /// drain mode — and on an open queue only pushes change the wait
+    /// predicate.)
+    fn after_pop(&self, popped: &[Envelope<T>]) {
+        if popped.is_empty() {
+            return;
+        }
+        if self.capacity != usize::MAX {
+            let _g = self.space_lock.lock();
+            self.space.notify_all();
+        }
+    }
+
+    /// Current total queue depth (approximate under concurrency).
     pub(crate) fn depth(&self) -> usize {
         self.depth.load(Ordering::Acquire)
     }
 
-    /// Blocks until the queue is non-empty or closed. Returns `false` when
-    /// the queue is closed *and* empty (the scheduler should exit).
-    pub(crate) fn wait_nonempty(&self) -> bool {
-        let mut guard = self.wake_lock.lock();
+    /// Current depth of one node's shard group (approximate under
+    /// concurrency).
+    pub(crate) fn node_depth(&self, node: usize) -> usize {
+        self.groups[node].depth.load(Ordering::Acquire)
+    }
+
+    /// Parks `node`'s dispatcher until there is something for it to do:
+    /// its own group is non-empty, some other group is past the steal
+    /// gate, or — once closed — any group still holds a remainder to
+    /// drain. Returns `false` exactly when the queue is closed *and*
+    /// globally empty (the dispatcher should exit).
+    pub(crate) fn wait_node(&self, node: usize) -> bool {
+        let group = &self.groups[node];
+        let mut guard = group.wake_lock.lock();
         loop {
-            if self.depth() > 0 {
+            if group.depth.load(Ordering::Acquire) > 0 {
+                return true;
+            }
+            let gate = self.steal_gate();
+            if (0..self.groups.len())
+                .any(|j| j != node && self.groups[j].depth.load(Ordering::Acquire) > gate)
+            {
                 return true;
             }
             if self.closed.load(Ordering::Acquire) {
-                return false;
+                // Closed: anything left anywhere is drainable by anyone
+                // (gate is 0); nothing left means exit.
+                return self.depth.load(Ordering::Acquire) > 0;
             }
-            self.wake.wait(&mut guard);
+            group.wake.wait(&mut guard);
         }
     }
 
-    /// Marks the queue closed and wakes the scheduler plus any parked
+    /// Marks the queue closed and wakes every dispatcher plus any parked
     /// producers. Envelopes already queued remain poppable so shutdown can
     /// drain them.
     pub(crate) fn close(&self) {
         self.closed.store(true, Ordering::Release);
-        {
-            let _g = self.wake_lock.lock();
-            self.wake.notify_all();
-        }
+        self.notify_all_groups();
         let _g = self.space_lock.lock();
         self.space.notify_all();
     }
@@ -221,20 +337,25 @@ mod tests {
     use crate::handle::RequestHandle;
     use ftgemm_core::Matrix;
 
-    fn env(q: &ShardedQueue<f64>) -> Envelope<f64> {
+    fn env_on(q: &ShardedQueue<f64>, affinity: usize) -> Envelope<f64> {
         let id = q.next_id();
         let (_h, slot) = RequestHandle::pair(id);
         Envelope {
             req: GemmRequest::new(Matrix::zeros(2, 2), Matrix::zeros(2, 2)),
             slot,
             id,
+            affinity,
             submitted: Instant::now(),
         }
     }
 
+    fn env(q: &ShardedQueue<f64>) -> Envelope<f64> {
+        env_on(q, 0)
+    }
+
     #[test]
     fn push_pop_preserves_count_and_order_ids() {
-        let q = ShardedQueue::<f64>::new(3, 0);
+        let q = ShardedQueue::<f64>::new(1, 3, 0, 8);
         for _ in 0..10 {
             q.push(env(&q)).map_err(|_| ()).unwrap();
         }
@@ -251,51 +372,122 @@ mod tests {
     }
 
     #[test]
+    fn affinity_routes_to_node_groups() {
+        let q = ShardedQueue::<f64>::new(3, 2, 0, 8);
+        for affinity in [0usize, 1, 1, 2, 2, 2] {
+            q.push(env_on(&q, affinity)).map_err(|_| ()).unwrap();
+        }
+        assert_eq!(q.node_depth(0), 1);
+        assert_eq!(q.node_depth(1), 2);
+        assert_eq!(q.node_depth(2), 3);
+        assert_eq!(q.depth(), 6);
+
+        // pop_node only touches its own group.
+        let node1 = q.pop_node(1, usize::MAX);
+        assert_eq!(node1.len(), 2);
+        assert!(node1.iter().all(|e| e.affinity == 1));
+        assert_eq!(q.node_depth(1), 0);
+        assert_eq!(q.node_depth(2), 3);
+        assert_eq!(q.depth(), 4);
+
+        // pop_batch sweeps the remaining groups.
+        assert_eq!(q.pop_batch(usize::MAX).len(), 4);
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn out_of_range_affinity_wraps() {
+        let q = ShardedQueue::<f64>::new(2, 1, 0, 8);
+        q.push(env_on(&q, 5)).map_err(|_| ()).unwrap(); // 5 % 2 == 1
+        assert_eq!(q.node_depth(1), 1);
+        assert_eq!(q.pop_node(1, 8).len(), 1);
+    }
+
+    #[test]
     fn close_rejects_new_work_but_drains_old() {
-        let q = ShardedQueue::<f64>::new(2, 0);
-        q.push(env(&q)).map_err(|_| ()).unwrap();
+        let q = ShardedQueue::<f64>::new(2, 2, 0, 8);
+        q.push(env_on(&q, 1)).map_err(|_| ()).unwrap();
         q.close();
         assert!(q.is_closed());
         assert!(matches!(q.push(env(&q)), Err(PushError::Closed)));
         assert!(matches!(q.try_push(env(&q)), Err(PushError::Closed)));
+        // Closed: the remainder is visible to every dispatcher (gate 0).
+        assert!(q.wait_node(0), "node 0 must see node 1's remainder");
+        assert_eq!(q.steal_gate(), 0);
         assert_eq!(q.pop_batch(8).len(), 1);
-        assert!(!q.wait_nonempty());
+        assert!(!q.wait_node(0));
+        assert!(!q.wait_node(1));
     }
 
     #[test]
-    fn wait_wakes_on_push() {
-        let q = Arc::new(ShardedQueue::<f64>::new(2, 0));
+    fn wait_node_wakes_on_own_group_push() {
+        let q = Arc::new(ShardedQueue::<f64>::new(2, 2, 0, 8));
         let q2 = Arc::clone(&q);
-        let waiter = std::thread::spawn(move || q2.wait_nonempty());
+        let waiter = std::thread::spawn(move || q2.wait_node(1));
         std::thread::sleep(std::time::Duration::from_millis(20));
-        q.push(env(&q)).map_err(|_| ()).unwrap();
+        q.push(env_on(&q, 1)).map_err(|_| ()).unwrap();
         assert!(waiter.join().unwrap());
     }
 
     #[test]
-    fn wait_wakes_on_close() {
-        let q = Arc::new(ShardedQueue::<f64>::new(1, 0));
+    fn below_threshold_pushes_do_not_wake_other_dispatchers() {
+        let q = Arc::new(ShardedQueue::<f64>::new(2, 1, 0, 4));
         let q2 = Arc::clone(&q);
-        let waiter = std::thread::spawn(move || q2.wait_nonempty());
+        // Dispatcher 1 parks; its group stays empty.
+        let waiter = std::thread::spawn(move || q2.wait_node(1));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        // Group 0 stays at the threshold: no cross-wake.
+        for _ in 0..4 {
+            q.push(env_on(&q, 0)).map_err(|_| ()).unwrap();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!waiter.is_finished(), "woke without a steal-eligible group");
+        // The crossing push wakes it.
+        q.push(env_on(&q, 0)).map_err(|_| ()).unwrap();
+        assert!(waiter.join().unwrap());
+        assert!(q.node_depth(0) > q.steal_gate(), "group 0 steal-eligible");
+    }
+
+    #[test]
+    fn wait_wakes_on_close() {
+        let q = Arc::new(ShardedQueue::<f64>::new(1, 1, 0, 8));
+        let q2 = Arc::clone(&q);
+        let waiter = std::thread::spawn(move || q2.wait_node(0));
         std::thread::sleep(std::time::Duration::from_millis(20));
         q.close();
         assert!(!waiter.join().unwrap());
     }
 
     #[test]
+    fn closed_queue_drain_mode_never_parks_dispatchers() {
+        let q = ShardedQueue::<f64>::new(2, 1, 0, 8);
+        q.push(env_on(&q, 0)).map_err(|_| ()).unwrap();
+        q.close();
+        // Drain mode: every dispatcher sees node 0's remainder immediately
+        // (closed gate is 0; wait_node returns without parking)...
+        assert!(q.wait_node(0));
+        assert!(q.wait_node(1));
+        assert_eq!(q.pop_node(0, 8).len(), 1); // final pop on a closed queue
+                                               // ...and observes the exit condition once it is gone.
+        assert!(!q.wait_node(0));
+        assert!(!q.wait_node(1));
+    }
+
+    #[test]
     fn try_push_fails_fast_at_capacity() {
-        let q = ShardedQueue::<f64>::new(2, 2);
-        q.try_push(env(&q)).map_err(|_| ()).unwrap();
-        q.try_push(env(&q)).map_err(|_| ()).unwrap();
-        assert!(matches!(q.try_push(env(&q)), Err(PushError::Full)));
-        // Draining reopens admission.
-        assert_eq!(q.pop_batch(1).len(), 1);
-        assert!(q.try_push(env(&q)).is_ok());
+        let q = ShardedQueue::<f64>::new(2, 1, 2, 8);
+        q.try_push(env_on(&q, 0)).map_err(|_| ()).unwrap();
+        q.try_push(env_on(&q, 1)).map_err(|_| ()).unwrap();
+        // Capacity is global across groups.
+        assert!(matches!(q.try_push(env_on(&q, 1)), Err(PushError::Full)));
+        // Draining any group reopens admission.
+        assert_eq!(q.pop_node(0, 1).len(), 1);
+        assert!(q.try_push(env_on(&q, 1)).is_ok());
     }
 
     #[test]
     fn blocking_push_parks_until_drained() {
-        let q = Arc::new(ShardedQueue::<f64>::new(1, 1));
+        let q = Arc::new(ShardedQueue::<f64>::new(1, 1, 1, 8));
         q.push(env(&q)).map_err(|_| ()).unwrap();
         let q2 = Arc::clone(&q);
         let producer = std::thread::spawn(move || {
@@ -304,14 +496,14 @@ mod tests {
         });
         std::thread::sleep(std::time::Duration::from_millis(20));
         assert_eq!(q.depth(), 1, "producer still parked");
-        assert_eq!(q.pop_batch(1).len(), 1); // frees a slot, wakes producer
+        assert_eq!(q.pop_node(0, 1).len(), 1); // frees a slot, wakes producer
         producer.join().unwrap();
         assert_eq!(q.depth(), 1);
     }
 
     #[test]
     fn close_unparks_blocked_producer() {
-        let q = Arc::new(ShardedQueue::<f64>::new(1, 1));
+        let q = Arc::new(ShardedQueue::<f64>::new(1, 1, 1, 8));
         q.push(env(&q)).map_err(|_| ()).unwrap();
         let q2 = Arc::clone(&q);
         let producer = std::thread::spawn(move || {

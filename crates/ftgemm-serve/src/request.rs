@@ -26,6 +26,12 @@ pub struct GemmRequest<T: Scalar> {
     pub policy: FtPolicy,
     /// Optional per-request fault injector (campaigns/tests).
     pub injector: Option<FaultInjector>,
+    /// Optional operand-home hint: the NUMA node this request's operands
+    /// live on. Consulted by
+    /// [`PlacementPolicy::OperandHome`](crate::PlacementPolicy) (values
+    /// beyond the node count wrap); `None` lets the service derive a home
+    /// from the operand addresses.
+    pub home: Option<usize>,
 }
 
 impl<T: Scalar> GemmRequest<T> {
@@ -46,6 +52,7 @@ impl<T: Scalar> GemmRequest<T> {
             c,
             policy: FtPolicy::default(),
             injector: None,
+            home: None,
         }
     }
 
@@ -62,6 +69,7 @@ impl<T: Scalar> GemmRequest<T> {
             c: None,
             policy: FtPolicy::default(),
             injector: None,
+            home: None,
         }
     }
 
@@ -91,6 +99,14 @@ impl<T: Scalar> GemmRequest<T> {
     #[must_use]
     pub fn with_injector(mut self, injector: FaultInjector) -> Self {
         self.injector = Some(injector);
+        self
+    }
+
+    /// Pins the operand-home node consulted by
+    /// [`PlacementPolicy::OperandHome`](crate::PlacementPolicy).
+    #[must_use]
+    pub fn with_home(mut self, node: usize) -> Self {
+        self.home = Some(node);
         self
     }
 
@@ -131,6 +147,7 @@ pub struct GemmRequestBuilder<T: Scalar> {
     c: Option<Matrix<T>>,
     policy: FtPolicy,
     injector: Option<FaultInjector>,
+    home: Option<usize>,
 }
 
 impl<T: Scalar> GemmRequestBuilder<T> {
@@ -165,6 +182,14 @@ impl<T: Scalar> GemmRequestBuilder<T> {
         self
     }
 
+    /// Pins the operand-home node consulted by
+    /// [`PlacementPolicy::OperandHome`](crate::PlacementPolicy).
+    #[must_use]
+    pub fn home(mut self, node: usize) -> Self {
+        self.home = Some(node);
+        self
+    }
+
     /// Finishes the request, validating operand shapes.
     pub fn build(self) -> Result<GemmRequest<T>, ServeError> {
         let (m, k) = (self.a.nrows(), self.a.ncols());
@@ -193,6 +218,7 @@ impl<T: Scalar> GemmRequestBuilder<T> {
             c,
             policy: self.policy,
             injector: self.injector,
+            home: self.home,
         })
     }
 }
@@ -208,6 +234,20 @@ pub struct GemmResponse<T: Scalar> {
     /// True when the request ran on the batched path (coalesced with other
     /// small requests); false when it ran matrix-parallel.
     pub batched: bool,
+    /// The node affinity the placement policy stamped at submit time.
+    pub affinity_node: usize,
+    /// The node whose worker subset actually executed the request; differs
+    /// from [`affinity_node`](Self::affinity_node) only when the request
+    /// was stolen by a dry node.
+    pub executed_node: usize,
+}
+
+impl<T: Scalar> GemmResponse<T> {
+    /// True when a dry node stole this request off its affinity node's
+    /// shard group.
+    pub fn stolen(&self) -> bool {
+        self.affinity_node != self.executed_node
+    }
 }
 
 /// Errors a request can fail with.
@@ -218,7 +258,11 @@ pub enum ServeError {
     /// The fault-tolerant driver gave up (unrecoverable checksum pattern
     /// after the policy's retry budget, or an internal driver error).
     Ft(FtError),
-    /// The service is shutting down and no longer accepts or completes work.
+    /// The service is shutting down: either a submission arrived after
+    /// intake closed, or the request was still parked on a node's shard
+    /// group when [`shutdown_now`](crate::GemmService::shutdown_now)
+    /// aborted the drain — parked requests are *failed* with this error
+    /// rather than left to hang their handles.
     Closed,
     /// The submission queue is at capacity and the caller asked not to
     /// block (async submit surface). Shed load or retry later.
@@ -268,6 +312,7 @@ mod tests {
             c: Matrix::zeros(3, 6),
             policy: FtPolicy::Off,
             injector: None,
+            home: None,
         };
         assert!(matches!(r.validate(), Err(ServeError::Shape(_))));
     }
@@ -309,9 +354,22 @@ mod tests {
         let r = GemmRequest::new(Matrix::<f64>::zeros(2, 2), Matrix::<f64>::zeros(2, 2))
             .with_alpha(2.0)
             .with_c(0.5, Matrix::filled(2, 2, 1.0))
-            .with_policy(FtPolicy::Detect);
+            .with_policy(FtPolicy::Detect)
+            .with_home(1);
         assert_eq!(r.alpha, 2.0);
         assert_eq!(r.beta, 0.5);
         assert_eq!(r.policy, FtPolicy::Detect);
+        assert_eq!(r.home, Some(1));
+    }
+
+    #[test]
+    fn home_hint_defaults_to_none_and_threads_through_builder() {
+        let r = GemmRequest::new(Matrix::<f64>::zeros(2, 2), Matrix::<f64>::zeros(2, 2));
+        assert_eq!(r.home, None);
+        let r = GemmRequest::builder(Matrix::<f64>::zeros(2, 3), Matrix::<f64>::zeros(3, 2))
+            .home(2)
+            .build()
+            .unwrap();
+        assert_eq!(r.home, Some(2));
     }
 }

@@ -1,6 +1,8 @@
-//! The service: scheduler thread, routing, batching, and lifecycle.
+//! The service: per-node dispatcher threads, placement, routing, batching,
+//! stealing, and lifecycle.
 
 use crate::handle::{AsyncRequestHandle, RequestHandle, ResponseSlot};
+use crate::placement::{PlacementPolicy, Placer};
 use crate::queue::{Envelope, PushError, ShardedQueue};
 use crate::request::{GemmRequest, GemmResponse, ServeError};
 use crate::routing::{RoutePath, RouteState, RoutingPolicy};
@@ -11,7 +13,8 @@ use ftgemm_core::Scalar;
 use ftgemm_parallel::{
     par_batch_ft_gemm_timed, par_ft_gemm, par_gemm, BatchItem, BatchWorkspace, ParGemmContext,
 };
-use std::sync::atomic::Ordering;
+use ftgemm_pool::{PoolStats, Topology};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -24,12 +27,15 @@ use std::time::Instant;
 pub const DEFAULT_SMALL_FLOPS_CUTOFF: u64 = 2 * 192 * 192 * 192;
 
 /// Tuning knobs for a [`GemmService`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServiceConfig {
-    /// Worker threads in the compute pool (`0` = one per available core).
+    /// Worker threads in the compute pools, summed across nodes (`0` = one
+    /// per core of every node). With a multi-node topology the threads are
+    /// split across nodes by core share, every node keeping at least one.
     pub threads: usize,
-    /// Independent submission-queue shards (reduces submit-side lock
-    /// contention when many frontend threads submit concurrently).
+    /// Independent submission-queue shards **per node shard group**
+    /// (reduces submit-side lock contention when many frontend threads
+    /// submit concurrently to the same node).
     pub queue_shards: usize,
     /// Maximum small requests coalesced into one batched parallel region.
     pub max_batch: usize,
@@ -40,14 +46,23 @@ pub struct ServiceConfig {
     /// [`DEFAULT_SMALL_FLOPS_CUTOFF`]; pin it with
     /// [`RoutingPolicy::Fixed`] for deterministic routing.
     pub routing: RoutingPolicy,
-    /// Submission-queue depth bound (`0` = unbounded, the default). When
-    /// set, blocking [`submit`](GemmService::submit) calls park until the
-    /// scheduler drains space, while the non-blocking async surfaces
+    /// Submission-queue depth bound across all shard groups (`0` =
+    /// unbounded, the default). When set, blocking
+    /// [`submit`](GemmService::submit) calls park until the scheduler
+    /// drains space, while the non-blocking async surfaces
     /// ([`submit_async`](GemmService::submit_async),
     /// [`submit_streamed`](GemmService::submit_streamed)) fail fast with
     /// [`ServeError::Overloaded`] so frontends can shed load. The bound is
     /// soft under concurrency (overshoot ≤ concurrent submitters).
     pub queue_capacity: usize,
+    /// The memory-domain layout the service shards itself around: one
+    /// queue shard group and one pinned worker subset per node. `None`
+    /// (the default) detects the machine's topology;
+    /// [`Topology::synthetic`] forces any layout — every placement
+    /// decision is deterministic under a synthetic topology.
+    pub topology: Option<Topology>,
+    /// How requests are assigned a node affinity at submit time.
+    pub placement: PlacementPolicy,
 }
 
 impl Default for ServiceConfig {
@@ -58,8 +73,16 @@ impl Default for ServiceConfig {
             max_batch: 32,
             routing: RoutingPolicy::default(),
             queue_capacity: 0,
+            topology: None,
+            placement: PlacementPolicy::default(),
         }
     }
+}
+
+/// One node's compute runtime: a node-scoped context whose pool is that
+/// node's pinned worker subset.
+struct NodeRuntime<T: Scalar> {
+    ctx: ParGemmContext<T>,
 }
 
 struct Inner<T: Scalar> {
@@ -67,7 +90,13 @@ struct Inner<T: Scalar> {
     stats: ServiceStats,
     config: ServiceConfig,
     route: RouteState,
-    ctx: ParGemmContext<T>,
+    placer: Placer,
+    topology: Topology,
+    nodes: Vec<NodeRuntime<T>>,
+    /// When set, dispatchers stop computing queued work and fail it with
+    /// [`ServeError::Closed`] instead
+    /// ([`shutdown_now`](GemmService::shutdown_now)).
+    abort: AtomicBool,
 }
 
 /// A batched GEMM server: accepts concurrent [`GemmRequest`]s, coalesces
@@ -75,25 +104,41 @@ struct Inner<T: Scalar> {
 /// the matrix-parallel fused-ABFT driver, and honors a per-request
 /// [`FtPolicy`](crate::FtPolicy).
 ///
-/// Three submit surfaces share one scheduler:
+/// The service is **NUMA-sharded**: its [`Topology`] (detected, or forced
+/// via [`ServiceConfig::topology`]) gives every memory domain its own queue
+/// shard group and its own pinned worker subset, and each request is
+/// stamped with a node affinity at submit time by the configured
+/// [`PlacementPolicy`] — by default the node that owns its operands. A
+/// request runs on its affinity node's workers unless that node's shard
+/// group ran dry and it was explicitly stolen (visible per request via
+/// [`GemmResponse::stolen`] and per node via
+/// [`StatsSnapshot::per_node`]).
+///
+/// Three submit surfaces feed the same dispatchers:
 /// [`submit`](GemmService::submit) (blocking condvar handle),
 /// [`submit_async`](GemmService::submit_async) (waker-based future — no
 /// parked thread per request), and
 /// [`submit_streamed`](GemmService::submit_streamed) (results forwarded
 /// into a [`completion_channel`](crate::completion_channel)).
 ///
-/// One dedicated scheduler thread drains the sharded queue; all compute
-/// runs on the service's persistent worker pool. Dropping the service (or
-/// calling [`shutdown`](GemmService::shutdown)) stops intake, drains every
-/// queued request, and joins the scheduler — outstanding handles always
-/// resolve.
+/// One dispatcher thread per node drains that node's shard group onto
+/// that node's persistent worker pool, so on a multi-node machine the
+/// domains compute concurrently. Dropping the service (or calling
+/// [`shutdown`](GemmService::shutdown)) stops intake, drains every queued
+/// request, and joins the dispatchers — outstanding handles always
+/// resolve. [`shutdown_now`](GemmService::shutdown_now) instead *fails*
+/// still-queued requests with [`ServeError::Closed`] so a frontend can
+/// stop without paying for the backlog.
 pub struct GemmService<T: Scalar> {
     inner: Arc<Inner<T>>,
-    scheduler: Option<JoinHandle<()>>,
+    /// One dispatcher thread per node, each draining its own shard group
+    /// onto its own node-scoped pool — so on a multi-node machine the
+    /// nodes genuinely compute concurrently.
+    dispatchers: Vec<JoinHandle<()>>,
 }
 
 impl<T: Scalar> GemmService<T> {
-    /// Service with default configuration (all cores).
+    /// Service with default configuration (all cores, detected topology).
     pub fn with_defaults() -> Self {
         Self::new(ServiceConfig::default())
     }
@@ -102,27 +147,63 @@ impl<T: Scalar> GemmService<T> {
     pub fn new(config: ServiceConfig) -> Self {
         assert!(config.queue_shards >= 1, "need at least one queue shard");
         assert!(config.max_batch >= 1, "need max_batch >= 1");
-        let ctx = if config.threads == 0 {
-            ParGemmContext::<T>::new()
+        let topology = config.topology.clone().unwrap_or_else(Topology::detect);
+        let nnodes = topology.num_nodes();
+        // Per-node worker subsets: `threads == 0` sizes each subset to its
+        // node's cores; otherwise the requested total is split by core
+        // share (PoolPartition's proportional split, so a 6+2-core
+        // topology gets a 3:1 thread ratio, not an even one) with a floor
+        // of one thread per node (every node must be able to execute its
+        // own shard group).
+        let node_threads: Vec<usize> = if config.threads == 0 {
+            topology.nodes().iter().map(|n| n.cores).collect()
         } else {
-            ParGemmContext::<T>::with_threads(config.threads)
+            let split = ftgemm_pool::PoolPartition::new(&topology, config.threads);
+            (0..nnodes).map(|i| split.threads_on(i).max(1)).collect()
         };
+        let nodes: Vec<NodeRuntime<T>> = node_threads
+            .iter()
+            .enumerate()
+            .map(|(node, &threads)| NodeRuntime {
+                ctx: ParGemmContext::<T>::for_node_threads(node, threads),
+            })
+            .collect();
         let inner = Arc::new(Inner {
-            queue: ShardedQueue::new(config.queue_shards, config.queue_capacity),
-            stats: ServiceStats::new(ctx.nthreads()),
+            // A group deeper than one full batch is steal-eligible (a dry
+            // node migrating less than a batch would thrash).
+            queue: ShardedQueue::new(
+                nnodes,
+                config.queue_shards,
+                config.queue_capacity,
+                config.max_batch,
+            ),
+            stats: ServiceStats::new(&node_threads),
             route: RouteState::new(config.routing),
+            placer: Placer::new(config.placement),
+            topology,
+            nodes,
+            abort: AtomicBool::new(false),
             config,
-            ctx,
         });
-        let scheduler_inner = Arc::clone(&inner);
-        let scheduler = std::thread::Builder::new()
-            .name("ftgemm-serve-scheduler".into())
-            .spawn(move || scheduler_loop(&scheduler_inner))
-            .expect("failed to spawn scheduler thread");
-        GemmService {
-            inner,
-            scheduler: Some(scheduler),
-        }
+        let dispatchers = (0..nnodes)
+            .map(|node| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("ftgemm-serve-dispatch-{node}"))
+                    .spawn(move || dispatcher_loop(&inner, node))
+                    .expect("failed to spawn dispatcher thread")
+            })
+            .collect();
+        GemmService { inner, dispatchers }
+    }
+
+    /// Stamps `req`'s node affinity (placement runs once, at submit).
+    fn place(&self, req: &GemmRequest<T>) -> usize {
+        self.inner
+            .placer
+            .place(req, self.inner.topology.num_nodes(), |n| {
+                self.inner.queue.node_depth(n)
+            })
     }
 
     /// Submits a request; returns a handle redeemable for the result.
@@ -136,11 +217,13 @@ impl<T: Scalar> GemmService<T> {
     pub fn submit(&self, req: GemmRequest<T>) -> Result<RequestHandle<T>, ServeError> {
         req.validate()?;
         let id = self.inner.queue.next_id();
+        let affinity = self.place(&req);
         let (handle, slot) = RequestHandle::pair(id);
         let env = Envelope {
             req,
             slot,
             id,
+            affinity,
             submitted: Instant::now(),
         };
         // Count at admission, *before* the push: once the envelope is in
@@ -171,12 +254,14 @@ impl<T: Scalar> GemmService<T> {
     pub fn submit_async(&self, req: GemmRequest<T>) -> Result<AsyncRequestHandle<T>, ServeError> {
         req.validate()?;
         let id = self.inner.queue.next_id();
+        let affinity = self.place(&req);
         let (handle, slot) =
             AsyncRequestHandle::pair(id, Arc::clone(&self.inner.stats.in_flight_async));
         let env = Envelope {
             req,
             slot,
             id,
+            affinity,
             submitted: Instant::now(),
         };
         // Counted at admission (see `submit`); a rejected push rolls the
@@ -210,12 +295,14 @@ impl<T: Scalar> GemmService<T> {
     ) -> Result<u64, ServeError> {
         req.validate()?;
         let id = self.inner.queue.next_id();
+        let affinity = self.place(&req);
         let slot = ResponseSlot::forwarding(id, sink.clone());
         sink.register();
         let env = Envelope {
             req,
             slot,
             id,
+            affinity,
             submitted: Instant::now(),
         };
         // Counted at admission (see `submit`); rolled back on rejection.
@@ -240,11 +327,26 @@ impl<T: Scalar> GemmService<T> {
 
     /// Point-in-time service metrics.
     pub fn stats(&self) -> StatsSnapshot {
-        self.inner.stats.snapshot(
-            self.inner.queue.depth(),
-            self.inner.ctx.pool().stats(),
-            self.inner.route.snapshot(),
-        )
+        let depths: Vec<usize> = (0..self.inner.topology.num_nodes())
+            .map(|n| self.inner.queue.node_depth(n))
+            .collect();
+        self.inner
+            .stats
+            .snapshot(&depths, self.pool_stats(), self.inner.route.snapshot())
+    }
+
+    /// Pool activity summed over every node's worker pool.
+    fn pool_stats(&self) -> PoolStats {
+        self.inner
+            .nodes
+            .iter()
+            .fold(PoolStats::default(), |acc, n| {
+                let s = n.ctx.pool().stats();
+                PoolStats {
+                    regions: acc.regions + s.regions,
+                    barrier_crossings: acc.barrier_crossings + s.barrier_crossings,
+                }
+            })
     }
 
     /// The flops cutoff the scheduler is routing by right now: the pinned
@@ -257,21 +359,45 @@ impl<T: Scalar> GemmService<T> {
         self.inner.route.cutoff()
     }
 
-    /// Threads in the compute pool.
+    /// Threads across every node's compute pool.
     pub fn nthreads(&self) -> usize {
-        self.inner.ctx.nthreads()
+        self.inner.nodes.iter().map(|n| n.ctx.nthreads()).sum()
     }
 
-    /// Stops intake, drains queued requests, joins the scheduler, and
-    /// returns the final metrics.
+    /// The memory-domain layout the service sharded itself around.
+    pub fn topology(&self) -> &Topology {
+        &self.inner.topology
+    }
+
+    /// The placement policy stamping node affinities at submit time.
+    pub fn placement(&self) -> PlacementPolicy {
+        self.inner.placer.policy()
+    }
+
+    /// Stops intake, drains queued requests (computing each one), joins
+    /// every dispatcher, and returns the final metrics.
     pub fn shutdown(mut self) -> StatsSnapshot {
+        self.close_and_join();
+        self.stats()
+    }
+
+    /// Stops intake and **fails** every request still parked on a shard
+    /// group with [`ServeError::Closed`] instead of computing it — their
+    /// handles, futures, and completion channels all resolve (nothing
+    /// hangs), they just carry the shutdown error. Only regions already
+    /// *computing* finish normally: dispatchers re-check the abort flag
+    /// between batched regions and between large requests, so even an
+    /// already-popped sweep is failed rather than paid for. Returns the
+    /// final metrics.
+    pub fn shutdown_now(mut self) -> StatsSnapshot {
+        self.inner.abort.store(true, Ordering::Release);
         self.close_and_join();
         self.stats()
     }
 
     fn close_and_join(&mut self) {
         self.inner.queue.close();
-        if let Some(handle) = self.scheduler.take() {
+        for handle in self.dispatchers.drain(..) {
             let _ = handle.join();
         }
     }
@@ -286,36 +412,87 @@ impl<T: Scalar> Drop for GemmService<T> {
 impl<T: Scalar> std::fmt::Debug for GemmService<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("GemmService")
-            .field("nthreads", &self.inner.ctx.nthreads())
+            .field("nthreads", &self.nthreads())
+            .field("nodes", &self.inner.topology.num_nodes())
             .field("config", &self.inner.config)
             .field("queue_depth", &self.inner.queue.depth())
             .finish()
     }
 }
 
-fn scheduler_loop<T: Scalar>(inner: &Inner<T>) {
-    // Per-pool-thread serial FT workspaces, reused across every batch the
-    // service ever runs (the packed-buffer amortization the batched path is
-    // built around).
-    let workspace = BatchWorkspace::new(&inner.ctx);
+/// One node's dispatcher: drains its own shard group onto its own
+/// node-scoped pool, so every node computes concurrently with its peers.
+fn dispatcher_loop<T: Scalar>(inner: &Inner<T>, node: usize) {
+    // This node's per-pool-thread serial FT workspaces, reused across
+    // every batch it ever runs (the packed-buffer amortization the batched
+    // path is built around) and — because they are only ever touched by
+    // this node's pool — kept on the memory domain that computes with
+    // them.
+    let workspace = BatchWorkspace::new(&inner.nodes[node].ctx);
+    let nnodes = inner.nodes.len();
     loop {
-        // Drain aggressively: taking more than one batch's worth per sweep
-        // lets one sweep split into large/small once instead of re-locking
-        // shards per region.
-        let envelopes = inner.queue.pop_batch(4 * inner.config.max_batch);
-        if envelopes.is_empty() {
-            if !inner.queue.wait_nonempty() {
-                return; // closed and fully drained
+        if inner.abort.load(Ordering::Acquire) {
+            // Fast shutdown: fail everything still queued instead of
+            // computing it (dispatchers race over pop_batch; each envelope
+            // is popped exactly once).
+            for env in inner.queue.pop_batch(usize::MAX) {
+                fail_unserved(inner, env);
+            }
+            if !inner.queue.wait_node(node) {
+                return;
             }
             continue;
         }
-        dispatch(inner, &workspace, envelopes);
+
+        // Drain this node's shard group. Taking several batches' worth per
+        // sweep lets one sweep split into large/small once instead of
+        // re-locking shards per region.
+        let mine = inner.queue.pop_node(node, 4 * inner.config.max_batch);
+        if !mine.is_empty() {
+            dispatch(inner, node, &workspace, mine);
+            continue;
+        }
+
+        // Dry node: steal one batch off the deepest group past the steal
+        // gate (one full batch while open; anything once closed, so
+        // shutdown drains stragglers). Ties break to the lowest node id,
+        // and the choice reads queue depths only — never the wall clock.
+        // Below the gate a dry dispatcher just parks: balanced load steals
+        // nothing.
+        let gate = inner.queue.steal_gate();
+        let victim = (0..nnodes)
+            .filter(|&n| n != node && inner.queue.node_depth(n) > gate)
+            .max_by_key(|&n| (inner.queue.node_depth(n), usize::MAX - n));
+        if let Some(victim) = victim {
+            let stolen = inner.queue.pop_node(victim, inner.config.max_batch);
+            if !stolen.is_empty() {
+                inner.stats.stolen[node].fetch_add(stolen.len() as u64, Ordering::Relaxed);
+                dispatch(inner, node, &workspace, stolen);
+            }
+            continue;
+        }
+
+        if !inner.queue.wait_node(node) {
+            return; // closed and fully drained
+        }
     }
 }
 
-/// Routes a drained sweep by the live cutoff: small requests coalesced
-/// into batched regions, large ones one-at-a-time through the
-/// matrix-parallel driver.
+/// Fails one unserved envelope with the shutdown error (fast-shutdown
+/// path): the handle/future/channel still resolves, counters still
+/// balance.
+fn fail_unserved<T: Scalar>(inner: &Inner<T>, env: Envelope<T>) {
+    inner.stats.turnaround_ns.fetch_add(
+        env.submitted.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+        Ordering::Relaxed,
+    );
+    inner.stats.failed.fetch_add(1, Ordering::Relaxed);
+    env.slot.fulfill(Err(ServeError::Closed));
+}
+
+/// Routes one node's drained sweep by the live cutoff: small requests
+/// coalesced into batched regions, large ones one-at-a-time through the
+/// matrix-parallel driver — all on `node`'s worker subset.
 ///
 /// The batched regions run *first*: a sweep can hold 100+ large requests,
 /// and an early-arriving small request parked behind that loop would see
@@ -324,6 +501,7 @@ fn scheduler_loop<T: Scalar>(inner: &Inner<T>) {
 /// `small_batches_complete_before_large_requests`.
 fn dispatch<T: Scalar>(
     inner: &Inner<T>,
+    node: usize,
     workspace: &BatchWorkspace<T>,
     envelopes: Vec<Envelope<T>>,
 ) {
@@ -333,22 +511,46 @@ fn dispatch<T: Scalar>(
         .partition(|env| env.req.flops() <= cutoff);
 
     let mut small = small;
+    let mut large = large;
     while !small.is_empty() {
+        // Re-check the abort flag between regions: a popped sweep can hold
+        // 4*max_batch requests, and shutdown_now's contract is that only
+        // work already *computing* finishes — not a whole sweep.
+        if inner.abort.load(Ordering::Acquire) {
+            for env in small.drain(..).chain(large.drain(..)) {
+                fail_unserved(inner, env);
+            }
+            return;
+        }
         let take = small.len().min(inner.config.max_batch);
         let chunk: Vec<Envelope<T>> = small.drain(..take).collect();
-        run_batch(inner, workspace, chunk);
+        run_batch(inner, node, workspace, chunk);
     }
 
-    for env in large {
+    let mut large = large.into_iter();
+    while let Some(env) = large.next() {
+        if inner.abort.load(Ordering::Acquire) {
+            fail_unserved(inner, env);
+            for env in large {
+                fail_unserved(inner, env);
+            }
+            return;
+        }
         inner.stats.direct_large.fetch_add(1, Ordering::Relaxed);
-        run_large(inner, env);
+        run_large(inner, node, env);
     }
 }
 
-fn run_large<T: Scalar>(inner: &Inner<T>, env: Envelope<T>) {
+fn run_large<T: Scalar>(inner: &Inner<T>, node: usize, env: Envelope<T>) {
+    // Counted here — at execution — rather than per popped sweep, so
+    // requests a shutdown_now abort fails mid-sweep never inflate the
+    // per-node "executed" counters.
+    inner.stats.dispatched[node].fetch_add(1, Ordering::Relaxed);
+    let ctx = &inner.nodes[node].ctx;
     let Envelope {
         mut req,
         slot,
+        affinity,
         submitted,
         ..
     } = env;
@@ -357,7 +559,7 @@ fn run_large<T: Scalar>(inner: &Inner<T>, env: Envelope<T>) {
     let started = Instant::now();
     let result: FtResult<FtReport> = match &cfg {
         Some(cfg) => par_ft_gemm(
-            &inner.ctx,
+            ctx,
             cfg,
             req.alpha,
             &req.a.as_ref(),
@@ -366,7 +568,7 @@ fn run_large<T: Scalar>(inner: &Inner<T>, env: Envelope<T>) {
             &mut req.c.as_mut(),
         ),
         None => par_gemm(
-            &inner.ctx,
+            ctx,
             req.alpha,
             &req.a.as_ref(),
             &req.b.as_ref(),
@@ -381,19 +583,23 @@ fn run_large<T: Scalar>(inner: &Inner<T>, env: Envelope<T>) {
         flops,
         started.elapsed().as_nanos().min(u64::MAX as u128) as u64,
     );
-    finish(inner, slot, req.c, result, submitted, false);
+    finish(inner, slot, req.c, result, submitted, false, affinity, node);
 }
 
 fn run_batch<T: Scalar>(
     inner: &Inner<T>,
+    node: usize,
     workspace: &BatchWorkspace<T>,
     mut envs: Vec<Envelope<T>>,
 ) {
+    let ctx = &inner.nodes[node].ctx;
     inner.stats.batches.fetch_add(1, Ordering::Relaxed);
     inner
         .stats
         .batched_requests
         .fetch_add(envs.len() as u64, Ordering::Relaxed);
+    // At-execution counting, same as run_large.
+    inner.stats.dispatched[node].fetch_add(envs.len() as u64, Ordering::Relaxed);
 
     // Per-request configs must outlive the borrowed batch items.
     let cfgs: Vec<_> = envs
@@ -415,9 +621,9 @@ fn run_batch<T: Scalar>(
             }
         })
         .collect();
-    let (results, timing) = par_batch_ft_gemm_timed(&inner.ctx, workspace, &mut items);
+    let (results, timing) = par_batch_ft_gemm_timed(ctx, workspace, &mut items);
     drop(items);
-    inner.stats.absorb_batch_timing(&timing);
+    inner.stats.absorb_batch_timing(node, &timing);
 
     // Feed the routing learner: the region's wall time, attributed to each
     // item in proportion to its flops (the whole region shares one ns/flop,
@@ -435,10 +641,20 @@ fn run_batch<T: Scalar>(
     }
 
     for (env, result) in envs.into_iter().zip(results) {
-        finish(inner, env.slot, env.req.c, result, env.submitted, true);
+        finish(
+            inner,
+            env.slot,
+            env.req.c,
+            result,
+            env.submitted,
+            true,
+            env.affinity,
+            node,
+        );
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn finish<T: Scalar>(
     inner: &Inner<T>,
     slot: Arc<crate::handle::ResponseSlot<T>>,
@@ -446,6 +662,8 @@ fn finish<T: Scalar>(
     result: FtResult<FtReport>,
     submitted: Instant,
     batched: bool,
+    affinity_node: usize,
+    executed_node: usize,
 ) {
     inner.stats.turnaround_ns.fetch_add(
         submitted.elapsed().as_nanos().min(u64::MAX as u128) as u64,
@@ -455,7 +673,13 @@ fn finish<T: Scalar>(
         Ok(report) => {
             inner.stats.completed.fetch_add(1, Ordering::Relaxed);
             inner.stats.absorb_report(&report);
-            slot.fulfill(Ok(GemmResponse { c, report, batched }));
+            slot.fulfill(Ok(GemmResponse {
+                c,
+                report,
+                batched,
+                affinity_node,
+                executed_node,
+            }));
         }
         Err(e) => {
             inner.stats.failed.fetch_add(1, Ordering::Relaxed);
@@ -471,9 +695,25 @@ mod tests {
     use crate::stream::completion_channel;
     use ftgemm_core::Matrix;
 
+    fn test_inner(config: ServiceConfig) -> Inner<f64> {
+        let threads = config.threads.max(1);
+        Inner {
+            queue: ShardedQueue::new(1, 1, 0, config.max_batch),
+            stats: ServiceStats::new(&[threads]),
+            route: RouteState::new(config.routing),
+            placer: Placer::new(config.placement),
+            topology: Topology::single(threads),
+            nodes: vec![NodeRuntime {
+                ctx: ParGemmContext::<f64>::for_node_threads(0, threads),
+            }],
+            abort: AtomicBool::new(false),
+            config,
+        }
+    }
+
     /// Head-of-line regression: a drained sweep must run its coalesced
     /// small batches before the large loop. Drives `dispatch` directly (no
-    /// scheduler thread) so the sweep's composition — four large requests
+    /// dispatcher thread) so the sweep's composition — four large requests
     /// that arrived *before* one small one — is exact and the completion
     /// order deterministic.
     #[test]
@@ -484,14 +724,8 @@ mod tests {
             routing: RoutingPolicy::Fixed(2 * 32 * 32 * 32),
             ..ServiceConfig::default()
         };
-        let inner = Inner {
-            queue: ShardedQueue::new(1, 0),
-            stats: ServiceStats::new(2),
-            route: RouteState::new(config.routing),
-            config,
-            ctx: ParGemmContext::<f64>::with_threads(2),
-        };
-        let workspace = BatchWorkspace::new(&inner.ctx);
+        let inner = test_inner(config);
+        let workspace = BatchWorkspace::new(&inner.nodes[0].ctx);
         let (sink, mut completions) = completion_channel::<f64>();
 
         let mk = |id: u64, dim: usize| {
@@ -504,13 +738,14 @@ mod tests {
                 req,
                 slot: ResponseSlot::forwarding(id, sink.clone()),
                 id,
+                affinity: 0,
                 submitted: Instant::now(),
             }
         };
         // Ids 0..4: large (64^3 > the pinned cutoff); id 4: small (16^3).
         let mut envelopes: Vec<_> = (0..4u64).map(|id| mk(id, 64)).collect();
         envelopes.push(mk(4, 16));
-        dispatch(&inner, &workspace, envelopes);
+        dispatch(&inner, 0, &workspace, envelopes);
         drop(sink);
 
         let mut order = Vec::new();
@@ -525,5 +760,41 @@ mod tests {
         );
         assert_eq!(inner.stats.direct_large.load(Ordering::Relaxed), 4);
         assert_eq!(inner.stats.batched_requests.load(Ordering::Relaxed), 1);
+        assert_eq!(inner.stats.dispatched[0].load(Ordering::Relaxed), 5);
+    }
+
+    /// The service shards itself around a forced synthetic topology: one
+    /// runtime per node, the configured thread total spread with a floor
+    /// of one per node, and per-node stats sized to match.
+    #[test]
+    fn synthetic_topology_shapes_the_service() {
+        let service = GemmService::<f64>::new(ServiceConfig {
+            threads: 0, // one per synthetic core
+            topology: Some(Topology::synthetic(3, 2)),
+            placement: PlacementPolicy::RoundRobin,
+            ..ServiceConfig::default()
+        });
+        assert_eq!(service.topology().num_nodes(), 3);
+        assert_eq!(service.nthreads(), 6);
+        assert_eq!(service.placement(), PlacementPolicy::RoundRobin);
+        let snap = service.stats();
+        assert_eq!(snap.per_node.len(), 3);
+        assert!(snap.per_node.iter().all(|n| n.threads == 2));
+        assert_eq!(snap.batch_busy_per_thread.len(), 6);
+    }
+
+    /// An explicit thread budget smaller than the node count still gives
+    /// every node a worker (it must be able to run its own shard group).
+    #[test]
+    fn every_node_keeps_at_least_one_thread() {
+        let service = GemmService::<f64>::new(ServiceConfig {
+            threads: 2,
+            topology: Some(Topology::synthetic(4, 1)),
+            ..ServiceConfig::default()
+        });
+        let snap = service.stats();
+        assert_eq!(snap.per_node.len(), 4);
+        assert!(snap.per_node.iter().all(|n| n.threads >= 1));
+        assert!(service.nthreads() >= 4);
     }
 }

@@ -43,16 +43,40 @@ pub(crate) struct ServiceStats {
     pub retried_panels: AtomicU64,
     /// Summed submit→completion latency, nanoseconds.
     pub turnaround_ns: AtomicU64,
-    /// Summed wall time of batched parallel regions, nanoseconds.
-    pub batch_wall_ns: AtomicU64,
+    /// Summed wall time of batched parallel regions, nanoseconds, per
+    /// executing node. Regions on different nodes run concurrently, so
+    /// occupancy math must weight each node's wall by that node's thread
+    /// count rather than pooling the walls.
+    pub batch_wall_ns: Vec<AtomicU64>,
     /// Summed per-pool-thread busy time inside batched regions, indexed by
-    /// pool thread id. The spread across threads is the batch-path
-    /// occupancy imbalance.
+    /// *global* thread id (node thread ranges concatenated in node order).
+    /// The spread across threads is the batch-path occupancy imbalance.
     pub batch_busy_ns: Vec<AtomicU64>,
+    /// Threads per node, indexed by node id.
+    node_threads: Vec<usize>,
+    /// First global-thread index of each node's range into
+    /// [`batch_busy_ns`](Self::batch_busy_ns).
+    node_offsets: Vec<usize>,
+    /// Requests dispatched on each node's worker subset (stolen requests
+    /// count on the node that *executed* them).
+    pub dispatched: Vec<AtomicU64>,
+    /// Requests a node executed after stealing them off another node's
+    /// shard group.
+    pub stolen: Vec<AtomicU64>,
 }
 
 impl ServiceStats {
-    pub(crate) fn new(nthreads: usize) -> Self {
+    /// `node_threads[i]` is node `i`'s worker-subset size.
+    pub(crate) fn new(node_threads: &[usize]) -> Self {
+        let total: usize = node_threads.iter().sum();
+        let node_offsets = node_threads
+            .iter()
+            .scan(0usize, |acc, &n| {
+                let start = *acc;
+                *acc += n;
+                Some(start)
+            })
+            .collect();
         ServiceStats {
             started: Instant::now(),
             first_submit_ns: AtomicU64::new(NO_SUBMIT),
@@ -71,8 +95,12 @@ impl ServiceStats {
             injected: AtomicU64::new(0),
             retried_panels: AtomicU64::new(0),
             turnaround_ns: AtomicU64::new(0),
-            batch_wall_ns: AtomicU64::new(0),
-            batch_busy_ns: (0..nthreads).map(|_| AtomicU64::new(0)).collect(),
+            batch_wall_ns: node_threads.iter().map(|_| AtomicU64::new(0)).collect(),
+            batch_busy_ns: (0..total).map(|_| AtomicU64::new(0)).collect(),
+            node_threads: node_threads.to_vec(),
+            node_offsets,
+            dispatched: node_threads.iter().map(|_| AtomicU64::new(0)).collect(),
+            stolen: node_threads.iter().map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
@@ -120,13 +148,19 @@ impl ServiceStats {
     }
 
     /// Folds one batched region's occupancy measurements into the
-    /// accumulated batch-path load metrics.
-    pub(crate) fn absorb_batch_timing(&self, timing: &BatchTiming) {
-        self.batch_wall_ns.fetch_add(
+    /// accumulated batch-path load metrics. `node` maps the region's local
+    /// thread ids onto the service-global busy-time slots.
+    pub(crate) fn absorb_batch_timing(&self, node: usize, timing: &BatchTiming) {
+        self.batch_wall_ns[node].fetch_add(
             timing.wall.as_nanos().min(u64::MAX as u128) as u64,
             Ordering::Relaxed,
         );
-        for (slot, busy) in self.batch_busy_ns.iter().zip(&timing.thread_busy) {
+        let offset = self.node_offsets[node];
+        for (slot, busy) in self.batch_busy_ns[offset..]
+            .iter()
+            .take(self.node_threads[node])
+            .zip(&timing.thread_busy)
+        {
             slot.fetch_add(
                 busy.as_nanos().min(u64::MAX as u128) as u64,
                 Ordering::Relaxed,
@@ -136,10 +170,32 @@ impl ServiceStats {
 
     pub(crate) fn snapshot(
         &self,
-        queue_depth: usize,
+        node_queue_depths: &[usize],
         pool: PoolStats,
         routing: RoutingSnapshot,
     ) -> StatsSnapshot {
+        let queue_depth: usize = node_queue_depths.iter().sum();
+        let per_node: Vec<NodeStats> = (0..self.node_threads.len())
+            .map(|node| {
+                let offset = self.node_offsets[node];
+                let busy_ns: u64 = self.batch_busy_ns[offset..]
+                    .iter()
+                    .take(self.node_threads[node])
+                    .map(|ns| ns.load(Ordering::Relaxed))
+                    .sum();
+                NodeStats {
+                    node,
+                    threads: self.node_threads[node],
+                    queue_depth: node_queue_depths.get(node).copied().unwrap_or(0),
+                    dispatched: self.dispatched[node].load(Ordering::Relaxed),
+                    stolen: self.stolen[node].load(Ordering::Relaxed),
+                    batch_wall: Duration::from_nanos(
+                        self.batch_wall_ns[node].load(Ordering::Relaxed),
+                    ),
+                    batch_busy: Duration::from_nanos(busy_ns),
+                }
+            })
+            .collect();
         let completed = self.completed.load(Ordering::Relaxed);
         let failed = self.failed.load(Ordering::Relaxed);
         let batches = self.batches.load(Ordering::Relaxed);
@@ -152,14 +208,22 @@ impl ServiceStats {
             NO_SUBMIT => Duration::ZERO,
             ns => uptime.saturating_sub(Duration::from_nanos(ns)),
         };
-        let batch_wall = Duration::from_nanos(self.batch_wall_ns.load(Ordering::Relaxed));
+        let batch_wall: Duration = per_node.iter().map(|n| n.batch_wall).sum();
         let batch_busy_per_thread: Vec<Duration> = self
             .batch_busy_ns
             .iter()
             .map(|ns| Duration::from_nanos(ns.load(Ordering::Relaxed)))
             .collect();
         let busy_total: Duration = batch_busy_per_thread.iter().sum();
-        let occupancy_denom = batch_wall.as_secs_f64() * batch_busy_per_thread.len() as f64;
+        // Each node's batched regions run concurrently with its peers' and
+        // only ever occupy that node's worker subset, so the available
+        // thread-time is Σ(node wall × node threads) — not pooled wall ×
+        // total threads, which would report a fully busy multi-node
+        // service as 1/num_nodes occupied.
+        let occupancy_denom: f64 = per_node
+            .iter()
+            .map(|n| n.batch_wall.as_secs_f64() * n.threads as f64)
+            .sum();
         StatsSnapshot {
             submitted: self.submitted.load(Ordering::Relaxed),
             submitted_sync: self.submitted_sync.load(Ordering::Relaxed),
@@ -203,9 +267,33 @@ impl ServiceStats {
             } else {
                 busy_total.as_secs_f64() / occupancy_denom
             },
+            per_node,
             pool,
         }
     }
+}
+
+/// One node's slice of the serving activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Node id.
+    pub node: usize,
+    /// Worker threads pinned to this node.
+    pub threads: usize,
+    /// Envelopes waiting in this node's shard group right now.
+    pub queue_depth: usize,
+    /// Requests executed on this node's worker subset (including stolen
+    /// ones).
+    pub dispatched: u64,
+    /// Requests migrated to this node off another node's shard group
+    /// because this node was dry (counted at migration); `0` everywhere
+    /// under balanced load.
+    pub stolen: u64,
+    /// Summed wall time of the batched regions this node executed.
+    pub batch_wall: Duration,
+    /// Summed busy time of this node's threads inside those regions (its
+    /// slice of [`StatsSnapshot::batch_busy_per_thread`]).
+    pub batch_busy: Duration,
 }
 
 /// Point-in-time view of a service's activity.
@@ -268,17 +356,28 @@ pub struct StatsSnapshot {
     pub mean_batch_occupancy: f64,
     /// Mean submit→completion latency.
     pub mean_turnaround: Duration,
-    /// Summed wall time of all batched parallel regions.
+    /// Summed wall time of all batched parallel regions across every node
+    /// (per-node breakdown in [`per_node`](Self::per_node); nodes execute
+    /// regions concurrently, so this can exceed elapsed serving time).
     pub batch_wall: Duration,
-    /// Summed busy time per pool thread inside batched regions (index =
-    /// pool thread id). A wide spread means the dynamic item cursor is
-    /// leaving threads idle behind long items.
+    /// Summed busy time per pool thread inside batched regions, indexed by
+    /// *global* thread id (node thread ranges concatenated in node order).
+    /// A wide spread within one node's range means the dynamic item cursor
+    /// is leaving threads idle behind long items.
     pub batch_busy_per_thread: Vec<Duration>,
     /// Mean fraction of batched-region time each thread spent busy:
-    /// `sum(batch_busy_per_thread) / (batch_wall * nthreads)`, in `[0, 1]`
-    /// up to timer noise; `0.0` before any batch has run.
+    /// `sum(batch_busy_per_thread) / Σ_nodes(node wall × node threads)`,
+    /// in `[0, 1]` up to timer noise; `0.0` before any batch has run. The
+    /// per-node weighting keeps the figure honest on multi-node
+    /// topologies, where regions run concurrently on disjoint worker
+    /// subsets.
     pub batch_thread_occupancy: f64,
-    /// Worker-pool activity (regions, barrier crossings).
+    /// Per-node serving activity, indexed by node id: shard-group depth,
+    /// dispatch counts, steal counts, and batched wall/busy time (one
+    /// entry per topology node).
+    pub per_node: Vec<NodeStats>,
+    /// Worker-pool activity (regions, barrier crossings), summed across
+    /// every node's worker pool.
     pub pool: PoolStats,
 }
 
@@ -288,7 +387,7 @@ mod tests {
 
     #[test]
     fn snapshot_derives_rates() {
-        let s = ServiceStats::new(2);
+        let s = ServiceStats::new(&[2]);
         for _ in 0..10 {
             s.admit(&s.submitted_sync);
         }
@@ -299,7 +398,7 @@ mod tests {
         // Snapshots are taken strictly after the first admission, so the
         // serving window is non-empty and the rate is positive.
         std::thread::sleep(Duration::from_millis(2));
-        let snap = s.snapshot(3, PoolStats::default(), RoutingSnapshot::default());
+        let snap = s.snapshot(&[3], PoolStats::default(), RoutingSnapshot::default());
         assert_eq!(snap.submitted, 10);
         assert_eq!(snap.submitted_sync, 10);
         assert_eq!(snap.queue_depth, 3);
@@ -311,10 +410,10 @@ mod tests {
 
     #[test]
     fn requests_per_sec_measured_from_first_submission() {
-        let s = ServiceStats::new(1);
+        let s = ServiceStats::new(&[1]);
         // Before any submission: no serving window, rate pinned to zero
         // (previously this divided completed work by construction uptime).
-        let snap = s.snapshot(0, PoolStats::default(), RoutingSnapshot::default());
+        let snap = s.snapshot(&[0], PoolStats::default(), RoutingSnapshot::default());
         assert_eq!(snap.requests_per_sec, 0.0);
 
         // An idle gap before the first submission must not dilute the
@@ -327,7 +426,7 @@ mod tests {
         s.admit(&s.submitted_sync);
         s.completed.store(1, Ordering::Relaxed);
         std::thread::sleep(Duration::from_millis(2));
-        let snap = s.snapshot(0, PoolStats::default(), RoutingSnapshot::default());
+        let snap = s.snapshot(&[0], PoolStats::default(), RoutingSnapshot::default());
         let construction_anchored = snap.completed as f64 / snap.uptime.as_secs_f64();
         assert!(
             snap.requests_per_sec > construction_anchored,
@@ -339,18 +438,18 @@ mod tests {
 
     #[test]
     fn reject_rolls_back_admission() {
-        let s = ServiceStats::new(1);
+        let s = ServiceStats::new(&[1]);
         s.admit(&s.submitted_async);
         s.admit(&s.submitted_async);
         s.reject(&s.submitted_async);
-        let snap = s.snapshot(0, PoolStats::default(), RoutingSnapshot::default());
+        let snap = s.snapshot(&[0], PoolStats::default(), RoutingSnapshot::default());
         assert_eq!(snap.submitted, 1);
         assert_eq!(snap.submitted_async, 1);
     }
 
     #[test]
     fn absorb_report_accumulates() {
-        let s = ServiceStats::new(1);
+        let s = ServiceStats::new(&[1]);
         s.absorb_report(&FtReport {
             verifications: 4,
             detected: 2,
@@ -359,7 +458,7 @@ mod tests {
             retried_panels: 1,
         });
         s.absorb_report(&FtReport::default());
-        let snap = s.snapshot(0, PoolStats::default(), RoutingSnapshot::default());
+        let snap = s.snapshot(&[0], PoolStats::default(), RoutingSnapshot::default());
         assert_eq!(snap.detected, 2);
         assert_eq!(snap.corrected, 2);
         assert_eq!(snap.injected, 3);
@@ -368,16 +467,22 @@ mod tests {
 
     #[test]
     fn absorb_batch_timing_accumulates_per_thread() {
-        let s = ServiceStats::new(2);
-        s.absorb_batch_timing(&BatchTiming {
-            wall: Duration::from_millis(10),
-            thread_busy: vec![Duration::from_millis(9), Duration::from_millis(7)],
-        });
-        s.absorb_batch_timing(&BatchTiming {
-            wall: Duration::from_millis(10),
-            thread_busy: vec![Duration::from_millis(10), Duration::from_millis(6)],
-        });
-        let snap = s.snapshot(0, PoolStats::default(), RoutingSnapshot::default());
+        let s = ServiceStats::new(&[2]);
+        s.absorb_batch_timing(
+            0,
+            &BatchTiming {
+                wall: Duration::from_millis(10),
+                thread_busy: vec![Duration::from_millis(9), Duration::from_millis(7)],
+            },
+        );
+        s.absorb_batch_timing(
+            0,
+            &BatchTiming {
+                wall: Duration::from_millis(10),
+                thread_busy: vec![Duration::from_millis(10), Duration::from_millis(6)],
+            },
+        );
+        let snap = s.snapshot(&[0], PoolStats::default(), RoutingSnapshot::default());
         assert_eq!(snap.batch_wall, Duration::from_millis(20));
         assert_eq!(
             snap.batch_busy_per_thread,
@@ -385,5 +490,56 @@ mod tests {
         );
         // 32ms busy over 20ms * 2 threads = 0.8 occupancy.
         assert!((snap.batch_thread_occupancy - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batch_timing_maps_nodes_onto_global_thread_slots() {
+        // Two nodes of 2 and 1 threads: node 1's region-local thread 0 must
+        // land in global slot 2, not slot 0.
+        let s = ServiceStats::new(&[2, 1]);
+        s.absorb_batch_timing(
+            1,
+            &BatchTiming {
+                wall: Duration::from_millis(4),
+                thread_busy: vec![Duration::from_millis(3)],
+            },
+        );
+        s.absorb_batch_timing(
+            0,
+            &BatchTiming {
+                wall: Duration::from_millis(6),
+                thread_busy: vec![Duration::from_millis(5), Duration::from_millis(1)],
+            },
+        );
+        let snap = s.snapshot(&[2, 5], PoolStats::default(), RoutingSnapshot::default());
+        assert_eq!(
+            snap.batch_busy_per_thread,
+            vec![
+                Duration::from_millis(5),
+                Duration::from_millis(1),
+                Duration::from_millis(3)
+            ]
+        );
+        // Per-node snapshot rows carry the node-indexed queue depths.
+        assert_eq!(snap.queue_depth, 7);
+        assert_eq!(snap.per_node.len(), 2);
+        assert_eq!(snap.per_node[0].threads, 2);
+        assert_eq!(snap.per_node[1].threads, 1);
+        assert_eq!(snap.per_node[0].queue_depth, 2);
+        assert_eq!(snap.per_node[1].queue_depth, 5);
+    }
+
+    #[test]
+    fn dispatch_and_steal_counters_surface_per_node() {
+        let s = ServiceStats::new(&[1, 1, 1]);
+        s.dispatched[0].store(7, Ordering::Relaxed);
+        s.dispatched[2].store(3, Ordering::Relaxed);
+        s.stolen[2].store(3, Ordering::Relaxed);
+        let snap = s.snapshot(&[0, 0, 0], PoolStats::default(), RoutingSnapshot::default());
+        assert_eq!(snap.per_node[0].dispatched, 7);
+        assert_eq!(snap.per_node[0].stolen, 0);
+        assert_eq!(snap.per_node[1].dispatched, 0);
+        assert_eq!(snap.per_node[2].dispatched, 3);
+        assert_eq!(snap.per_node[2].stolen, 3);
     }
 }

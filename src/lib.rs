@@ -45,12 +45,18 @@
 //! matrix-parallel driver, and applies the same per-request [`FtPolicy`]
 //! the one-shot API uses. Build requests with the validating
 //! [`GemmRequest::builder`] (or [`GemmOp::to_request`]). Three submit
-//! surfaces share one scheduler: blocking handles
+//! surfaces feed per-node dispatchers: blocking handles
 //! ([`submit`](serve::GemmService::submit)), waker-based futures
 //! ([`submit_async`](serve::GemmService::submit_async) — no parked thread
 //! per request), and a completion-channel stream
 //! ([`submit_streamed`](serve::GemmService::submit_streamed)). See
 //! `examples/serving_throughput.rs` and `examples/async_serving.rs`.
+//!
+//! The service is NUMA-sharded: a [`Topology`] (detected, or
+//! [`Topology::synthetic`] for deterministic tests) gives every memory
+//! domain its own queue shard group and pinned worker subset, and a
+//! [`PlacementPolicy`] stamps each request's node affinity at submit time
+//! (`ServiceConfig { topology, placement, .. }`).
 //!
 //! For the crate-by-crate map and the request lifecycle, read
 //! `docs/ARCHITECTURE.md`.
@@ -71,9 +77,10 @@ pub use ftgemm_abft::{FtConfig, FtPolicy, FtReport, FtResult};
 pub use ftgemm_core::{gemm, GemmContext, MatMut, MatRef, Matrix};
 pub use ftgemm_faults::FaultInjector;
 pub use ftgemm_parallel::{par_gemm, BatchItem, BatchWorkspace, ParFtWorkspace, ParGemmContext};
+pub use ftgemm_pool::{NodeSpec, PoolPartition, Topology};
 pub use ftgemm_serve::{
     AdaptiveConfig, CutoffLearner, GemmRequest, GemmRequestBuilder, GemmResponse, GemmService,
-    RoutePath, RoutingPolicy, RoutingSnapshot, ServiceConfig,
+    NodeStats, PlacementPolicy, RoutePath, RoutingPolicy, RoutingSnapshot, ServiceConfig,
 };
 
 use ftgemm_core::Scalar;

@@ -1,0 +1,152 @@
+//! Queue drop/shutdown regression coverage: a service going away with
+//! requests still parked on a non-empty node shard group must *resolve*
+//! every outstanding handle, future, and completion-channel receiver — by
+//! computing the backlog (graceful [`shutdown`]) or failing it with
+//! [`ServeError::Closed`] ([`shutdown_now`]) — never by leaving a waiter
+//! hung on an envelope that silently vanished with a shard group.
+
+use ftgemm::serve::{
+    completion_channel, FtPolicy, GemmRequest, GemmService, PlacementPolicy, RoutingPolicy,
+    ServeError, ServiceConfig, Topology,
+};
+use ftgemm::Matrix;
+use std::time::Duration;
+
+fn sharded_service() -> GemmService<f64> {
+    GemmService::new(ServiceConfig {
+        threads: 0,
+        max_batch: 4,
+        routing: RoutingPolicy::Fixed(2 * 96 * 96 * 96),
+        topology: Some(Topology::synthetic(2, 1)),
+        placement: PlacementPolicy::RoundRobin,
+        ..ServiceConfig::default()
+    })
+}
+
+/// `shutdown_now` with requests parked across both node shard groups: the
+/// in-flight request completes, every parked request fails with `Closed`
+/// (not a hang — every wait below is bounded), the completion channel
+/// observes the whole drain and then ends, and the counters balance.
+#[test]
+fn shutdown_now_fails_parked_requests_instead_of_hanging() {
+    let service = sharded_service();
+
+    // Occupy the scheduler: one large matrix-parallel request (hundreds of
+    // ms even in release builds) so everything submitted after it is still
+    // parked on its shard group when shutdown_now lands.
+    let big = {
+        let a = Matrix::<f64>::random(384, 384, 1);
+        let b = Matrix::<f64>::random(384, 384, 2);
+        service
+            .submit(GemmRequest::new(a, b).with_policy(FtPolicy::DetectCorrect))
+            .unwrap()
+    };
+    // Give the scheduler time to pop the big request and enter its
+    // parallel region before the backlog arrives.
+    std::thread::sleep(Duration::from_millis(30));
+
+    let parked: Vec<_> = (0..24u64)
+        .map(|i| {
+            let a = Matrix::<f64>::random(24, 24, 10 + i);
+            let b = Matrix::<f64>::random(24, 24, 40 + i);
+            service.submit(GemmRequest::new(a, b)).unwrap()
+        })
+        .collect();
+    let (sink, mut completions) = completion_channel::<f64>();
+    let streamed_ids: Vec<u64> = (0..16u64)
+        .map(|i| {
+            let a = Matrix::<f64>::random(24, 24, 100 + i);
+            let b = Matrix::<f64>::random(24, 24, 140 + i);
+            service
+                .submit_streamed(GemmRequest::new(a, b), &sink)
+                .unwrap()
+        })
+        .collect();
+    drop(sink);
+
+    let stats = service.shutdown_now();
+
+    // The request that was mid-compute still completed normally.
+    let big_resp = big
+        .wait_timeout(Duration::from_secs(60))
+        .expect("big request hung across shutdown_now")
+        .expect("in-flight request must complete normally");
+    assert_eq!(big_resp.c.nrows(), 384);
+
+    // Every parked handle resolves (bounded wait — the regression is a
+    // hang) and resolves to the shutdown error, not a silent drop.
+    let mut parked_failed = 0;
+    for (i, handle) in parked.into_iter().enumerate() {
+        match handle
+            .wait_timeout(Duration::from_secs(60))
+            .unwrap_or_else(|_| panic!("parked request {i} hung across shutdown_now"))
+        {
+            Err(ServeError::Closed) => parked_failed += 1,
+            Ok(_) => {} // squeezed into the final pre-abort sweep
+            Err(e) => panic!("parked request {i}: unexpected error {e}"),
+        }
+    }
+    assert!(
+        parked_failed > 0,
+        "a 24-deep backlog behind a 384^3 request must leave parked work to fail"
+    );
+
+    // The completion channel observes the full drain: one completion per
+    // streamed submission (each Ok or Closed), then end-of-stream.
+    let mut seen = Vec::new();
+    while let Some(c) = completions.recv() {
+        match c.result {
+            Ok(_) | Err(ServeError::Closed) => seen.push(c.id),
+            Err(e) => panic!("streamed completion {}: unexpected error {e}", c.id),
+        }
+    }
+    seen.sort_unstable();
+    let mut expected = streamed_ids.clone();
+    expected.sort_unstable();
+    assert_eq!(
+        seen, expected,
+        "channel must observe every streamed request"
+    );
+
+    // Counters balance: everything submitted either completed or failed,
+    // and both shard groups are empty.
+    assert_eq!(stats.submitted, 1 + 24 + 16);
+    assert_eq!(stats.completed + stats.failed, stats.submitted);
+    assert!(stats.failed as usize >= parked_failed);
+    assert!(stats.per_node.iter().all(|n| n.queue_depth == 0));
+}
+
+/// Graceful `shutdown` is the dual: the same parked-backlog shape drains
+/// by *computing* — nothing fails, the channel sees every result Ok, and
+/// handles redeem after the service object is gone.
+#[test]
+fn graceful_shutdown_computes_the_backlog() {
+    let service = sharded_service();
+    let (sink, mut completions) = completion_channel::<f64>();
+    let mut handles = Vec::new();
+    for i in 0..20u64 {
+        let a = Matrix::<f64>::random(32, 32, i);
+        let b = Matrix::<f64>::random(32, 32, i + 700);
+        if i % 2 == 0 {
+            handles.push(service.submit(GemmRequest::new(a, b)).unwrap());
+        } else {
+            service
+                .submit_streamed(GemmRequest::new(a, b), &sink)
+                .unwrap();
+        }
+    }
+    drop(sink);
+    let stats = service.shutdown();
+    assert_eq!(stats.submitted, 20);
+    assert_eq!(stats.completed, 20);
+    assert_eq!(stats.failed, 0);
+    for h in handles {
+        h.wait().unwrap();
+    }
+    let mut drained = 0;
+    while let Some(c) = completions.recv() {
+        c.result.unwrap();
+        drained += 1;
+    }
+    assert_eq!(drained, 10);
+}

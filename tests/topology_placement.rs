@@ -1,0 +1,283 @@
+//! Placement invariants of the NUMA-sharded service, pinned under
+//! `Topology::synthetic` so every decision is deterministic: requests run
+//! on their affinity node unless explicitly stolen, balanced load steals
+//! nothing, imbalanced load steals only off the backlogged node, no
+//! request is ever lost or double-executed across shard groups, and the
+//! placement policy never changes numerical results.
+
+use ftgemm::core::reference::naive_gemm;
+use ftgemm::serve::{
+    completion_channel, FtPolicy, GemmRequest, GemmService, PlacementPolicy, RoutingPolicy,
+    ServiceConfig, Topology,
+};
+use ftgemm::Matrix;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+fn sharded_service(
+    nodes: usize,
+    cores_per_node: usize,
+    placement: PlacementPolicy,
+) -> GemmService<f64> {
+    GemmService::new(ServiceConfig {
+        threads: 0, // one worker per synthetic core
+        max_batch: 8,
+        // Pinned routing: placement must be the only variable under test.
+        routing: RoutingPolicy::Fixed(2 * 96 * 96 * 96),
+        topology: Some(Topology::synthetic(nodes, cores_per_node)),
+        placement,
+        ..ServiceConfig::default()
+    })
+}
+
+/// Sequential round-robin traffic (each request completes before the next
+/// is submitted — the queue is quiescent at every sweep, which is what
+/// "balanced load" means to a backlog-driven stealer): every request runs
+/// on exactly its affinity node, affinities cycle deterministically, and
+/// steal counts stay zero everywhere.
+#[test]
+fn balanced_load_dispatches_on_affinity_and_never_steals() {
+    let service = sharded_service(3, 1, PlacementPolicy::RoundRobin);
+    for i in 0..18u64 {
+        let a = Matrix::<f64>::random(24, 24, i);
+        let b = Matrix::<f64>::random(24, 24, i + 500);
+        let resp = service.run(GemmRequest::new(a, b)).unwrap();
+        // RoundRobin placement is a pure counter: submission i lands on
+        // node i % 3, reproducibly.
+        assert_eq!(resp.affinity_node, (i % 3) as usize, "submission {i}");
+        assert_eq!(
+            resp.executed_node, resp.affinity_node,
+            "submission {i} left its affinity node without being stolen"
+        );
+        assert!(!resp.stolen(), "submission {i}");
+    }
+    let snap = service.stats();
+    assert_eq!(snap.per_node.len(), 3);
+    for node in &snap.per_node {
+        assert_eq!(node.stolen, 0, "balanced load must not steal: {node:?}");
+        assert_eq!(node.dispatched, 6, "round-robin spread: {node:?}");
+        assert_eq!(node.queue_depth, 0);
+    }
+    assert_eq!(snap.completed, 18);
+}
+
+/// Explicit `home` hints pin placement under `OperandHome`, and identical
+/// submission sequences give identical affinities on a second service —
+/// the reproducibility contract of the decision path (no clock, no RNG).
+#[test]
+fn placement_decisions_are_reproducible() {
+    let homes = [2usize, 0, 1, 1, 3, 2, 0, 3];
+    let run_sequence = |service: &GemmService<f64>| -> Vec<usize> {
+        homes
+            .iter()
+            .enumerate()
+            .map(|(i, &home)| {
+                let a = Matrix::<f64>::random(16, 16, i as u64);
+                let b = Matrix::<f64>::random(16, 16, i as u64 + 100);
+                service
+                    .run(GemmRequest::new(a, b).with_home(home))
+                    .unwrap()
+                    .affinity_node
+            })
+            .collect()
+    };
+    let first = run_sequence(&sharded_service(4, 1, PlacementPolicy::OperandHome));
+    let second = run_sequence(&sharded_service(4, 1, PlacementPolicy::OperandHome));
+    assert_eq!(first, homes.to_vec(), "explicit homes must win");
+    assert_eq!(first, second, "identical sequences, identical placement");
+
+    // LeastLoaded over a quiescent queue is equally deterministic: all
+    // depths zero, ties break to node 0 every time.
+    let service = sharded_service(4, 1, PlacementPolicy::LeastLoaded);
+    for i in 0..6u64 {
+        let a = Matrix::<f64>::random(16, 16, i);
+        let b = Matrix::<f64>::random(16, 16, i + 100);
+        let resp = service.run(GemmRequest::new(a, b)).unwrap();
+        assert_eq!(resp.affinity_node, 0, "empty queues tie-break to node 0");
+    }
+}
+
+/// A burst pinned entirely onto node 0's shard group forces the other
+/// nodes dry while node 0 backlogs: stealing kicks in, steals only ever
+/// take work off the backlogged node, and every response still reports a
+/// coherent (affinity, executed) pair.
+#[test]
+fn dry_nodes_steal_only_from_the_backlogged_group() {
+    let service = sharded_service(3, 1, PlacementPolicy::OperandHome);
+    let (sink, mut completions) = completion_channel::<f64>();
+    const N: usize = 120;
+    for i in 0..N as u64 {
+        let a = Matrix::<f64>::random(48, 48, i);
+        let b = Matrix::<f64>::random(48, 48, i + 9_000);
+        // Every request homes on node 0: nodes 1 and 2 can only ever run
+        // stolen work.
+        service
+            .submit_streamed(GemmRequest::new(a, b).with_home(0), &sink)
+            .unwrap();
+    }
+    let mut drained = 0;
+    while let Some(c) = completions.recv() {
+        let resp = c.result.unwrap();
+        assert_eq!(resp.affinity_node, 0);
+        if resp.executed_node != 0 {
+            assert!(resp.stolen());
+        }
+        drained += 1;
+    }
+    assert_eq!(drained, N);
+
+    let snap = service.stats();
+    assert_eq!(snap.completed, N as u64);
+    assert_eq!(snap.per_node[0].stolen, 0, "node 0 owns the backlog");
+    let stolen_total: u64 = snap.per_node.iter().map(|n| n.stolen).sum();
+    assert!(
+        stolen_total > 0,
+        "a 120-deep single-node backlog must trigger stealing: {:?}",
+        snap.per_node
+    );
+    let dispatched_total: u64 = snap.per_node.iter().map(|n| n.dispatched).sum();
+    assert_eq!(dispatched_total, N as u64, "dispatch accounting");
+}
+
+/// Hammer: four frontend threads blast streamed requests over every
+/// placement path at once; across all shard groups, no request is lost
+/// and none is delivered twice.
+#[test]
+fn hammer_no_request_lost_or_double_executed() {
+    let service = Arc::new(sharded_service(2, 2, PlacementPolicy::OperandHome));
+    let (sink, mut completions) = completion_channel::<f64>();
+
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 50;
+    let submitters: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let service = Arc::clone(&service);
+            let sink = sink.clone();
+            std::thread::spawn(move || {
+                (0..PER_THREAD)
+                    .map(|i| {
+                        let seed = t * 10_000 + i;
+                        let a = Matrix::<f64>::random(16, 16, seed);
+                        let b = Matrix::<f64>::random(16, 16, seed + 1);
+                        // Mix of derived and explicit homes keeps both
+                        // shard groups hot.
+                        let req = if i % 3 == 0 {
+                            GemmRequest::new(a, b).with_home((i % 2) as usize)
+                        } else {
+                            GemmRequest::new(a, b)
+                        };
+                        service.submit_streamed(req, &sink).unwrap()
+                    })
+                    .collect::<Vec<u64>>()
+            })
+        })
+        .collect();
+    let mut expected_ids = Vec::new();
+    for s in submitters {
+        expected_ids.extend(s.join().unwrap());
+    }
+    drop(sink);
+
+    let mut seen = HashSet::new();
+    while let Some(c) = completions.recv() {
+        c.result.unwrap();
+        assert!(seen.insert(c.id), "request {} delivered twice", c.id);
+    }
+    let expected: HashSet<u64> = expected_ids.iter().copied().collect();
+    assert_eq!(expected.len(), (THREADS * PER_THREAD) as usize);
+    assert_eq!(seen, expected, "every submitted request completes once");
+
+    let snap = service.stats();
+    assert_eq!(snap.submitted, THREADS * PER_THREAD);
+    assert_eq!(snap.completed, THREADS * PER_THREAD);
+    assert_eq!(snap.failed, 0);
+    let dispatched_total: u64 = snap.per_node.iter().map(|n| n.dispatched).sum();
+    assert_eq!(
+        dispatched_total,
+        THREADS * PER_THREAD,
+        "each request dispatched exactly once: {:?}",
+        snap.per_node
+    );
+}
+
+/// The acceptance-criteria bit-match: the same problems through every
+/// `PlacementPolicy` at node counts 1, 2, and 4 produce bit-identical
+/// outputs — where a request *runs* must never change what it computes.
+/// (Both execution paths preserve per-element accumulation order, so this
+/// is exact equality on the bits, not a tolerance check.)
+#[test]
+fn results_bit_identical_across_policies_and_node_counts() {
+    let shapes = [(40usize, 32usize, 24usize), (96, 80, 64), (130, 110, 70)];
+    let policies = [
+        PlacementPolicy::RoundRobin,
+        PlacementPolicy::OperandHome,
+        PlacementPolicy::LeastLoaded,
+    ];
+
+    // Reference bits per problem, from a 1-node round-robin service.
+    let reference: Vec<Vec<u64>> = {
+        let service = sharded_service(1, 1, PlacementPolicy::RoundRobin);
+        shapes
+            .iter()
+            .enumerate()
+            .map(|(i, &(m, n, k))| {
+                let resp = service.run(problem(i, m, n, k)).unwrap();
+                // Sanity: the reference itself is numerically right.
+                let (a, b, c0, alpha, beta) = operands(i, m, n, k);
+                let mut expected = c0;
+                naive_gemm(
+                    alpha,
+                    &a.as_ref(),
+                    &b.as_ref(),
+                    beta,
+                    &mut expected.as_mut(),
+                );
+                assert!(resp.c.rel_max_diff(&expected) < 1e-10);
+                resp.c.as_slice().iter().map(|v| v.to_bits()).collect()
+            })
+            .collect()
+    };
+
+    for nodes in [1usize, 2, 4] {
+        for policy in policies {
+            let service = sharded_service(nodes, 1, policy);
+            for (i, &(m, n, k)) in shapes.iter().enumerate() {
+                let resp = service.run(problem(i, m, n, k)).unwrap();
+                let bits: Vec<u64> = resp.c.as_slice().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(
+                    bits, reference[i],
+                    "problem {i} differs at nodes={nodes} policy={policy:?}"
+                );
+            }
+        }
+    }
+}
+
+fn operands(
+    i: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+) -> (Matrix<f64>, Matrix<f64>, Matrix<f64>, f64, f64) {
+    let seed = 77_000 + i as u64 * 10;
+    (
+        Matrix::<f64>::random(m, k, seed),
+        Matrix::<f64>::random(k, n, seed + 1),
+        Matrix::<f64>::random(m, n, seed + 2),
+        1.25,
+        0.5,
+    )
+}
+
+fn problem(i: usize, m: usize, n: usize, k: usize) -> GemmRequest<f64> {
+    let (a, b, c0, alpha, beta) = operands(i, m, n, k);
+    let policy = if i % 2 == 0 {
+        FtPolicy::DetectCorrect
+    } else {
+        FtPolicy::Off
+    };
+    GemmRequest::new(a, b)
+        .with_alpha(alpha)
+        .with_c(beta, c0)
+        .with_policy(policy)
+}
