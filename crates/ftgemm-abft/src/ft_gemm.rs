@@ -352,6 +352,7 @@ pub fn ft_gemm_with_ctx<T: Scalar>(
                                 attempt += 1;
                                 continue 'attempts;
                             }
+                            report.publish_global();
                             return Err(FtError::Unrecoverable { jc, pc, detail });
                         }
                     }
@@ -362,6 +363,7 @@ pub fn ft_gemm_with_ctx<T: Scalar>(
         }
         jc += p.nc;
     }
+    report.publish_global();
     Ok(report)
 }
 

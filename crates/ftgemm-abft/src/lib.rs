@@ -207,6 +207,40 @@ impl FtReport {
     pub fn merged(reports: impl IntoIterator<Item = FtReport>) -> FtReport {
         reports.into_iter().sum()
     }
+
+    /// Adds this report's counters to the process-wide `ftgemm_abft_*_total`
+    /// metric families.
+    ///
+    /// The drivers call this once per GEMM at exit, so callers composing
+    /// reports via [`FtReport::absorb`]/[`FtReport::merged`] must not call it
+    /// again on the merged result — that would double count.
+    pub fn publish_global(&self) {
+        ftgemm_obs::global_counter!(
+            "ftgemm_abft_verifications_total",
+            "Checksum verification passes across all fault-tolerant GEMMs."
+        )
+        .add(self.verifications as u64);
+        ftgemm_obs::global_counter!(
+            "ftgemm_abft_detected_total",
+            "Checksum discrepancies flagged as real errors."
+        )
+        .add(self.detected as u64);
+        ftgemm_obs::global_counter!(
+            "ftgemm_abft_corrected_total",
+            "Elements corrected in place after checksum detection."
+        )
+        .add(self.corrected as u64);
+        ftgemm_obs::global_counter!(
+            "ftgemm_abft_injected_total",
+            "Errors injected by attached fault injectors."
+        )
+        .add(self.injected as u64);
+        ftgemm_obs::global_counter!(
+            "ftgemm_abft_retried_panels_total",
+            "Panels rolled back and recomputed under RetryPanel recovery."
+        )
+        .add(self.retried_panels as u64);
+    }
 }
 
 impl std::ops::AddAssign for FtReport {

@@ -16,8 +16,11 @@
 //! (`RoutingPolicy::Adaptive`), reporting throughput and where the learned
 //! cutoff landed; a fifth runs the NUMA-sharded service under a forced
 //! (`--topology NxM`) or detected topology and prints the per-node
-//! occupancy table (dispatch counts, steals, busy time). Everything is
-//! written as machine-readable
+//! occupancy table (dispatch counts, steals, busy time); a
+//! metrics-overhead pass reruns the sync workload with the observability
+//! endpoint live (`ServiceConfig::obs_addr`) to price `/metrics` + tracing
+//! against the obs-off default (the `metrics_overhead` JSON section).
+//! Everything is written as machine-readable
 //! `bench_results/BENCH_serve_throughput.json` (per-node rows land in the
 //! `numa.per_node` section) so the perf trajectory can be tracked across
 //! PRs.
@@ -178,6 +181,38 @@ fn run_surface(
             }
             assert_eq!(drained, requests);
         }
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    drop(service);
+    requests as f64 / elapsed
+}
+
+/// One throughput run with the observability endpoint either absent
+/// (`ServiceConfig::obs_addr = None`, the default measured everywhere else)
+/// or live on a loopback port with lifecycle tracing and the turnaround
+/// histogram recording — the "near-zero cost when disabled" claim, measured.
+fn run_obs(threads: usize, max_batch: usize, requests: usize, obs: bool) -> f64 {
+    let service = GemmService::<f64>::new(ServiceConfig {
+        threads,
+        max_batch,
+        obs_addr: obs.then(|| "127.0.0.1:0".parse().unwrap()),
+        ..ServiceConfig::default()
+    });
+    let problems: Vec<_> = (0..requests as u64)
+        .map(|i| {
+            (
+                Matrix::<f64>::random(DIM, DIM, i),
+                Matrix::<f64>::random(DIM, DIM, i + 1_000),
+            )
+        })
+        .collect();
+    let t0 = Instant::now();
+    let handles: Vec<_> = problems
+        .into_iter()
+        .map(|(a, b)| service.submit(GemmRequest::new(a, b)).expect("submit"))
+        .collect();
+    for h in handles {
+        h.wait().expect("request failed");
     }
     let elapsed = t0.elapsed().as_secs_f64();
     drop(service);
@@ -481,6 +516,32 @@ fn main() {
     }
     routing_table.print();
 
+    // Metrics-overhead pass: the same sync workload with the observability
+    // endpoint off (the state every other pass measures) and on (endpoint
+    // bound, tracing + turnaround histogram live) — the price of obs_addr.
+    let best_obs = |obs: bool| {
+        (0..args.reps.max(1))
+            .map(|_| run_obs(threads, SURFACE_BATCH, requests, obs))
+            .fold(0.0f64, f64::max)
+    };
+    let obs_off_rps = best_obs(false);
+    let obs_on_rps = best_obs(true);
+    let overhead_pct = (obs_off_rps / obs_on_rps - 1.0) * 100.0;
+    let mut obs_table = Table::new(
+        &format!("Observability overhead — sync surface at max_batch {SURFACE_BATCH}"),
+        &["obs endpoint", "req/s"],
+    );
+    obs_table.row(vec![
+        "off (obs_addr: None)".to_string(),
+        format!("{obs_off_rps:.0}"),
+    ]);
+    obs_table.row(vec![
+        "on (/metrics + tracing)".to_string(),
+        format!("{obs_on_rps:.0}"),
+    ]);
+    obs_table.print();
+    println!("observability overhead: {overhead_pct:.2}%");
+
     // Fifth pass: NUMA-sharded serving — per-node shard groups and pinned
     // worker subsets under a forced (`--topology NxM`) or detected
     // topology, requests spread round-robin so the table shows how evenly
@@ -556,6 +617,15 @@ fn main() {
                 .field("large_dim", LARGE_DIM)
                 .field("seed_cutoff", DEFAULT_SMALL_FLOPS_CUTOFF)
                 .field("rows", json_routing),
+        )
+        .field(
+            "metrics_overhead",
+            JsonValue::obj()
+                .field("surface", "sync")
+                .field("max_batch", SURFACE_BATCH)
+                .field("obs_off_rps", obs_off_rps)
+                .field("obs_on_rps", obs_on_rps)
+                .field("overhead_pct", overhead_pct),
         )
         .field(
             "numa",

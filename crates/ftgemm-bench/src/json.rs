@@ -191,15 +191,11 @@ pub fn write_bench_json(dir: &str, name: &str, value: &JsonValue) -> std::io::Re
 
 /// Percentile (0..=100, nearest-rank on a copy) of a sample set; `0.0` for
 /// an empty set.
-pub fn percentile(samples: &[f64], pct: f64) -> f64 {
-    if samples.is_empty() {
-        return 0.0;
-    }
-    let mut sorted = samples.to_vec();
-    sorted.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
-    let rank = ((pct / 100.0) * (sorted.len() - 1) as f64).round() as usize;
-    sorted[rank.min(sorted.len() - 1)]
-}
+///
+/// Re-exported from [`ftgemm_obs`] so benchmark summaries and the metrics
+/// histogram's [`quantile`](ftgemm_obs::Histogram::quantile) share one
+/// rank-selection rule (same divisor, same rounding).
+pub use ftgemm_obs::percentile;
 
 #[cfg(test)]
 mod tests {

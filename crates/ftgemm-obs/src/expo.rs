@@ -1,0 +1,229 @@
+//! Prometheus text exposition format (version 0.0.4) builder.
+//!
+//! [`Exposition`] accumulates metric families and samples into the
+//! plaintext format a Prometheus scraper parses: one `# HELP` and one
+//! `# TYPE` line per family, then its samples. Family names are checked
+//! for duplicates at build time — emitting the same family twice in one
+//! scrape is a registration bug, not a data condition, so it panics.
+
+use crate::metrics::{Histogram, HISTOGRAM_BUCKETS};
+use std::collections::HashSet;
+
+/// The exposition `# TYPE` of a metric family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing.
+    Counter,
+    /// Free-moving value.
+    Gauge,
+    /// Cumulative bucket distribution.
+    Histogram,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// Builder for one scrape's plaintext body.
+#[derive(Debug, Default)]
+pub struct Exposition {
+    out: String,
+    seen: HashSet<String>,
+}
+
+/// Escapes a HELP string (`\\` and newlines per the exposition spec).
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escapes a label value (`\\`, `"`, newlines).
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Renders a nanosecond bucket bound as seconds with exact decimals
+/// (`3` → `0.000000003`), avoiding the float-multiplication artifacts a
+/// naive `ns as f64 * 1e-9` Display would leak into `le` labels.
+fn format_le_seconds(ns: u64) -> String {
+    let s = format!("{:.9}", ns as f64 / 1e9);
+    let trimmed = s.trim_end_matches('0').trim_end_matches('.');
+    if trimmed.is_empty() {
+        "0".to_string()
+    } else {
+        trimmed.to_string()
+    }
+}
+
+/// Renders a sample value: integers without a fraction, non-finite values
+/// in Prometheus spelling (`+Inf`/`-Inf`/`NaN`).
+fn format_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+impl Exposition {
+    /// Empty exposition.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether a family of this name was already declared (lets a renderer
+    /// skip process-global families another source already emitted).
+    pub fn has_family(&self, name: &str) -> bool {
+        self.seen.contains(name)
+    }
+
+    /// Declares a metric family: emits its `# HELP` and `# TYPE` header.
+    /// Every family must be declared exactly once per scrape, before its
+    /// samples; a duplicate name panics (registration bug).
+    pub fn family(&mut self, name: &str, kind: MetricKind, help: &str) {
+        assert!(
+            self.seen.insert(name.to_string()),
+            "duplicate metric family {name:?} in one exposition"
+        );
+        debug_assert!(
+            name.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "invalid metric name {name:?}"
+        );
+        self.out
+            .push_str(&format!("# HELP {name} {}\n", escape_help(help)));
+        self.out
+            .push_str(&format!("# TYPE {name} {}\n", kind.as_str()));
+    }
+
+    /// Emits one sample line `name{labels} value` (labels may be empty).
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                self.out.push_str(&format!("{k}=\"{}\"", escape_label(v)));
+            }
+            self.out.push('}');
+        }
+        self.out.push(' ');
+        self.out.push_str(&format_value(value));
+        self.out.push('\n');
+    }
+
+    /// Declares and renders a complete histogram family from `h`:
+    /// cumulative `_bucket{le=...}` lines (bounds in **seconds**, samples
+    /// recorded in nanoseconds), `_sum` (seconds) and `_count`. Extra
+    /// `labels` are attached to every line.
+    pub fn histogram(&mut self, name: &str, help: &str, labels: &[(&str, &str)], h: &Histogram) {
+        self.family(name, MetricKind::Histogram, help);
+        let bucket_name = format!("{name}_bucket");
+        let counts = h.bucket_counts();
+        let mut cum = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            cum += c;
+            // Keep scrapes compact: skip the all-zero prefix, stop at the
+            // last finite bucket (the tail is covered by +Inf below).
+            if cum == 0 || i == HISTOGRAM_BUCKETS - 1 {
+                continue;
+            }
+            let le_s = format_le_seconds(Histogram::bucket_upper(i));
+            let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+            with_le.push(("le", le_s.as_str()));
+            self.sample(&bucket_name, &with_le, cum as f64);
+        }
+        let mut with_inf: Vec<(&str, &str)> = labels.to_vec();
+        with_inf.push(("le", "+Inf"));
+        self.sample(&bucket_name, &with_inf, h.count() as f64);
+        self.sample(&format!("{name}_sum"), labels, h.sum() as f64 / 1e9);
+        self.sample(&format!("{name}_count"), labels, h.count() as f64);
+    }
+
+    /// The accumulated plaintext body.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_family_and_samples() {
+        let mut e = Exposition::new();
+        e.family("ftgemm_test_total", MetricKind::Counter, "A test counter.");
+        e.sample("ftgemm_test_total", &[], 3.0);
+        e.sample("ftgemm_test_total", &[("node", "0")], 2.0);
+        let s = e.finish();
+        assert!(s.contains("# HELP ftgemm_test_total A test counter.\n"));
+        assert!(s.contains("# TYPE ftgemm_test_total counter\n"));
+        assert!(s.contains("ftgemm_test_total 3\n"));
+        assert!(s.contains("ftgemm_test_total{node=\"0\"} 2\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate metric family")]
+    fn duplicate_family_panics() {
+        let mut e = Exposition::new();
+        e.family("ftgemm_dup", MetricKind::Gauge, "x");
+        e.family("ftgemm_dup", MetricKind::Counter, "y");
+    }
+
+    #[test]
+    fn escapes_label_values_and_help() {
+        let mut e = Exposition::new();
+        e.family("ftgemm_esc", MetricKind::Gauge, "line\nbreak \\ slash");
+        e.sample("ftgemm_esc", &[("p", "a\"b\\c\nd")], 1.0);
+        let s = e.finish();
+        assert!(s.contains("# HELP ftgemm_esc line\\nbreak \\\\ slash\n"));
+        assert!(s.contains("p=\"a\\\"b\\\\c\\nd\""));
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets() {
+        let h = Histogram::new();
+        h.record(1); // bucket 1 (le 1ns)
+        h.record(3); // bucket 2 (le 3ns)
+        h.record(3);
+        let mut e = Exposition::new();
+        e.histogram("ftgemm_h_seconds", "h", &[], &h);
+        let s = e.finish();
+        assert!(s.contains("# TYPE ftgemm_h_seconds histogram\n"));
+        assert!(s.contains("le=\"+Inf\"} 3\n"));
+        assert!(s.contains("ftgemm_h_seconds_count 3\n"));
+        // Cumulative: the bucket covering 3ns contains all three samples.
+        assert!(s.contains("le=\"0.000000003\"} 3\n"), "{s}");
+    }
+
+    #[test]
+    fn le_seconds_exact_decimals() {
+        assert_eq!(format_le_seconds(0), "0");
+        assert_eq!(format_le_seconds(1), "0.000000001");
+        assert_eq!(format_le_seconds(3), "0.000000003");
+        assert_eq!(format_le_seconds(1_000_000_000), "1");
+        assert_eq!(format_le_seconds(1_500_000_000), "1.5");
+    }
+
+    #[test]
+    fn value_formatting() {
+        assert_eq!(format_value(3.0), "3");
+        assert_eq!(format_value(0.5), "0.5");
+        assert_eq!(format_value(f64::INFINITY), "+Inf");
+        assert_eq!(format_value(f64::NAN), "NaN");
+    }
+}

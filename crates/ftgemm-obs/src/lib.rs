@@ -1,0 +1,44 @@
+//! Observability for the FT-GEMM serving stack: a lock-free metrics
+//! registry, request-lifecycle tracing, and a Prometheus `/metrics`
+//! endpoint served over [`std::net`].
+//!
+//! Three layers, each usable alone:
+//!
+//! * **Primitives** ([`Counter`], [`Gauge`], [`Histogram`]) — relaxed
+//!   atomics only; recording a latency sample is three `fetch_add`s with
+//!   no locks or allocation on the hot path.
+//! * **Registry** ([`Registry`]) — names, help text, and label sets,
+//!   rendered as one Prometheus text exposition ([`Exposition`]). The
+//!   process-wide [`Registry::global`] backs the one-line
+//!   [`global_counter!`] / [`global_gauge!`] instrumentation macros;
+//!   scoped registries (one per service) render into the same scrape.
+//! * **Endpoint** ([`ObsServer`]) — a tiny HTTP/1.0 server thread bound
+//!   to a configured address, answering `GET /metrics`, `/healthz`, and
+//!   `/trace`.
+//!
+//! Request lifecycles are traced into per-node ring buffers
+//! ([`Tracelog`]): `admitted → queued → dispatched(node, path) → computed
+//! → verified/corrected → completed | failed`, each stamped with
+//! monotonic nanoseconds and dumpable at `/trace`.
+//!
+//! The crate also owns the workspace's single percentile definition
+//! ([`percentile`] / [`nearest_rank`]); [`Histogram::quantile`] uses the
+//! same nearest-rank rule, which pins the bucketed-vs-exact agreement
+//! property the test suite checks.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod expo;
+mod metrics;
+mod percentile;
+mod registry;
+mod server;
+mod trace;
+
+pub use expo::{Exposition, MetricKind};
+pub use metrics::{bucket_bounds, Counter, Gauge, Histogram, HISTOGRAM_BUCKETS};
+pub use percentile::{nearest_rank, percentile};
+pub use registry::Registry;
+pub use server::{Handler, ObsRoutes, ObsServer};
+pub use trace::{TraceEvent, TracePath, TraceRecord, Tracelog};

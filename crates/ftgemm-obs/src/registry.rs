@@ -1,0 +1,291 @@
+//! Metric registry: named, labeled families of counters/gauges/histograms.
+//!
+//! Registration (start-up, rare) takes a lock; the returned `Arc` handles
+//! are the hot-path interface and touch only their own atomics. A process
+//! has one [`Registry::global`] for crate-level instrumentation (see the
+//! [`global_counter!`](crate::global_counter) /
+//! [`global_gauge!`](crate::global_gauge) macros — one line per site), and
+//! any number of scoped registries (one per `GemmService`, say) whose
+//! families are rendered into the same scrape.
+
+use crate::expo::{Exposition, MetricKind};
+use crate::metrics::{Counter, Gauge, Histogram};
+use parking_lot::Mutex;
+use std::sync::{Arc, OnceLock};
+
+/// One registered handle.
+#[derive(Debug, Clone)]
+enum Handle {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Handle {
+    fn kind(&self) -> MetricKind {
+        match self {
+            Handle::Counter(_) => MetricKind::Counter,
+            Handle::Gauge(_) => MetricKind::Gauge,
+            Handle::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+/// A family: one name/help/kind, one instance per label set.
+#[derive(Debug)]
+struct Family {
+    name: String,
+    help: String,
+    kind: MetricKind,
+    instances: Vec<(Vec<(String, String)>, Handle)>,
+}
+
+/// A set of metric families, renderable as one Prometheus exposition.
+#[derive(Debug, Default)]
+pub struct Registry {
+    families: Mutex<Vec<Family>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide registry crate-level instrumentation registers
+    /// into (the [`global_counter!`](crate::global_counter) family of
+    /// macros). Rendered by every [`ObsServer`](crate::ObsServer) scrape
+    /// alongside the service-scoped registry.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Handle,
+    ) -> Handle {
+        let mut families = self.families.lock();
+        let family = match families.iter_mut().find(|f| f.name == name) {
+            Some(f) => f,
+            None => {
+                let handle = make();
+                families.push(Family {
+                    name: name.to_string(),
+                    help: help.to_string(),
+                    kind: handle.kind(),
+                    instances: Vec::new(),
+                });
+                let f = families.last_mut().expect("just pushed");
+                f.instances.push((
+                    labels
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), v.to_string()))
+                        .collect(),
+                    handle.clone(),
+                ));
+                return handle;
+            }
+        };
+        // Same (name, labels) → the existing handle; registration is
+        // idempotent so static call sites can re-run freely.
+        if let Some((_, h)) = family.instances.iter().find(|(l, _)| {
+            l.len() == labels.len() && l.iter().zip(labels).all(|(a, b)| a.0 == b.0 && a.1 == b.1)
+        }) {
+            return h.clone();
+        }
+        let handle = make();
+        assert_eq!(
+            handle.kind(),
+            family.kind,
+            "metric {name:?} re-registered with a different kind"
+        );
+        family.instances.push((
+            labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            handle.clone(),
+        ));
+        handle
+    }
+
+    /// Registers (or finds) an unlabeled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Registers (or finds) a counter with a label set.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.register(name, help, labels, || {
+            Handle::Counter(Arc::new(Counter::new()))
+        }) {
+            Handle::Counter(c) => c,
+            _ => panic!("metric {name:?} is not a counter"),
+        }
+    }
+
+    /// Registers (or finds) an unlabeled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Registers (or finds) a gauge with a label set.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        match self.register(name, help, labels, || Handle::Gauge(Arc::new(Gauge::new()))) {
+            Handle::Gauge(g) => g,
+            _ => panic!("metric {name:?} is not a gauge"),
+        }
+    }
+
+    /// Registers (or finds) an unlabeled histogram.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        match self.register(name, help, &[], || {
+            Handle::Histogram(Arc::new(Histogram::new()))
+        }) {
+            Handle::Histogram(h) => h,
+            _ => panic!("metric {name:?} is not a histogram"),
+        }
+    }
+
+    /// Renders every family into `expo`. Families whose name `expo` has
+    /// already seen are skipped (so a scrape combining several registries
+    /// never double-declares — first renderer wins).
+    pub fn render_into(&self, expo: &mut Exposition) {
+        let families = self.families.lock();
+        for f in families.iter() {
+            if expo.has_family(&f.name) {
+                continue;
+            }
+            match f.kind {
+                MetricKind::Histogram => {
+                    for (labels, handle) in &f.instances {
+                        let labels: Vec<(&str, &str)> = labels
+                            .iter()
+                            .map(|(k, v)| (k.as_str(), v.as_str()))
+                            .collect();
+                        if let Handle::Histogram(h) = handle {
+                            expo.histogram(&f.name, &f.help, &labels, h);
+                        }
+                    }
+                }
+                kind => {
+                    expo.family(&f.name, kind, &f.help);
+                    for (labels, handle) in &f.instances {
+                        let labels: Vec<(&str, &str)> = labels
+                            .iter()
+                            .map(|(k, v)| (k.as_str(), v.as_str()))
+                            .collect();
+                        let value = match handle {
+                            Handle::Counter(c) => c.get() as f64,
+                            Handle::Gauge(g) => g.get(),
+                            Handle::Histogram(_) => unreachable!("kind checked at registration"),
+                        };
+                        expo.sample(&f.name, &labels, value);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Renders this registry alone as a complete exposition body.
+    pub fn render(&self) -> String {
+        let mut expo = Exposition::new();
+        self.render_into(&mut expo);
+        expo.finish()
+    }
+}
+
+/// Registers a [`Counter`](crate::Counter) in the global registry once and
+/// returns `&'static Counter` — an instrumentation site is one line:
+///
+/// ```
+/// ftgemm_obs::global_counter!("ftgemm_doc_example_total", "Example.").inc();
+/// ```
+#[macro_export]
+macro_rules! global_counter {
+    ($name:expr, $help:expr) => {{
+        static __FTGEMM_OBS_C: ::std::sync::OnceLock<::std::sync::Arc<$crate::Counter>> =
+            ::std::sync::OnceLock::new();
+        &**__FTGEMM_OBS_C.get_or_init(|| $crate::Registry::global().counter($name, $help))
+    }};
+}
+
+/// Registers a [`Gauge`](crate::Gauge) in the global registry once and
+/// returns `&'static Gauge`:
+///
+/// ```
+/// ftgemm_obs::global_gauge!("ftgemm_doc_example_workers", "Example.").add(1.0);
+/// ```
+#[macro_export]
+macro_rules! global_gauge {
+    ($name:expr, $help:expr) => {{
+        static __FTGEMM_OBS_G: ::std::sync::OnceLock<::std::sync::Arc<$crate::Gauge>> =
+            ::std::sync::OnceLock::new();
+        &**__FTGEMM_OBS_G.get_or_init(|| $crate::Registry::global().gauge($name, $help))
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent() {
+        let r = Registry::new();
+        let a = r.counter("ftgemm_reg_test_total", "t");
+        let b = r.counter("ftgemm_reg_test_total", "t");
+        a.inc();
+        assert_eq!(b.get(), 1, "same handle behind both registrations");
+    }
+
+    #[test]
+    fn labeled_instances_are_distinct() {
+        let r = Registry::new();
+        let n0 = r.counter_with("ftgemm_reg_node_total", "t", &[("node", "0")]);
+        let n1 = r.counter_with("ftgemm_reg_node_total", "t", &[("node", "1")]);
+        n0.add(3);
+        n1.add(5);
+        let s = r.render();
+        assert!(s.contains("ftgemm_reg_node_total{node=\"0\"} 3\n"));
+        assert!(s.contains("ftgemm_reg_node_total{node=\"1\"} 5\n"));
+        assert_eq!(
+            s.matches("# TYPE ftgemm_reg_node_total").count(),
+            1,
+            "one family header for all label sets"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("ftgemm_reg_kind", "t");
+        let _ = r.gauge_with("ftgemm_reg_kind", "t", &[("x", "y")]);
+    }
+
+    #[test]
+    fn render_skips_families_already_in_exposition() {
+        let r1 = Registry::new();
+        let r2 = Registry::new();
+        r1.counter("ftgemm_reg_shared_total", "t").inc();
+        r2.counter("ftgemm_reg_shared_total", "t").add(10);
+        let mut expo = Exposition::new();
+        r1.render_into(&mut expo);
+        r2.render_into(&mut expo); // skipped: r1 already declared it
+        let s = expo.finish();
+        assert!(s.contains("ftgemm_reg_shared_total 1\n"));
+        assert!(!s.contains("ftgemm_reg_shared_total 10"));
+    }
+
+    #[test]
+    fn global_macro_returns_one_static_handle() {
+        let c = global_counter!("ftgemm_reg_macro_total", "t");
+        let before = c.get();
+        global_counter!("ftgemm_reg_macro_total", "t").inc();
+        assert_eq!(c.get(), before + 1);
+    }
+}

@@ -419,10 +419,12 @@ pub fn par_ft_gemm_with_ws<T: Scalar>(
         });
     });
 
+    let merged = report.into_inner();
+    merged.publish_global();
     if let Some(err) = verdict.into_inner() {
         return Err(err);
     }
-    Ok(report.into_inner())
+    Ok(merged)
 }
 
 fn max_abs<T: Scalar>(s: &[T]) -> T {

@@ -165,6 +165,7 @@ impl ThreadPool {
                     .expect("failed to spawn pool worker"),
             );
         }
+        pool_workers_gauge().add(handles.len() as f64);
         ThreadPool {
             shared,
             handles,
@@ -216,6 +217,11 @@ impl ThreadPool {
         F: Fn(&WorkerCtx<'_>) + Sync,
     {
         self.shared.regions.fetch_add(1, Ordering::Relaxed);
+        ftgemm_obs::global_counter!(
+            "ftgemm_pool_regions_total",
+            "Parallel regions executed across every pool in the process."
+        )
+        .inc();
         if self.nthreads == 1 {
             // Degenerate pool: run inline, still providing barrier semantics.
             let ctx = WorkerCtx {
@@ -268,10 +274,21 @@ impl Drop for ThreadPool {
             *slot = (gen, None); // None = shutdown signal
             self.shared.wake.notify_all();
         }
+        let joined = self.handles.len();
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
+        pool_workers_gauge().add(-(joined as f64));
     }
+}
+
+/// Process-wide gauge of live pool worker threads (region-calling threads
+/// excluded — a 1-thread pool contributes 0).
+fn pool_workers_gauge() -> &'static ftgemm_obs::Gauge {
+    ftgemm_obs::global_gauge!(
+        "ftgemm_pool_workers",
+        "Live worker threads across every pool in the process."
+    )
 }
 
 fn worker_loop(shared: Arc<Shared>, tid: usize) {

@@ -1,0 +1,445 @@
+//! Prometheus export of the serving metrics: the stable metric-name table
+//! and the [`StatsSnapshot`] → exposition renderer behind `GET /metrics`.
+//!
+//! Every [`StatsSnapshot`] field has a documented, stable Prometheus
+//! family. Service-scoped families (everything below) are rendered from a
+//! quiesced snapshot, so a scrape taken while the service is idle matches
+//! [`GemmService::stats`](crate::GemmService::stats) exactly; process-wide
+//! families (`ftgemm_pool_*`, `ftgemm_abft_*`, `ftgemm_obs_*`) come from
+//! [`ftgemm_obs::Registry::global`] and are appended to the same scrape.
+//!
+//! ## Metric names
+//!
+//! | Prometheus family | Kind | Labels | [`StatsSnapshot`] source |
+//! |---|---|---|---|
+//! | `ftgemm_requests_submitted_total` | counter | | `submitted` |
+//! | `ftgemm_requests_submitted_sync_total` | counter | | `submitted_sync` |
+//! | `ftgemm_requests_submitted_async_total` | counter | | `submitted_async` |
+//! | `ftgemm_requests_submitted_streamed_total` | counter | | `submitted_streamed` |
+//! | `ftgemm_requests_in_flight_async` | gauge | | `in_flight_async` |
+//! | `ftgemm_requests_completed_total` | counter | | `completed` |
+//! | `ftgemm_requests_failed_total` | counter | | `failed` |
+//! | `ftgemm_requests_rejected_total` | counter | `reason` (`overloaded`/`closed`) | `rejected_overloaded`, `rejected_closed` |
+//! | `ftgemm_batches_total` | counter | | `batches` |
+//! | `ftgemm_batched_requests_total` | counter | | `batched_requests` |
+//! | `ftgemm_direct_large_total` | counter | | `direct_large` |
+//! | `ftgemm_ft_detected_total` | counter | | `detected` |
+//! | `ftgemm_ft_corrected_total` | counter | | `corrected` |
+//! | `ftgemm_ft_injected_total` | counter | | `injected` |
+//! | `ftgemm_ft_retried_panels_total` | counter | | `retried_panels` |
+//! | `ftgemm_queue_depth` | gauge | | `queue_depth` |
+//! | `ftgemm_uptime_seconds` | gauge | | `uptime` |
+//! | `ftgemm_requests_per_second` | gauge | | `requests_per_sec` |
+//! | `ftgemm_routing_cutoff_flops` | gauge | | `current_cutoff` |
+//! | `ftgemm_routing_batched_observations_total` | counter | | `routing_batched_observations` |
+//! | `ftgemm_routing_parallel_observations_total` | counter | | `routing_parallel_observations` |
+//! | `ftgemm_routing_cutoff_updates_total` | counter | | `cutoff_updates` |
+//! | `ftgemm_batch_occupancy_mean` | gauge | | `mean_batch_occupancy` |
+//! | `ftgemm_request_turnaround_seconds_mean` | gauge | | `mean_turnaround` |
+//! | `ftgemm_batch_wall_seconds_total` | counter | | `batch_wall` |
+//! | `ftgemm_batch_thread_busy_seconds_total` | counter | `thread` | `batch_busy_per_thread` |
+//! | `ftgemm_batch_thread_occupancy` | gauge | | `batch_thread_occupancy` |
+//! | `ftgemm_steal_wakeups_total` | counter | | `steal_wakeups` |
+//! | `ftgemm_node_threads` | gauge | `node` | `per_node[].threads` |
+//! | `ftgemm_node_queue_depth` | gauge | `node` | `per_node[].queue_depth` |
+//! | `ftgemm_node_dispatched_total` | counter | `node` | `per_node[].dispatched` |
+//! | `ftgemm_node_stolen_total` | counter | `node` | `per_node[].stolen` |
+//! | `ftgemm_node_batch_wall_seconds_total` | counter | `node` | `per_node[].batch_wall` |
+//! | `ftgemm_node_batch_busy_seconds_total` | counter | `node` | `per_node[].batch_busy` |
+//! | `ftgemm_service_pool_regions_total` | counter | | `pool.regions` |
+//! | `ftgemm_service_pool_barrier_crossings_total` | counter | | `pool.barrier_crossings` |
+//! | `ftgemm_request_turnaround_seconds` | histogram | | live histogram (obs-enabled services) |
+//! | `ftgemm_trace_dropped_total` | counter | | tracelog ring overwrites (obs-enabled services) |
+//!
+//! Process-wide families appended from the global registry:
+//! `ftgemm_pool_regions_total`, `ftgemm_pool_workers`,
+//! `ftgemm_abft_verifications_total`, `ftgemm_abft_detected_total`,
+//! `ftgemm_abft_corrected_total`, `ftgemm_abft_injected_total`,
+//! `ftgemm_abft_retried_panels_total`, `ftgemm_obs_scrapes_total`,
+//! `ftgemm_obs_http_requests_total`.
+
+use crate::stats::StatsSnapshot;
+use ftgemm_obs::{Exposition, Histogram, MetricKind, Registry, Tracelog};
+use std::sync::Arc;
+
+/// The per-service observability state, created when
+/// [`ServiceConfig::obs_addr`](crate::ServiceConfig::obs_addr) is set: a
+/// scoped registry (holding the live turnaround histogram) plus the
+/// request-lifecycle tracelog. `None` on obs-disabled services, which keeps
+/// their hot paths free of even the relaxed-atomic recording cost.
+pub(crate) struct ServiceObs {
+    pub registry: Arc<Registry>,
+    pub trace: Arc<Tracelog>,
+    pub turnaround: Arc<Histogram>,
+}
+
+impl ServiceObs {
+    /// Trace-ring capacity per node: enough to hold the full lifecycle of
+    /// a few hundred requests without the rings dominating memory.
+    const TRACE_CAPACITY_PER_NODE: usize = 2048;
+
+    pub(crate) fn new(nodes: usize) -> Self {
+        let registry = Arc::new(Registry::new());
+        let turnaround = registry.histogram(
+            "ftgemm_request_turnaround_seconds",
+            "Submit-to-completion latency of served requests.",
+        );
+        ServiceObs {
+            registry,
+            trace: Arc::new(Tracelog::new(nodes, Self::TRACE_CAPACITY_PER_NODE)),
+            turnaround,
+        }
+    }
+}
+
+/// Emits a single-sample family.
+fn scalar(expo: &mut Exposition, name: &str, kind: MetricKind, help: &str, value: f64) {
+    expo.family(name, kind, help);
+    expo.sample(name, &[], value);
+}
+
+/// Renders every [`StatsSnapshot`] field into `expo` under the stable
+/// family names of the module-level table (service-scoped families only —
+/// callers append registries for histograms and process-wide families).
+pub fn render_snapshot(expo: &mut Exposition, snap: &StatsSnapshot) {
+    use MetricKind::{Counter, Gauge};
+    scalar(
+        expo,
+        "ftgemm_requests_submitted_total",
+        Counter,
+        "Requests accepted across all submit surfaces.",
+        snap.submitted as f64,
+    );
+    scalar(
+        expo,
+        "ftgemm_requests_submitted_sync_total",
+        Counter,
+        "Requests accepted via the blocking submit surface.",
+        snap.submitted_sync as f64,
+    );
+    scalar(
+        expo,
+        "ftgemm_requests_submitted_async_total",
+        Counter,
+        "Requests accepted via submit_async.",
+        snap.submitted_async as f64,
+    );
+    scalar(
+        expo,
+        "ftgemm_requests_submitted_streamed_total",
+        Counter,
+        "Requests accepted via submit_streamed.",
+        snap.submitted_streamed as f64,
+    );
+    scalar(
+        expo,
+        "ftgemm_requests_in_flight_async",
+        Gauge,
+        "Async futures currently alive (neither resolved nor dropped).",
+        snap.in_flight_async as f64,
+    );
+    scalar(
+        expo,
+        "ftgemm_requests_completed_total",
+        Counter,
+        "Requests completed successfully.",
+        snap.completed as f64,
+    );
+    scalar(
+        expo,
+        "ftgemm_requests_failed_total",
+        Counter,
+        "Requests completed with an error.",
+        snap.failed as f64,
+    );
+    expo.family(
+        "ftgemm_requests_rejected_total",
+        Counter,
+        "Requests rejected at submit, by reason.",
+    );
+    expo.sample(
+        "ftgemm_requests_rejected_total",
+        &[("reason", "overloaded")],
+        snap.rejected_overloaded as f64,
+    );
+    expo.sample(
+        "ftgemm_requests_rejected_total",
+        &[("reason", "closed")],
+        snap.rejected_closed as f64,
+    );
+    scalar(
+        expo,
+        "ftgemm_batches_total",
+        Counter,
+        "Coalesced parallel regions executed on the batched path.",
+        snap.batches as f64,
+    );
+    scalar(
+        expo,
+        "ftgemm_batched_requests_total",
+        Counter,
+        "Requests served via the batched path.",
+        snap.batched_requests as f64,
+    );
+    scalar(
+        expo,
+        "ftgemm_direct_large_total",
+        Counter,
+        "Requests served via the matrix-parallel path.",
+        snap.direct_large as f64,
+    );
+    scalar(
+        expo,
+        "ftgemm_ft_detected_total",
+        Counter,
+        "Checksum discrepancies flagged as real errors, service-wide.",
+        snap.detected as f64,
+    );
+    scalar(
+        expo,
+        "ftgemm_ft_corrected_total",
+        Counter,
+        "Elements corrected in place, service-wide.",
+        snap.corrected as f64,
+    );
+    scalar(
+        expo,
+        "ftgemm_ft_injected_total",
+        Counter,
+        "Errors injected by request-attached injectors, service-wide.",
+        snap.injected as f64,
+    );
+    scalar(
+        expo,
+        "ftgemm_ft_retried_panels_total",
+        Counter,
+        "Panels recomputed under DetectCorrect, service-wide.",
+        snap.retried_panels as f64,
+    );
+    scalar(
+        expo,
+        "ftgemm_queue_depth",
+        Gauge,
+        "Envelopes waiting in the submission queue right now.",
+        snap.queue_depth as f64,
+    );
+    scalar(
+        expo,
+        "ftgemm_uptime_seconds",
+        Gauge,
+        "Seconds since the service started.",
+        snap.uptime.as_secs_f64(),
+    );
+    scalar(
+        expo,
+        "ftgemm_requests_per_second",
+        Gauge,
+        "Completed requests per second since the first submission.",
+        snap.requests_per_sec,
+    );
+    scalar(
+        expo,
+        "ftgemm_routing_cutoff_flops",
+        Gauge,
+        "The flops cutoff the scheduler is routing by right now.",
+        snap.current_cutoff as f64,
+    );
+    scalar(
+        expo,
+        "ftgemm_routing_batched_observations_total",
+        Counter,
+        "Timing observations the routing learner absorbed from the batched path.",
+        snap.routing_batched_observations as f64,
+    );
+    scalar(
+        expo,
+        "ftgemm_routing_parallel_observations_total",
+        Counter,
+        "Timing observations the routing learner absorbed from the matrix-parallel path.",
+        snap.routing_parallel_observations as f64,
+    );
+    scalar(
+        expo,
+        "ftgemm_routing_cutoff_updates_total",
+        Counter,
+        "Times the published routing cutoff actually changed.",
+        snap.cutoff_updates as f64,
+    );
+    scalar(
+        expo,
+        "ftgemm_batch_occupancy_mean",
+        Gauge,
+        "Mean requests coalesced per batched region.",
+        snap.mean_batch_occupancy,
+    );
+    scalar(
+        expo,
+        "ftgemm_request_turnaround_seconds_mean",
+        Gauge,
+        "Mean submit-to-completion latency.",
+        snap.mean_turnaround.as_secs_f64(),
+    );
+    scalar(
+        expo,
+        "ftgemm_batch_wall_seconds_total",
+        Counter,
+        "Summed wall time of batched parallel regions across every node.",
+        snap.batch_wall.as_secs_f64(),
+    );
+    expo.family(
+        "ftgemm_batch_thread_busy_seconds_total",
+        Counter,
+        "Summed busy time per pool thread inside batched regions (global thread id).",
+    );
+    for (thread, busy) in snap.batch_busy_per_thread.iter().enumerate() {
+        let t = thread.to_string();
+        expo.sample(
+            "ftgemm_batch_thread_busy_seconds_total",
+            &[("thread", t.as_str())],
+            busy.as_secs_f64(),
+        );
+    }
+    scalar(
+        expo,
+        "ftgemm_batch_thread_occupancy",
+        Gauge,
+        "Mean fraction of batched-region time each thread spent busy.",
+        snap.batch_thread_occupancy,
+    );
+    scalar(
+        expo,
+        "ftgemm_steal_wakeups_total",
+        Counter,
+        "Cross-node dispatcher wakeups fired by pushes crossing the steal threshold.",
+        snap.steal_wakeups as f64,
+    );
+
+    expo.family(
+        "ftgemm_node_threads",
+        Gauge,
+        "Worker threads pinned to each node.",
+    );
+    expo.family(
+        "ftgemm_node_queue_depth",
+        Gauge,
+        "Envelopes waiting in each node's shard group right now.",
+    );
+    expo.family(
+        "ftgemm_node_dispatched_total",
+        Counter,
+        "Requests executed on each node's worker subset (including stolen ones).",
+    );
+    expo.family(
+        "ftgemm_node_stolen_total",
+        Counter,
+        "Requests each node executed after stealing them off another node's shard group.",
+    );
+    expo.family(
+        "ftgemm_node_batch_wall_seconds_total",
+        Counter,
+        "Summed wall time of the batched regions each node executed.",
+    );
+    expo.family(
+        "ftgemm_node_batch_busy_seconds_total",
+        Counter,
+        "Summed busy time of each node's threads inside its batched regions.",
+    );
+    for n in &snap.per_node {
+        let node = n.node.to_string();
+        let labels = [("node", node.as_str())];
+        expo.sample("ftgemm_node_threads", &labels, n.threads as f64);
+        expo.sample("ftgemm_node_queue_depth", &labels, n.queue_depth as f64);
+        expo.sample("ftgemm_node_dispatched_total", &labels, n.dispatched as f64);
+        expo.sample("ftgemm_node_stolen_total", &labels, n.stolen as f64);
+        expo.sample(
+            "ftgemm_node_batch_wall_seconds_total",
+            &labels,
+            n.batch_wall.as_secs_f64(),
+        );
+        expo.sample(
+            "ftgemm_node_batch_busy_seconds_total",
+            &labels,
+            n.batch_busy.as_secs_f64(),
+        );
+    }
+
+    scalar(
+        expo,
+        "ftgemm_service_pool_regions_total",
+        Counter,
+        "Parallel regions executed across this service's node pools.",
+        snap.pool.regions as f64,
+    );
+    scalar(
+        expo,
+        "ftgemm_service_pool_barrier_crossings_total",
+        Counter,
+        "Barrier crossings across this service's node pools.",
+        snap.pool.barrier_crossings as f64,
+    );
+}
+
+/// Renders one service's complete `/metrics` body: the snapshot families,
+/// the service-scoped registry (turnaround histogram, trace drop counter),
+/// then the process-wide global registry.
+pub(crate) fn render_service_metrics(snap: &StatsSnapshot, obs: Option<&ServiceObs>) -> String {
+    let mut expo = Exposition::new();
+    render_snapshot(&mut expo, snap);
+    if let Some(obs) = obs {
+        obs.registry.render_into(&mut expo);
+        scalar(
+            &mut expo,
+            "ftgemm_trace_dropped_total",
+            MetricKind::Counter,
+            "Trace records overwritten because their ring was full.",
+            obs.trace.dropped() as f64,
+        );
+    }
+    Registry::global().render_into(&mut expo);
+    expo.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_renders_every_family_once() {
+        let mut snap = StatsSnapshot::empty_for_test(2, 3);
+        snap.submitted = 7;
+        snap.per_node[1].dispatched = 4;
+        let mut expo = Exposition::new();
+        render_snapshot(&mut expo, &snap);
+        let s = expo.finish();
+        assert!(s.contains("ftgemm_requests_submitted_total 7\n"), "{s}");
+        assert!(s.contains("ftgemm_node_dispatched_total{node=\"1\"} 4\n"));
+        assert!(s.contains("ftgemm_requests_rejected_total{reason=\"overloaded\"} 0\n"));
+        assert!(s.contains("ftgemm_batch_thread_busy_seconds_total{thread=\"2\"} 0\n"));
+        // One TYPE header per family even with labeled instances.
+        for family in [
+            "ftgemm_node_queue_depth",
+            "ftgemm_requests_rejected_total",
+            "ftgemm_batch_thread_busy_seconds_total",
+        ] {
+            assert_eq!(
+                s.matches(&format!("# TYPE {family} ")).count(),
+                1,
+                "{family}"
+            );
+        }
+    }
+
+    #[test]
+    fn service_metrics_appends_obs_and_global_families() {
+        let snap = StatsSnapshot::empty_for_test(1, 1);
+        let obs = ServiceObs::new(1);
+        obs.turnaround.record(1_000);
+        let s = render_service_metrics(&snap, Some(&obs));
+        assert!(
+            s.contains("# TYPE ftgemm_request_turnaround_seconds histogram"),
+            "{s}"
+        );
+        assert!(s.contains("ftgemm_request_turnaround_seconds_count 1\n"));
+        assert!(s.contains("ftgemm_trace_dropped_total 0\n"));
+    }
+}

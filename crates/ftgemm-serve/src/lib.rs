@@ -63,7 +63,14 @@
 //!   depth, batch occupancy, per-surface submission counts, live async
 //!   futures, per-thread batch busy time (occupancy imbalance),
 //!   corrected-error counters, and worker-pool activity
-//!   ([`ftgemm_pool::PoolStats`]).
+//!   ([`ftgemm_pool::PoolStats`]). Setting
+//!   [`ServiceConfig::obs_addr`] additionally serves every snapshot field
+//!   as Prometheus text exposition at `GET /metrics` (stable names
+//!   documented in [`export`]), records each request's lifecycle
+//!   (`admitted → queued → dispatched → computed → verified/corrected →
+//!   completed|failed`) into bounded per-node trace rings dumped at
+//!   `/trace`, and answers `/healthz` — all from one `std::net` endpoint
+//!   thread, with zero recording cost when the address is unset.
 //!
 //! ## Example
 //!
@@ -114,6 +121,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod exec;
+pub mod export;
 mod handle;
 mod placement;
 mod queue;

@@ -42,7 +42,6 @@ pub(crate) struct Envelope<T: Scalar> {
     pub req: GemmRequest<T>,
     pub slot: Arc<ResponseSlot<T>>,
     /// Submission-order id; mirrors the handle's id for tracing/tests.
-    #[allow(dead_code)]
     pub id: u64,
     /// Node affinity the placement policy stamped at submit time (selects
     /// the shard group; travels into the response for steal accounting).
@@ -85,6 +84,9 @@ pub(crate) struct ShardedQueue<T: Scalar> {
     steal_threshold: usize,
     /// Monotonic request id source.
     next_id: AtomicU64,
+    /// Cross-node wakeups fired by pushes that lifted a group past the
+    /// steal threshold (observability; `0` under balanced load).
+    steal_wakeups: AtomicU64,
     closed: AtomicBool,
     /// Wakeup for producers parked on a full queue.
     space_lock: Mutex<()>,
@@ -119,6 +121,7 @@ impl<T: Scalar> ShardedQueue<T> {
             capacity: if capacity == 0 { usize::MAX } else { capacity },
             steal_threshold: steal_threshold.max(1),
             next_id: AtomicU64::new(0),
+            steal_wakeups: AtomicU64::new(0),
             closed: AtomicBool::new(false),
             space_lock: Mutex::new(()),
             space: Condvar::new(),
@@ -170,8 +173,15 @@ impl<T: Scalar> ShardedQueue<T> {
         // lock discipline applies per dispatcher (a dry dispatcher checks
         // the gate predicate under its own wake_lock before sleeping).
         if prev_group_depth + 1 == self.steal_threshold + 1 {
+            self.steal_wakeups.fetch_add(1, Ordering::Relaxed);
             self.notify_all_groups();
         }
+    }
+
+    /// Cross-node wakeups fired so far (see
+    /// [`StatsSnapshot::steal_wakeups`](crate::StatsSnapshot)).
+    pub(crate) fn steal_wakeups(&self) -> u64 {
+        self.steal_wakeups.load(Ordering::Relaxed)
     }
 
     fn notify_all_groups(&self) {
@@ -446,6 +456,25 @@ mod tests {
         q.push(env_on(&q, 0)).map_err(|_| ()).unwrap();
         assert!(waiter.join().unwrap());
         assert!(q.node_depth(0) > q.steal_gate(), "group 0 steal-eligible");
+    }
+
+    #[test]
+    fn steal_wakeups_counted_only_at_threshold_crossings() {
+        let q = ShardedQueue::<f64>::new(2, 1, 0, 3);
+        for _ in 0..3 {
+            q.push(env_on(&q, 0)).map_err(|_| ()).unwrap();
+        }
+        assert_eq!(q.steal_wakeups(), 0, "at the threshold, not past it");
+        q.push(env_on(&q, 0)).map_err(|_| ()).unwrap(); // crosses
+        assert_eq!(q.steal_wakeups(), 1);
+        q.push(env_on(&q, 0)).map_err(|_| ()).unwrap(); // already past: no re-fire
+        assert_eq!(q.steal_wakeups(), 1);
+        // Draining and re-crossing fires again.
+        assert_eq!(q.pop_node(0, usize::MAX).len(), 5);
+        for _ in 0..4 {
+            q.push(env_on(&q, 0)).map_err(|_| ()).unwrap();
+        }
+        assert_eq!(q.steal_wakeups(), 2);
     }
 
     #[test]

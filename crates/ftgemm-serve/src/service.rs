@@ -1,19 +1,22 @@
 //! The service: per-node dispatcher threads, placement, routing, batching,
 //! stealing, and lifecycle.
 
+use crate::export::{render_service_metrics, ServiceObs};
 use crate::handle::{AsyncRequestHandle, RequestHandle, ResponseSlot};
 use crate::placement::{PlacementPolicy, Placer};
 use crate::queue::{Envelope, PushError, ShardedQueue};
 use crate::request::{GemmRequest, GemmResponse, ServeError};
 use crate::routing::{RoutePath, RouteState, RoutingPolicy};
-use crate::stats::{ServiceStats, StatsSnapshot};
+use crate::stats::{RejectReason, ServiceStats, StatsSnapshot};
 use crate::stream::CompletionSink;
 use ftgemm_abft::{FtReport, FtResult};
 use ftgemm_core::Scalar;
+use ftgemm_obs::{ObsRoutes, ObsServer, TraceEvent, TracePath};
 use ftgemm_parallel::{
     par_batch_ft_gemm_timed, par_ft_gemm, par_gemm, BatchItem, BatchWorkspace, ParGemmContext,
 };
 use ftgemm_pool::{PoolStats, Topology};
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -63,6 +66,18 @@ pub struct ServiceConfig {
     pub topology: Option<Topology>,
     /// How requests are assigned a node affinity at submit time.
     pub placement: PlacementPolicy,
+    /// When set, the service records request-lifecycle traces and serves
+    /// `GET /metrics` (Prometheus text exposition), `/healthz`, and
+    /// `/trace` on this address from a dedicated endpoint thread (bind to
+    /// port `0` to let the OS pick; [`GemmService::obs_addr`] reports the
+    /// resolved address). `None` — the default — disables the endpoint
+    /// *and* the per-request trace/histogram recording, keeping the hot
+    /// paths at their uninstrumented cost.
+    ///
+    /// [`GemmService::new`] panics if the address cannot be bound (a
+    /// config error worth failing loudly at construction, not at first
+    /// scrape).
+    pub obs_addr: Option<SocketAddr>,
 }
 
 impl Default for ServiceConfig {
@@ -75,6 +90,7 @@ impl Default for ServiceConfig {
             queue_capacity: 0,
             topology: None,
             placement: PlacementPolicy::default(),
+            obs_addr: None,
         }
     }
 }
@@ -97,6 +113,10 @@ struct Inner<T: Scalar> {
     /// [`ServeError::Closed`] instead
     /// ([`shutdown_now`](GemmService::shutdown_now)).
     abort: AtomicBool,
+    /// Lifecycle tracing + latency histogram, present only when
+    /// [`ServiceConfig::obs_addr`] is set (obs-disabled services skip all
+    /// recording).
+    obs: Option<ServiceObs>,
 }
 
 /// A batched GEMM server: accepts concurrent [`GemmRequest`]s, coalesces
@@ -135,6 +155,9 @@ pub struct GemmService<T: Scalar> {
     /// onto its own node-scoped pool — so on a multi-node machine the
     /// nodes genuinely compute concurrently.
     dispatchers: Vec<JoinHandle<()>>,
+    /// The `/metrics` endpoint thread ([`ServiceConfig::obs_addr`]);
+    /// stopped and joined by shutdown/drop.
+    obs_server: Option<ObsServer>,
 }
 
 impl<T: Scalar> GemmService<T> {
@@ -183,6 +206,7 @@ impl<T: Scalar> GemmService<T> {
             topology,
             nodes,
             abort: AtomicBool::new(false),
+            obs: config.obs_addr.map(|_| ServiceObs::new(nnodes)),
             config,
         });
         let dispatchers = (0..nnodes)
@@ -194,7 +218,32 @@ impl<T: Scalar> GemmService<T> {
                     .expect("failed to spawn dispatcher thread")
             })
             .collect();
-        GemmService { inner, dispatchers }
+        // The endpoint holds only a Weak ref: a scrape racing teardown
+        // renders a tombstone instead of keeping the service alive.
+        let obs_server = inner.config.obs_addr.map(|addr| {
+            let metrics_inner = Arc::downgrade(&inner);
+            let trace_inner = Arc::downgrade(&inner);
+            let routes = ObsRoutes {
+                metrics: Box::new(move || match metrics_inner.upgrade() {
+                    Some(inner) => render_metrics_of(&inner),
+                    None => "# ftgemm service shut down\n".to_string(),
+                }),
+                trace: Box::new(move || match trace_inner.upgrade() {
+                    Some(inner) => match &inner.obs {
+                        Some(obs) => obs.trace.render_text(TRACE_DUMP_RECORDS),
+                        None => "# tracing disabled\n".to_string(),
+                    },
+                    None => "# ftgemm service shut down\n".to_string(),
+                }),
+            };
+            ObsServer::bind(addr, routes)
+                .unwrap_or_else(|e| panic!("failed to bind ServiceConfig::obs_addr {addr}: {e}"))
+        });
+        GemmService {
+            inner,
+            dispatchers,
+            obs_server,
+        }
     }
 
     /// Stamps `req`'s node affinity (placement runs once, at submit).
@@ -230,12 +279,34 @@ impl<T: Scalar> GemmService<T> {
         // the queue the scheduler may complete it at any moment, and a
         // snapshot taken in that window must never see
         // `completed > submitted`. A rejected push rolls the count back.
+        // Trace events follow the same rule: recorded before the push so a
+        // request's `admitted` can never land after its `dispatched`.
         self.inner.stats.admit(&self.inner.stats.submitted_sync);
+        self.trace_admitted(affinity, id);
         self.inner.queue.push(env).map_err(|_| {
-            self.inner.stats.reject(&self.inner.stats.submitted_sync);
+            self.inner
+                .stats
+                .reject(&self.inner.stats.submitted_sync, RejectReason::Closed);
+            self.trace_rejected(affinity, id);
             ServeError::Closed
         })?;
         Ok(handle)
+    }
+
+    /// Records the admission-time trace pair (`admitted`, `queued`) on the
+    /// request's affinity node; no-op on obs-disabled services.
+    fn trace_admitted(&self, affinity: usize, id: u64) {
+        if let Some(obs) = &self.inner.obs {
+            obs.trace.record(affinity, id, TraceEvent::Admitted);
+            obs.trace.record(affinity, id, TraceEvent::Queued);
+        }
+    }
+
+    /// Records the `failed` trace terminal for a rejected submit.
+    fn trace_rejected(&self, affinity: usize, id: u64) {
+        if let Some(obs) = &self.inner.obs {
+            obs.trace.record(affinity, id, TraceEvent::Failed);
+        }
     }
 
     /// Submits a request and returns a [`Future`](std::future::Future)
@@ -268,12 +339,17 @@ impl<T: Scalar> GemmService<T> {
         // count back, and the handle drops here too, releasing the
         // in-flight gauge.
         self.inner.stats.admit(&self.inner.stats.submitted_async);
+        self.trace_admitted(affinity, id);
         self.inner.queue.try_push(env).map_err(|e| {
-            self.inner.stats.reject(&self.inner.stats.submitted_async);
-            match e {
-                PushError::Full => ServeError::Overloaded,
-                PushError::Closed => ServeError::Closed,
-            }
+            let (reason, err) = match e {
+                PushError::Full => (RejectReason::Overloaded, ServeError::Overloaded),
+                PushError::Closed => (RejectReason::Closed, ServeError::Closed),
+            };
+            self.inner
+                .stats
+                .reject(&self.inner.stats.submitted_async, reason);
+            self.trace_rejected(affinity, id);
+            err
         })?;
         Ok(handle)
     }
@@ -307,15 +383,18 @@ impl<T: Scalar> GemmService<T> {
         };
         // Counted at admission (see `submit`); rolled back on rejection.
         self.inner.stats.admit(&self.inner.stats.submitted_streamed);
+        self.trace_admitted(affinity, id);
         self.inner.queue.try_push(env).map_err(|e| {
+            let (reason, err) = match e {
+                PushError::Full => (RejectReason::Overloaded, ServeError::Overloaded),
+                PushError::Closed => (RejectReason::Closed, ServeError::Closed),
+            };
             self.inner
                 .stats
-                .reject(&self.inner.stats.submitted_streamed);
+                .reject(&self.inner.stats.submitted_streamed, reason);
+            self.trace_rejected(affinity, id);
             sink.unregister();
-            match e {
-                PushError::Full => ServeError::Overloaded,
-                PushError::Closed => ServeError::Closed,
-            }
+            err
         })?;
         Ok(id)
     }
@@ -327,26 +406,29 @@ impl<T: Scalar> GemmService<T> {
 
     /// Point-in-time service metrics.
     pub fn stats(&self) -> StatsSnapshot {
-        let depths: Vec<usize> = (0..self.inner.topology.num_nodes())
-            .map(|n| self.inner.queue.node_depth(n))
-            .collect();
-        self.inner
-            .stats
-            .snapshot(&depths, self.pool_stats(), self.inner.route.snapshot())
+        snapshot_of(&self.inner)
     }
 
-    /// Pool activity summed over every node's worker pool.
-    fn pool_stats(&self) -> PoolStats {
-        self.inner
-            .nodes
-            .iter()
-            .fold(PoolStats::default(), |acc, n| {
-                let s = n.ctx.pool().stats();
-                PoolStats {
-                    regions: acc.regions + s.regions,
-                    barrier_crossings: acc.barrier_crossings + s.barrier_crossings,
-                }
-            })
+    /// The observability endpoint's resolved bound address, when
+    /// [`ServiceConfig::obs_addr`] was set (useful with port `0`).
+    pub fn obs_addr(&self) -> Option<SocketAddr> {
+        self.obs_server.as_ref().map(|s| s.addr())
+    }
+
+    /// The same Prometheus text-exposition body `GET /metrics` serves —
+    /// available on every service, endpoint or not (obs-disabled services
+    /// just omit the turnaround histogram and trace families).
+    pub fn render_metrics(&self) -> String {
+        render_metrics_of(&self.inner)
+    }
+
+    /// The most recent lifecycle trace records as plaintext (the `/trace`
+    /// body); a header-only string on obs-disabled services.
+    pub fn render_trace(&self, n: usize) -> String {
+        match &self.inner.obs {
+            Some(obs) => obs.trace.render_text(n),
+            None => "# tracing disabled\n".to_string(),
+        }
     }
 
     /// The flops cutoff the scheduler is routing by right now: the pinned
@@ -396,11 +478,46 @@ impl<T: Scalar> GemmService<T> {
     }
 
     fn close_and_join(&mut self) {
+        // Stop the endpoint first: a scrape arriving mid-teardown would
+        // render from a half-drained service, and the acceptor must not
+        // outlive the Weak refs' target anyway.
+        if let Some(mut server) = self.obs_server.take() {
+            server.shutdown();
+        }
         self.inner.queue.close();
         for handle in self.dispatchers.drain(..) {
             let _ = handle.join();
         }
     }
+}
+
+/// The number of trace records `/trace` dumps per request.
+const TRACE_DUMP_RECORDS: usize = 512;
+
+/// Point-in-time metrics from the shared service state (callable from the
+/// endpoint thread, which holds only a `Weak<Inner>`).
+fn snapshot_of<T: Scalar>(inner: &Inner<T>) -> StatsSnapshot {
+    let depths: Vec<usize> = (0..inner.topology.num_nodes())
+        .map(|n| inner.queue.node_depth(n))
+        .collect();
+    let pool = inner.nodes.iter().fold(PoolStats::default(), |acc, n| {
+        let s = n.ctx.pool().stats();
+        PoolStats {
+            regions: acc.regions + s.regions,
+            barrier_crossings: acc.barrier_crossings + s.barrier_crossings,
+        }
+    });
+    inner.stats.snapshot(
+        &depths,
+        pool,
+        inner.route.snapshot(),
+        inner.queue.steal_wakeups(),
+    )
+}
+
+/// One service's complete `/metrics` body.
+fn render_metrics_of<T: Scalar>(inner: &Inner<T>) -> String {
+    render_service_metrics(&snapshot_of(inner), inner.obs.as_ref())
 }
 
 impl<T: Scalar> Drop for GemmService<T> {
@@ -487,6 +604,9 @@ fn fail_unserved<T: Scalar>(inner: &Inner<T>, env: Envelope<T>) {
         Ordering::Relaxed,
     );
     inner.stats.failed.fetch_add(1, Ordering::Relaxed);
+    if let Some(obs) = &inner.obs {
+        obs.trace.record(env.affinity, env.id, TraceEvent::Failed);
+    }
     env.slot.fulfill(Err(ServeError::Closed));
 }
 
@@ -546,13 +666,22 @@ fn run_large<T: Scalar>(inner: &Inner<T>, node: usize, env: Envelope<T>) {
     // requests a shutdown_now abort fails mid-sweep never inflate the
     // per-node "executed" counters.
     inner.stats.dispatched[node].fetch_add(1, Ordering::Relaxed);
+    if let Some(obs) = &inner.obs {
+        obs.trace.record(
+            node,
+            env.id,
+            TraceEvent::Dispatched {
+                path: TracePath::Parallel,
+            },
+        );
+    }
     let ctx = &inner.nodes[node].ctx;
     let Envelope {
         mut req,
         slot,
+        id,
         affinity,
         submitted,
-        ..
     } = env;
     let flops = req.flops();
     let cfg = req.policy.to_config(req.injector.clone());
@@ -583,7 +712,9 @@ fn run_large<T: Scalar>(inner: &Inner<T>, node: usize, env: Envelope<T>) {
         flops,
         started.elapsed().as_nanos().min(u64::MAX as u128) as u64,
     );
-    finish(inner, slot, req.c, result, submitted, false, affinity, node);
+    finish(
+        inner, slot, req.c, result, submitted, false, affinity, node, id,
+    );
 }
 
 fn run_batch<T: Scalar>(
@@ -600,6 +731,17 @@ fn run_batch<T: Scalar>(
         .fetch_add(envs.len() as u64, Ordering::Relaxed);
     // At-execution counting, same as run_large.
     inner.stats.dispatched[node].fetch_add(envs.len() as u64, Ordering::Relaxed);
+    if let Some(obs) = &inner.obs {
+        for env in &envs {
+            obs.trace.record(
+                node,
+                env.id,
+                TraceEvent::Dispatched {
+                    path: TracePath::Batched,
+                },
+            );
+        }
+    }
 
     // Per-request configs must outlive the borrowed batch items.
     let cfgs: Vec<_> = envs
@@ -650,6 +792,7 @@ fn run_batch<T: Scalar>(
             true,
             env.affinity,
             node,
+            env.id,
         );
     }
 }
@@ -664,11 +807,41 @@ fn finish<T: Scalar>(
     batched: bool,
     affinity_node: usize,
     executed_node: usize,
+    id: u64,
 ) {
-    inner.stats.turnaround_ns.fetch_add(
-        submitted.elapsed().as_nanos().min(u64::MAX as u128) as u64,
-        Ordering::Relaxed,
-    );
+    let turnaround_ns = submitted.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    inner
+        .stats
+        .turnaround_ns
+        .fetch_add(turnaround_ns, Ordering::Relaxed);
+    if let Some(obs) = &inner.obs {
+        obs.turnaround.record(turnaround_ns);
+        obs.trace.record(executed_node, id, TraceEvent::Computed);
+        match &result {
+            Ok(report) => {
+                if report.verifications > 0 {
+                    obs.trace.record(
+                        executed_node,
+                        id,
+                        TraceEvent::Verified {
+                            verifications: report.verifications as u64,
+                        },
+                    );
+                }
+                if report.corrected > 0 {
+                    obs.trace.record(
+                        executed_node,
+                        id,
+                        TraceEvent::Corrected {
+                            corrected: report.corrected as u64,
+                        },
+                    );
+                }
+                obs.trace.record(executed_node, id, TraceEvent::Completed);
+            }
+            Err(_) => obs.trace.record(executed_node, id, TraceEvent::Failed),
+        }
+    }
     match result {
         Ok(report) => {
             inner.stats.completed.fetch_add(1, Ordering::Relaxed);
@@ -707,6 +880,7 @@ mod tests {
                 ctx: ParGemmContext::<f64>::for_node_threads(0, threads),
             }],
             abort: AtomicBool::new(false),
+            obs: None,
             config,
         }
     }

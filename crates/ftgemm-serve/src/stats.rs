@@ -11,6 +11,16 @@ use std::time::{Duration, Instant};
 /// Sentinel for "no request has been submitted yet".
 const NO_SUBMIT: u64 = u64::MAX;
 
+/// Why a submit was rejected (surfaced as the `reason` label of
+/// `ftgemm_requests_rejected_total`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RejectReason {
+    /// Bounded queue at capacity (non-blocking surfaces only).
+    Overloaded,
+    /// Service shutting down.
+    Closed,
+}
+
 /// Lock-free counters updated by the submit path and the scheduler.
 #[derive(Debug)]
 pub(crate) struct ServiceStats {
@@ -31,6 +41,10 @@ pub(crate) struct ServiceStats {
     pub in_flight_async: Arc<AtomicU64>,
     pub completed: AtomicU64,
     pub failed: AtomicU64,
+    /// Submits rejected because the bounded queue was full.
+    pub rejected_overloaded: AtomicU64,
+    /// Submits rejected because the service was shutting down.
+    pub rejected_closed: AtomicU64,
     /// Coalesced parallel regions executed on the batched path.
     pub batches: AtomicU64,
     /// Requests that went through the batched path.
@@ -87,6 +101,8 @@ impl ServiceStats {
             in_flight_async: Arc::new(AtomicU64::new(0)),
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            rejected_overloaded: AtomicU64::new(0),
+            rejected_closed: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batched_requests: AtomicU64::new(0),
             direct_large: AtomicU64::new(0),
@@ -126,13 +142,19 @@ impl ServiceStats {
         surface.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Rolls back an [`admit`](Self::admit) whose queue push was rejected.
-    /// Only this request's own increments are undone, so the invariant
+    /// Rolls back an [`admit`](Self::admit) whose queue push was rejected,
+    /// and counts the rejection under its reason. Only this request's own
+    /// increments are undone, so the invariant
     /// `completed + failed <= submitted` holds throughout (the count is,
     /// at worst, transiently one high while the rejection unwinds).
-    pub(crate) fn reject(&self, surface: &AtomicU64) {
+    pub(crate) fn reject(&self, surface: &AtomicU64, reason: RejectReason) {
         self.submitted.fetch_sub(1, Ordering::Relaxed);
         surface.fetch_sub(1, Ordering::Relaxed);
+        match reason {
+            RejectReason::Overloaded => &self.rejected_overloaded,
+            RejectReason::Closed => &self.rejected_closed,
+        }
+        .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Folds one request's FT report into the service counters.
@@ -173,6 +195,7 @@ impl ServiceStats {
         node_queue_depths: &[usize],
         pool: PoolStats,
         routing: RoutingSnapshot,
+        steal_wakeups: u64,
     ) -> StatsSnapshot {
         let queue_depth: usize = node_queue_depths.iter().sum();
         let per_node: Vec<NodeStats> = (0..self.node_threads.len())
@@ -232,6 +255,8 @@ impl ServiceStats {
             in_flight_async: self.in_flight_async.load(Ordering::Relaxed),
             completed,
             failed,
+            rejected_overloaded: self.rejected_overloaded.load(Ordering::Relaxed),
+            rejected_closed: self.rejected_closed.load(Ordering::Relaxed),
             batches,
             batched_requests,
             direct_large: self.direct_large.load(Ordering::Relaxed),
@@ -267,6 +292,7 @@ impl ServiceStats {
             } else {
                 busy_total.as_secs_f64() / occupancy_denom
             },
+            steal_wakeups,
             per_node,
             pool,
         }
@@ -315,6 +341,14 @@ pub struct StatsSnapshot {
     pub completed: u64,
     /// Requests completed with an error.
     pub failed: u64,
+    /// Submits rejected with [`ServeError::Overloaded`](crate::ServeError)
+    /// (bounded queue full; non-blocking surfaces only). Rejected requests
+    /// are **not** counted in [`submitted`](Self::submitted).
+    pub rejected_overloaded: u64,
+    /// Submits rejected with [`ServeError::Closed`](crate::ServeError)
+    /// (service shutting down). Not counted in
+    /// [`submitted`](Self::submitted).
+    pub rejected_closed: u64,
     /// Coalesced parallel regions executed on the batched path.
     pub batches: u64,
     /// Requests served via the batched path.
@@ -372,6 +406,10 @@ pub struct StatsSnapshot {
     /// topologies, where regions run concurrently on disjoint worker
     /// subsets.
     pub batch_thread_occupancy: f64,
+    /// Cross-node dispatcher wakeups fired by pushes that lifted a shard
+    /// group past the steal threshold; `0` under balanced load (below the
+    /// threshold no cross-node wakeup ever fires).
+    pub steal_wakeups: u64,
     /// Per-node serving activity, indexed by node id: shard-group depth,
     /// dispatch counts, steal counts, and batched wall/busy time (one
     /// entry per topology node).
@@ -379,6 +417,25 @@ pub struct StatsSnapshot {
     /// Worker-pool activity (regions, barrier crossings), summed across
     /// every node's worker pool.
     pub pool: PoolStats,
+}
+
+#[cfg(test)]
+impl StatsSnapshot {
+    /// An all-zero snapshot shaped like a `nodes`-node service with
+    /// `threads_total` worker threads (exposition-renderer tests).
+    pub(crate) fn empty_for_test(nodes: usize, threads_total: usize) -> Self {
+        let nodes = nodes.max(1);
+        let mut node_threads = vec![threads_total / nodes; nodes];
+        for slot in node_threads.iter_mut().take(threads_total % nodes) {
+            *slot += 1;
+        }
+        ServiceStats::new(&node_threads).snapshot(
+            &vec![0; nodes],
+            PoolStats::default(),
+            RoutingSnapshot::default(),
+            0,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -398,7 +455,7 @@ mod tests {
         // Snapshots are taken strictly after the first admission, so the
         // serving window is non-empty and the rate is positive.
         std::thread::sleep(Duration::from_millis(2));
-        let snap = s.snapshot(&[3], PoolStats::default(), RoutingSnapshot::default());
+        let snap = s.snapshot(&[3], PoolStats::default(), RoutingSnapshot::default(), 0);
         assert_eq!(snap.submitted, 10);
         assert_eq!(snap.submitted_sync, 10);
         assert_eq!(snap.queue_depth, 3);
@@ -413,7 +470,7 @@ mod tests {
         let s = ServiceStats::new(&[1]);
         // Before any submission: no serving window, rate pinned to zero
         // (previously this divided completed work by construction uptime).
-        let snap = s.snapshot(&[0], PoolStats::default(), RoutingSnapshot::default());
+        let snap = s.snapshot(&[0], PoolStats::default(), RoutingSnapshot::default(), 0);
         assert_eq!(snap.requests_per_sec, 0.0);
 
         // An idle gap before the first submission must not dilute the
@@ -426,7 +483,7 @@ mod tests {
         s.admit(&s.submitted_sync);
         s.completed.store(1, Ordering::Relaxed);
         std::thread::sleep(Duration::from_millis(2));
-        let snap = s.snapshot(&[0], PoolStats::default(), RoutingSnapshot::default());
+        let snap = s.snapshot(&[0], PoolStats::default(), RoutingSnapshot::default(), 0);
         let construction_anchored = snap.completed as f64 / snap.uptime.as_secs_f64();
         assert!(
             snap.requests_per_sec > construction_anchored,
@@ -441,10 +498,12 @@ mod tests {
         let s = ServiceStats::new(&[1]);
         s.admit(&s.submitted_async);
         s.admit(&s.submitted_async);
-        s.reject(&s.submitted_async);
-        let snap = s.snapshot(&[0], PoolStats::default(), RoutingSnapshot::default());
+        s.reject(&s.submitted_async, RejectReason::Overloaded);
+        let snap = s.snapshot(&[0], PoolStats::default(), RoutingSnapshot::default(), 0);
         assert_eq!(snap.submitted, 1);
         assert_eq!(snap.submitted_async, 1);
+        assert_eq!(snap.rejected_overloaded, 1);
+        assert_eq!(snap.rejected_closed, 0);
     }
 
     #[test]
@@ -458,7 +517,7 @@ mod tests {
             retried_panels: 1,
         });
         s.absorb_report(&FtReport::default());
-        let snap = s.snapshot(&[0], PoolStats::default(), RoutingSnapshot::default());
+        let snap = s.snapshot(&[0], PoolStats::default(), RoutingSnapshot::default(), 0);
         assert_eq!(snap.detected, 2);
         assert_eq!(snap.corrected, 2);
         assert_eq!(snap.injected, 3);
@@ -482,7 +541,7 @@ mod tests {
                 thread_busy: vec![Duration::from_millis(10), Duration::from_millis(6)],
             },
         );
-        let snap = s.snapshot(&[0], PoolStats::default(), RoutingSnapshot::default());
+        let snap = s.snapshot(&[0], PoolStats::default(), RoutingSnapshot::default(), 0);
         assert_eq!(snap.batch_wall, Duration::from_millis(20));
         assert_eq!(
             snap.batch_busy_per_thread,
@@ -511,7 +570,7 @@ mod tests {
                 thread_busy: vec![Duration::from_millis(5), Duration::from_millis(1)],
             },
         );
-        let snap = s.snapshot(&[2, 5], PoolStats::default(), RoutingSnapshot::default());
+        let snap = s.snapshot(&[2, 5], PoolStats::default(), RoutingSnapshot::default(), 0);
         assert_eq!(
             snap.batch_busy_per_thread,
             vec![
@@ -535,7 +594,12 @@ mod tests {
         s.dispatched[0].store(7, Ordering::Relaxed);
         s.dispatched[2].store(3, Ordering::Relaxed);
         s.stolen[2].store(3, Ordering::Relaxed);
-        let snap = s.snapshot(&[0, 0, 0], PoolStats::default(), RoutingSnapshot::default());
+        let snap = s.snapshot(
+            &[0, 0, 0],
+            PoolStats::default(),
+            RoutingSnapshot::default(),
+            0,
+        );
         assert_eq!(snap.per_node[0].dispatched, 7);
         assert_eq!(snap.per_node[0].stolen, 0);
         assert_eq!(snap.per_node[1].dispatched, 0);

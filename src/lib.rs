@@ -66,6 +66,7 @@ pub use ftgemm_baselines as baselines;
 pub use ftgemm_blas as blas;
 pub use ftgemm_core as core;
 pub use ftgemm_faults as faults;
+pub use ftgemm_obs as obs;
 pub use ftgemm_parallel as parallel;
 pub use ftgemm_pool as pool;
 pub use ftgemm_serve as serve;
