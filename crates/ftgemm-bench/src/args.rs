@@ -26,6 +26,9 @@ pub struct Args {
     /// as `(nodes, cores_per_node)` from `--topology NxM` (e.g. `2x2`).
     /// `None` uses the detected machine topology.
     pub topology: Option<(usize, usize)>,
+    /// Run the multi-tenant QoS scenario (`--tenants`): a mixed-priority
+    /// tenant mix with deadlines, reported as the `qos` JSON section.
+    pub tenants: bool,
 }
 
 impl Default for Args {
@@ -41,6 +44,7 @@ impl Default for Args {
             duration_secs: 10,
             smoke: false,
             topology: None,
+            tenants: false,
         }
     }
 }
@@ -74,6 +78,7 @@ impl Args {
                 "--out" => {
                     args.out_dir = it.next().unwrap_or_else(|| usage("--out needs a value"));
                 }
+                "--tenants" => args.tenants = true,
                 "--topology" => {
                     let v = it
                         .next()
@@ -141,6 +146,7 @@ fn usage(err: &str) -> ! {
            --duration SECS       reliability campaign duration (default 10)\n\
            --smoke               CI smoke mode: tiny sizes, 1 rep, no warm-up\n\
            --topology NxM        force a synthetic N-node, M-cores-per-node topology\n\
+           --tenants             run the multi-tenant QoS scenario (qos JSON section)\n\
            --out DIR             CSV output directory (default bench_results)"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
@@ -155,6 +161,7 @@ mod tests {
         let a = Args::default();
         assert!(!a.paper_sizes);
         assert!(!a.smoke);
+        assert!(!a.tenants);
         assert!(a.reps >= 1);
         assert!(a.threads >= 1);
     }

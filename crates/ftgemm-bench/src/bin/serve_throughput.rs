@@ -19,24 +19,29 @@
 //! occupancy table (dispatch counts, steals, busy time); a
 //! metrics-overhead pass reruns the sync workload with the observability
 //! endpoint live (`ServiceConfig::obs_addr`) to price `/metrics` + tracing
-//! against the obs-off default (the `metrics_overhead` JSON section).
+//! against the obs-off default (the `metrics_overhead` JSON section);
+//! `--tenants` adds a multi-tenant QoS pass — an interactive deadlined
+//! tenant, a batch tenant, and a flooding tenant sharing one weighted-fair
+//! service — reported per tenant (latency percentiles, deadline-met rate,
+//! shed count) in the `qos` JSON section.
 //! Everything is written as machine-readable
 //! `bench_results/BENCH_serve_throughput.json` (per-node rows land in the
 //! `numa.per_node` section) so the perf trajectory can be tracked across
 //! PRs.
 //!
 //! Usage: `cargo run -p ftgemm-bench --release --bin serve_throughput
-//!         [--reps N] [--threads N] [--smoke] [--topology NxM]`
+//!         [--reps N] [--threads N] [--smoke] [--topology NxM] [--tenants]`
 
 use ftgemm_bench::{percentile, write_bench_json, Args, JsonValue, Table};
 use ftgemm_core::Matrix;
 use ftgemm_serve::exec::block_on_all;
 use ftgemm_serve::{
     completion_channel, AdaptiveConfig, FtPolicy, GemmRequest, GemmService, PlacementPolicy,
-    RoutingPolicy, ServiceConfig, Topology, DEFAULT_SMALL_FLOPS_CUTOFF,
+    Priority, RoutingPolicy, ServeError, ServiceConfig, TenantTable, Topology,
+    DEFAULT_SMALL_FLOPS_CUTOFF,
 };
 use std::collections::HashMap;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Small-GEMM edge; comfortably under any sane routing cutoff.
 const DIM: usize = 64;
@@ -337,6 +342,125 @@ fn run_routing(threads: usize, requests: usize, routing: RoutingPolicy) -> Routi
     }
 }
 
+/// The `--tenants` mixed-priority QoS scenario: three tenants with very
+/// different weights and classes share one service, and the run reports
+/// what weighted-fair scheduling bought each of them — per-tenant latency
+/// percentiles, deadline-met rate, and shed count.
+struct QosRun {
+    rps: f64,
+    rows: Vec<QosTenantRow>,
+}
+
+struct QosTenantRow {
+    tenant: u32,
+    weight: u64,
+    class: &'static str,
+    submitted: usize,
+    p50_us: f64,
+    p99_us: f64,
+    /// Percentage of deadline-carrying completions that met their deadline;
+    /// 100 for tenants that attach no deadlines.
+    deadline_met_pct: f64,
+    shed: u64,
+}
+
+/// Tenant mix: an interactive tenant (weight 8, High class, every request
+/// deadlined), a batch tenant (weight 2, Normal), and a misbehaving flood
+/// tenant (weight 1, Low) that submits half of all traffic.
+const QOS_TENANTS: [(u32, u64, Priority, &str); 3] = [
+    (1, 8, Priority::High, "high"),
+    (2, 2, Priority::Normal, "normal"),
+    (3, 1, Priority::Low, "low"),
+];
+
+fn run_qos(threads: usize, max_batch: usize, requests: usize) -> QosRun {
+    let service = GemmService::<f64>::new(ServiceConfig {
+        threads,
+        max_batch,
+        tenants: TenantTable::new().tenant(1, 8).tenant(2, 2).tenant(3, 1),
+        ..ServiceConfig::default()
+    });
+    // i % 4: 0 -> interactive, 1 -> batch, 2 and 3 -> flood (half the load).
+    let tenant_of = |i: usize| match i % 4 {
+        0 => QOS_TENANTS[0],
+        1 => QOS_TENANTS[1],
+        _ => QOS_TENANTS[2],
+    };
+    let problems: Vec<_> = (0..requests as u64)
+        .map(|i| {
+            (
+                Matrix::<f64>::random(DIM, DIM, i),
+                Matrix::<f64>::random(DIM, DIM, i + 1_000),
+            )
+        })
+        .collect();
+
+    let (sink, mut completions) = completion_channel::<f64>();
+    let mut tagged: HashMap<u64, (u32, Instant)> = HashMap::with_capacity(requests);
+    let t0 = Instant::now();
+    for (i, (a, b)) in problems.into_iter().enumerate() {
+        let (tenant, _, class, _) = tenant_of(i);
+        let mut req = GemmRequest::new(a, b)
+            .with_tenant(tenant)
+            .with_priority(class);
+        if tenant == 1 {
+            // Generous enough that a healthy service meets it; the learned
+            // admission model and queue-expiry shedding both stay armed.
+            req = req.with_deadline(Duration::from_secs(30));
+        }
+        let id = service
+            .submit_streamed(req, &sink)
+            .expect("submit_streamed");
+        tagged.insert(id, (tenant, Instant::now()));
+    }
+    let mut latencies_us: HashMap<u32, Vec<f64>> = HashMap::new();
+    while let Some(completion) = completions.recv() {
+        let (tenant, submitted) = tagged[&completion.id];
+        match completion.result {
+            Ok(_) => latencies_us
+                .entry(tenant)
+                .or_default()
+                .push(submitted.elapsed().as_secs_f64() * 1e6),
+            // Shed requests show up in the snapshot's per-tenant counters.
+            Err(ServeError::DeadlineExceeded(_)) => {}
+            Err(e) => panic!("request failed: {e}"),
+        }
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let snap = service.shutdown();
+    let rows = QOS_TENANTS
+        .iter()
+        .map(|&(tenant, weight, _, class)| {
+            let lat = latencies_us.remove(&tenant).unwrap_or_default();
+            let t = snap
+                .per_tenant
+                .iter()
+                .find(|t| t.tenant == tenant)
+                .copied()
+                .unwrap_or_default();
+            let dl_total = t.deadline_met + t.deadline_missed;
+            QosTenantRow {
+                tenant,
+                weight,
+                class,
+                submitted: (0..requests).filter(|&i| tenant_of(i).0 == tenant).count(),
+                p50_us: percentile(&lat, 50.0),
+                p99_us: percentile(&lat, 99.0),
+                deadline_met_pct: if dl_total == 0 {
+                    100.0
+                } else {
+                    100.0 * t.deadline_met as f64 / dl_total as f64
+                },
+                shed: t.shed,
+            }
+        })
+        .collect();
+    QosRun {
+        rps: requests as f64 / elapsed,
+        rows,
+    }
+}
+
 fn main() {
     let args = Args::parse();
     let threads = args.threads;
@@ -589,6 +713,57 @@ fn main() {
         topology.num_nodes()
     );
 
+    // Sixth pass (`--tenants`): the mixed-priority multi-tenant scenario —
+    // what weighted-fair scheduling, deadlines, and shedding look like when
+    // an interactive tenant, a batch tenant, and a flooding tenant share
+    // the service.
+    let qos = args.tenants.then(|| {
+        let run = run_qos(threads, SURFACE_BATCH, requests);
+        let mut qos_table = Table::new(
+            &format!("Multi-tenant QoS — mixed-priority mix at max_batch {SURFACE_BATCH}"),
+            &[
+                "tenant",
+                "weight",
+                "class",
+                "requests",
+                "p50 (us)",
+                "p99 (us)",
+                "deadline met",
+                "shed",
+            ],
+        );
+        let mut json_rows = JsonValue::arr();
+        for row in &run.rows {
+            qos_table.row(vec![
+                row.tenant.to_string(),
+                row.weight.to_string(),
+                row.class.to_string(),
+                row.submitted.to_string(),
+                format!("{:.0}", row.p50_us),
+                format!("{:.0}", row.p99_us),
+                format!("{:.0}%", row.deadline_met_pct),
+                row.shed.to_string(),
+            ]);
+            json_rows = json_rows.push(
+                JsonValue::obj()
+                    .field("tenant", u64::from(row.tenant))
+                    .field("weight", row.weight)
+                    .field("class", row.class)
+                    .field("requests", row.submitted)
+                    .field("p50_latency_us", row.p50_us)
+                    .field("p99_latency_us", row.p99_us)
+                    .field("deadline_met_pct", row.deadline_met_pct)
+                    .field("shed", row.shed),
+            );
+        }
+        qos_table.print();
+        println!("qos run: {:.0} req/s across 3 tenants", run.rps);
+        JsonValue::obj()
+            .field("max_batch", SURFACE_BATCH)
+            .field("rps", run.rps)
+            .field("per_tenant", json_rows)
+    });
+
     let json = JsonValue::obj()
         .field("bench", "serve_throughput")
         .field("requests", requests)
@@ -637,6 +812,10 @@ fn main() {
                 .field("rps", numa.rps)
                 .field("per_node", json_numa_rows),
         );
+    let json = match qos {
+        Some(qos) => json.field("qos", qos),
+        None => json,
+    };
     match write_bench_json(&args.out_dir, "serve_throughput", &json) {
         Ok(p) => println!("\nJSON written to {}", p.display()),
         Err(e) => eprintln!("JSON write failed: {e}"),

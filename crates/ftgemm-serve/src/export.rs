@@ -19,7 +19,8 @@
 //! | `ftgemm_requests_in_flight_async` | gauge | | `in_flight_async` |
 //! | `ftgemm_requests_completed_total` | counter | | `completed` |
 //! | `ftgemm_requests_failed_total` | counter | | `failed` |
-//! | `ftgemm_requests_rejected_total` | counter | `reason` (`overloaded`/`closed`) | `rejected_overloaded`, `rejected_closed` |
+//! | `ftgemm_requests_rejected_total` | counter | `reason` (`overloaded`/`closed`/`deadline`) | `rejected_overloaded`, `rejected_closed`, `rejected_deadline` |
+//! | `ftgemm_requests_shed_deadline_total` | counter | | `shed_deadline` |
 //! | `ftgemm_batches_total` | counter | | `batches` |
 //! | `ftgemm_batched_requests_total` | counter | | `batched_requests` |
 //! | `ftgemm_direct_large_total` | counter | | `direct_large` |
@@ -46,6 +47,13 @@
 //! | `ftgemm_node_stolen_total` | counter | `node` | `per_node[].stolen` |
 //! | `ftgemm_node_batch_wall_seconds_total` | counter | `node` | `per_node[].batch_wall` |
 //! | `ftgemm_node_batch_busy_seconds_total` | counter | `node` | `per_node[].batch_busy` |
+//! | `ftgemm_tenant_admitted_total` | counter | `tenant` | `per_tenant[].admitted` |
+//! | `ftgemm_tenant_completed_total` | counter | `tenant` | `per_tenant[].completed` |
+//! | `ftgemm_tenant_shed_total` | counter | `tenant` | `per_tenant[].shed` |
+//! | `ftgemm_tenant_rejected_deadline_total` | counter | `tenant` | `per_tenant[].rejected_deadline` |
+//! | `ftgemm_tenant_deadline_met_total` | counter | `tenant` | `per_tenant[].deadline_met` |
+//! | `ftgemm_tenant_deadline_missed_total` | counter | `tenant` | `per_tenant[].deadline_missed` |
+//! | `ftgemm_tenant_served_flops_total` | counter | `tenant` | `per_tenant[].served_flops` |
 //! | `ftgemm_service_pool_regions_total` | counter | | `pool.regions` |
 //! | `ftgemm_service_pool_barrier_crossings_total` | counter | | `pool.barrier_crossings` |
 //! | `ftgemm_request_turnaround_seconds` | histogram | | live histogram (obs-enabled services) |
@@ -166,6 +174,18 @@ pub fn render_snapshot(expo: &mut Exposition, snap: &StatsSnapshot) {
         "ftgemm_requests_rejected_total",
         &[("reason", "closed")],
         snap.rejected_closed as f64,
+    );
+    expo.sample(
+        "ftgemm_requests_rejected_total",
+        &[("reason", "deadline")],
+        snap.rejected_deadline as f64,
+    );
+    scalar(
+        expo,
+        "ftgemm_requests_shed_deadline_total",
+        Counter,
+        "Admitted requests load-shed at dispatch after their deadline expired in queue.",
+        snap.shed_deadline as f64,
     );
     scalar(
         expo,
@@ -363,6 +383,69 @@ pub fn render_snapshot(expo: &mut Exposition, snap: &StatsSnapshot) {
         );
     }
 
+    expo.family(
+        "ftgemm_tenant_admitted_total",
+        Counter,
+        "Requests admitted per tenant (past validation and admission control).",
+    );
+    expo.family(
+        "ftgemm_tenant_completed_total",
+        Counter,
+        "Requests served to completion per tenant.",
+    );
+    expo.family(
+        "ftgemm_tenant_shed_total",
+        Counter,
+        "Requests load-shed at dispatch per tenant (deadline expired while queued).",
+    );
+    expo.family(
+        "ftgemm_tenant_rejected_deadline_total",
+        Counter,
+        "Submits turned away by deadline admission control per tenant.",
+    );
+    expo.family(
+        "ftgemm_tenant_deadline_met_total",
+        Counter,
+        "Completed requests that carried a deadline and finished in time, per tenant.",
+    );
+    expo.family(
+        "ftgemm_tenant_deadline_missed_total",
+        Counter,
+        "Completed requests that carried a deadline and finished late, per tenant.",
+    );
+    expo.family(
+        "ftgemm_tenant_served_flops_total",
+        Counter,
+        "Planned multiply-adds of completed requests per tenant (the weighted-fair share unit).",
+    );
+    for t in &snap.per_tenant {
+        let tenant = t.tenant.to_string();
+        let labels = [("tenant", tenant.as_str())];
+        expo.sample("ftgemm_tenant_admitted_total", &labels, t.admitted as f64);
+        expo.sample("ftgemm_tenant_completed_total", &labels, t.completed as f64);
+        expo.sample("ftgemm_tenant_shed_total", &labels, t.shed as f64);
+        expo.sample(
+            "ftgemm_tenant_rejected_deadline_total",
+            &labels,
+            t.rejected_deadline as f64,
+        );
+        expo.sample(
+            "ftgemm_tenant_deadline_met_total",
+            &labels,
+            t.deadline_met as f64,
+        );
+        expo.sample(
+            "ftgemm_tenant_deadline_missed_total",
+            &labels,
+            t.deadline_missed as f64,
+        );
+        expo.sample(
+            "ftgemm_tenant_served_flops_total",
+            &labels,
+            t.served_flops as f64,
+        );
+    }
+
     scalar(
         expo,
         "ftgemm_service_pool_regions_total",
@@ -414,6 +497,8 @@ mod tests {
         assert!(s.contains("ftgemm_requests_submitted_total 7\n"), "{s}");
         assert!(s.contains("ftgemm_node_dispatched_total{node=\"1\"} 4\n"));
         assert!(s.contains("ftgemm_requests_rejected_total{reason=\"overloaded\"} 0\n"));
+        assert!(s.contains("ftgemm_requests_rejected_total{reason=\"deadline\"} 0\n"));
+        assert!(s.contains("ftgemm_requests_shed_deadline_total 0\n"));
         assert!(s.contains("ftgemm_batch_thread_busy_seconds_total{thread=\"2\"} 0\n"));
         // One TYPE header per family even with labeled instances.
         for family in [
@@ -427,6 +512,44 @@ mod tests {
                 "{family}"
             );
         }
+    }
+
+    #[test]
+    fn tenant_families_render_one_row_per_tenant() {
+        use crate::stats::TenantStats;
+        let mut snap = StatsSnapshot::empty_for_test(1, 1);
+        snap.per_tenant = vec![
+            TenantStats {
+                tenant: 0,
+                admitted: 5,
+                completed: 4,
+                shed: 1,
+                rejected_deadline: 2,
+                deadline_met: 3,
+                deadline_missed: 1,
+                served_flops: 4096,
+            },
+            TenantStats {
+                tenant: 9,
+                admitted: 1,
+                ..TenantStats::default()
+            },
+        ];
+        let mut expo = Exposition::new();
+        render_snapshot(&mut expo, &snap);
+        let s = expo.finish();
+        assert!(
+            s.contains("ftgemm_tenant_admitted_total{tenant=\"0\"} 5\n"),
+            "{s}"
+        );
+        assert!(s.contains("ftgemm_tenant_admitted_total{tenant=\"9\"} 1\n"));
+        assert!(s.contains("ftgemm_tenant_completed_total{tenant=\"0\"} 4\n"));
+        assert!(s.contains("ftgemm_tenant_shed_total{tenant=\"0\"} 1\n"));
+        assert!(s.contains("ftgemm_tenant_rejected_deadline_total{tenant=\"0\"} 2\n"));
+        assert!(s.contains("ftgemm_tenant_deadline_met_total{tenant=\"0\"} 3\n"));
+        assert!(s.contains("ftgemm_tenant_deadline_missed_total{tenant=\"0\"} 1\n"));
+        assert!(s.contains("ftgemm_tenant_served_flops_total{tenant=\"0\"} 4096\n"));
+        assert_eq!(s.matches("# TYPE ftgemm_tenant_admitted_total ").count(), 1);
     }
 
     #[test]

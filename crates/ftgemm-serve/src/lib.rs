@@ -124,6 +124,7 @@ pub mod exec;
 pub mod export;
 mod handle;
 mod placement;
+pub mod qos;
 mod queue;
 mod request;
 pub mod routing;
@@ -142,10 +143,11 @@ pub use ftgemm_pool::{NodeSpec, Topology};
 
 pub use handle::{AsyncRequestHandle, RequestHandle};
 pub use placement::PlacementPolicy;
+pub use qos::{Priority, SchedSim, TenantId, TenantTable, DEFAULT_TENANT};
 pub use request::{GemmRequest, GemmRequestBuilder, GemmResponse, ServeError};
 pub use routing::{AdaptiveConfig, CutoffLearner, RoutePath, RoutingPolicy, RoutingSnapshot};
 pub use service::{GemmService, ServiceConfig, DEFAULT_SMALL_FLOPS_CUTOFF};
-pub use stats::{NodeStats, StatsSnapshot};
+pub use stats::{NodeStats, StatsSnapshot, TenantStats};
 pub use stream::{completion_channel, Completion, CompletionSink, Completions, Next};
 
 #[cfg(test)]
@@ -190,6 +192,9 @@ mod tests {
             policy: FtPolicy::Off,
             injector: None,
             home: None,
+            tenant: DEFAULT_TENANT,
+            priority: Priority::Normal,
+            deadline: None,
         };
         assert!(matches!(service.submit(req), Err(ServeError::Shape(_))));
     }
@@ -349,6 +354,9 @@ mod tests {
             policy: FtPolicy::Off,
             injector: None,
             home: None,
+            tenant: DEFAULT_TENANT,
+            priority: Priority::Normal,
+            deadline: None,
         };
         assert!(matches!(
             service.submit_async(bad),

@@ -32,8 +32,12 @@ pub enum PlacementPolicy {
     /// NUMA introspection is unavailable.
     #[default]
     OperandHome,
-    /// The node whose shard group is currently shallowest (ties break to
-    /// the lowest node id). Ignores locality in exchange for balance.
+    /// The node whose shard group currently holds the fewest *planned
+    /// flops* (ties break to the lowest node id). Load is measured in
+    /// work, not request count — one queued 4096³ GEMM weighs thousands of
+    /// times more than one 64³ — so a node buried under a single huge
+    /// request is not mistaken for idle. Ignores locality in exchange for
+    /// balance.
     LeastLoaded,
 }
 
@@ -56,13 +60,14 @@ impl Placer {
         self.policy
     }
 
-    /// Stamps a node affinity for `req`. `node_depths(i)` reports node
-    /// `i`'s current shard-group depth (only consulted by `LeastLoaded`).
+    /// Stamps a node affinity for `req`. `node_load(i)` reports node `i`'s
+    /// current shard-group backlog in planned flops (only consulted by
+    /// `LeastLoaded`).
     pub(crate) fn place<T: Scalar>(
         &self,
         req: &GemmRequest<T>,
         nodes: usize,
-        node_depths: impl Fn(usize) -> usize,
+        node_load: impl Fn(usize) -> u64,
     ) -> usize {
         debug_assert!(nodes >= 1);
         if nodes == 1 {
@@ -80,7 +85,7 @@ impl Placer {
                 }) % nodes
             }
             PlacementPolicy::LeastLoaded => (0..nodes)
-                .min_by_key(|&n| (node_depths(n), n))
+                .min_by_key(|&n| (node_load(n), n))
                 .expect("nodes >= 1"),
         }
     }
@@ -147,9 +152,21 @@ mod tests {
     #[test]
     fn least_loaded_picks_min_and_breaks_ties_low() {
         let placer = Placer::new(PlacementPolicy::LeastLoaded);
-        let depths = [3usize, 1, 2, 1];
-        assert_eq!(placer.place(&req(5), 4, |n| depths[n]), 1);
-        let even = [2usize, 2, 2];
+        let loads = [3u64, 1, 2, 1];
+        assert_eq!(placer.place(&req(5), 4, |n| loads[n]), 1);
+        let even = [2u64, 2, 2];
         assert_eq!(placer.place(&req(6), 3, |n| even[n]), 0);
+    }
+
+    #[test]
+    fn least_loaded_weighs_flops_not_request_count() {
+        // Node 0 holds one huge queued GEMM (2 * 1024^3 flops); node 1
+        // holds four tiny ones (4 * 2 * 16^3). Counting requests would call
+        // node 0 "less loaded"; counting flops must send work to node 1.
+        let placer = Placer::new(PlacementPolicy::LeastLoaded);
+        let huge = 2u64 * 1024 * 1024 * 1024;
+        let four_tiny = 4 * 2 * 16 * 16 * 16;
+        let loads = [huge, four_tiny];
+        assert_eq!(placer.place(&req(7), 2, |n| loads[n]), 1);
     }
 }

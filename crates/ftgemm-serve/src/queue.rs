@@ -27,8 +27,21 @@
 //! a *global, soft* bound: concurrent producers that pass the admission
 //! check together may overshoot it by at most the number of in-flight
 //! `push` calls.
+//!
+//! **QoS ordering.** Each group is two-stage: the lock-striped shards above
+//! are only the *inbox* (uncontended submit path); when a dispatcher pops,
+//! the group first drains its inbox into a per-group
+//! [`DrrScheduler`](crate::qos::DrrScheduler) and then pops in
+//! flops-weighted deficit-round-robin order across tenants
+//! (priority-then-EDF within each tenant's lane). FIFO tie-breaks use the
+//! submission id, so staging order across shards cannot reorder
+//! same-deadline requests. Every group also integrates its backlog in
+//! *flops* ([`node_pending_flops`](ShardedQueue::node_pending_flops)) —
+//! the load measure flops-aware placement and deadline admission control
+//! consume.
 
 use crate::handle::ResponseSlot;
+use crate::qos::{DrrScheduler, TenantTable, NO_DEADLINE};
 use crate::request::GemmRequest;
 use ftgemm_core::Scalar;
 use parking_lot::{Condvar, Mutex};
@@ -42,11 +55,19 @@ pub(crate) struct Envelope<T: Scalar> {
     pub req: GemmRequest<T>,
     pub slot: Arc<ResponseSlot<T>>,
     /// Submission-order id; mirrors the handle's id for tracing/tests.
+    /// Doubles as the scheduler's FIFO tie-break key.
     pub id: u64,
     /// Node affinity the placement policy stamped at submit time (selects
     /// the shard group; travels into the response for steal accounting).
     pub affinity: usize,
     pub submitted: Instant,
+    /// Absolute deadline (`submitted + req.deadline`), if the request set
+    /// one. Orders EDF within the priority class; the dispatcher sheds the
+    /// request once this passes.
+    pub deadline: Option<Instant>,
+    /// Planned flops, cached at submit: the DRR cost and the unit of the
+    /// group's backlog integral.
+    pub flops: u64,
 }
 
 /// Why a push was rejected (the envelope is dropped — its response slot
@@ -62,12 +83,20 @@ pub(crate) enum PushError {
 /// One node's independent set of submission shards plus its dispatcher's
 /// parking spot.
 struct NodeGroup<T: Scalar> {
+    /// Inbox stage: lock-striped FIFO shards absorbing concurrent pushes.
     shards: Vec<Mutex<VecDeque<Envelope<T>>>>,
     /// Round-robin cursor for shard selection within the group.
     rr: AtomicUsize,
-    /// Queued envelopes in this group (read by `LeastLoaded` placement and
-    /// the steal heuristic).
+    /// Scheduling stage: the inbox drains into this DRR/EDF scheduler at
+    /// pop time, so dispatch order reflects tenant weights and deadlines
+    /// over the whole group backlog.
+    sched: Mutex<DrrScheduler<Envelope<T>>>,
+    /// Queued envelopes in this group, inbox + scheduler (read by the
+    /// steal heuristic and the dispatcher wait predicate).
     depth: AtomicUsize,
+    /// Queued *flops* in this group, inbox + scheduler (read by
+    /// `LeastLoaded` placement and deadline admission control).
+    pending_flops: AtomicU64,
     /// Wakeup for this node's dispatcher thread.
     wake_lock: Mutex<()>,
     wake: Condvar,
@@ -91,17 +120,22 @@ pub(crate) struct ShardedQueue<T: Scalar> {
     /// Wakeup for producers parked on a full queue.
     space_lock: Mutex<()>,
     space: Condvar,
+    /// Reference instant for converting absolute deadlines into the
+    /// scheduler's monotone u64 key space.
+    epoch: Instant,
 }
 
 impl<T: Scalar> ShardedQueue<T> {
     /// `nodes` shard groups of `shards_per_node` shards each;
     /// `capacity == 0` means unbounded. Groups deeper than
-    /// `steal_threshold` become steal-eligible.
+    /// `steal_threshold` become steal-eligible. `tenants` configures the
+    /// DRR weights every group schedules by.
     pub(crate) fn new(
         nodes: usize,
         shards_per_node: usize,
         capacity: usize,
         steal_threshold: usize,
+        tenants: TenantTable,
     ) -> Self {
         assert!(nodes >= 1, "queue needs at least one node group");
         assert!(shards_per_node >= 1, "groups need at least one shard");
@@ -112,7 +146,9 @@ impl<T: Scalar> ShardedQueue<T> {
                         .map(|_| Mutex::new(VecDeque::new()))
                         .collect(),
                     rr: AtomicUsize::new(0),
+                    sched: Mutex::new(DrrScheduler::new(tenants.clone())),
                     depth: AtomicUsize::new(0),
+                    pending_flops: AtomicU64::new(0),
                     wake_lock: Mutex::new(()),
                     wake: Condvar::new(),
                 })
@@ -125,6 +161,7 @@ impl<T: Scalar> ShardedQueue<T> {
             closed: AtomicBool::new(false),
             space_lock: Mutex::new(()),
             space: Condvar::new(),
+            epoch: Instant::now(),
         }
     }
 
@@ -152,10 +189,11 @@ impl<T: Scalar> ShardedQueue<T> {
         let group = &self.groups[node];
         let shard = group.rr.fetch_add(1, Ordering::Relaxed) % group.shards.len();
         let prev_group_depth = {
-            // Increment depths while the shard lock is held: pop paths
-            // decrement under the same lock after removing the envelope, so
-            // neither counter can transiently underflow.
+            // Increment depths while the shard lock is held: pop paths only
+            // decrement after taking possession of an envelope, so neither
+            // counter can transiently underflow.
             let mut q = group.shards[shard].lock();
+            group.pending_flops.fetch_add(env.flops, Ordering::Release);
             q.push_back(env);
             self.depth.fetch_add(1, Ordering::Release);
             group.depth.fetch_add(1, Ordering::Release)
@@ -228,30 +266,49 @@ impl<T: Scalar> ShardedQueue<T> {
         Ok(())
     }
 
-    /// Pops up to `max` envelopes from one node's shard group, sweeping its
-    /// shards round-robin.
+    /// Pops up to `max` envelopes from one node's group in QoS order:
+    /// drains the inbox shards into the group's DRR/EDF scheduler, then
+    /// pops per tenant weight / priority class / deadline.
     pub(crate) fn pop_node(&self, node: usize, max: usize) -> Vec<Envelope<T>> {
         let mut out = Vec::new();
         if max == 0 {
             return out;
         }
         let group = &self.groups[node];
-        'sweep: loop {
-            let mut drained_any = false;
+        {
+            let mut sched = group.sched.lock();
+            // Stage 1: move the whole inbox into the scheduler so the pop
+            // below chooses over the full group backlog. Tie-breaking by
+            // submission id means the shard sweep order cannot reorder
+            // same-class same-deadline requests. (Lock order sched → shard;
+            // the push path takes shard locks only, so no cycle.)
             for shard in &group.shards {
                 let mut q = shard.lock();
                 while let Some(env) = q.pop_front() {
-                    group.depth.fetch_sub(1, Ordering::Release);
-                    self.depth.fetch_sub(1, Ordering::Release);
-                    out.push(env);
-                    drained_any = true;
-                    if out.len() == max {
-                        break 'sweep;
-                    }
+                    let deadline_ns = env
+                        .deadline
+                        .map(|d| d.saturating_duration_since(self.epoch).as_nanos() as u64)
+                        .unwrap_or(NO_DEADLINE);
+                    let (tenant, class, cost, seq) =
+                        (env.req.tenant, env.req.priority, env.flops, env.id);
+                    sched.push(tenant, class, deadline_ns, cost, seq, env);
                 }
             }
-            if !drained_any {
-                break;
+            // Stage 2: pop in DRR order. Depth/flops counters cover both
+            // stages, so they only drop here, when an envelope leaves the
+            // group for good.
+            while out.len() < max {
+                match sched.pop() {
+                    Some(s) => {
+                        group.depth.fetch_sub(1, Ordering::Release);
+                        self.depth.fetch_sub(1, Ordering::Release);
+                        group
+                            .pending_flops
+                            .fetch_sub(s.cost_flops, Ordering::Release);
+                        out.push(s.payload);
+                    }
+                    None => break,
+                }
             }
         }
         self.after_pop(&out);
@@ -296,6 +353,14 @@ impl<T: Scalar> ShardedQueue<T> {
     /// concurrency).
     pub(crate) fn node_depth(&self, node: usize) -> usize {
         self.groups[node].depth.load(Ordering::Acquire)
+    }
+
+    /// Flops-integrated backlog of one node's group (inbox + scheduler;
+    /// approximate under concurrency). One huge queued GEMM weighs what it
+    /// costs, not "1" — this is the load measure flops-aware placement and
+    /// deadline admission control read.
+    pub(crate) fn node_pending_flops(&self, node: usize) -> u64 {
+        self.groups[node].pending_flops.load(Ordering::Acquire)
     }
 
     /// Parks `node`'s dispatcher until there is something for it to do:
@@ -345,27 +410,49 @@ impl<T: Scalar> ShardedQueue<T> {
 mod tests {
     use super::*;
     use crate::handle::RequestHandle;
+    use crate::qos::Priority;
     use ftgemm_core::Matrix;
 
-    fn env_on(q: &ShardedQueue<f64>, affinity: usize) -> Envelope<f64> {
+    fn envelope_for(
+        q: &ShardedQueue<f64>,
+        affinity: usize,
+        req: GemmRequest<f64>,
+    ) -> Envelope<f64> {
         let id = q.next_id();
         let (_h, slot) = RequestHandle::pair(id);
+        let submitted = Instant::now();
+        let deadline = req.deadline.map(|d| submitted + d);
+        let flops = req.flops();
         Envelope {
-            req: GemmRequest::new(Matrix::zeros(2, 2), Matrix::zeros(2, 2)),
+            req,
             slot,
             id,
             affinity,
-            submitted: Instant::now(),
+            submitted,
+            deadline,
+            flops,
         }
+    }
+
+    fn env_on(q: &ShardedQueue<f64>, affinity: usize) -> Envelope<f64> {
+        envelope_for(
+            q,
+            affinity,
+            GemmRequest::new(Matrix::zeros(2, 2), Matrix::zeros(2, 2)),
+        )
     }
 
     fn env(q: &ShardedQueue<f64>) -> Envelope<f64> {
         env_on(q, 0)
     }
 
+    fn queue(nodes: usize, shards: usize, capacity: usize, gate: usize) -> ShardedQueue<f64> {
+        ShardedQueue::new(nodes, shards, capacity, gate, TenantTable::default())
+    }
+
     #[test]
     fn push_pop_preserves_count_and_order_ids() {
-        let q = ShardedQueue::<f64>::new(1, 3, 0, 8);
+        let q = queue(1, 3, 0, 8);
         for _ in 0..10 {
             q.push(env(&q)).map_err(|_| ()).unwrap();
         }
@@ -383,7 +470,7 @@ mod tests {
 
     #[test]
     fn affinity_routes_to_node_groups() {
-        let q = ShardedQueue::<f64>::new(3, 2, 0, 8);
+        let q = queue(3, 2, 0, 8);
         for affinity in [0usize, 1, 1, 2, 2, 2] {
             q.push(env_on(&q, affinity)).map_err(|_| ()).unwrap();
         }
@@ -407,7 +494,7 @@ mod tests {
 
     #[test]
     fn out_of_range_affinity_wraps() {
-        let q = ShardedQueue::<f64>::new(2, 1, 0, 8);
+        let q = queue(2, 1, 0, 8);
         q.push(env_on(&q, 5)).map_err(|_| ()).unwrap(); // 5 % 2 == 1
         assert_eq!(q.node_depth(1), 1);
         assert_eq!(q.pop_node(1, 8).len(), 1);
@@ -415,7 +502,7 @@ mod tests {
 
     #[test]
     fn close_rejects_new_work_but_drains_old() {
-        let q = ShardedQueue::<f64>::new(2, 2, 0, 8);
+        let q = queue(2, 2, 0, 8);
         q.push(env_on(&q, 1)).map_err(|_| ()).unwrap();
         q.close();
         assert!(q.is_closed());
@@ -431,7 +518,7 @@ mod tests {
 
     #[test]
     fn wait_node_wakes_on_own_group_push() {
-        let q = Arc::new(ShardedQueue::<f64>::new(2, 2, 0, 8));
+        let q = Arc::new(queue(2, 2, 0, 8));
         let q2 = Arc::clone(&q);
         let waiter = std::thread::spawn(move || q2.wait_node(1));
         std::thread::sleep(std::time::Duration::from_millis(20));
@@ -441,7 +528,7 @@ mod tests {
 
     #[test]
     fn below_threshold_pushes_do_not_wake_other_dispatchers() {
-        let q = Arc::new(ShardedQueue::<f64>::new(2, 1, 0, 4));
+        let q = Arc::new(queue(2, 1, 0, 4));
         let q2 = Arc::clone(&q);
         // Dispatcher 1 parks; its group stays empty.
         let waiter = std::thread::spawn(move || q2.wait_node(1));
@@ -460,7 +547,7 @@ mod tests {
 
     #[test]
     fn steal_wakeups_counted_only_at_threshold_crossings() {
-        let q = ShardedQueue::<f64>::new(2, 1, 0, 3);
+        let q = queue(2, 1, 0, 3);
         for _ in 0..3 {
             q.push(env_on(&q, 0)).map_err(|_| ()).unwrap();
         }
@@ -479,7 +566,7 @@ mod tests {
 
     #[test]
     fn wait_wakes_on_close() {
-        let q = Arc::new(ShardedQueue::<f64>::new(1, 1, 0, 8));
+        let q = Arc::new(queue(1, 1, 0, 8));
         let q2 = Arc::clone(&q);
         let waiter = std::thread::spawn(move || q2.wait_node(0));
         std::thread::sleep(std::time::Duration::from_millis(20));
@@ -489,7 +576,7 @@ mod tests {
 
     #[test]
     fn closed_queue_drain_mode_never_parks_dispatchers() {
-        let q = ShardedQueue::<f64>::new(2, 1, 0, 8);
+        let q = queue(2, 1, 0, 8);
         q.push(env_on(&q, 0)).map_err(|_| ()).unwrap();
         q.close();
         // Drain mode: every dispatcher sees node 0's remainder immediately
@@ -504,7 +591,7 @@ mod tests {
 
     #[test]
     fn try_push_fails_fast_at_capacity() {
-        let q = ShardedQueue::<f64>::new(2, 1, 2, 8);
+        let q = queue(2, 1, 2, 8);
         q.try_push(env_on(&q, 0)).map_err(|_| ()).unwrap();
         q.try_push(env_on(&q, 1)).map_err(|_| ()).unwrap();
         // Capacity is global across groups.
@@ -516,7 +603,7 @@ mod tests {
 
     #[test]
     fn blocking_push_parks_until_drained() {
-        let q = Arc::new(ShardedQueue::<f64>::new(1, 1, 1, 8));
+        let q = Arc::new(queue(1, 1, 1, 8));
         q.push(env(&q)).map_err(|_| ()).unwrap();
         let q2 = Arc::clone(&q);
         let producer = std::thread::spawn(move || {
@@ -531,8 +618,98 @@ mod tests {
     }
 
     #[test]
+    fn pending_flops_tracks_inbox_and_scheduler() {
+        let q = queue(2, 2, 0, 8);
+        // 2x2x2 → 16 flops each.
+        q.push(env_on(&q, 0)).map_err(|_| ()).unwrap();
+        q.push(env_on(&q, 0)).map_err(|_| ()).unwrap();
+        q.push(env_on(&q, 1)).map_err(|_| ()).unwrap();
+        assert_eq!(q.node_pending_flops(0), 32);
+        assert_eq!(q.node_pending_flops(1), 16);
+        // Partial pop: one envelope leaves, the other is staged in the
+        // scheduler but still counts.
+        assert_eq!(q.pop_node(0, 1).len(), 1);
+        assert_eq!(q.node_pending_flops(0), 16);
+        assert_eq!(q.pop_node(0, usize::MAX).len(), 1);
+        assert_eq!(q.node_pending_flops(0), 0);
+        assert_eq!(q.node_pending_flops(1), 16);
+    }
+
+    #[test]
+    fn pop_node_orders_by_tenant_weight_and_priority() {
+        // Weighted tenants: 3:1 over equal-cost requests, and within one
+        // tenant's lane High precedes Normal regardless of arrival order.
+        let table = TenantTable::default()
+            .tenant(1, 3)
+            .tenant(2, 1)
+            .quantum_flops(16);
+        let q = ShardedQueue::<f64>::new(1, 2, 0, 8, table);
+        let mk = |tenant, priority| {
+            envelope_for(
+                &q,
+                0,
+                GemmRequest::new(Matrix::zeros(2, 2), Matrix::zeros(2, 2))
+                    .with_tenant(tenant)
+                    .with_priority(priority),
+            )
+        };
+        // Tenant 1: normal, normal, high (arrives last); tenant 2: 4x normal.
+        q.push(mk(1, Priority::Normal)).map_err(|_| ()).unwrap();
+        q.push(mk(1, Priority::Normal)).map_err(|_| ()).unwrap();
+        for _ in 0..4 {
+            q.push(mk(2, Priority::Normal)).map_err(|_| ()).unwrap();
+        }
+        q.push(mk(1, Priority::High)).map_err(|_| ()).unwrap();
+        let order: Vec<(u32, Priority)> = q
+            .pop_node(0, usize::MAX)
+            .into_iter()
+            .map(|e| (e.req.tenant, e.req.priority))
+            .collect();
+        // Round 1: tenant 1 gets 3 quanta (High first, then the two
+        // Normals FIFO), tenant 2 gets 1; then tenant 2 drains alone.
+        assert_eq!(
+            order,
+            vec![
+                (1, Priority::High),
+                (1, Priority::Normal),
+                (1, Priority::Normal),
+                (2, Priority::Normal),
+                (2, Priority::Normal),
+                (2, Priority::Normal),
+                (2, Priority::Normal),
+            ]
+        );
+    }
+
+    #[test]
+    fn pop_node_orders_edf_within_class_across_shards() {
+        // Deadline-bearing requests pop earliest-first even though the
+        // inbox spreads them round-robin over two shards.
+        let q = queue(1, 2, 0, 8);
+        let mk = |deadline_ms| {
+            envelope_for(
+                &q,
+                0,
+                GemmRequest::new(Matrix::zeros(2, 2), Matrix::zeros(2, 2))
+                    .with_deadline(std::time::Duration::from_millis(deadline_ms)),
+            )
+        };
+        let (far, near, mid) = (mk(500), mk(5), mk(50));
+        let (far_id, near_id, mid_id) = (far.id, near.id, mid.id);
+        q.push(far).map_err(|_| ()).unwrap();
+        q.push(near).map_err(|_| ()).unwrap();
+        q.push(mid).map_err(|_| ()).unwrap();
+        let order: Vec<u64> = q
+            .pop_node(0, usize::MAX)
+            .into_iter()
+            .map(|e| e.id)
+            .collect();
+        assert_eq!(order, vec![near_id, mid_id, far_id]);
+    }
+
+    #[test]
     fn close_unparks_blocked_producer() {
-        let q = Arc::new(ShardedQueue::<f64>::new(1, 1, 1, 8));
+        let q = Arc::new(queue(1, 1, 1, 8));
         q.push(env(&q)).map_err(|_| ()).unwrap();
         let q2 = Arc::clone(&q);
         let producer = std::thread::spawn(move || {

@@ -1,8 +1,12 @@
 //! Request/response types and the service error enum.
 
+use std::time::Duration;
+
 use ftgemm_abft::{FtError, FtPolicy, FtReport};
 use ftgemm_core::{Matrix, Scalar};
 use ftgemm_faults::FaultInjector;
+
+use crate::qos::{Priority, TenantId, DEFAULT_TENANT};
 
 /// One GEMM problem submitted to a [`GemmService`](crate::GemmService):
 /// `C = alpha*A*B + beta*C`.
@@ -32,6 +36,21 @@ pub struct GemmRequest<T: Scalar> {
     /// beyond the node count wrap); `None` lets the service derive a home
     /// from the operand addresses.
     pub home: Option<usize>,
+    /// Owning tenant for QoS scheduling ([`DEFAULT_TENANT`] when unset).
+    /// The tenant's weight in
+    /// [`ServiceConfig::tenants`](crate::ServiceConfig) fixes its
+    /// cross-tenant flops share under the deficit-round-robin scheduler.
+    pub tenant: TenantId,
+    /// Priority class within the tenant's lane
+    /// ([`Priority::Normal`] when unset). Orders this tenant's own work;
+    /// does not change its cross-tenant share.
+    pub priority: Priority,
+    /// Optional deadline, relative to submission time. Admission control
+    /// rejects the request up front ([`ServeError::DeadlineExceeded`]) when
+    /// the learned ns/flop model says the backlog makes it infeasible, and
+    /// the dispatcher sheds it with the same error if it expires while
+    /// queued.
+    pub deadline: Option<Duration>,
 }
 
 impl<T: Scalar> GemmRequest<T> {
@@ -53,6 +72,9 @@ impl<T: Scalar> GemmRequest<T> {
             policy: FtPolicy::default(),
             injector: None,
             home: None,
+            tenant: DEFAULT_TENANT,
+            priority: Priority::default(),
+            deadline: None,
         }
     }
 
@@ -70,6 +92,9 @@ impl<T: Scalar> GemmRequest<T> {
             policy: FtPolicy::default(),
             injector: None,
             home: None,
+            tenant: DEFAULT_TENANT,
+            priority: Priority::default(),
+            deadline: None,
         }
     }
 
@@ -107,6 +132,27 @@ impl<T: Scalar> GemmRequest<T> {
     #[must_use]
     pub fn with_home(mut self, node: usize) -> Self {
         self.home = Some(node);
+        self
+    }
+
+    /// Tags the request with its owning tenant.
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
+    /// Sets the priority class within the tenant's lane.
+    #[must_use]
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets a completion deadline relative to submission time.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
         self
     }
 
@@ -148,6 +194,9 @@ pub struct GemmRequestBuilder<T: Scalar> {
     policy: FtPolicy,
     injector: Option<FaultInjector>,
     home: Option<usize>,
+    tenant: TenantId,
+    priority: Priority,
+    deadline: Option<Duration>,
 }
 
 impl<T: Scalar> GemmRequestBuilder<T> {
@@ -190,6 +239,29 @@ impl<T: Scalar> GemmRequestBuilder<T> {
         self
     }
 
+    /// Tags the request with its owning tenant (default
+    /// [`DEFAULT_TENANT`]).
+    #[must_use]
+    pub fn tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
+    /// Sets the priority class within the tenant's lane (default
+    /// [`Priority::Normal`]).
+    #[must_use]
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets a completion deadline relative to submission time.
+    #[must_use]
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
     /// Finishes the request, validating operand shapes.
     pub fn build(self) -> Result<GemmRequest<T>, ServeError> {
         let (m, k) = (self.a.nrows(), self.a.ncols());
@@ -219,6 +291,9 @@ impl<T: Scalar> GemmRequestBuilder<T> {
             policy: self.policy,
             injector: self.injector,
             home: self.home,
+            tenant: self.tenant,
+            priority: self.priority,
+            deadline: self.deadline,
         })
     }
 }
@@ -267,6 +342,13 @@ pub enum ServeError {
     /// The submission queue is at capacity and the caller asked not to
     /// block (async submit surface). Shed load or retry later.
     Overloaded,
+    /// The request's deadline cannot (or could not) be met. Returned at
+    /// submit time when admission control's learned ns/flop model says the
+    /// queued backlog makes the deadline infeasible, and at dispatch time
+    /// when a queued request's deadline expired before it reached a worker
+    /// (load shedding). The string describes which case fired and the
+    /// estimate involved.
+    DeadlineExceeded(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -276,6 +358,9 @@ impl std::fmt::Display for ServeError {
             ServeError::Ft(e) => write!(f, "fault-tolerant driver error: {e}"),
             ServeError::Closed => write!(f, "service closed"),
             ServeError::Overloaded => write!(f, "submission queue at capacity"),
+            ServeError::DeadlineExceeded(detail) => {
+                write!(f, "deadline exceeded: {detail}")
+            }
         }
     }
 }
@@ -313,6 +398,9 @@ mod tests {
             policy: FtPolicy::Off,
             injector: None,
             home: None,
+            tenant: DEFAULT_TENANT,
+            priority: Priority::Normal,
+            deadline: None,
         };
         assert!(matches!(r.validate(), Err(ServeError::Shape(_))));
     }
@@ -360,6 +448,39 @@ mod tests {
         assert_eq!(r.beta, 0.5);
         assert_eq!(r.policy, FtPolicy::Detect);
         assert_eq!(r.home, Some(1));
+    }
+
+    #[test]
+    fn qos_fields_default_and_thread_through_both_builders() {
+        let r = GemmRequest::new(Matrix::<f64>::zeros(2, 2), Matrix::<f64>::zeros(2, 2));
+        assert_eq!(r.tenant, DEFAULT_TENANT);
+        assert_eq!(r.priority, Priority::Normal);
+        assert_eq!(r.deadline, None);
+
+        let r = r
+            .with_tenant(7)
+            .with_priority(Priority::High)
+            .with_deadline(Duration::from_millis(5));
+        assert_eq!(r.tenant, 7);
+        assert_eq!(r.priority, Priority::High);
+        assert_eq!(r.deadline, Some(Duration::from_millis(5)));
+
+        let r = GemmRequest::builder(Matrix::<f64>::zeros(2, 3), Matrix::<f64>::zeros(3, 2))
+            .tenant(9)
+            .priority(Priority::Low)
+            .deadline(Duration::from_micros(250))
+            .build()
+            .unwrap();
+        assert_eq!(r.tenant, 9);
+        assert_eq!(r.priority, Priority::Low);
+        assert_eq!(r.deadline, Some(Duration::from_micros(250)));
+    }
+
+    #[test]
+    fn deadline_error_displays_detail() {
+        let e = ServeError::DeadlineExceeded("eta 5ms > deadline 1ms".into());
+        assert!(e.to_string().contains("deadline exceeded"));
+        assert!(e.to_string().contains("eta 5ms"));
     }
 
     #[test]

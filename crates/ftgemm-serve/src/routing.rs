@@ -280,6 +280,37 @@ impl CutoffLearner {
         (clamped != current).then_some(clamped)
     }
 
+    /// Predicted nanoseconds per multiply-add for a problem of `flops`
+    /// multiply-adds, evaluated on the path the current cutoff would route
+    /// it to and taken from the nearest `log2(flops)` bucket with at least
+    /// [`AdaptiveConfig::min_observations`] samples (ties prefer the
+    /// smaller bucket, same as the crossover estimate). `None` until that
+    /// path has any eligible bucket — deadline admission control treats "no
+    /// evidence" as "admit", so a cold learner never rejects.
+    ///
+    /// Like every other learner read, this consults no clock: identical
+    /// observation histories give identical estimates.
+    pub fn estimate_ns_per_flop(&self, flops: u64) -> Option<f64> {
+        if flops == 0 {
+            return None;
+        }
+        let path = if flops <= self.current() {
+            RoutePath::Batched
+        } else {
+            RoutePath::Parallel
+        };
+        let state = self.state.lock();
+        let cells = match path {
+            RoutePath::Batched => &state.batched,
+            RoutePath::Parallel => &state.parallel,
+        };
+        let min_obs = self.cfg.min_observations;
+        if !cells.iter().any(|c| c.count >= min_obs) {
+            return None;
+        }
+        Some(nearest_estimate(cells, min_obs, bucket_of(flops)))
+    }
+
     /// Routing metrics for [`StatsSnapshot`](crate::StatsSnapshot).
     pub fn snapshot(&self) -> RoutingSnapshot {
         RoutingSnapshot {
@@ -341,6 +372,17 @@ impl RouteState {
     pub(crate) fn observe(&self, path: RoutePath, flops: u64, elapsed_ns: u64) {
         if let RouteState::Adaptive(learner) = self {
             learner.observe(path, flops, elapsed_ns);
+        }
+    }
+
+    /// Learned ns/flop prediction for a problem of `flops` multiply-adds
+    /// (deadline admission control's completion-time model). `None` under a
+    /// fixed policy — a pinned cutoff carries no timing model, so admission
+    /// control stays permissive — or before the learner has evidence.
+    pub(crate) fn estimate_ns_per_flop(&self, flops: u64) -> Option<f64> {
+        match self {
+            RouteState::Fixed(_) => None,
+            RouteState::Adaptive(learner) => learner.estimate_ns_per_flop(flops),
         }
     }
 
@@ -504,6 +546,35 @@ mod tests {
         assert_eq!(bucket_of(1 << 20), 20);
         assert_eq!(bucket_of((1 << 21) - 1), 20);
         assert_eq!(bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn estimate_ns_per_flop_follows_the_routed_path() {
+        let l = CutoffLearner::new(test_cfg()); // seed cutoff 2^20
+        assert_eq!(l.estimate_ns_per_flop(1 << 14), None, "no evidence yet");
+
+        // Batched evidence at 2.0 ns/flop, parallel at 0.5 ns/flop. A
+        // problem below the cutoff is predicted from the batched cells, one
+        // above it from the parallel cells.
+        feed(&l, RoutePath::Batched, 1 << 14, 2.0, 2);
+        let below = l.estimate_ns_per_flop(1 << 14).unwrap();
+        assert!((below - 2.0).abs() < 1e-9, "batched estimate: {below}");
+        assert_eq!(
+            l.estimate_ns_per_flop(1 << 30),
+            None,
+            "above-cutoff request needs parallel evidence, which is absent"
+        );
+        feed(&l, RoutePath::Parallel, 1 << 30, 0.5, 2);
+        let above = l.estimate_ns_per_flop(1 << 30).unwrap();
+        assert!((above - 0.5).abs() < 1e-9, "parallel estimate: {above}");
+        assert_eq!(l.estimate_ns_per_flop(0), None);
+    }
+
+    #[test]
+    fn fixed_route_state_has_no_ns_per_flop_model() {
+        let r = RouteState::new(RoutingPolicy::Fixed(1234));
+        r.observe(RoutePath::Batched, 1 << 20, 1 << 20);
+        assert_eq!(r.estimate_ns_per_flop(1 << 20), None);
     }
 
     #[test]

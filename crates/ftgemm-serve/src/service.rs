@@ -4,6 +4,7 @@
 use crate::export::{render_service_metrics, ServiceObs};
 use crate::handle::{AsyncRequestHandle, RequestHandle, ResponseSlot};
 use crate::placement::{PlacementPolicy, Placer};
+use crate::qos::{TenantId, TenantTable};
 use crate::queue::{Envelope, PushError, ShardedQueue};
 use crate::request::{GemmRequest, GemmResponse, ServeError};
 use crate::routing::{RoutePath, RouteState, RoutingPolicy};
@@ -66,6 +67,14 @@ pub struct ServiceConfig {
     pub topology: Option<Topology>,
     /// How requests are assigned a node affinity at submit time.
     pub placement: PlacementPolicy,
+    /// Per-tenant weighted-fair-share configuration: every node's shard
+    /// group schedules across tenants by flops-weighted deficit round-robin
+    /// using these weights (strict priority classes and
+    /// earliest-deadline-first apply *within* a tenant's lane). The default
+    /// table gives every tenant weight 1 — plain fair share.
+    /// [`GemmService::new`] panics on an invalid table (zero weight, zero
+    /// quantum, duplicate ids).
+    pub tenants: TenantTable,
     /// When set, the service records request-lifecycle traces and serves
     /// `GET /metrics` (Prometheus text exposition), `/healthz`, and
     /// `/trace` on this address from a dedicated endpoint thread (bind to
@@ -90,6 +99,7 @@ impl Default for ServiceConfig {
             queue_capacity: 0,
             topology: None,
             placement: PlacementPolicy::default(),
+            tenants: TenantTable::default(),
             obs_addr: None,
         }
     }
@@ -170,6 +180,9 @@ impl<T: Scalar> GemmService<T> {
     pub fn new(config: ServiceConfig) -> Self {
         assert!(config.queue_shards >= 1, "need at least one queue shard");
         assert!(config.max_batch >= 1, "need max_batch >= 1");
+        if let Err(e) = config.tenants.validate() {
+            panic!("invalid ServiceConfig::tenants: {e}");
+        }
         let topology = config.topology.clone().unwrap_or_else(Topology::detect);
         let nnodes = topology.num_nodes();
         // Per-node worker subsets: `threads == 0` sizes each subset to its
@@ -199,6 +212,7 @@ impl<T: Scalar> GemmService<T> {
                 config.queue_shards,
                 config.queue_capacity,
                 config.max_batch,
+                config.tenants.clone(),
             ),
             stats: ServiceStats::new(&node_threads),
             route: RouteState::new(config.routing),
@@ -247,12 +261,51 @@ impl<T: Scalar> GemmService<T> {
     }
 
     /// Stamps `req`'s node affinity (placement runs once, at submit).
+    /// `LeastLoaded` reads each group's backlog in *planned flops*, not
+    /// request count, so one huge queued GEMM is not mistaken for the same
+    /// load as one tiny one.
     fn place(&self, req: &GemmRequest<T>) -> usize {
         self.inner
             .placer
             .place(req, self.inner.topology.num_nodes(), |n| {
-                self.inner.queue.node_depth(n)
+                self.inner.queue.node_pending_flops(n)
             })
+    }
+
+    /// Deadline admission control: predicts the request's completion time
+    /// from the routing learner's ns/flop model and the affinity node's
+    /// flops backlog, and rejects the submit with
+    /// [`ServeError::DeadlineExceeded`] when the deadline is infeasible —
+    /// before the request is admitted or consumes queue capacity.
+    ///
+    /// No deadline, no model (fixed routing), or no evidence yet all admit:
+    /// the check only turns requests away when it has a basis to predict
+    /// they cannot make it. The estimate deliberately ignores tenant
+    /// weights — it is the *node's* total backlog ahead of the request,
+    /// which upper-bounds the wait for any tenant — so it errs toward
+    /// rejecting only clearly-infeasible work.
+    fn check_deadline(&self, req: &GemmRequest<T>, affinity: usize) -> Result<(), ServeError> {
+        let Some(deadline) = req.deadline else {
+            return Ok(());
+        };
+        let flops = req.flops().max(1);
+        let Some(ns_per_flop) = self.inner.route.estimate_ns_per_flop(flops) else {
+            return Ok(());
+        };
+        let backlog = self.inner.queue.node_pending_flops(affinity);
+        let eta_ns = backlog.saturating_add(flops) as f64 * ns_per_flop;
+        let deadline_ns = deadline.as_nanos().min(u64::MAX as u128) as f64;
+        if eta_ns > deadline_ns {
+            self.inner.stats.reject_deadline(req.tenant);
+            return Err(ServeError::DeadlineExceeded(format!(
+                "infeasible at admission: node {affinity} holds {backlog} backlog flops, \
+                 and at the learned {ns_per_flop:.3} ns/flop this {flops}-flop request \
+                 would finish ~{:.0}us after submit, past its {:.0}us deadline",
+                eta_ns / 1e3,
+                deadline_ns / 1e3,
+            )));
+        }
+        Ok(())
     }
 
     /// Submits a request; returns a handle redeemable for the result.
@@ -267,13 +320,22 @@ impl<T: Scalar> GemmService<T> {
         req.validate()?;
         let id = self.inner.queue.next_id();
         let affinity = self.place(&req);
+        // Admission control runs before the request is counted or traced:
+        // a deadline-infeasible submit never existed as far as `submitted`
+        // and the lifecycle trace are concerned (only `rejected_deadline`
+        // and its tenant's row record it).
+        self.check_deadline(&req, affinity)?;
+        let tenant = req.tenant;
         let (handle, slot) = RequestHandle::pair(id);
+        let submitted = Instant::now();
         let env = Envelope {
+            deadline: req.deadline.map(|d| submitted + d),
+            flops: req.flops(),
             req,
             slot,
             id,
             affinity,
-            submitted: Instant::now(),
+            submitted,
         };
         // Count at admission, *before* the push: once the envelope is in
         // the queue the scheduler may complete it at any moment, and a
@@ -282,11 +344,13 @@ impl<T: Scalar> GemmService<T> {
         // Trace events follow the same rule: recorded before the push so a
         // request's `admitted` can never land after its `dispatched`.
         self.inner.stats.admit(&self.inner.stats.submitted_sync);
+        self.inner.stats.tenant_admit(tenant);
         self.trace_admitted(affinity, id);
         self.inner.queue.push(env).map_err(|_| {
             self.inner
                 .stats
                 .reject(&self.inner.stats.submitted_sync, RejectReason::Closed);
+            self.inner.stats.tenant_unadmit(tenant);
             self.trace_rejected(affinity, id);
             ServeError::Closed
         })?;
@@ -326,19 +390,26 @@ impl<T: Scalar> GemmService<T> {
         req.validate()?;
         let id = self.inner.queue.next_id();
         let affinity = self.place(&req);
+        // Deadline admission control before counting/tracing (see `submit`).
+        self.check_deadline(&req, affinity)?;
+        let tenant = req.tenant;
         let (handle, slot) =
             AsyncRequestHandle::pair(id, Arc::clone(&self.inner.stats.in_flight_async));
+        let submitted = Instant::now();
         let env = Envelope {
+            deadline: req.deadline.map(|d| submitted + d),
+            flops: req.flops(),
             req,
             slot,
             id,
             affinity,
-            submitted: Instant::now(),
+            submitted,
         };
         // Counted at admission (see `submit`); a rejected push rolls the
         // count back, and the handle drops here too, releasing the
         // in-flight gauge.
         self.inner.stats.admit(&self.inner.stats.submitted_async);
+        self.inner.stats.tenant_admit(tenant);
         self.trace_admitted(affinity, id);
         self.inner.queue.try_push(env).map_err(|e| {
             let (reason, err) = match e {
@@ -348,6 +419,7 @@ impl<T: Scalar> GemmService<T> {
             self.inner
                 .stats
                 .reject(&self.inner.stats.submitted_async, reason);
+            self.inner.stats.tenant_unadmit(tenant);
             self.trace_rejected(affinity, id);
             err
         })?;
@@ -372,17 +444,24 @@ impl<T: Scalar> GemmService<T> {
         req.validate()?;
         let id = self.inner.queue.next_id();
         let affinity = self.place(&req);
+        // Deadline admission control before counting/tracing (see `submit`).
+        self.check_deadline(&req, affinity)?;
+        let tenant = req.tenant;
         let slot = ResponseSlot::forwarding(id, sink.clone());
         sink.register();
+        let submitted = Instant::now();
         let env = Envelope {
+            deadline: req.deadline.map(|d| submitted + d),
+            flops: req.flops(),
             req,
             slot,
             id,
             affinity,
-            submitted: Instant::now(),
+            submitted,
         };
         // Counted at admission (see `submit`); rolled back on rejection.
         self.inner.stats.admit(&self.inner.stats.submitted_streamed);
+        self.inner.stats.tenant_admit(tenant);
         self.trace_admitted(affinity, id);
         self.inner.queue.try_push(env).map_err(|e| {
             let (reason, err) = match e {
@@ -392,6 +471,7 @@ impl<T: Scalar> GemmService<T> {
             self.inner
                 .stats
                 .reject(&self.inner.stats.submitted_streamed, reason);
+            self.inner.stats.tenant_unadmit(tenant);
             self.trace_rejected(affinity, id);
             sink.unregister();
             err
@@ -439,6 +519,21 @@ impl<T: Scalar> GemmService<T> {
     /// converged to.
     pub fn current_cutoff(&self) -> u64 {
         self.inner.route.cutoff()
+    }
+
+    /// Feeds one timing observation straight to the routing learner, as if
+    /// a region of `flops` multiply-adds on `path` had just completed in
+    /// `elapsed_ns` — exactly what the dispatchers report after real
+    /// regions. A no-op under [`RoutingPolicy::Fixed`].
+    ///
+    /// This exists to *warm* a service's completion-time model: deadline
+    /// admission control admits everything until the learner has evidence,
+    /// so a frontend that already knows this machine's ns/flop (a previous
+    /// run, a calibration loop) can seed it instead of letting the first
+    /// wave of infeasible requests through. Tests use it to pin admission
+    /// decisions without wall-clock dependence.
+    pub fn seed_routing(&self, path: RoutePath, flops: u64, elapsed_ns: u64) {
+        self.inner.route.observe(path, flops, elapsed_ns);
     }
 
     /// Threads across every node's compute pool.
@@ -610,6 +705,45 @@ fn fail_unserved<T: Scalar>(inner: &Inner<T>, env: Envelope<T>) {
     env.slot.fulfill(Err(ServeError::Closed));
 }
 
+/// Fails one envelope whose deadline expired while it sat in the queue:
+/// the handle/future/channel resolves with
+/// [`ServeError::DeadlineExceeded`], the request counts as failed (so
+/// `completed + failed <= submitted` still holds — a shed request *was*
+/// admitted) plus shed under its tenant, and no compute is spent on it.
+fn shed_one<T: Scalar>(inner: &Inner<T>, env: Envelope<T>) {
+    inner.stats.turnaround_ns.fetch_add(
+        env.submitted.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+        Ordering::Relaxed,
+    );
+    inner.stats.failed.fetch_add(1, Ordering::Relaxed);
+    inner.stats.tenant_shed(env.req.tenant);
+    if let Some(obs) = &inner.obs {
+        obs.trace.record(env.affinity, env.id, TraceEvent::Failed);
+    }
+    env.slot.fulfill(Err(ServeError::DeadlineExceeded(format!(
+        "expired while queued: request {} missed its deadline before dispatch",
+        env.id
+    ))));
+}
+
+/// Load-shedding sweep: sheds every envelope whose deadline has already
+/// passed and returns the still-live remainder in order. Reads the clock
+/// once — and not at all when nothing in the sweep carries a deadline, so
+/// deadline-free workloads keep their uninstrumented dispatch cost.
+fn shed_expired<T: Scalar>(inner: &Inner<T>, envelopes: Vec<Envelope<T>>) -> Vec<Envelope<T>> {
+    if envelopes.iter().all(|env| env.deadline.is_none()) {
+        return envelopes;
+    }
+    let now = Instant::now();
+    let (live, expired): (Vec<_>, Vec<_>) = envelopes
+        .into_iter()
+        .partition(|env| env.deadline.is_none_or(|d| now <= d));
+    for env in expired {
+        shed_one(inner, env);
+    }
+    live
+}
+
 /// Routes one node's drained sweep by the live cutoff: small requests
 /// coalesced into batched regions, large ones one-at-a-time through the
 /// matrix-parallel driver — all on `node`'s worker subset.
@@ -625,6 +759,10 @@ fn dispatch<T: Scalar>(
     workspace: &BatchWorkspace<T>,
     envelopes: Vec<Envelope<T>>,
 ) {
+    // Shed already-expired requests before spending any compute on the
+    // sweep; re-checked per region below, since earlier regions of the same
+    // sweep can out-wait a later request's deadline.
+    let envelopes = shed_expired(inner, envelopes);
     let cutoff = inner.route.cutoff();
     let (small, large): (Vec<_>, Vec<_>) = envelopes
         .into_iter()
@@ -644,7 +782,10 @@ fn dispatch<T: Scalar>(
         }
         let take = small.len().min(inner.config.max_batch);
         let chunk: Vec<Envelope<T>> = small.drain(..take).collect();
-        run_batch(inner, node, workspace, chunk);
+        let chunk = shed_expired(inner, chunk);
+        if !chunk.is_empty() {
+            run_batch(inner, node, workspace, chunk);
+        }
     }
 
     let mut large = large.into_iter();
@@ -655,6 +796,10 @@ fn dispatch<T: Scalar>(
                 fail_unserved(inner, env);
             }
             return;
+        }
+        if env.deadline.is_some_and(|d| Instant::now() > d) {
+            shed_one(inner, env);
+            continue;
         }
         inner.stats.direct_large.fetch_add(1, Ordering::Relaxed);
         run_large(inner, node, env);
@@ -682,8 +827,10 @@ fn run_large<T: Scalar>(inner: &Inner<T>, node: usize, env: Envelope<T>) {
         id,
         affinity,
         submitted,
+        deadline,
+        flops,
     } = env;
-    let flops = req.flops();
+    let tenant = req.tenant;
     let cfg = req.policy.to_config(req.injector.clone());
     let started = Instant::now();
     let result: FtResult<FtReport> = match &cfg {
@@ -713,7 +860,20 @@ fn run_large<T: Scalar>(inner: &Inner<T>, node: usize, env: Envelope<T>) {
         started.elapsed().as_nanos().min(u64::MAX as u128) as u64,
     );
     finish(
-        inner, slot, req.c, result, submitted, false, affinity, node, id,
+        inner,
+        slot,
+        req.c,
+        result,
+        FinishMeta {
+            submitted,
+            batched: false,
+            affinity_node: affinity,
+            executed_node: node,
+            id,
+            tenant,
+            deadline,
+            flops,
+        },
     );
 }
 
@@ -783,33 +943,57 @@ fn run_batch<T: Scalar>(
     }
 
     for (env, result) in envs.into_iter().zip(results) {
-        finish(
-            inner,
-            env.slot,
-            env.req.c,
-            result,
-            env.submitted,
-            true,
-            env.affinity,
-            node,
-            env.id,
-        );
+        let meta = FinishMeta {
+            submitted: env.submitted,
+            batched: true,
+            affinity_node: env.affinity,
+            executed_node: node,
+            id: env.id,
+            tenant: env.req.tenant,
+            deadline: env.deadline,
+            flops: env.flops,
+        };
+        finish(inner, env.slot, env.req.c, result, meta);
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn finish<T: Scalar>(
-    inner: &Inner<T>,
-    slot: Arc<crate::handle::ResponseSlot<T>>,
-    c: ftgemm_core::Matrix<T>,
-    result: FtResult<FtReport>,
+/// Per-request identity and QoS accounting carried from the envelope into
+/// [`finish`].
+struct FinishMeta {
     submitted: Instant,
     batched: bool,
     affinity_node: usize,
     executed_node: usize,
     id: u64,
+    tenant: TenantId,
+    /// Absolute deadline, for the met/missed tally at completion.
+    deadline: Option<Instant>,
+    /// Planned flops, credited to the tenant's `served_flops` on success.
+    flops: u64,
+}
+
+fn finish<T: Scalar>(
+    inner: &Inner<T>,
+    slot: Arc<crate::handle::ResponseSlot<T>>,
+    c: ftgemm_core::Matrix<T>,
+    result: FtResult<FtReport>,
+    meta: FinishMeta,
 ) {
-    let turnaround_ns = submitted.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    let FinishMeta {
+        submitted,
+        batched,
+        affinity_node,
+        executed_node,
+        id,
+        tenant,
+        deadline,
+        flops,
+    } = meta;
+    let finished = Instant::now();
+    let turnaround_ns = finished
+        .saturating_duration_since(submitted)
+        .as_nanos()
+        .min(u64::MAX as u128) as u64;
     inner
         .stats
         .turnaround_ns
@@ -845,6 +1029,9 @@ fn finish<T: Scalar>(
     match result {
         Ok(report) => {
             inner.stats.completed.fetch_add(1, Ordering::Relaxed);
+            inner
+                .stats
+                .tenant_complete(tenant, flops, deadline.map(|d| finished <= d));
             inner.stats.absorb_report(&report);
             slot.fulfill(Ok(GemmResponse {
                 c,
@@ -871,7 +1058,7 @@ mod tests {
     fn test_inner(config: ServiceConfig) -> Inner<f64> {
         let threads = config.threads.max(1);
         Inner {
-            queue: ShardedQueue::new(1, 1, 0, config.max_batch),
+            queue: ShardedQueue::new(1, 1, 0, config.max_batch, config.tenants.clone()),
             stats: ServiceStats::new(&[threads]),
             route: RouteState::new(config.routing),
             placer: Placer::new(config.placement),
@@ -908,12 +1095,15 @@ mod tests {
                 Matrix::<f64>::random(dim, dim, id + 100),
             );
             sink.register();
+            let flops = req.flops();
             Envelope {
                 req,
                 slot: ResponseSlot::forwarding(id, sink.clone()),
                 id,
                 affinity: 0,
                 submitted: Instant::now(),
+                deadline: None,
+                flops,
             }
         };
         // Ids 0..4: large (64^3 > the pinned cutoff); id 4: small (16^3).

@@ -1,9 +1,12 @@
 //! Service-level counters and derived metrics.
 
+use crate::qos::TenantId;
 use crate::routing::RoutingSnapshot;
 use ftgemm_abft::FtReport;
 use ftgemm_parallel::BatchTiming;
 use ftgemm_pool::PoolStats;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -77,6 +80,29 @@ pub(crate) struct ServiceStats {
     /// Requests a node executed after stealing them off another node's
     /// shard group.
     pub stolen: Vec<AtomicU64>,
+    /// Submits rejected by deadline admission control (infeasible before
+    /// they reached the queue; never counted in `submitted`).
+    pub rejected_deadline: AtomicU64,
+    /// Admitted requests load-shed at dispatch because their deadline
+    /// expired while queued (each one also counts in `failed`, preserving
+    /// `completed + failed <= submitted`).
+    pub shed_deadline: AtomicU64,
+    /// Per-tenant QoS tallies, keyed by tenant id. A `BTreeMap` so the
+    /// snapshot's per-tenant rows come out in stable id order; the lock is
+    /// uncontended off the hot path (one brief touch per request event).
+    tenants: Mutex<BTreeMap<TenantId, TenantCounters>>,
+}
+
+/// Mutable per-tenant tallies behind [`ServiceStats::tenants`].
+#[derive(Debug, Default, Clone, Copy)]
+struct TenantCounters {
+    admitted: u64,
+    completed: u64,
+    shed: u64,
+    rejected_deadline: u64,
+    deadline_met: u64,
+    deadline_missed: u64,
+    served_flops: u64,
 }
 
 impl ServiceStats {
@@ -117,6 +143,59 @@ impl ServiceStats {
             node_offsets,
             dispatched: node_threads.iter().map(|_| AtomicU64::new(0)).collect(),
             stolen: node_threads.iter().map(|_| AtomicU64::new(0)).collect(),
+            rejected_deadline: AtomicU64::new(0),
+            shed_deadline: AtomicU64::new(0),
+            tenants: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Counts an admission for `tenant` (paired with
+    /// [`tenant_unadmit`](Self::tenant_unadmit) if the queue push is
+    /// subsequently rejected).
+    pub(crate) fn tenant_admit(&self, tenant: TenantId) {
+        self.tenants.lock().entry(tenant).or_default().admitted += 1;
+    }
+
+    /// Rolls back a [`tenant_admit`](Self::tenant_admit) whose queue push
+    /// failed, mirroring [`reject`](Self::reject) on the tenant axis.
+    pub(crate) fn tenant_unadmit(&self, tenant: TenantId) {
+        let mut tenants = self.tenants.lock();
+        let counters = tenants.entry(tenant).or_default();
+        counters.admitted = counters.admitted.saturating_sub(1);
+    }
+
+    /// Counts a submit that deadline admission control turned away before
+    /// it was admitted. No rollback is involved: the request never touched
+    /// `submitted` or the per-surface counters.
+    pub(crate) fn reject_deadline(&self, tenant: TenantId) {
+        self.rejected_deadline.fetch_add(1, Ordering::Relaxed);
+        self.tenants
+            .lock()
+            .entry(tenant)
+            .or_default()
+            .rejected_deadline += 1;
+    }
+
+    /// Counts an admitted request shed at dispatch because its deadline
+    /// expired while queued. The caller also bumps `failed` (a shed request
+    /// is a failed request), so `completed + failed <= submitted` holds.
+    pub(crate) fn tenant_shed(&self, tenant: TenantId) {
+        self.shed_deadline.fetch_add(1, Ordering::Relaxed);
+        self.tenants.lock().entry(tenant).or_default().shed += 1;
+    }
+
+    /// Folds one served request into its tenant's tallies. `deadline_met`
+    /// is `None` for requests submitted without a deadline (they count in
+    /// neither met nor missed).
+    pub(crate) fn tenant_complete(&self, tenant: TenantId, flops: u64, deadline_met: Option<bool>) {
+        let mut tenants = self.tenants.lock();
+        let counters = tenants.entry(tenant).or_default();
+        counters.completed += 1;
+        counters.served_flops += flops;
+        match deadline_met {
+            Some(true) => counters.deadline_met += 1,
+            Some(false) => counters.deadline_missed += 1,
+            None => {}
         }
     }
 
@@ -247,6 +326,21 @@ impl ServiceStats {
             .iter()
             .map(|n| n.batch_wall.as_secs_f64() * n.threads as f64)
             .sum();
+        let per_tenant: Vec<TenantStats> = self
+            .tenants
+            .lock()
+            .iter()
+            .map(|(&tenant, c)| TenantStats {
+                tenant,
+                admitted: c.admitted,
+                completed: c.completed,
+                shed: c.shed,
+                rejected_deadline: c.rejected_deadline,
+                deadline_met: c.deadline_met,
+                deadline_missed: c.deadline_missed,
+                served_flops: c.served_flops,
+            })
+            .collect();
         StatsSnapshot {
             submitted: self.submitted.load(Ordering::Relaxed),
             submitted_sync: self.submitted_sync.load(Ordering::Relaxed),
@@ -257,6 +351,9 @@ impl ServiceStats {
             failed,
             rejected_overloaded: self.rejected_overloaded.load(Ordering::Relaxed),
             rejected_closed: self.rejected_closed.load(Ordering::Relaxed),
+            rejected_deadline: self.rejected_deadline.load(Ordering::Relaxed),
+            shed_deadline: self.shed_deadline.load(Ordering::Relaxed),
+            per_tenant,
             batches,
             batched_requests,
             direct_large: self.direct_large.load(Ordering::Relaxed),
@@ -297,6 +394,35 @@ impl ServiceStats {
             pool,
         }
     }
+}
+
+/// One tenant's slice of the serving activity (a row of
+/// [`StatsSnapshot::per_tenant`]). A tenant appears once it has touched
+/// the service — submitted, been rejected, or been shed — and rows are
+/// ordered by tenant id.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Tenant id.
+    pub tenant: TenantId,
+    /// Requests admitted past validation and admission control (whether or
+    /// not they have finished yet).
+    pub admitted: u64,
+    /// Requests served to completion.
+    pub completed: u64,
+    /// Admitted requests load-shed at dispatch after their deadline
+    /// expired in the queue (also counted in the service-wide `failed`).
+    pub shed: u64,
+    /// Submits turned away by deadline admission control before admission
+    /// (never counted in `admitted`).
+    pub rejected_deadline: u64,
+    /// Completed requests that carried a deadline and finished in time.
+    pub deadline_met: u64,
+    /// Completed requests that carried a deadline and finished late.
+    pub deadline_missed: u64,
+    /// Planned multiply-adds of this tenant's completed requests — the
+    /// quantity the weighted-fair scheduler shares out, so ratios between
+    /// tenants' `served_flops` are what the QoS property tests bound.
+    pub served_flops: u64,
 }
 
 /// One node's slice of the serving activity.
@@ -349,6 +475,18 @@ pub struct StatsSnapshot {
     /// (service shutting down). Not counted in
     /// [`submitted`](Self::submitted).
     pub rejected_closed: u64,
+    /// Submits rejected with
+    /// [`ServeError::DeadlineExceeded`](crate::ServeError) by admission
+    /// control: the learner's completion-time estimate said the deadline
+    /// was infeasible given the target node's flops backlog. Not counted
+    /// in [`submitted`](Self::submitted).
+    pub rejected_deadline: u64,
+    /// Admitted requests shed at dispatch because their deadline expired
+    /// while queued. Each is also counted in [`failed`](Self::failed).
+    pub shed_deadline: u64,
+    /// Per-tenant QoS tallies, ordered by tenant id (one row per tenant
+    /// that has touched the service).
+    pub per_tenant: Vec<TenantStats>,
     /// Coalesced parallel regions executed on the batched path.
     pub batches: u64,
     /// Requests served via the batched path.
@@ -504,6 +642,34 @@ mod tests {
         assert_eq!(snap.submitted_async, 1);
         assert_eq!(snap.rejected_overloaded, 1);
         assert_eq!(snap.rejected_closed, 0);
+    }
+
+    #[test]
+    fn tenant_counters_tally_and_roll_back() {
+        let s = ServiceStats::new(&[1]);
+        s.tenant_admit(7);
+        s.tenant_admit(7);
+        s.tenant_admit(3);
+        s.tenant_unadmit(3); // queue push bounced — row stays but reads zero
+        s.tenant_complete(7, 1000, Some(true));
+        s.tenant_complete(7, 500, None);
+        s.tenant_shed(7);
+        s.reject_deadline(9);
+        let snap = s.snapshot(&[0], PoolStats::default(), RoutingSnapshot::default(), 0);
+        assert_eq!(snap.shed_deadline, 1);
+        assert_eq!(snap.rejected_deadline, 1);
+        // BTreeMap ordering: tenants 3, 7, 9.
+        let rows: Vec<TenantId> = snap.per_tenant.iter().map(|t| t.tenant).collect();
+        assert_eq!(rows, vec![3, 7, 9]);
+        let t7 = &snap.per_tenant[1];
+        assert_eq!(t7.admitted, 2);
+        assert_eq!(t7.completed, 2);
+        assert_eq!(t7.served_flops, 1500);
+        assert_eq!(t7.deadline_met, 1);
+        assert_eq!(t7.deadline_missed, 0, "no-deadline completion is neutral");
+        assert_eq!(t7.shed, 1);
+        assert_eq!(snap.per_tenant[0].admitted, 0);
+        assert_eq!(snap.per_tenant[2].rejected_deadline, 1);
     }
 
     #[test]

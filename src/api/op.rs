@@ -4,7 +4,8 @@ use crate::api::plan::{Exec, GemmPlan};
 use ftgemm_abft::{FtConfig, FtError, FtPolicy, FtResult};
 use ftgemm_core::{CoreError, MatRef, Matrix, Scalar};
 use ftgemm_faults::FaultInjector;
-use ftgemm_serve::{GemmRequest, GemmRequestBuilder};
+use ftgemm_serve::{GemmRequest, GemmRequestBuilder, Priority, TenantId};
+use std::time::Duration;
 
 /// Anything that can lend a [`MatRef`] view: owned matrices and existing
 /// views alike, so `GemmOp::new(&a, &b)` works for both.
@@ -41,6 +42,9 @@ pub struct GemmOp<'a, T: Scalar> {
     pub(crate) policy: FtPolicy,
     pub(crate) injector: Option<FaultInjector>,
     pub(crate) cfg_override: Option<FtConfig>,
+    pub(crate) tenant: TenantId,
+    pub(crate) priority: Priority,
+    pub(crate) deadline: Option<Duration>,
 }
 
 impl<'a, T: Scalar> GemmOp<'a, T> {
@@ -56,7 +60,38 @@ impl<'a, T: Scalar> GemmOp<'a, T> {
             policy: FtPolicy::default(),
             injector: None,
             cfg_override: None,
+            tenant: ftgemm_serve::DEFAULT_TENANT,
+            priority: Priority::default(),
+            deadline: None,
         }
+    }
+
+    /// Tags the op with the submitting tenant (default tenant `0`): served
+    /// requests built from it compete under that tenant's weighted-fair
+    /// share ([`ServiceConfig::tenants`](crate::ServiceConfig)). Only the
+    /// serving layer reads this; one-shot plans ignore it.
+    #[must_use]
+    pub fn tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
+    /// Sets the scheduling class within the tenant's lane (default
+    /// [`Priority::Normal`]). Only the serving layer reads this.
+    #[must_use]
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Attaches a relative completion deadline: served requests built from
+    /// this op are EDF-ordered within their class, admission-checked
+    /// against the learned completion-time model, and shed if the deadline
+    /// expires in queue. Only the serving layer reads this.
+    #[must_use]
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
     }
 
     /// Sets the scale on `A*B` (default `1`).
@@ -165,7 +200,12 @@ impl<'a, T: Scalar> GemmOp<'a, T> {
         );
         let mut builder = GemmRequest::builder(self.a.to_owned(), self.b.to_owned())
             .alpha(self.alpha)
-            .ft(self.policy);
+            .ft(self.policy)
+            .tenant(self.tenant)
+            .priority(self.priority);
+        if let Some(deadline) = self.deadline {
+            builder = builder.deadline(deadline);
+        }
         if let Some(inj) = &self.injector {
             builder = builder.injector(inj.clone());
         }

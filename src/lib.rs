@@ -81,7 +81,8 @@ pub use ftgemm_parallel::{par_gemm, BatchItem, BatchWorkspace, ParFtWorkspace, P
 pub use ftgemm_pool::{NodeSpec, PoolPartition, Topology};
 pub use ftgemm_serve::{
     AdaptiveConfig, CutoffLearner, GemmRequest, GemmRequestBuilder, GemmResponse, GemmService,
-    NodeStats, PlacementPolicy, RoutePath, RoutingPolicy, RoutingSnapshot, ServiceConfig,
+    NodeStats, PlacementPolicy, Priority, RoutePath, RoutingPolicy, RoutingSnapshot, ServiceConfig,
+    TenantId, TenantTable,
 };
 
 use ftgemm_core::Scalar;

@@ -1,0 +1,197 @@
+//! Integration coverage for deadline QoS: model-driven admission control
+//! (reusing the routing learner's ns/flop estimates), feasible deadlines
+//! completing on a multi-node topology, and load-shedding of
+//! expired-while-queued requests across every submit surface.
+
+use ftgemm::core::Matrix;
+use ftgemm::serve::exec::block_on_all;
+use ftgemm::serve::{
+    completion_channel, GemmRequest, GemmService, PlacementPolicy, RoutePath, RoutingPolicy,
+    ServeError, ServiceConfig, TenantTable, Topology,
+};
+use std::time::Duration;
+
+fn problem(seed: u64, dim: usize) -> GemmRequest<f64> {
+    GemmRequest::new(
+        Matrix::<f64>::random(dim, dim, seed),
+        Matrix::<f64>::random(dim, dim, seed + 500),
+    )
+}
+
+/// Admission control is the routing learner's completion-time model:
+/// identical services whose learners are seeded with a slow vs fast
+/// ns/flop estimate flip the *same* submit from rejected to admitted. The
+/// decision reads only seeded evidence — no wall clock, no warm-up
+/// requests — so the flip is deterministic.
+#[test]
+fn admission_decision_flips_with_seeded_ns_per_flop() {
+    let dim = 64usize;
+    let flops = 2 * (dim as u64).pow(3); // below the default cutoff: batched path
+    let service_seeded = |ns_per_flop: u64| {
+        let service = GemmService::<f64>::new(ServiceConfig {
+            threads: 1,
+            topology: Some(Topology::single(1)),
+            ..ServiceConfig::default()
+        });
+        // AdaptiveConfig::min_observations (default 4) identical samples
+        // make the bucket's EWMA exactly `ns_per_flop`.
+        for _ in 0..4 {
+            service.seed_routing(RoutePath::Batched, flops, flops * ns_per_flop);
+        }
+        service
+    };
+    let deadline = Duration::from_millis(50);
+
+    // Seeded at 100_000 ns/flop, this 524288-flop request predicts ~52s —
+    // hopeless against a 50ms deadline.
+    let slow = service_seeded(100_000);
+    let err = slow
+        .submit(problem(1, dim).with_deadline(deadline))
+        .unwrap_err();
+    match &err {
+        ServeError::DeadlineExceeded(detail) => {
+            assert!(detail.contains("infeasible at admission"), "{detail}");
+        }
+        other => panic!("expected DeadlineExceeded, got {other}"),
+    }
+    // Rejected before admission: never submitted, counted under the
+    // deadline reason, attributed to the (default) tenant.
+    let snap = slow.shutdown();
+    assert_eq!(snap.submitted, 0);
+    assert_eq!(snap.rejected_deadline, 1);
+    assert_eq!(snap.per_tenant.len(), 1);
+    assert_eq!(snap.per_tenant[0].rejected_deadline, 1);
+    assert_eq!(snap.per_tenant[0].admitted, 0);
+
+    // Seeded at 1 ns/flop the same submit predicts ~0.5ms — admitted, and
+    // it really does finish inside the deadline.
+    let fast = service_seeded(1);
+    let resp = fast
+        .submit(problem(1, dim).with_deadline(deadline))
+        .expect("fast-seeded service must admit the same deadline")
+        .wait()
+        .unwrap();
+    assert_eq!(resp.c.nrows(), dim);
+    let snap = fast.shutdown();
+    assert_eq!(snap.submitted, 1);
+    assert_eq!(snap.completed, 1);
+    assert_eq!(snap.rejected_deadline, 0);
+}
+
+/// A feasible deadline on a 2x2 synthetic topology is admitted, completes
+/// before its deadline, and lands in the tenant's deadline-met tally; the
+/// per-tenant served-flops ledger matches the work actually done.
+#[test]
+fn feasible_deadline_completes_on_synthetic_topology() {
+    let service = GemmService::<f64>::new(ServiceConfig {
+        threads: 0,
+        topology: Some(Topology::synthetic(2, 2)),
+        placement: PlacementPolicy::RoundRobin,
+        tenants: TenantTable::new().tenant(7, 4),
+        ..ServiceConfig::default()
+    });
+    let dim = 48usize;
+    let req_flops = 2 * (dim as u64).pow(3);
+    let mut handles = Vec::new();
+    for i in 0..6u64 {
+        let req = problem(i, dim)
+            .with_tenant(7)
+            .with_deadline(Duration::from_secs(120));
+        handles.push(service.submit(req).unwrap());
+    }
+    for h in handles {
+        h.wait().unwrap();
+    }
+    let snap = service.shutdown();
+    assert_eq!(snap.completed, 6);
+    assert_eq!(snap.failed, 0);
+    assert_eq!(snap.shed_deadline, 0);
+    let t7 = snap
+        .per_tenant
+        .iter()
+        .find(|t| t.tenant == 7)
+        .expect("tenant 7 row");
+    assert_eq!(t7.admitted, 6);
+    assert_eq!(t7.completed, 6);
+    assert_eq!(t7.deadline_met, 6);
+    assert_eq!(t7.deadline_missed, 0);
+    assert_eq!(t7.served_flops, 6 * req_flops);
+}
+
+/// Expired-while-queued requests are shed at dispatch with
+/// `DeadlineExceeded` on **every** submit surface: the handle, the future,
+/// and the completion channel all resolve (nothing hangs), the shed
+/// requests roll into `failed` (so `completed + failed == submitted`
+/// still balances), and the tenant's shed counter matches. Routing is
+/// pinned — a fixed policy has no ns/flop model, so admission control
+/// waves everything through and the *dispatch-time* check is what fires.
+#[test]
+fn expired_requests_shed_at_dispatch_on_every_surface() {
+    let service = GemmService::<f64>::new(ServiceConfig {
+        threads: 1,
+        max_batch: 4,
+        routing: RoutingPolicy::Fixed(2 * 96 * 96 * 96),
+        topology: Some(Topology::single(1)),
+        tenants: TenantTable::new().tenant(3, 2),
+        ..ServiceConfig::default()
+    });
+
+    // A 1ns deadline is always expired by the time the dispatcher pops the
+    // envelope — deterministically shed, no sleeps needed. Admission lets
+    // it through because Fixed routing carries no completion-time model.
+    let dead = Duration::from_nanos(1);
+
+    let handle = service
+        .submit(problem(1, 24).with_tenant(3).with_deadline(dead))
+        .expect("fixed routing has no model: admission must wave this through");
+    let future = service
+        .submit_async(problem(2, 24).with_tenant(3).with_deadline(dead))
+        .unwrap();
+    let (sink, mut completions) = completion_channel::<f64>();
+    let streamed_id = service
+        .submit_streamed(problem(3, 24).with_tenant(3).with_deadline(dead), &sink)
+        .unwrap();
+    drop(sink);
+
+    // Every surface resolves with the shed error (bounded waits — the
+    // regression would be a hang or a silent drop).
+    match handle
+        .wait_timeout(Duration::from_secs(60))
+        .expect("shed handle hung")
+    {
+        Err(ServeError::DeadlineExceeded(detail)) => {
+            assert!(detail.contains("expired while queued"), "{detail}");
+        }
+        other => panic!("handle: expected shed, got {other:?}"),
+    }
+    match block_on_all(vec![future]).pop().unwrap() {
+        Err(ServeError::DeadlineExceeded(_)) => {}
+        other => panic!("future: expected shed, got {other:?}"),
+    }
+    let completion = completions.recv().expect("channel must observe the shed");
+    assert_eq!(completion.id, streamed_id);
+    assert!(matches!(
+        completion.result,
+        Err(ServeError::DeadlineExceeded(_))
+    ));
+    assert!(completions.recv().is_none(), "exactly one streamed request");
+
+    // Shed requests were admitted, so they stay in `submitted` and roll
+    // into `failed` — the PR-4 accounting invariant holds under shedding.
+    let snap = service.shutdown();
+    assert_eq!(snap.submitted, 3);
+    assert_eq!(snap.completed, 0);
+    assert_eq!(snap.failed, 3);
+    assert_eq!(snap.shed_deadline, 3);
+    assert_eq!(snap.rejected_deadline, 0);
+    assert_eq!(snap.completed + snap.failed, snap.submitted);
+    let t3 = snap
+        .per_tenant
+        .iter()
+        .find(|t| t.tenant == 3)
+        .expect("tenant 3 row");
+    assert_eq!(t3.admitted, 3);
+    assert_eq!(t3.shed, 3);
+    assert_eq!(t3.completed, 0);
+    assert_eq!(t3.served_flops, 0);
+}
