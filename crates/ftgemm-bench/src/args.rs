@@ -29,6 +29,10 @@ pub struct Args {
     /// Run the multi-tenant QoS scenario (`--tenants`): a mixed-priority
     /// tenant mix with deadlines, reported as the `qos` JSON section.
     pub tenants: bool,
+    /// Run the loopback wire-transport comparison (`--net`): the same
+    /// request stream through a `NetClient`/`NetServer` pair vs in-process
+    /// submit, reported as the `transport_overhead` JSON section.
+    pub net: bool,
 }
 
 impl Default for Args {
@@ -45,6 +49,7 @@ impl Default for Args {
             smoke: false,
             topology: None,
             tenants: false,
+            net: false,
         }
     }
 }
@@ -79,6 +84,7 @@ impl Args {
                     args.out_dir = it.next().unwrap_or_else(|| usage("--out needs a value"));
                 }
                 "--tenants" => args.tenants = true,
+                "--net" => args.net = true,
                 "--topology" => {
                     let v = it
                         .next()
@@ -147,6 +153,7 @@ fn usage(err: &str) -> ! {
            --smoke               CI smoke mode: tiny sizes, 1 rep, no warm-up\n\
            --topology NxM        force a synthetic N-node, M-cores-per-node topology\n\
            --tenants             run the multi-tenant QoS scenario (qos JSON section)\n\
+           --net                 run the loopback wire-transport comparison (transport_overhead JSON section)\n\
            --out DIR             CSV output directory (default bench_results)"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
@@ -162,6 +169,7 @@ mod tests {
         assert!(!a.paper_sizes);
         assert!(!a.smoke);
         assert!(!a.tenants);
+        assert!(!a.net);
         assert!(a.reps >= 1);
         assert!(a.threads >= 1);
     }

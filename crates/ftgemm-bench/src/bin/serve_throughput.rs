@@ -23,17 +23,23 @@
 //! `--tenants` adds a multi-tenant QoS pass — an interactive deadlined
 //! tenant, a batch tenant, and a flooding tenant sharing one weighted-fair
 //! service — reported per tenant (latency percentiles, deadline-met rate,
-//! shed count) in the `qos` JSON section.
+//! shed count) in the `qos` JSON section; `--net` adds a loopback
+//! wire-transport pass — the same request stream through a
+//! `NetClient`/`NetServer` pair (operands uploaded once, submits by
+//! handle) vs in-process `submit_streamed` on the same service — pricing
+//! the TCP framing round trip in the `transport_overhead` JSON section.
 //! Everything is written as machine-readable
 //! `bench_results/BENCH_serve_throughput.json` (per-node rows land in the
 //! `numa.per_node` section) so the perf trajectory can be tracked across
 //! PRs.
 //!
 //! Usage: `cargo run -p ftgemm-bench --release --bin serve_throughput
-//!         [--reps N] [--threads N] [--smoke] [--topology NxM] [--tenants]`
+//!         [--reps N] [--threads N] [--smoke] [--topology NxM] [--tenants]
+//!         [--net]`
 
 use ftgemm_bench::{percentile, write_bench_json, Args, JsonValue, Table};
 use ftgemm_core::Matrix;
+use ftgemm_net::{NetClient, NetServer, NetServerConfig, NetSubmit};
 use ftgemm_serve::exec::block_on_all;
 use ftgemm_serve::{
     completion_channel, AdaptiveConfig, FtPolicy, GemmRequest, GemmService, PlacementPolicy,
@@ -41,6 +47,7 @@ use ftgemm_serve::{
     DEFAULT_SMALL_FLOPS_CUTOFF,
 };
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Small-GEMM edge; comfortably under any sane routing cutoff.
@@ -461,6 +468,88 @@ fn run_qos(threads: usize, max_batch: usize, requests: usize) -> QosRun {
     }
 }
 
+/// The `--net` loopback wire-transport comparison: the same request
+/// stream driven twice against one service — once over TCP through a
+/// `NetClient`/`NetServer` pair (operands uploaded once, every submit by
+/// handle, stream completions drained off the socket) and once in-process
+/// through `submit_streamed` with `Arc`-shared operands. The gap prices
+/// the wire: framing, syscalls, and the connection's reader/pump threads.
+struct NetRun {
+    wire_rps: f64,
+    inproc_rps: f64,
+    wire_latencies_us: Vec<f64>,
+    inproc_latencies_us: Vec<f64>,
+}
+
+fn run_net(threads: usize, max_batch: usize, requests: usize) -> NetRun {
+    let service = Arc::new(GemmService::<f64>::new(ServiceConfig {
+        threads,
+        max_batch,
+        ..ServiceConfig::default()
+    }));
+    let server = NetServer::start(
+        Arc::clone(&service),
+        "127.0.0.1:0",
+        NetServerConfig {
+            // The whole run is pipelined before the first drain.
+            max_in_flight: requests.max(64),
+            ..NetServerConfig::default()
+        },
+    )
+    .expect("bind loopback wire server");
+    let a = Matrix::<f64>::random(DIM, DIM, 7);
+    let b = Matrix::<f64>::random(DIM, DIM, 1_007);
+
+    // Wire pass: upload A and B once, submit by handle, drain the pushed
+    // stream completions.
+    let mut client = NetClient::connect(server.addr()).expect("connect");
+    let ha = client.upload(&a).expect("upload A");
+    let hb = client.upload(&b).expect("upload B");
+    let mut submitted_at: HashMap<u64, Instant> = HashMap::with_capacity(requests);
+    let t0 = Instant::now();
+    for _ in 0..requests {
+        let id = client.submit(NetSubmit::new(ha, hb)).expect("submit");
+        submitted_at.insert(id, Instant::now());
+    }
+    let mut wire_latencies_us = Vec::with_capacity(requests);
+    for _ in 0..requests {
+        let c = client.next_completion().expect("completion");
+        wire_latencies_us.push(submitted_at[&c.id].elapsed().as_secs_f64() * 1e6);
+        c.result.expect("wire request failed");
+    }
+    let wire_rps = requests as f64 / t0.elapsed().as_secs_f64();
+    client.release(ha).expect("release A");
+    client.release(hb).expect("release B");
+    drop(client);
+
+    // In-process pass: the same service and operand-sharing shape —
+    // `Arc`-backed operands, one streamed submit per request.
+    let (arc_a, arc_b) = (Arc::new(a), Arc::new(b));
+    let (sink, mut completions) = completion_channel::<f64>();
+    let mut submitted_at: HashMap<u64, Instant> = HashMap::with_capacity(requests);
+    let t0 = Instant::now();
+    for _ in 0..requests {
+        let id = service
+            .submit_streamed(GemmRequest::new(&arc_a, &arc_b), &sink)
+            .expect("submit_streamed");
+        submitted_at.insert(id, Instant::now());
+    }
+    let mut inproc_latencies_us = Vec::with_capacity(requests);
+    while let Some(c) = completions.recv() {
+        inproc_latencies_us.push(submitted_at[&c.id].elapsed().as_secs_f64() * 1e6);
+        c.result.expect("in-process request failed");
+    }
+    let inproc_rps = requests as f64 / t0.elapsed().as_secs_f64();
+    assert_eq!(inproc_latencies_us.len(), requests);
+    server.stop();
+    NetRun {
+        wire_rps,
+        inproc_rps,
+        wire_latencies_us,
+        inproc_latencies_us,
+    }
+}
+
 fn main() {
     let args = Args::parse();
     let threads = args.threads;
@@ -764,6 +853,48 @@ fn main() {
             .field("per_tenant", json_rows)
     });
 
+    // Seventh pass (`--net`): the loopback wire-transport comparison —
+    // the same request stream over TCP (handles + stream completions) vs
+    // in-process streamed submits on one shared service.
+    let net = args.net.then(|| {
+        let run = run_net(threads, SURFACE_BATCH, requests);
+        let overhead_pct = (run.inproc_rps / run.wire_rps - 1.0) * 100.0;
+        let wire_p50 = percentile(&run.wire_latencies_us, 50.0);
+        let wire_p99 = percentile(&run.wire_latencies_us, 99.0);
+        let inproc_p50 = percentile(&run.inproc_latencies_us, 50.0);
+        let inproc_p99 = percentile(&run.inproc_latencies_us, 99.0);
+        let mut net_table = Table::new(
+            &format!(
+                "Transport overhead — loopback wire vs in-process at max_batch {SURFACE_BATCH}"
+            ),
+            &["transport", "req/s", "p50 (us)", "p99 (us)"],
+        );
+        net_table.row(vec![
+            "wire (NetClient, handles)".to_string(),
+            format!("{:.0}", run.wire_rps),
+            format!("{wire_p50:.0}"),
+            format!("{wire_p99:.0}"),
+        ]);
+        net_table.row(vec![
+            "in-process (submit_streamed)".to_string(),
+            format!("{:.0}", run.inproc_rps),
+            format!("{inproc_p50:.0}"),
+            format!("{inproc_p99:.0}"),
+        ]);
+        net_table.print();
+        println!("transport overhead: {overhead_pct:.2}%");
+        JsonValue::obj()
+            .field("max_batch", SURFACE_BATCH)
+            .field("requests", requests)
+            .field("wire_rps", run.wire_rps)
+            .field("in_process_rps", run.inproc_rps)
+            .field("overhead_pct", overhead_pct)
+            .field("wire_p50_us", wire_p50)
+            .field("wire_p99_us", wire_p99)
+            .field("in_process_p50_us", inproc_p50)
+            .field("in_process_p99_us", inproc_p99)
+    });
+
     let json = JsonValue::obj()
         .field("bench", "serve_throughput")
         .field("requests", requests)
@@ -814,6 +945,10 @@ fn main() {
         );
     let json = match qos {
         Some(qos) => json.field("qos", qos),
+        None => json,
+    };
+    let json = match net {
+        Some(net) => json.field("transport_overhead", net),
         None => json,
     };
     match write_bench_json(&args.out_dir, "serve_throughput", &json) {

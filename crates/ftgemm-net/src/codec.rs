@@ -1,0 +1,525 @@
+//! Frame encoding/decoding and blocking frame I/O.
+//!
+//! Decoding is total: any byte sequence produces either a [`Frame`] or a
+//! typed [`WireError`], never a panic. [`read_frame`] additionally keeps
+//! the *stream* total — an oversized length prefix is drained in chunks
+//! (so framing stays in sync) and reported as [`ReadEvent::TooLarge`]
+//! rather than torn down, and a malformed payload is surfaced as
+//! [`ReadEvent::Malformed`] with the stream already positioned at the next
+//! frame boundary.
+
+use std::io::{self, Read, Write};
+
+use crate::proto::{verb, CompletionFrame, CompletionOk, Frame, OperandRef, SubmitFrame};
+
+/// Typed decode failure; mapped to [`error_code`](crate::proto::error_code)
+/// values by the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Payload ended before the field being read.
+    Truncated,
+    /// Bytes left over after the last field of the payload.
+    Trailing(usize),
+    /// Verb byte no frame type claims.
+    UnknownVerb(u8),
+    /// A field held a value outside its domain (bad enum discriminant,
+    /// non-UTF-8 string, operand data length mismatch).
+    BadValue(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "payload truncated"),
+            WireError::Trailing(n) => write!(f, "{n} trailing bytes after payload"),
+            WireError::UnknownVerb(v) => write!(f, "unknown verb byte {v}"),
+            WireError::BadValue(what) => write!(f, "bad value: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ---------------------------------------------------------------------------
+// Primitive readers/writers
+// ---------------------------------------------------------------------------
+
+struct Rd<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Rd<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Rd { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.bytes(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        let raw = self.bytes(len)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| WireError::BadValue("non-UTF-8 string"))
+    }
+
+    /// `rows * cols` f64s; the element count is validated against the
+    /// remaining payload *before* allocating, so a forged huge shape
+    /// cannot trigger a large allocation.
+    fn f64_mat(&mut self, rows: u32, cols: u32) -> Result<Vec<f64>, WireError> {
+        let n = (rows as u64)
+            .checked_mul(cols as u64)
+            .ok_or(WireError::BadValue("operand shape overflows"))?;
+        if n.checked_mul(8).ok_or(WireError::Truncated)? > self.remaining() as u64 {
+            return Err(WireError::Truncated);
+        }
+        let n = n as usize;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.f64()?);
+        }
+        Ok(v)
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.remaining() != 0 {
+            return Err(WireError::Trailing(self.remaining()));
+        }
+        Ok(())
+    }
+}
+
+struct Wr {
+    buf: Vec<u8>,
+}
+
+impl Wr {
+    fn new() -> Self {
+        Wr { buf: Vec::new() }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn string(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    fn f64_slice(&mut self, data: &[f64]) {
+        self.buf.reserve(data.len() * 8);
+        for &v in data {
+            self.f64(v);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame payload codec
+// ---------------------------------------------------------------------------
+
+fn put_operand_ref(w: &mut Wr, op: &OperandRef) {
+    match op {
+        OperandRef::Inline { rows, cols, data } => {
+            w.u8(0);
+            w.u32(*rows);
+            w.u32(*cols);
+            w.f64_slice(data);
+        }
+        OperandRef::Handle(h) => {
+            w.u8(1);
+            w.u64(*h);
+        }
+    }
+}
+
+fn get_operand_ref(r: &mut Rd<'_>) -> Result<OperandRef, WireError> {
+    match r.u8()? {
+        0 => {
+            let rows = r.u32()?;
+            let cols = r.u32()?;
+            let data = r.f64_mat(rows, cols)?;
+            Ok(OperandRef::Inline { rows, cols, data })
+        }
+        1 => Ok(OperandRef::Handle(r.u64()?)),
+        _ => Err(WireError::BadValue("operand-ref tag")),
+    }
+}
+
+/// Encodes a frame into a complete wire message: `[len u32][verb][payload]`.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut w = Wr::new();
+    match frame {
+        Frame::Hello { version, features } => {
+            w.u16(*version);
+            w.u32(*features);
+        }
+        Frame::ServerHello {
+            version,
+            features,
+            max_frame,
+        } => {
+            w.u16(*version);
+            w.u32(*features);
+            w.u32(*max_frame);
+        }
+        Frame::UploadOperand { rows, cols, data } => {
+            w.u32(*rows);
+            w.u32(*cols);
+            w.f64_slice(data);
+        }
+        Frame::OperandHandle {
+            handle,
+            resident_bytes,
+        } => {
+            w.u64(*handle);
+            w.u64(*resident_bytes);
+        }
+        Frame::Submit(s) => {
+            w.u8(s.hold as u8);
+            w.u8(s.policy);
+            w.u8(s.priority);
+            w.u32(s.tenant);
+            w.u64(s.deadline_ns);
+            w.f64(s.alpha);
+            w.f64(s.beta);
+            put_operand_ref(&mut w, &s.a);
+            put_operand_ref(&mut w, &s.b);
+            match &s.c {
+                None => w.u8(0),
+                Some((rows, cols, data)) => {
+                    w.u8(1);
+                    w.u32(*rows);
+                    w.u32(*cols);
+                    w.f64_slice(data);
+                }
+            }
+        }
+        Frame::SubmitAck { id }
+        | Frame::Poll { id }
+        | Frame::Pending { id }
+        | Frame::Wait { id } => {
+            w.u64(*id);
+        }
+        Frame::Completion(c) => {
+            w.u64(c.id);
+            match &c.result {
+                Ok(ok) => {
+                    w.u8(0);
+                    w.u32(ok.rows);
+                    w.u32(ok.cols);
+                    w.f64_slice(&ok.data);
+                    w.u64(ok.verifications);
+                    w.u64(ok.detected);
+                    w.u64(ok.corrected);
+                    w.u64(ok.injected);
+                    w.u64(ok.retried_panels);
+                }
+                Err((code, message)) => {
+                    w.u8(1);
+                    w.u16(*code);
+                    w.string(message);
+                }
+            }
+        }
+        Frame::ReleaseHandle { handle } | Frame::Released { handle } => {
+            w.u64(*handle);
+        }
+        Frame::Shutdown | Frame::Goodbye => {}
+        Frame::Error { id, code, message } => {
+            w.u64(*id);
+            w.u16(*code);
+            w.string(message);
+        }
+    }
+    let payload = w.buf;
+    let mut out = Vec::with_capacity(5 + payload.len());
+    out.extend_from_slice(&(1 + payload.len() as u32).to_le_bytes());
+    out.push(frame.verb());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decodes a frame payload given its verb byte. Total: every input maps to
+/// a frame or a [`WireError`].
+pub fn decode_frame(verb_byte: u8, payload: &[u8]) -> Result<Frame, WireError> {
+    let mut r = Rd::new(payload);
+    let frame = match verb_byte {
+        verb::HELLO => Frame::Hello {
+            version: r.u16()?,
+            features: r.u32()?,
+        },
+        verb::SERVER_HELLO => Frame::ServerHello {
+            version: r.u16()?,
+            features: r.u32()?,
+            max_frame: r.u32()?,
+        },
+        verb::UPLOAD_OPERAND => {
+            let rows = r.u32()?;
+            let cols = r.u32()?;
+            let data = r.f64_mat(rows, cols)?;
+            Frame::UploadOperand { rows, cols, data }
+        }
+        verb::OPERAND_HANDLE => Frame::OperandHandle {
+            handle: r.u64()?,
+            resident_bytes: r.u64()?,
+        },
+        verb::SUBMIT => {
+            let hold = match r.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(WireError::BadValue("delivery mode")),
+            };
+            let policy = r.u8()?;
+            if policy > 2 {
+                return Err(WireError::BadValue("ft policy"));
+            }
+            let priority = r.u8()?;
+            if priority > 2 {
+                return Err(WireError::BadValue("priority"));
+            }
+            let tenant = r.u32()?;
+            let deadline_ns = r.u64()?;
+            let alpha = r.f64()?;
+            let beta = r.f64()?;
+            let a = get_operand_ref(&mut r)?;
+            let b = get_operand_ref(&mut r)?;
+            let c = match r.u8()? {
+                0 => None,
+                1 => {
+                    let rows = r.u32()?;
+                    let cols = r.u32()?;
+                    let data = r.f64_mat(rows, cols)?;
+                    Some((rows, cols, data))
+                }
+                _ => return Err(WireError::BadValue("output tag")),
+            };
+            Frame::Submit(SubmitFrame {
+                hold,
+                policy,
+                priority,
+                tenant,
+                deadline_ns,
+                alpha,
+                beta,
+                a,
+                b,
+                c,
+            })
+        }
+        verb::SUBMIT_ACK => Frame::SubmitAck { id: r.u64()? },
+        verb::POLL => Frame::Poll { id: r.u64()? },
+        verb::PENDING => Frame::Pending { id: r.u64()? },
+        verb::WAIT => Frame::Wait { id: r.u64()? },
+        verb::COMPLETION => {
+            let id = r.u64()?;
+            let result = match r.u8()? {
+                0 => {
+                    let rows = r.u32()?;
+                    let cols = r.u32()?;
+                    let data = r.f64_mat(rows, cols)?;
+                    Ok(CompletionOk {
+                        rows,
+                        cols,
+                        data,
+                        verifications: r.u64()?,
+                        detected: r.u64()?,
+                        corrected: r.u64()?,
+                        injected: r.u64()?,
+                        retried_panels: r.u64()?,
+                    })
+                }
+                1 => Err((r.u16()?, r.string()?)),
+                _ => return Err(WireError::BadValue("completion tag")),
+            };
+            Frame::Completion(CompletionFrame { id, result })
+        }
+        verb::RELEASE_HANDLE => Frame::ReleaseHandle { handle: r.u64()? },
+        verb::RELEASED => Frame::Released { handle: r.u64()? },
+        verb::SHUTDOWN => Frame::Shutdown,
+        verb::GOODBYE => Frame::Goodbye,
+        verb::ERROR => Frame::Error {
+            id: r.u64()?,
+            code: r.u16()?,
+            message: r.string()?,
+        },
+        other => return Err(WireError::UnknownVerb(other)),
+    };
+    r.finish()?;
+    Ok(frame)
+}
+
+// ---------------------------------------------------------------------------
+// Blocking frame I/O
+// ---------------------------------------------------------------------------
+
+/// Outcome of [`read_frame`]: the stream survives everything but I/O
+/// failure, so protocol-level problems are events, not errors.
+#[derive(Debug)]
+pub enum ReadEvent {
+    /// A well-formed frame.
+    Frame(Frame),
+    /// Length prefix exceeded the max frame size; the frame's bytes were
+    /// drained and discarded, the stream is at the next frame boundary.
+    TooLarge { len: u32 },
+    /// Payload failed to decode; the stream is at the next frame boundary.
+    Malformed(WireError),
+    /// Clean end of stream (peer closed between frames).
+    Eof,
+}
+
+/// Reads one length-prefixed frame. `max_frame` bounds the length prefix;
+/// larger frames are drained in 64 KiB chunks and reported as
+/// [`ReadEvent::TooLarge`] so a single oversized frame cannot desync or
+/// kill the connection. Returns the total bytes consumed alongside the
+/// event (for byte-level metrics).
+pub fn read_frame(r: &mut impl Read, max_frame: u32) -> io::Result<(ReadEvent, u64)> {
+    let mut len_buf = [0u8; 4];
+    // EOF before any length byte is a clean close; EOF mid-prefix is not.
+    match r.read(&mut len_buf[..1])? {
+        0 => return Ok((ReadEvent::Eof, 0)),
+        _ => r.read_exact(&mut len_buf[1..])?,
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len == 0 {
+        return Ok((ReadEvent::Malformed(WireError::Truncated), 4));
+    }
+    if len > max_frame {
+        let mut left = len as u64;
+        let mut chunk = [0u8; 64 * 1024];
+        while left > 0 {
+            let take = left.min(chunk.len() as u64) as usize;
+            r.read_exact(&mut chunk[..take])?;
+            left -= take as u64;
+        }
+        return Ok((ReadEvent::TooLarge { len }, 4 + len as u64));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    let event = match decode_frame(body[0], &body[1..]) {
+        Ok(f) => ReadEvent::Frame(f),
+        Err(e) => ReadEvent::Malformed(e),
+    };
+    Ok((event, 4 + len as u64))
+}
+
+/// Writes one frame; returns the bytes written.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<u64> {
+    let bytes = encode_frame(frame);
+    w.write_all(&bytes)?;
+    Ok(bytes.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_a_submit() {
+        let f = Frame::Submit(SubmitFrame {
+            hold: true,
+            policy: 2,
+            priority: 0,
+            tenant: 7,
+            deadline_ns: 123,
+            alpha: 1.5,
+            beta: -0.25,
+            a: OperandRef::Handle(42),
+            b: OperandRef::Inline {
+                rows: 2,
+                cols: 2,
+                data: vec![1.0, 2.0, 3.0, 4.0],
+            },
+            c: Some((2, 2, vec![0.0; 4])),
+        });
+        let bytes = encode_frame(&f);
+        let got = decode_frame(bytes[4], &bytes[5..]).unwrap();
+        assert_eq!(got, f);
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let mut bytes = encode_frame(&Frame::SubmitAck { id: 9 });
+        bytes.push(0xFF);
+        // Patch the length prefix to claim the extra byte.
+        let len = u32::from_le_bytes(bytes[..4].try_into().unwrap()) + 1;
+        bytes[..4].copy_from_slice(&len.to_le_bytes());
+        assert_eq!(
+            decode_frame(bytes[4], &bytes[5..]),
+            Err(WireError::Trailing(1))
+        );
+    }
+
+    #[test]
+    fn oversized_frame_is_drained_not_fatal() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&100u32.to_le_bytes());
+        wire.extend_from_slice(&[0u8; 100]);
+        wire.extend_from_slice(&encode_frame(&Frame::Goodbye));
+        let mut cur = std::io::Cursor::new(wire);
+        let (ev, n) = read_frame(&mut cur, 64).unwrap();
+        assert!(matches!(ev, ReadEvent::TooLarge { len: 100 }));
+        assert_eq!(n, 104);
+        let (ev, _) = read_frame(&mut cur, 64).unwrap();
+        assert!(matches!(ev, ReadEvent::Frame(Frame::Goodbye)));
+    }
+
+    #[test]
+    fn forged_shape_cannot_force_huge_alloc() {
+        // Claims a 2^31 x 2^31 operand with no data behind it.
+        let mut w = Vec::new();
+        w.extend_from_slice(&u32::MAX.to_le_bytes());
+        w.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            decode_frame(verb::UPLOAD_OPERAND, &w),
+            Err(WireError::Truncated)
+        );
+    }
+}

@@ -1,0 +1,468 @@
+//! Per-connection protocol state machine: a reader thread (this module's
+//! entry point), a writer thread, and a completion-pump thread.
+//!
+//! The reader owns the protocol: it decodes frames, resolves operand
+//! handles against the shared [`OperandStore`], and bridges admissions
+//! into [`GemmService::submit_streamed`]. The pump drains the
+//! connection's [`Completions`] stream and either pushes each finished
+//! request down the writer (stream delivery) or parks it in the held
+//! table for Poll/Wait (hold delivery). The writer serializes all
+//! outbound frames so responses and pushed completions interleave without
+//! tearing.
+//!
+//! Every protocol-level failure (malformed frame, oversize frame, unknown
+//! verb/handle/request, unsupported version, in-flight cap) is answered
+//! with a typed [`Frame::Error`] and the connection stays alive; only I/O
+//! failure or an explicit Shutdown ends it. On exit — clean or not — the
+//! connection joins its threads and releases every operand handle it
+//! owns, so a killed client returns the store's resident bytes to
+//! baseline.
+
+use std::collections::{HashMap, HashSet};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use ftgemm_abft::FtPolicy;
+use ftgemm_core::Matrix;
+use ftgemm_serve::{
+    completion_channel, Completion, GemmRequest, GemmService, Operand, Priority, ServeError,
+};
+
+use crate::codec::{read_frame, write_frame, ReadEvent, WireError};
+use crate::metrics;
+use crate::proto::{
+    error_code, CompletionFrame, CompletionOk, Frame, OperandRef, SubmitFrame, FEATURES,
+    PROTO_VERSION,
+};
+use crate::store::OperandStore;
+
+/// Everything a connection needs from its server.
+pub(crate) struct ConnContext {
+    pub service: Arc<GemmService<f64>>,
+    pub store: Arc<OperandStore>,
+    pub max_frame: u32,
+    pub max_in_flight: usize,
+    /// Set when a client issues Shutdown; the accept loop checks it.
+    pub server_stop: Arc<AtomicBool>,
+    /// The server's own listen address, used to wake the blocked accept
+    /// loop after Shutdown.
+    pub server_addr: SocketAddr,
+}
+
+/// State shared between the reader and the completion pump.
+struct SharedState {
+    /// Hold-delivery requests: id -> parked completion (None until it
+    /// finishes). Ids are inserted under the lock *before* submit returns,
+    /// so the pump can never race a completion past its registration.
+    held: HashMap<u64, Option<CompletionFrame>>,
+    /// Bumped per successful submit; the pump's gate out of its park.
+    submitted_gen: u64,
+    /// The reader has exited; the pump drains in-flight work and stops.
+    closing: bool,
+}
+
+struct Shared {
+    state: Mutex<SharedState>,
+    /// Wakes the pump (new submit or closing).
+    gate: Condvar,
+    /// Wakes a reader blocked in Wait (held completion arrived).
+    held_ready: Condvar,
+}
+
+fn serve_error_frame(id: u64, e: &ServeError) -> Frame {
+    Frame::Error {
+        id,
+        code: e.wire_code(),
+        message: e.to_string(),
+    }
+}
+
+fn completion_to_frame(c: Completion<f64>) -> CompletionFrame {
+    let result = match c.result {
+        Ok(resp) => Ok(CompletionOk {
+            rows: resp.c.nrows() as u32,
+            cols: resp.c.ncols() as u32,
+            data: resp.c.as_slice().to_vec(),
+            verifications: resp.report.verifications as u64,
+            detected: resp.report.detected as u64,
+            corrected: resp.report.corrected as u64,
+            injected: resp.report.injected as u64,
+            retried_panels: resp.report.retried_panels as u64,
+        }),
+        Err(e) => Err((e.wire_code(), e.to_string())),
+    };
+    CompletionFrame { id: c.id, result }
+}
+
+/// Turns a wire submit into a service request. Handle misses surface as
+/// an error frame, not a disconnect.
+fn build_request(s: SubmitFrame, store: &OperandStore) -> Result<GemmRequest<f64>, (u16, String)> {
+    let resolve = |op: OperandRef| -> Result<Operand<f64>, (u16, String)> {
+        match op {
+            OperandRef::Inline { rows, cols, data } => {
+                Matrix::from_col_major(rows as usize, cols as usize, &data)
+                    .map(Operand::Owned)
+                    .map_err(|e| (error_code::MALFORMED_FRAME, e.to_string()))
+            }
+            OperandRef::Handle(h) => store.get(h).map(Operand::Shared).ok_or((
+                error_code::UNKNOWN_HANDLE,
+                format!("operand handle {h} is not resident"),
+            )),
+        }
+    };
+    let a = resolve(s.a)?;
+    let b = resolve(s.b)?;
+    let c = match s.c {
+        Some((rows, cols, data)) => Matrix::from_col_major(rows as usize, cols as usize, &data)
+            .map_err(|e| (error_code::MALFORMED_FRAME, e.to_string()))?,
+        None => Matrix::zeros(a.nrows(), b.ncols()),
+    };
+    // Discriminants are codec-validated (<= 2), so these matches are total.
+    let policy = match s.policy {
+        0 => FtPolicy::Off,
+        1 => FtPolicy::Detect,
+        _ => FtPolicy::DetectCorrect,
+    };
+    let priority = match s.priority {
+        0 => Priority::High,
+        1 => Priority::Normal,
+        _ => Priority::Low,
+    };
+    Ok(GemmRequest {
+        alpha: s.alpha,
+        a,
+        b,
+        beta: s.beta,
+        c,
+        policy,
+        injector: None,
+        home: None,
+        tenant: s.tenant,
+        priority,
+        deadline: (s.deadline_ns > 0).then(|| Duration::from_nanos(s.deadline_ns)),
+    })
+}
+
+/// Runs one client connection to completion. Called from the accept
+/// loop's per-connection thread.
+pub(crate) fn handle_conn(stream: TcpStream, ctx: ConnContext) {
+    metrics::connections().add(1.0);
+    metrics::connections_total().inc();
+
+    let shared = Arc::new(Shared {
+        state: Mutex::new(SharedState {
+            held: HashMap::new(),
+            submitted_gen: 0,
+            closing: false,
+        }),
+        gate: Condvar::new(),
+        held_ready: Condvar::new(),
+    });
+    let in_flight = Arc::new(AtomicUsize::new(0));
+
+    // Writer thread: sole owner of the outbound half; serializes
+    // responses and pushed completions.
+    let (tx, rx) = mpsc::channel::<Frame>();
+    let writer = {
+        let mut out = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => {
+                metrics::connections().add(-1.0);
+                return;
+            }
+        };
+        thread::spawn(move || {
+            while let Ok(frame) = rx.recv() {
+                match write_frame(&mut out, &frame) {
+                    Ok(n) => {
+                        metrics::frames_out_total().inc();
+                        metrics::bytes_out_total().add(n);
+                    }
+                    Err(_) => break,
+                }
+            }
+        })
+    };
+
+    // Completion pump: drains this connection's stream. `Completions::
+    // recv` reports end-of-stream whenever the queue is empty and nothing
+    // is in flight (a snapshot, not a close), so the pump parks on the
+    // gate until the reader either submits more work or closes.
+    let (sink, mut completions) = completion_channel::<f64>();
+    let pump = {
+        let shared = Arc::clone(&shared);
+        let in_flight = Arc::clone(&in_flight);
+        let tx = tx.clone();
+        thread::spawn(move || {
+            let mut seen_gen = 0u64;
+            loop {
+                match completions.recv() {
+                    Some(c) => {
+                        let frame = completion_to_frame(c);
+                        let mut st = shared.state.lock().unwrap();
+                        if let Some(slot) = st.held.get_mut(&frame.id) {
+                            *slot = Some(frame);
+                            shared.held_ready.notify_all();
+                        } else {
+                            drop(st);
+                            let _ = tx.send(Frame::Completion(frame));
+                        }
+                        in_flight.fetch_sub(1, Ordering::Relaxed);
+                    }
+                    None => {
+                        let mut st = shared.state.lock().unwrap();
+                        while st.submitted_gen == seen_gen && !st.closing {
+                            st = shared.gate.wait(st).unwrap();
+                        }
+                        if st.closing && st.submitted_gen == seen_gen {
+                            break;
+                        }
+                        seen_gen = st.submitted_gen;
+                    }
+                }
+            }
+        })
+    };
+
+    let mut owned: HashSet<u64> = HashSet::new();
+    let mut hello_done = false;
+    let mut stop_server = false;
+    let mut reader = BufReader::new(stream);
+
+    // Block scope so the sender borrows end before teardown drops `tx`.
+    {
+        let send = |frame: Frame| {
+            let _ = tx.send(frame);
+        };
+        let protocol_error = |id: u64, code: u16, message: String| {
+            metrics::protocol_errors_total().inc();
+            let _ = tx.send(Frame::Error { id, code, message });
+        };
+
+        while let Ok((event, n)) = read_frame(&mut reader, ctx.max_frame) {
+            metrics::bytes_in_total().add(n);
+            let frame = match event {
+                ReadEvent::Eof => break,
+                ReadEvent::TooLarge { len } => {
+                    protocol_error(
+                        0,
+                        error_code::FRAME_TOO_LARGE,
+                        format!("frame of {len} bytes exceeds max {}", ctx.max_frame),
+                    );
+                    continue;
+                }
+                ReadEvent::Malformed(WireError::UnknownVerb(v)) => {
+                    protocol_error(0, error_code::UNKNOWN_VERB, format!("unknown verb {v}"));
+                    continue;
+                }
+                ReadEvent::Malformed(e) => {
+                    protocol_error(0, error_code::MALFORMED_FRAME, e.to_string());
+                    continue;
+                }
+                ReadEvent::Frame(f) => f,
+            };
+            metrics::frames_in_total().inc();
+
+            if !hello_done {
+                match frame {
+                    Frame::Hello { version, features } => {
+                        if version != PROTO_VERSION {
+                            protocol_error(
+                                0,
+                                error_code::UNSUPPORTED_VERSION,
+                                format!(
+                                    "server speaks version {PROTO_VERSION}, client sent {version}"
+                                ),
+                            );
+                        } else {
+                            hello_done = true;
+                            send(Frame::ServerHello {
+                                version: PROTO_VERSION,
+                                features: features & FEATURES,
+                                max_frame: ctx.max_frame,
+                            });
+                        }
+                    }
+                    _ => protocol_error(
+                        0,
+                        error_code::EXPECTED_HELLO,
+                        "first frame must be Hello".into(),
+                    ),
+                }
+                continue;
+            }
+
+            match frame {
+                Frame::Hello { .. } => {
+                    // Re-negotiation is a no-op; answer with the same hello.
+                    send(Frame::ServerHello {
+                        version: PROTO_VERSION,
+                        features: FEATURES,
+                        max_frame: ctx.max_frame,
+                    });
+                }
+                Frame::UploadOperand { rows, cols, data } => {
+                    match Matrix::from_col_major(rows as usize, cols as usize, &data) {
+                        Err(e) => protocol_error(0, error_code::MALFORMED_FRAME, e.to_string()),
+                        Ok(m) => match ctx.store.insert(m) {
+                            Ok((handle, resident_bytes)) => {
+                                owned.insert(handle);
+                                send(Frame::OperandHandle {
+                                    handle,
+                                    resident_bytes,
+                                });
+                            }
+                            Err(e) => protocol_error(
+                                0,
+                                error_code::OPERAND_BUDGET,
+                                format!(
+                                    "operand of {} bytes exceeds store budget of {}",
+                                    e.bytes, e.budget
+                                ),
+                            ),
+                        },
+                    }
+                }
+                Frame::Submit(s) => {
+                    if in_flight.load(Ordering::Relaxed) >= ctx.max_in_flight {
+                        protocol_error(
+                            0,
+                            error_code::TOO_MANY_IN_FLIGHT,
+                            format!(
+                                "connection already has {} requests in flight",
+                                ctx.max_in_flight
+                            ),
+                        );
+                        continue;
+                    }
+                    let hold = s.hold;
+                    let req = match build_request(s, &ctx.store) {
+                        Ok(r) => r,
+                        Err((code, message)) => {
+                            protocol_error(0, code, message);
+                            continue;
+                        }
+                    };
+                    // Hold the shared lock across submit so a hold-delivery id
+                    // is registered before its completion can be pumped.
+                    let mut st = shared.state.lock().unwrap();
+                    in_flight.fetch_add(1, Ordering::Relaxed);
+                    match ctx.service.submit_streamed(req, &sink) {
+                        Ok(id) => {
+                            if hold {
+                                st.held.insert(id, None);
+                            }
+                            st.submitted_gen += 1;
+                            shared.gate.notify_all();
+                            drop(st);
+                            send(Frame::SubmitAck { id });
+                        }
+                        Err(e) => {
+                            in_flight.fetch_sub(1, Ordering::Relaxed);
+                            drop(st);
+                            send(serve_error_frame(0, &e));
+                        }
+                    }
+                }
+                Frame::Poll { id } => {
+                    let mut st = shared.state.lock().unwrap();
+                    match st.held.get(&id) {
+                        None => {
+                            drop(st);
+                            protocol_error(
+                                id,
+                                error_code::UNKNOWN_REQUEST,
+                                format!("request {id} is not held on this connection"),
+                            );
+                        }
+                        Some(Some(_)) => {
+                            let c = st.held.remove(&id).unwrap().unwrap();
+                            drop(st);
+                            send(Frame::Completion(c));
+                        }
+                        Some(None) => {
+                            drop(st);
+                            send(Frame::Pending { id });
+                        }
+                    }
+                }
+                Frame::Wait { id } => {
+                    let mut st = shared.state.lock().unwrap();
+                    if !st.held.contains_key(&id) {
+                        drop(st);
+                        protocol_error(
+                            id,
+                            error_code::UNKNOWN_REQUEST,
+                            format!("request {id} is not held on this connection"),
+                        );
+                        continue;
+                    }
+                    while matches!(st.held.get(&id), Some(None)) {
+                        st = shared.held_ready.wait(st).unwrap();
+                    }
+                    let c = st.held.remove(&id).unwrap().unwrap();
+                    drop(st);
+                    send(Frame::Completion(c));
+                }
+                Frame::ReleaseHandle { handle } => {
+                    if owned.remove(&handle) {
+                        // Best-effort: the store entry may already be evicted.
+                        ctx.store.release(handle);
+                        send(Frame::Released { handle });
+                    } else {
+                        protocol_error(
+                            0,
+                            error_code::UNKNOWN_HANDLE,
+                            format!("handle {handle} is not owned by this connection"),
+                        );
+                    }
+                }
+                Frame::Shutdown => {
+                    send(Frame::Goodbye);
+                    stop_server = true;
+                    break;
+                }
+                // Server→client frames arriving server-bound.
+                Frame::ServerHello { .. }
+                | Frame::OperandHandle { .. }
+                | Frame::SubmitAck { .. }
+                | Frame::Pending { .. }
+                | Frame::Completion(_)
+                | Frame::Released { .. }
+                | Frame::Goodbye
+                | Frame::Error { .. } => {
+                    protocol_error(
+                        0,
+                        error_code::MALFORMED_FRAME,
+                        format!("verb {} is server-to-client only", frame.verb()),
+                    );
+                }
+            }
+        }
+    }
+
+    // Teardown: let the pump drain in-flight work, then stop it; close
+    // the writer; return owned operands to the store.
+    {
+        let mut st = shared.state.lock().unwrap();
+        st.closing = true;
+        shared.gate.notify_all();
+    }
+    let _ = pump.join();
+    drop(tx);
+    let _ = writer.join();
+    for handle in owned {
+        ctx.store.release(handle);
+    }
+    metrics::connections().add(-1.0);
+
+    if stop_server {
+        ctx.server_stop.store(true, Ordering::SeqCst);
+        // Wake the accept loop blocked in accept().
+        let _ = TcpStream::connect(ctx.server_addr);
+    }
+}

@@ -1,0 +1,48 @@
+//! TCP wire frontend for the FT-GEMM service: "serving" over a socket.
+//!
+//! The rest of the workspace is a deep in-process serving stack —
+//! [`GemmService`](ftgemm_serve::GemmService) with async submission, NUMA
+//! sharding, QoS, and a `/metrics` endpoint. This crate puts that stack
+//! on the network: [`NetServer`] accepts TCP connections speaking a
+//! small, versioned, length-prefixed binary protocol (no external
+//! dependencies; `std::net` all the way down, like `ftgemm-obs`'s
+//! `ObsServer`), and [`NetClient`] is the matching blocking client.
+//!
+//! The protocol's centerpiece is operand reuse: a client uploads its
+//! `A`/`B` matrices once ([`Frame::UploadOperand`]), gets back
+//! server-resident handles, and then fires any number of submits against
+//! them — each submit ships a few dozen header bytes instead of the
+//! matrices, and the server builds requests against shared
+//! (`Arc`-backed, zero-copy) operands. The full
+//! [`GemmRequest`](ftgemm_serve::GemmRequest) surface rides in the submit
+//! header: FT policy, tenant, priority, and deadline, so QoS admission
+//! control and deadline rejection are first-class wire errors.
+//!
+//! Module map:
+//! - [`proto`]: frame vocabulary, version/feature constants, pinned verb
+//!   bytes and error codes.
+//! - [`codec`]: total encode/decode plus blocking frame I/O that survives
+//!   oversized and malformed frames.
+//! - [`store`]: [`OperandStore`] — ref-counted server-resident operands
+//!   with byte-budget LRU eviction.
+//! - `conn`: per-connection reader/writer/completion-pump threads
+//!   bridging into `submit_streamed`.
+//! - [`server`] / [`client`]: the two endpoints.
+//! - `metrics`: the `ftgemm_net_*` metric families (documented there).
+
+pub mod client;
+pub mod codec;
+mod conn;
+mod metrics;
+pub mod proto;
+pub mod server;
+pub mod store;
+
+pub use client::{ClientError, NetClient, NetSubmit};
+pub use codec::{ReadEvent, WireError};
+pub use proto::{
+    error_code, CompletionFrame, CompletionOk, Frame, OperandRef, SubmitFrame, FEATURES,
+    PROTO_VERSION,
+};
+pub use server::{NetServer, NetServerConfig};
+pub use store::{BudgetExceeded, OperandStore};

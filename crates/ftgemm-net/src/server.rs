@@ -1,0 +1,159 @@
+//! `NetServer`: TCP accept loop binding the wire protocol to a
+//! [`GemmService`].
+//!
+//! Same lifecycle idiom as `ftgemm-obs`'s `ObsServer`: the listener binds
+//! eagerly in [`NetServer::start`] (so the caller gets the bound address
+//! and any bind error synchronously), a background thread accepts
+//! connections, and shutdown sets a stop flag then self-connects to wake
+//! the blocked `accept()`. Each accepted connection runs on its own
+//! thread (see the `conn` module); on shutdown the server half-closes every
+//! live connection's socket and joins its thread, which releases that
+//! connection's operand handles.
+
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+
+use ftgemm_serve::GemmService;
+
+use crate::conn::{handle_conn, ConnContext};
+use crate::proto::DEFAULT_MAX_FRAME;
+use crate::store::OperandStore;
+
+/// Live connections: the accept-side socket clone (for shutdown wakeup)
+/// plus the connection thread to join.
+type ConnTable = Arc<Mutex<Vec<(TcpStream, JoinHandle<()>)>>>;
+
+/// Tunables for a [`NetServer`].
+#[derive(Debug, Clone)]
+pub struct NetServerConfig {
+    /// Largest accepted frame (length prefix); larger frames are drained
+    /// and answered with a `FRAME_TOO_LARGE` error frame.
+    pub max_frame: u32,
+    /// Per-connection cap on unfinished submits; submits past it are
+    /// answered with a `TOO_MANY_IN_FLIGHT` error frame.
+    pub max_in_flight: usize,
+    /// Byte budget of the server-resident operand store (LRU eviction
+    /// past it).
+    pub operand_budget: u64,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> Self {
+        NetServerConfig {
+            max_frame: DEFAULT_MAX_FRAME,
+            max_in_flight: 64,
+            operand_budget: 256 * 1024 * 1024,
+        }
+    }
+}
+
+/// Handle to a running wire frontend. Stops (and joins every connection)
+/// on [`stop`](NetServer::stop) or drop.
+pub struct NetServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    store: Arc<OperandStore>,
+    accept: Option<JoinHandle<()>>,
+    conns: ConnTable,
+}
+
+impl NetServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral test port) and
+    /// starts the accept loop against `service`. Binding happens in the
+    /// caller's thread, so the returned server's [`addr`](Self::addr) is
+    /// immediately connectable.
+    pub fn start(
+        service: Arc<GemmService<f64>>,
+        addr: impl ToSocketAddrs,
+        config: NetServerConfig,
+    ) -> io::Result<NetServer> {
+        crate::metrics::register_all();
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let store = Arc::new(OperandStore::new(config.operand_budget));
+        let conns: ConnTable = Arc::new(Mutex::new(Vec::new()));
+
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let store = Arc::clone(&store);
+            let conns = Arc::clone(&conns);
+            thread::spawn(move || {
+                for incoming in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let stream = match incoming {
+                        Ok(s) => s,
+                        Err(_) => continue,
+                    };
+                    // Acks and pushed completions are latency-sensitive;
+                    // don't let Nagle hold them behind unacked segments.
+                    let _ = stream.set_nodelay(true);
+                    let peer = match stream.try_clone() {
+                        Ok(s) => s,
+                        Err(_) => continue,
+                    };
+                    let ctx = ConnContext {
+                        service: Arc::clone(&service),
+                        store: Arc::clone(&store),
+                        max_frame: config.max_frame,
+                        max_in_flight: config.max_in_flight,
+                        server_stop: Arc::clone(&stop),
+                        server_addr: local,
+                    };
+                    let handle = thread::spawn(move || handle_conn(stream, ctx));
+                    conns.lock().unwrap().push((peer, handle));
+                }
+            })
+        };
+
+        Ok(NetServer {
+            addr: local,
+            stop,
+            store,
+            accept: Some(accept),
+            conns,
+        })
+    }
+
+    /// The bound listen address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server-resident operand store (shared by all connections).
+    /// Exposed for budget/leak assertions in tests and benches.
+    pub fn store(&self) -> &Arc<OperandStore> {
+        &self.store
+    }
+
+    /// Stops the accept loop, closes every live connection, and joins all
+    /// threads. Idempotent via the stop flag; also runs on drop.
+    pub fn stop(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the accept loop if it is parked in accept().
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let conns = std::mem::take(&mut *self.conns.lock().unwrap());
+        for (stream, handle) in conns {
+            let _ = stream.shutdown(Shutdown::Both);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}

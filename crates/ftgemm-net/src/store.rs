@@ -1,0 +1,221 @@
+//! Server-resident operand store: ref-counted matrices behind `u64`
+//! handles, with a byte budget enforced by LRU eviction.
+//!
+//! This is the server half of the clients-cache-operands-and-re-fire
+//! pattern: a client uploads `A`/`B` once, then fires any number of
+//! submits against the handles. [`OperandStore::get`] hands back an
+//! `Arc<Matrix<f64>>` clone, which flows into
+//! [`Operand::Shared`](ftgemm_serve::Operand) — zero matrix bytes are
+//! copied per submit.
+//!
+//! Handles are minted from one store-wide counter, so a handle is never
+//! reused and a stale handle (released or evicted) misses cleanly. The
+//! store is shared by all connections of a server; each connection tracks
+//! the handles it owns and releases them on disconnect, so a killed client
+//! cannot leak resident bytes.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use ftgemm_core::Matrix;
+
+use crate::metrics;
+
+/// Upload rejection: the operand alone exceeds the store's byte budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetExceeded {
+    /// Bytes the rejected operand would occupy.
+    pub bytes: u64,
+    /// The store's configured budget.
+    pub budget: u64,
+}
+
+struct Entry {
+    m: Arc<Matrix<f64>>,
+    bytes: u64,
+    /// Monotonic use tick; smallest = least recently used.
+    last_used: u64,
+}
+
+/// Ref-counted server-resident operand matrices with byte-budget LRU
+/// eviction. See the module docs for semantics.
+pub struct OperandStore {
+    inner: Mutex<HashMap<u64, Entry>>,
+    budget: u64,
+    next_handle: AtomicU64,
+    tick: AtomicU64,
+    // Authoritative copies of the store gauges: the global metric families
+    // are process-wide and shared across tests, so deterministic
+    // assertions read these instead.
+    resident: AtomicU64,
+    handles: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl OperandStore {
+    /// A store that evicts past `budget_bytes` of resident operand data.
+    pub fn new(budget_bytes: u64) -> Self {
+        OperandStore {
+            inner: Mutex::new(HashMap::new()),
+            budget: budget_bytes,
+            next_handle: AtomicU64::new(1),
+            tick: AtomicU64::new(0),
+            resident: AtomicU64::new(0),
+            handles: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Inserts a matrix, evicting least-recently-used entries if the
+    /// budget requires it (never the matrix being inserted). Returns the
+    /// minted handle and the resident bytes after insertion.
+    pub fn insert(&self, m: Matrix<f64>) -> Result<(u64, u64), BudgetExceeded> {
+        let bytes = std::mem::size_of_val(m.as_slice()) as u64;
+        if bytes > self.budget {
+            return Err(BudgetExceeded {
+                bytes,
+                budget: self.budget,
+            });
+        }
+        let handle = self.next_handle.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.inner.lock().unwrap();
+        // Evict until the newcomer fits.
+        while self.resident.load(Ordering::Relaxed) + bytes > self.budget {
+            let victim = map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(h, _)| *h)
+                .expect("resident bytes nonzero implies a resident entry");
+            let gone = map.remove(&victim).unwrap();
+            self.account_removal(gone.bytes);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            metrics::operand_evictions_total().inc();
+        }
+        map.insert(
+            handle,
+            Entry {
+                m: Arc::new(m),
+                bytes,
+                last_used: self.tick.fetch_add(1, Ordering::Relaxed),
+            },
+        );
+        let resident = self.resident.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.handles.fetch_add(1, Ordering::Relaxed);
+        metrics::resident_operand_bytes().add(bytes as f64);
+        metrics::operand_handles().add(1.0);
+        Ok((handle, resident))
+    }
+
+    /// Resolves a handle to its shared matrix (bumping its LRU position),
+    /// or `None` if the handle was never minted, released, or evicted.
+    pub fn get(&self, handle: u64) -> Option<Arc<Matrix<f64>>> {
+        let mut map = self.inner.lock().unwrap();
+        let e = map.get_mut(&handle)?;
+        e.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+        Some(Arc::clone(&e.m))
+    }
+
+    /// Drops a handle; returns whether it was resident. In-flight requests
+    /// holding the `Arc` keep the data alive until they finish — release
+    /// only un-counts it from the store.
+    pub fn release(&self, handle: u64) -> bool {
+        let mut map = self.inner.lock().unwrap();
+        match map.remove(&handle) {
+            Some(e) => {
+                self.account_removal(e.bytes);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn account_removal(&self, bytes: u64) {
+        self.resident.fetch_sub(bytes, Ordering::Relaxed);
+        self.handles.fetch_sub(1, Ordering::Relaxed);
+        metrics::resident_operand_bytes().add(-(bytes as f64));
+        metrics::operand_handles().add(-1.0);
+    }
+
+    /// Bytes currently held by resident operands.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident.load(Ordering::Relaxed)
+    }
+
+    /// Live handle count.
+    pub fn handle_count(&self) -> u64 {
+        self.handles.load(Ordering::Relaxed)
+    }
+
+    /// Operands evicted by the byte budget since the store was created.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(n: usize) -> Matrix<f64> {
+        Matrix::filled(n, n, 1.0)
+    }
+
+    #[test]
+    fn insert_get_release_accounting() {
+        let s = OperandStore::new(1 << 20);
+        let (h, resident) = s.insert(mat(4)).unwrap();
+        assert_eq!(resident, 16 * 8);
+        assert_eq!(s.resident_bytes(), 16 * 8);
+        assert_eq!(s.handle_count(), 1);
+        let m = s.get(h).unwrap();
+        assert_eq!(m.nrows(), 4);
+        assert!(s.release(h));
+        assert!(!s.release(h));
+        assert_eq!(s.resident_bytes(), 0);
+        assert_eq!(s.handle_count(), 0);
+        assert!(s.get(h).is_none());
+    }
+
+    #[test]
+    fn lru_eviction_spares_the_recently_used() {
+        // Budget fits exactly two 4x4 operands.
+        let s = OperandStore::new(2 * 16 * 8);
+        let (h1, _) = s.insert(mat(4)).unwrap();
+        let (h2, _) = s.insert(mat(4)).unwrap();
+        // Touch h1 so h2 becomes the LRU victim.
+        s.get(h1).unwrap();
+        let (h3, _) = s.insert(mat(4)).unwrap();
+        assert!(s.get(h1).is_some());
+        assert!(s.get(h2).is_none());
+        assert!(s.get(h3).is_some());
+        assert_eq!(s.evictions(), 1);
+        assert_eq!(s.resident_bytes(), 2 * 16 * 8);
+    }
+
+    #[test]
+    fn oversized_operand_is_rejected_not_inserted() {
+        let s = OperandStore::new(100);
+        let err = s.insert(mat(8)).unwrap_err();
+        assert_eq!(err.bytes, 64 * 8);
+        assert_eq!(err.budget, 100);
+        assert_eq!(s.resident_bytes(), 0);
+        assert_eq!(s.handle_count(), 0);
+    }
+
+    #[test]
+    fn in_flight_arc_survives_eviction() {
+        let s = OperandStore::new(16 * 8);
+        let (h1, _) = s.insert(mat(4)).unwrap();
+        let held = s.get(h1).unwrap();
+        let (_h2, _) = s.insert(mat(4)).unwrap();
+        assert!(s.get(h1).is_none());
+        // The evicted matrix stays readable through the Arc.
+        assert_eq!(held.get(0, 0), 1.0);
+    }
+}

@@ -144,7 +144,7 @@ pub use ftgemm_pool::{NodeSpec, Topology};
 pub use handle::{AsyncRequestHandle, RequestHandle};
 pub use placement::PlacementPolicy;
 pub use qos::{Priority, SchedSim, TenantId, TenantTable, DEFAULT_TENANT};
-pub use request::{GemmRequest, GemmRequestBuilder, GemmResponse, ServeError};
+pub use request::{GemmRequest, GemmRequestBuilder, GemmResponse, Operand, ServeError};
 pub use routing::{AdaptiveConfig, CutoffLearner, RoutePath, RoutingPolicy, RoutingSnapshot};
 pub use service::{GemmService, ServiceConfig, DEFAULT_SMALL_FLOPS_CUTOFF};
 pub use stats::{NodeStats, StatsSnapshot, TenantStats};
@@ -185,8 +185,8 @@ mod tests {
         let service = tiny_service();
         let req = GemmRequest {
             alpha: 1.0,
-            a: Matrix::<f64>::zeros(4, 4),
-            b: Matrix::<f64>::zeros(3, 4),
+            a: Matrix::<f64>::zeros(4, 4).into(),
+            b: Matrix::<f64>::zeros(3, 4).into(),
             beta: 0.0,
             c: Matrix::<f64>::zeros(4, 4),
             policy: FtPolicy::Off,
@@ -347,8 +347,8 @@ mod tests {
         let service = tiny_service();
         let bad = GemmRequest {
             alpha: 1.0f64,
-            a: Matrix::zeros(4, 4),
-            b: Matrix::zeros(3, 4), // k mismatch
+            a: Matrix::zeros(4, 4).into(),
+            b: Matrix::zeros(3, 4).into(), // k mismatch
             beta: 0.0,
             c: Matrix::zeros(4, 4),
             policy: FtPolicy::Off,

@@ -1,5 +1,7 @@
-//! Request/response types and the service error enum.
+//! Request/response types, shared operands, and the service error enum.
 
+use std::ops::Deref;
+use std::sync::Arc;
 use std::time::Duration;
 
 use ftgemm_abft::{FtError, FtPolicy, FtReport};
@@ -8,20 +10,81 @@ use ftgemm_faults::FaultInjector;
 
 use crate::qos::{Priority, TenantId, DEFAULT_TENANT};
 
+/// An input operand of a [`GemmRequest`]: either owned outright by the
+/// request, or a shared reference to a server-resident matrix.
+///
+/// The shared variant is what makes the clients-cache-operands-and-re-fire
+/// pattern affordable: a frontend (the wire protocol's operand-handle
+/// store, a batch planner replaying one weight matrix against many inputs)
+/// keeps one `Arc<Matrix<T>>` and builds any number of requests against it
+/// — cloning the request or fanning it out across submit surfaces bumps a
+/// reference count instead of copying matrix data. The compute paths only
+/// ever read `A`/`B`, so both variants serve identically.
+#[derive(Debug, Clone)]
+pub enum Operand<T: Scalar> {
+    /// The request owns the matrix (the historical behavior; cloning the
+    /// request deep-copies the data).
+    Owned(Matrix<T>),
+    /// The matrix is shared; cloning is a reference-count bump and the
+    /// underlying buffer is never copied per request.
+    Shared(Arc<Matrix<T>>),
+}
+
+impl<T: Scalar> Operand<T> {
+    /// The shared buffer when this operand is [`Operand::Shared`].
+    pub fn shared(&self) -> Option<&Arc<Matrix<T>>> {
+        match self {
+            Operand::Owned(_) => None,
+            Operand::Shared(m) => Some(m),
+        }
+    }
+}
+
+impl<T: Scalar> Deref for Operand<T> {
+    type Target = Matrix<T>;
+
+    fn deref(&self) -> &Matrix<T> {
+        match self {
+            Operand::Owned(m) => m,
+            Operand::Shared(m) => m,
+        }
+    }
+}
+
+impl<T: Scalar> From<Matrix<T>> for Operand<T> {
+    fn from(m: Matrix<T>) -> Self {
+        Operand::Owned(m)
+    }
+}
+
+impl<T: Scalar> From<Arc<Matrix<T>>> for Operand<T> {
+    fn from(m: Arc<Matrix<T>>) -> Self {
+        Operand::Shared(m)
+    }
+}
+
+impl<T: Scalar> From<&Arc<Matrix<T>>> for Operand<T> {
+    fn from(m: &Arc<Matrix<T>>) -> Self {
+        Operand::Shared(Arc::clone(m))
+    }
+}
+
 /// One GEMM problem submitted to a [`GemmService`](crate::GemmService):
 /// `C = alpha*A*B + beta*C`.
 ///
-/// The request owns its operands; the output matrix travels back to the
-/// caller inside the [`GemmResponse`], so no buffers are shared between the
-/// caller and the service threads.
+/// The request owns its output; the input operands are [`Operand`]s, so
+/// they can be owned per request or shared (`Arc`-backed, zero-copy) with
+/// other requests. The output matrix travels back to the caller inside the
+/// [`GemmResponse`], so no *mutable* buffers are shared between the caller
+/// and the service threads.
 #[derive(Debug, Clone)]
 pub struct GemmRequest<T: Scalar> {
     /// Scale on `A*B`.
     pub alpha: T,
-    /// Left operand (`m x k`).
-    pub a: Matrix<T>,
-    /// Right operand (`k x n`).
-    pub b: Matrix<T>,
+    /// Left operand (`m x k`), owned or shared.
+    pub a: Operand<T>,
+    /// Right operand (`k x n`), owned or shared.
+    pub b: Operand<T>,
     /// Scale on the input `C`.
     pub beta: T,
     /// Output operand (`m x n`), accumulated in place.
@@ -61,7 +124,8 @@ impl<T: Scalar> GemmRequest<T> {
     /// inner dimensions agree; a `k` mismatch is only reported when the
     /// request is submitted. Prefer [`GemmRequest::builder`], which
     /// surfaces the shape error at build time.
-    pub fn new(a: Matrix<T>, b: Matrix<T>) -> Self {
+    pub fn new(a: impl Into<Operand<T>>, b: impl Into<Operand<T>>) -> Self {
+        let (a, b) = (a.into(), b.into());
         let c = Matrix::zeros(a.nrows(), b.ncols());
         GemmRequest {
             alpha: T::ONE,
@@ -82,11 +146,11 @@ impl<T: Scalar> GemmRequest<T> {
     /// .alpha(..).ft(..).build()?`. Shares its vocabulary with the facade's
     /// `GemmOp` builder; [`GemmRequestBuilder::build`] rejects inconsistent
     /// operand shapes instead of deferring the error to submit time.
-    pub fn builder(a: Matrix<T>, b: Matrix<T>) -> GemmRequestBuilder<T> {
+    pub fn builder(a: impl Into<Operand<T>>, b: impl Into<Operand<T>>) -> GemmRequestBuilder<T> {
         GemmRequestBuilder {
             alpha: T::ONE,
-            a,
-            b,
+            a: a.into(),
+            b: b.into(),
             beta: T::ZERO,
             c: None,
             policy: FtPolicy::default(),
@@ -187,8 +251,8 @@ impl<T: Scalar> GemmRequest<T> {
 #[derive(Debug, Clone)]
 pub struct GemmRequestBuilder<T: Scalar> {
     alpha: T,
-    a: Matrix<T>,
-    b: Matrix<T>,
+    a: Operand<T>,
+    b: Operand<T>,
     beta: T,
     c: Option<Matrix<T>>,
     policy: FtPolicy,
@@ -351,6 +415,27 @@ pub enum ServeError {
     DeadlineExceeded(String),
 }
 
+impl ServeError {
+    /// The error's **stable wire discriminant**, the number the network
+    /// protocol (`ftgemm-net`) puts in error frames.
+    ///
+    /// These values are a compatibility contract: they must never be
+    /// renumbered, and a new variant must take a new, previously unused
+    /// number. The match below is deliberately exhaustive (no `_` arm), so
+    /// adding a variant without choosing its code is a compile error
+    /// instead of a silent renumbering; `wire_codes_are_pinned` pins each
+    /// assignment.
+    pub fn wire_code(&self) -> u16 {
+        match self {
+            ServeError::Shape(_) => 1,
+            ServeError::Ft(_) => 2,
+            ServeError::Closed => 3,
+            ServeError::Overloaded => 4,
+            ServeError::DeadlineExceeded(_) => 5,
+        }
+    }
+}
+
 impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -391,8 +476,8 @@ mod tests {
     fn validate_rejects_mismatch() {
         let r = GemmRequest {
             alpha: 1.0f64,
-            a: Matrix::zeros(3, 4),
-            b: Matrix::zeros(5, 6), // k mismatch
+            a: Matrix::zeros(3, 4).into(),
+            b: Matrix::zeros(5, 6).into(), // k mismatch
             beta: 0.0,
             c: Matrix::zeros(3, 6),
             policy: FtPolicy::Off,
@@ -481,6 +566,73 @@ mod tests {
         let e = ServeError::DeadlineExceeded("eta 5ms > deadline 1ms".into());
         assert!(e.to_string().contains("deadline exceeded"));
         assert!(e.to_string().contains("eta 5ms"));
+    }
+
+    /// Satellite pin: submitting against shared server-resident operands
+    /// copies no matrix data. Requests built from the same `Arc` operands
+    /// alias the original buffers (pointer identity), and cloning such a
+    /// request is a reference-count bump, not a data clone.
+    #[test]
+    fn shared_operands_are_zero_copy_per_request() {
+        let a = Arc::new(Matrix::<f64>::random(24, 16, 1));
+        let b = Arc::new(Matrix::<f64>::random(16, 20, 2));
+        let a_ptr = a.as_slice().as_ptr();
+        let b_ptr = b.as_slice().as_ptr();
+
+        let reqs: Vec<_> = (0..8).map(|_| GemmRequest::<f64>::new(&a, &b)).collect();
+        for r in &reqs {
+            assert!(
+                std::ptr::eq(r.a.as_slice().as_ptr(), a_ptr),
+                "request copied operand A instead of sharing it"
+            );
+            assert!(std::ptr::eq(r.b.as_slice().as_ptr(), b_ptr));
+        }
+        // 8 requests + the locals: exactly one buffer, 9 strong refs.
+        assert_eq!(Arc::strong_count(&a), 9);
+        assert_eq!(Arc::strong_count(&b), 9);
+
+        // Cloning a shared-operand request bumps the count; it never
+        // duplicates the data.
+        let cloned = reqs[0].clone();
+        assert_eq!(Arc::strong_count(&a), 10);
+        assert!(std::ptr::eq(cloned.a.as_slice().as_ptr(), a_ptr));
+        drop(cloned);
+        drop(reqs);
+        assert_eq!(Arc::strong_count(&a), 1);
+
+        // The builder path shares too.
+        let built = GemmRequest::builder(&a, &b).build().unwrap();
+        assert!(std::ptr::eq(built.a.as_slice().as_ptr(), a_ptr));
+        assert!(built.a.shared().is_some());
+        // Owned operands still deep-copy on clone (the historical shape).
+        let owned = GemmRequest::new(Matrix::<f64>::zeros(2, 2), Matrix::<f64>::zeros(2, 2));
+        assert!(owned.a.shared().is_none());
+    }
+
+    /// Satellite pin: the wire discriminants of [`ServeError`] are a
+    /// stable contract. If this test fails, a variant was renumbered —
+    /// which breaks every client speaking the wire protocol. Add new
+    /// variants with NEW numbers instead.
+    #[test]
+    fn wire_codes_are_pinned() {
+        use ftgemm_abft::FtError;
+        let all = [
+            (ServeError::Shape("x".into()), 1),
+            (
+                ServeError::Ft(FtError::Unrecoverable {
+                    jc: 0,
+                    pc: 0,
+                    detail: "x".into(),
+                }),
+                2,
+            ),
+            (ServeError::Closed, 3),
+            (ServeError::Overloaded, 4),
+            (ServeError::DeadlineExceeded("x".into()), 5),
+        ];
+        for (err, code) in all {
+            assert_eq!(err.wire_code(), code, "renumbered: {err}");
+        }
     }
 
     #[test]

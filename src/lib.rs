@@ -9,6 +9,8 @@
 //! * [`parallel`] — multithreaded and batched (FT-)GEMM
 //! * [`serve`] — batched GEMM serving: request queue, sharded dispatch,
 //!   per-request fault-tolerance policy
+//! * [`net`] — TCP wire frontend: versioned binary protocol,
+//!   server-resident operand handles, [`NetServer`]/[`NetClient`]
 //! * [`faults`] — deterministic soft-error injection
 //! * [`baselines`] — comparator GEMMs and unfused ABFT
 //! * [`blas`] — DMR-protected Level-1/2 routines (FT-BLAS)
@@ -66,6 +68,7 @@ pub use ftgemm_baselines as baselines;
 pub use ftgemm_blas as blas;
 pub use ftgemm_core as core;
 pub use ftgemm_faults as faults;
+pub use ftgemm_net as net;
 pub use ftgemm_obs as obs;
 pub use ftgemm_parallel as parallel;
 pub use ftgemm_pool as pool;
@@ -77,6 +80,7 @@ pub use api::{AsMatRef, Exec, GemmBatch, GemmOp, GemmPlan};
 pub use ftgemm_abft::{FtConfig, FtPolicy, FtReport, FtResult};
 pub use ftgemm_core::{gemm, GemmContext, MatMut, MatRef, Matrix};
 pub use ftgemm_faults::FaultInjector;
+pub use ftgemm_net::{NetClient, NetServer, NetServerConfig, NetSubmit};
 pub use ftgemm_parallel::{par_gemm, BatchItem, BatchWorkspace, ParFtWorkspace, ParGemmContext};
 pub use ftgemm_pool::{NodeSpec, PoolPartition, Topology};
 pub use ftgemm_serve::{
