@@ -1,0 +1,176 @@
+//! Findings and the report the tool emits (human text + JSON).
+
+use std::fmt::Write as _;
+
+/// One invariant violation, pinned to a file and line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Which pass produced it: `atomics`, `locks`, `pins`, `panics`.
+    pub pass: &'static str,
+    /// Machine-readable rule id within the pass (`seqcst`, `lock-cycle`,
+    /// `pin-drift`, `new-panic-site`, ...).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-indexed line (0 when the finding is file- or workspace-scoped).
+    pub line: usize,
+    pub message: String,
+}
+
+impl Finding {
+    pub fn new(
+        pass: &'static str,
+        rule: &'static str,
+        file: impl Into<String>,
+        line: usize,
+        message: impl Into<String>,
+    ) -> Self {
+        Finding {
+            pass,
+            rule,
+            file: file.into(),
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+/// Everything a run produced. `notes` are informational (never fail the
+/// build); `findings` make the exit code nonzero.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub notes: Vec<String>,
+    /// Per-pass site counts, for the summary line ("what did we check").
+    pub checked: Vec<(String, usize)>,
+}
+
+impl Report {
+    pub fn merge(&mut self, other: Report) {
+        self.findings.extend(other.findings);
+        self.notes.extend(other.notes);
+        self.checked.extend(other.checked);
+    }
+
+    /// Deterministic ordering: pass, file, line, message.
+    pub fn sort(&mut self) {
+        self.findings.sort_by(|a, b| {
+            (a.pass, &a.file, a.line, &a.message).cmp(&(b.pass, &b.file, b.line, &b.message))
+        });
+    }
+
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Human-readable report.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        for (what, n) in &self.checked {
+            let _ = writeln!(s, "checked: {what}: {n} sites");
+        }
+        for note in &self.notes {
+            let _ = writeln!(s, "note: {note}");
+        }
+        for f in &self.findings {
+            let _ = writeln!(
+                s,
+                "{}:{}: [{}/{}] {}",
+                f.file, f.line, f.pass, f.rule, f.message
+            );
+        }
+        let _ = writeln!(
+            s,
+            "{}: {} finding(s)",
+            if self.is_clean() { "PASS" } else { "FAIL" },
+            self.findings.len()
+        );
+        s
+    }
+
+    /// JSON report (hand-rolled; the environment has no serde).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"pass\": {}, \"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+                json_str(f.pass),
+                json_str(f.rule),
+                json_str(&f.file),
+                f.line,
+                json_str(&f.message)
+            );
+            s.push_str(if i + 1 < self.findings.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ],\n  \"notes\": [\n");
+        for (i, n) in self.notes.iter().enumerate() {
+            let _ = write!(s, "    {}", json_str(n));
+            s.push_str(if i + 1 < self.notes.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        let _ = write!(
+            s,
+            "  ],\n  \"clean\": {},\n  \"finding_count\": {}\n}}\n",
+            self.is_clean(),
+            self.findings.len()
+        );
+        s
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let mut r = Report::default();
+        r.findings.push(Finding::new(
+            "pins",
+            "pin-drift",
+            "a/b.rs",
+            7,
+            "verb \"HELLO\" drifted",
+        ));
+        let j = r.to_json();
+        assert!(j.contains(r#""file": "a/b.rs""#));
+        assert!(j.contains(r#"\"HELLO\""#));
+        assert!(j.contains(r#""finding_count": 1"#));
+        assert!(j.contains(r#""clean": false"#));
+    }
+
+    #[test]
+    fn text_report_says_pass_when_clean() {
+        let r = Report::default();
+        assert!(r.to_text().contains("PASS: 0 finding(s)"));
+    }
+}

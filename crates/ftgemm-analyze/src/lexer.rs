@@ -1,0 +1,516 @@
+//! A lightweight Rust lexer: just enough tokenization for invariant
+//! checking — comments, string/char/lifetime disambiguation, raw strings —
+//! without a full parse.
+//!
+//! The passes never need expression structure, only a faithful token
+//! stream where `Ordering::Release` inside a string literal or a comment
+//! does **not** look like an atomic-ordering site.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (`self`, `fn`, `Ordering`, ...).
+    Ident(String),
+    /// A string literal (normal, raw, or byte), with its unescaped-enough
+    /// contents — used by the pins pass to find metric-family names.
+    Str(String),
+    /// A char, byte, or numeric literal, with its source text (the pins
+    /// pass reads pinned integer values out of these).
+    Literal(String),
+    /// A lifetime (`'a`) — kept distinct so it is never a char literal.
+    Lifetime,
+    /// Single punctuation character: `. : ( ) [ ] { } # ! , ; = < > &` ...
+    Punct(char),
+}
+
+/// A token plus the 1-indexed source line it starts on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub tok: Tok,
+    pub line: usize,
+}
+
+/// A comment (line or block), with the 1-indexed line it starts on and its
+/// text without the `//` / `/*` markers. Policy and allow annotations are
+/// parsed out of these.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comment {
+    pub line: usize,
+    pub text: String,
+}
+
+/// Lexer output: the token stream and every comment, in source order.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes Rust source. Unterminated constructs are tolerated (consume to
+/// EOF) — the analyzer must never panic on the code it audits.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1usize;
+
+    let is_ident_start = |c: char| c.is_alphabetic() || c == '_';
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < b.len() && b[i + 1] == '/' => {
+                let start = i + 2;
+                let mut j = start;
+                while j < b.len() && b[j] != '\n' {
+                    j += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    text: b[start..j].iter().collect(),
+                });
+                i = j;
+            }
+            '/' if i + 1 < b.len() && b[i + 1] == '*' => {
+                let start_line = line;
+                let start = i + 2;
+                let mut depth = 1usize;
+                let mut j = start;
+                while j < b.len() && depth > 0 {
+                    if b[j] == '/' && j + 1 < b.len() && b[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == '*' && j + 1 < b.len() && b[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        if b[j] == '\n' {
+                            line += 1;
+                        }
+                        j += 1;
+                    }
+                }
+                let end = j.saturating_sub(2).max(start);
+                out.comments.push(Comment {
+                    line: start_line,
+                    text: b[start..end].iter().collect(),
+                });
+                i = j;
+            }
+            '"' => {
+                let (s, j, nl) = lex_string(&b, i);
+                out.tokens.push(Token {
+                    tok: Tok::Str(s),
+                    line,
+                });
+                line += nl;
+                i = j;
+            }
+            'r' | 'b' if starts_raw_or_byte_string(&b, i) => {
+                let (tok, j, nl) = lex_prefixed_literal(&b, i);
+                out.tokens.push(Token { tok, line });
+                line += nl;
+                i = j;
+            }
+            '\'' => {
+                // Lifetime iff followed by ident-start NOT closed by a
+                // quote right after ('a vs 'a').
+                if i + 1 < b.len()
+                    && (is_ident_start(b[i + 1]))
+                    && !(i + 2 < b.len() && b[i + 2] == '\'')
+                {
+                    let mut j = i + 1;
+                    while j < b.len() && is_ident(b[j]) {
+                        j += 1;
+                    }
+                    out.tokens.push(Token {
+                        tok: Tok::Lifetime,
+                        line,
+                    });
+                    i = j;
+                } else {
+                    // Char literal: consume to closing quote, honoring \'.
+                    let mut j = i + 1;
+                    while j < b.len() && b[j] != '\'' {
+                        if b[j] == '\\' {
+                            j += 1;
+                        }
+                        if j < b.len() && b[j] == '\n' {
+                            line += 1;
+                        }
+                        j += 1;
+                    }
+                    out.tokens.push(Token {
+                        tok: Tok::Literal(b[i..(j + 1).min(b.len())].iter().collect()),
+                        line,
+                    });
+                    i = (j + 1).min(b.len());
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < b.len() && (is_ident(b[j]) || b[j] == '.') {
+                    // Stop a number at `..` (range) and at `.method()`.
+                    if b[j] == '.' && (j + 1 >= b.len() || !b[j + 1].is_ascii_digit()) {
+                        break;
+                    }
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Literal(b[i..j].iter().collect()),
+                    line,
+                });
+                i = j;
+            }
+            c if is_ident_start(c) => {
+                let mut j = i;
+                while j < b.len() && is_ident(b[j]) {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Ident(b[i..j].iter().collect()),
+                    line,
+                });
+                i = j;
+            }
+            _ => {
+                out.tokens.push(Token {
+                    tok: Tok::Punct(c),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// True when `b[i..]` starts a raw string (`r"`, `r#"`), byte string
+/// (`b"`, `br"`, `br#"`), or byte char (`b'`) rather than an identifier.
+fn starts_raw_or_byte_string(b: &[char], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+        if j < b.len() && b[j] == '\'' {
+            return true;
+        }
+    }
+    if j < b.len() && b[j] == 'r' {
+        j += 1;
+        while j < b.len() && b[j] == '#' {
+            j += 1;
+        }
+    }
+    j < b.len() && b[j] == '"'
+}
+
+/// Lexes a normal `"..."` string starting at `i`. Returns (contents, next
+/// index, newlines consumed).
+fn lex_string(b: &[char], i: usize) -> (String, usize, usize) {
+    let mut s = String::new();
+    let mut j = i + 1;
+    let mut nl = 0usize;
+    while j < b.len() && b[j] != '"' {
+        if b[j] == '\\' && j + 1 < b.len() {
+            // Keep escaped chars verbatim-ish; passes only match plain
+            // ASCII names, so decoding escapes precisely is unnecessary.
+            s.push(b[j + 1]);
+            if b[j + 1] == '\n' {
+                nl += 1;
+            }
+            j += 2;
+            continue;
+        }
+        if b[j] == '\n' {
+            nl += 1;
+        }
+        s.push(b[j]);
+        j += 1;
+    }
+    (s, (j + 1).min(b.len()), nl)
+}
+
+/// Lexes an `r"..."` / `r#"..."#` / `b"..."` / `b'x'` literal at `i`.
+fn lex_prefixed_literal(b: &[char], i: usize) -> (Tok, usize, usize) {
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+        if j < b.len() && b[j] == '\'' {
+            // Byte char b'x'.
+            let mut k = j + 1;
+            while k < b.len() && b[k] != '\'' {
+                if b[k] == '\\' {
+                    k += 1;
+                }
+                k += 1;
+            }
+            return (
+                Tok::Literal(b[i..(k + 1).min(b.len())].iter().collect()),
+                (k + 1).min(b.len()),
+                0,
+            );
+        }
+    }
+    let raw = j < b.len() && b[j] == 'r';
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while j < b.len() && b[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    // b[j] == '"'
+    j += 1;
+    let start = j;
+    let mut nl = 0usize;
+    loop {
+        if j >= b.len() {
+            break;
+        }
+        if b[j] == '\n' {
+            nl += 1;
+        }
+        if b[j] == '"' {
+            if !raw && hashes == 0 {
+                break;
+            }
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while k < b.len() && b[k] == '#' && seen < hashes {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                let s: String = b[start..j].iter().collect();
+                return (Tok::Str(s), k, nl);
+            }
+        }
+        if !raw && b[j] == '\\' {
+            j += 1;
+        }
+        j += 1;
+    }
+    let s: String = b[start..j.min(b.len())].iter().collect();
+    (Tok::Str(s), (j + 1).min(b.len()), nl)
+}
+
+/// Strips `#[cfg(test)]` / `#[test]`-attributed items from a token stream,
+/// returning the retained tokens. The heuristic: an attribute whose tokens
+/// mention `test` (and not `not`) marks the next item; the item is skipped
+/// through its matching closing brace (or trailing `;` for `mod tests;`).
+pub fn strip_test_code(tokens: &[Token]) -> Vec<Token> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].tok == Tok::Punct('#')
+            && i + 1 < tokens.len()
+            && tokens[i + 1].tok == Tok::Punct('[')
+        {
+            // Collect the attribute body up to the matching ']'.
+            let mut j = i + 2;
+            let mut depth = 1usize;
+            let mut has_test = false;
+            let mut has_not = false;
+            while j < tokens.len() && depth > 0 {
+                match &tokens[j].tok {
+                    Tok::Punct('[') => depth += 1,
+                    Tok::Punct(']') => depth -= 1,
+                    Tok::Ident(s) if s == "test" => has_test = true,
+                    Tok::Ident(s) if s == "not" => has_not = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if has_test && !has_not {
+                // Skip any further attributes, then the item itself.
+                i = j;
+                while i + 1 < tokens.len()
+                    && tokens[i].tok == Tok::Punct('#')
+                    && tokens[i + 1].tok == Tok::Punct('[')
+                {
+                    let mut d = 0usize;
+                    let mut k = i + 1;
+                    loop {
+                        match tokens.get(k).map(|t| &t.tok) {
+                            Some(Tok::Punct('[')) => d += 1,
+                            Some(Tok::Punct(']')) => {
+                                d -= 1;
+                                if d == 0 {
+                                    k += 1;
+                                    break;
+                                }
+                            }
+                            None => break,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    i = k;
+                }
+                i = skip_item(tokens, i);
+                continue;
+            }
+            // Not a test attribute: emit it verbatim.
+            while i < j {
+                out.push(tokens[i].clone());
+                i += 1;
+            }
+            continue;
+        }
+        out.push(tokens[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// Skips one item starting at `i`: everything through the first top-level
+/// `{...}` block, or through a `;` if one comes first (declaration form).
+fn skip_item(tokens: &[Token], mut i: usize) -> usize {
+    let mut depth = 0usize;
+    while i < tokens.len() {
+        match tokens[i].tok {
+            Tok::Punct(';') if depth == 0 => return i + 1,
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(l: &Lexed) -> Vec<String> {
+        l.tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Ident(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn orderings_in_strings_and_comments_are_invisible() {
+        let l = lex(r#"
+            // Ordering::SeqCst in a comment
+            /* Ordering::SeqCst in a block */
+            let s = "Ordering::SeqCst in a string";
+            x.store(1, Ordering::Release);
+        "#);
+        let ids = idents(&l);
+        assert_eq!(
+            ids.iter().filter(|s| *s == "Ordering").count(),
+            1,
+            "only the real site should tokenize"
+        );
+        assert_eq!(ids.iter().filter(|s| *s == "Release").count(), 1);
+        assert_eq!(l.comments.len(), 2);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes = l.tokens.iter().filter(|t| t.tok == Tok::Lifetime).count();
+        let chars = l
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.tok, Tok::Literal(_)))
+            .count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_round_trip() {
+        let l = lex(r##"let s = r#"quote " inside"#; let t = "after";"##);
+        let strs: Vec<_> = l
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Str(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            strs,
+            vec!["quote \" inside".to_string(), "after".to_string()]
+        );
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_in_literals() {
+        let l = lex("let a = \"two\nlines\";\nlet b = 1;");
+        // `b` is on line 3.
+        let b_tok = l
+            .tokens
+            .iter()
+            .find(|t| t.tok == Tok::Ident("b".into()))
+            .unwrap();
+        assert_eq!(b_tok.line, 3);
+    }
+
+    #[test]
+    fn strip_test_code_removes_cfg_test_mod() {
+        let src = r#"
+            fn real() { x.unwrap(); }
+            #[cfg(test)]
+            mod tests {
+                fn fake() { y.unwrap(); }
+            }
+            fn also_real() {}
+        "#;
+        let l = lex(src);
+        let kept = strip_test_code(&l.tokens);
+        let ids: Vec<String> = kept
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Ident(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        assert!(ids.contains(&"real".to_string()));
+        assert!(ids.contains(&"also_real".to_string()));
+        assert!(!ids.contains(&"fake".to_string()));
+        assert!(!ids.contains(&"y".to_string()));
+    }
+
+    #[test]
+    fn strip_test_code_keeps_cfg_not_test() {
+        let src = r#"
+            #[cfg(not(test))]
+            fn prod_only() { z.unwrap(); }
+        "#;
+        let l = lex(src);
+        let kept = strip_test_code(&l.tokens);
+        assert!(kept.iter().any(|t| t.tok == Tok::Ident("prod_only".into())));
+    }
+
+    #[test]
+    fn strip_test_code_handles_test_attribute_on_fn() {
+        let src = r#"
+            #[test]
+            fn a_test() { q.unwrap(); }
+            fn real() {}
+        "#;
+        let l = lex(src);
+        let kept = strip_test_code(&l.tokens);
+        assert!(!kept.iter().any(|t| t.tok == Tok::Ident("a_test".into())));
+        assert!(kept.iter().any(|t| t.tok == Tok::Ident("real".into())));
+    }
+}

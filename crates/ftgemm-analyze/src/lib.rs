@@ -1,0 +1,29 @@
+//! `ftgemm-analyze`: std-only static analysis for the ftgemm workspace.
+//!
+//! Four passes over a hand-rolled token stream (no full parse, no
+//! external crates — this environment has no registry access):
+//!
+//! 1. **atomics** — per-module ordering policy: metrics counters are
+//!    Relaxed-only, publication cells pair Release stores with Acquire
+//!    loads workspace-wide, SeqCst is banned without a justified
+//!    `analyze::allow(seqcst, reason)`.
+//! 2. **locks** — the cross-crate `.lock()` acquisition graph must be a
+//!    DAG; inconsistent pairwise order or a cycle is the deadlock shape.
+//! 3. **pins** — wire verbs, error-code bands, `wire_code()`
+//!    discriminants, and metric-family names against the golden manifest
+//!    `analyze/pins.toml` and the tables in `docs/ARCHITECTURE.md`.
+//! 4. **panics** — unwrap/expect/panic!/indexing in the serving crates
+//!    against the ratchet baseline `analyze/panic_baseline.tsv`.
+//!
+//! Run it: `cargo run -p ftgemm-analyze` (text) or
+//! `cargo run -p ftgemm-analyze -- --format json`. Exit codes: 0 clean,
+//! 1 findings, 2 configuration error. CI runs this next to build/test;
+//! `crates/ftgemm-analyze/tests/self_run.rs` keeps the workspace clean
+//! from `cargo test` too.
+
+pub mod findings;
+pub mod lexer;
+pub mod passes;
+pub mod policy;
+pub mod toml_lite;
+pub mod workspace;

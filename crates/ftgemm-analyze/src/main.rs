@@ -1,0 +1,76 @@
+//! CLI for the workspace static analyzer.
+//!
+//! ```text
+//! cargo run -p ftgemm-analyze                    # text report, exit 1 on findings
+//! cargo run -p ftgemm-analyze -- --format json   # machine-readable
+//! cargo run -p ftgemm-analyze -- --write-baseline  # regenerate panic baseline
+//! cargo run -p ftgemm-analyze -- --root /path/to/workspace
+//! ```
+
+use ftgemm_analyze::workspace::{self, Config};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut format = "text".to_string();
+    let mut write_baseline = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage("--root needs a path"),
+            },
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = "text".into(),
+                Some("json") => format = "json".into(),
+                other => return usage(&format!("--format wants `text` or `json`, got {other:?}")),
+            },
+            "--write-baseline" => write_baseline = true,
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    // Default root: the workspace this binary was built from.
+    let root = root.unwrap_or_else(|| PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")));
+
+    let cfg = Config {
+        root,
+        write_baseline,
+    };
+    match workspace::run(&cfg) {
+        Ok(report) => {
+            if format == "json" {
+                print!("{}", report.to_json());
+            } else {
+                print!("{}", report.to_text());
+            }
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("ftgemm-analyze: config error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "ftgemm-analyze [--root DIR] [--format text|json] [--write-baseline]
+
+Static analysis for the ftgemm workspace: atomic-ordering policy,
+lock-acquisition order, pinned-constant drift, panic-surface audit.
+Exit codes: 0 clean, 1 findings, 2 configuration error.";
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("ftgemm-analyze: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,471 @@
+//! Pass 1: atomic-ordering policy.
+//!
+//! Checks every `Ordering::{Relaxed, Acquire, Release, AcqRel, SeqCst}`
+//! site in non-test code against the file's declared policy
+//! (`analyze::policy(atomics: ...)` / `analyze::policy(publish: ...)`):
+//!
+//! * `SeqCst` is banned workspace-wide without an
+//!   `analyze::allow(seqcst, reason)` — on this codebase's publication
+//!   patterns (single-cell flags, cutoffs, slots) Release/Acquire is
+//!   always sufficient, and a stray SeqCst hides the *actual* protocol.
+//! * In `atomics: relaxed` files (counter/stat modules), any stronger
+//!   ordering is a finding — strength there implies a synchronization
+//!   role the module is documented not to have.
+//! * Declared publication cells must store with `Release`/`AcqRel` and
+//!   load with `Acquire`/`AcqRel`; a `Relaxed` on a publish cell is a
+//!   finding at the site.
+//! * Workspace-wide, every canonical publish cell needs **both** a
+//!   release-side store and an acquire-side load — a Release store no
+//!   thread ever Acquire-loads synchronizes nothing.
+//!
+//! `std::cmp::Ordering` never collides: only the five atomic variant
+//! names are matched.
+
+use crate::findings::{Finding, Report};
+use crate::lexer::{Tok, Token};
+use crate::policy::{AtomicsPolicy, FilePolicy};
+use std::collections::BTreeMap;
+
+const PASS: &str = "atomics";
+
+/// The atomic ordering variants (cmp::Ordering's Less/Equal/Greater are
+/// deliberately absent).
+const VARIANTS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// What kind of atomic access a site is.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Access {
+    Load,
+    Store,
+    /// Read-modify-write: swap, fetch_*, compare_exchange*.
+    Rmw,
+    /// `Ordering::` token in a position we could not classify (passed
+    /// through a helper, stored in a variable, ...). Only the SeqCst ban
+    /// and relaxed-only policy apply.
+    Unknown,
+}
+
+/// One `Ordering::` site.
+#[derive(Debug)]
+pub struct Site {
+    pub line: usize,
+    pub variant: &'static str,
+    pub receiver: Option<String>,
+    method: Option<String>,
+}
+
+/// Aggregated per-canonical-cell evidence for the workspace pairing check.
+#[derive(Debug, Default)]
+pub struct CellEvidence {
+    /// (file, line) of release-side stores (Release/AcqRel/allowed SeqCst).
+    pub release_stores: Vec<(String, usize)>,
+    /// (file, line) of acquire-side loads.
+    pub acquire_loads: Vec<(String, usize)>,
+    /// Any site at all (for the "declared but unused" check).
+    pub sites: Vec<(String, usize)>,
+}
+
+/// Per-file analysis: site checks, plus evidence merged into `cells` for
+/// the cross-file pairing check run by [`finish`].
+pub fn check_file(
+    file: &str,
+    tokens: &[Token],
+    policy: &FilePolicy,
+    cells: &mut BTreeMap<String, CellEvidence>,
+    report: &mut Report,
+) -> usize {
+    let sites = extract_sites(tokens);
+    let n = sites.len();
+    for s in &sites {
+        let canonical = s
+            .receiver
+            .as_deref()
+            .and_then(|r| policy.publish_canonical(r));
+
+        // Workspace-wide SeqCst ban.
+        if s.variant == "SeqCst" && !policy.allowed("seqcst", s.line) {
+            report.findings.push(Finding::new(
+                PASS,
+                "seqcst",
+                file,
+                s.line,
+                format!(
+                    "SeqCst on `{}` — Release/Acquire suffices for every publication \
+                     pattern in this workspace; annotate `analyze::allow(seqcst, reason)` \
+                     if this site truly needs a total order",
+                    s.receiver.as_deref().unwrap_or("<unknown>")
+                ),
+            ));
+        }
+
+        // Relaxed-only modules.
+        if policy.atomics == AtomicsPolicy::RelaxedOnly
+            && s.variant != "Relaxed"
+            && canonical.is_none()
+            && !policy.allowed("ordering", s.line)
+        {
+            report.findings.push(Finding::new(
+                PASS,
+                "relaxed-only",
+                file,
+                s.line,
+                format!(
+                    "Ordering::{} in a `atomics: relaxed` module (receiver `{}`) — \
+                     counters must not imply synchronization; declare the cell \
+                     `publish` if it really publishes",
+                    s.variant,
+                    s.receiver.as_deref().unwrap_or("<unknown>")
+                ),
+            ));
+        }
+
+        // Publication cells: per-site strength + evidence collection.
+        if let Some(cell) = canonical {
+            let access = s.classify();
+            let ev = cells.entry(cell.to_string()).or_default();
+            ev.sites.push((file.to_string(), s.line));
+            let strong_store = matches!(s.variant, "Release" | "AcqRel" | "SeqCst");
+            let strong_load = matches!(s.variant, "Acquire" | "AcqRel" | "SeqCst");
+            match access {
+                Access::Store if strong_store => {
+                    ev.release_stores.push((file.to_string(), s.line));
+                }
+                Access::Load if strong_load => {
+                    ev.acquire_loads.push((file.to_string(), s.line));
+                }
+                Access::Rmw => {
+                    // An AcqRel (or SeqCst) RMW is both sides at once.
+                    if strong_store {
+                        ev.release_stores.push((file.to_string(), s.line));
+                    }
+                    if strong_load {
+                        ev.acquire_loads.push((file.to_string(), s.line));
+                    }
+                }
+                _ => {}
+            }
+            if s.variant == "Relaxed" && !policy.allowed("ordering", s.line) {
+                report.findings.push(Finding::new(
+                    PASS,
+                    "publish-relaxed",
+                    file,
+                    s.line,
+                    format!(
+                        "Relaxed {} on publication cell `{}` (canonical `{cell}`) — \
+                         publication requires a Release store paired with Acquire loads",
+                        s.method.as_deref().unwrap_or("access"),
+                        s.receiver.as_deref().unwrap_or("<unknown>"),
+                    ),
+                ));
+            }
+        }
+    }
+    n
+}
+
+/// Cross-file pairing check, after every file has been fed through
+/// [`check_file`].
+pub fn finish(cells: &BTreeMap<String, CellEvidence>, report: &mut Report) {
+    for (cell, ev) in cells {
+        if ev.sites.is_empty() {
+            continue;
+        }
+        if ev.release_stores.is_empty() {
+            let (file, line) = ev.sites[0].clone();
+            report.findings.push(Finding::new(
+                PASS,
+                "publish-no-release-store",
+                file,
+                line,
+                format!(
+                    "publication cell `{cell}` has no Release-side store anywhere in \
+                     the workspace — its Acquire loads synchronize with nothing"
+                ),
+            ));
+        }
+        if ev.acquire_loads.is_empty() {
+            let (file, line) = ev
+                .release_stores
+                .first()
+                .cloned()
+                .unwrap_or_else(|| ev.sites[0].clone());
+            report.findings.push(Finding::new(
+                PASS,
+                "publish-no-acquire-load",
+                file,
+                line,
+                format!(
+                    "publication cell `{cell}` has a Release store but no Acquire load \
+                     anywhere in the workspace — nothing observes the publication"
+                ),
+            ));
+        }
+    }
+}
+
+/// Cells declared in a file's policy but never seen at any site are stale
+/// declarations; call once per file after the workspace sweep.
+pub fn check_unused_declarations(
+    file: &str,
+    policy: &FilePolicy,
+    cells: &BTreeMap<String, CellEvidence>,
+    report: &mut Report,
+) {
+    for cell in &policy.publish {
+        let used = cells
+            .get(&cell.canonical)
+            .map(|ev| ev.sites.iter().any(|(f, _)| f == file))
+            .unwrap_or(false);
+        if !used {
+            report.findings.push(Finding::new(
+                PASS,
+                "publish-unused",
+                file,
+                0,
+                format!(
+                    "publish cell `{}` is declared here but no atomic access to it \
+                     appears in this file — stale declaration",
+                    cell.local
+                ),
+            ));
+        }
+    }
+}
+
+impl Site {
+    fn classify(&self) -> Access {
+        match self.method.as_deref() {
+            Some("load") => Access::Load,
+            Some("store") => Access::Store,
+            Some(m)
+                if m == "swap"
+                    || m == "compare_exchange"
+                    || m == "compare_exchange_weak"
+                    || m == "fetch_update"
+                    || m.starts_with("fetch_") =>
+            {
+                Access::Rmw
+            }
+            _ => Access::Unknown,
+        }
+    }
+}
+
+/// Finds every `Ordering::<variant>` site and reconstructs its calling
+/// context (method name + receiver's last path component) by walking the
+/// token stream backwards to the unmatched `(` that opened the call.
+pub fn extract_sites(tokens: &[Token]) -> Vec<Site> {
+    let mut sites = Vec::new();
+    let mut i = 0usize;
+    while i + 3 < tokens.len() + 1 {
+        // Pattern: Ident("Ordering") ':' ':' Ident(variant)
+        if i + 3 < tokens.len()
+            && tokens[i].tok == Tok::Ident("Ordering".into())
+            && tokens[i + 1].tok == Tok::Punct(':')
+            && tokens[i + 2].tok == Tok::Punct(':')
+        {
+            if let Tok::Ident(v) = &tokens[i + 3].tok {
+                if let Some(variant) = VARIANTS.iter().find(|k| *k == v) {
+                    let (method, receiver) = call_context(tokens, i);
+                    sites.push(Site {
+                        line: tokens[i + 3].line,
+                        variant,
+                        receiver,
+                        method,
+                    });
+                    i += 4;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    sites
+}
+
+/// Walks backwards from token index `at` to the `(` that opened the
+/// enclosing call; returns (method, receiver-last-component).
+fn call_context(tokens: &[Token], at: usize) -> (Option<String>, Option<String>) {
+    let mut depth = 0i32;
+    let mut j = at;
+    while j > 0 {
+        j -= 1;
+        match &tokens[j].tok {
+            Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => depth += 1,
+            Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => {
+                if depth == 0 {
+                    if tokens[j].tok != Tok::Punct('(') {
+                        return (None, None);
+                    }
+                    // tokens[j] is the call's '('; method is the ident
+                    // before it, receiver the ident before the '.'.
+                    if j == 0 {
+                        return (None, None);
+                    }
+                    let method = match &tokens[j - 1].tok {
+                        Tok::Ident(m) => m.clone(),
+                        _ => return (None, None),
+                    };
+                    let receiver = if j >= 3 && tokens[j - 2].tok == Tok::Punct('.') {
+                        last_path_component(tokens, j - 3)
+                    } else {
+                        None
+                    };
+                    return (Some(method), receiver);
+                }
+                depth -= 1;
+            }
+            // A statement boundary before finding the '(' means the
+            // Ordering token is not a call argument (e.g. `let o =
+            // Ordering::Relaxed;`).
+            Tok::Punct(';') if depth == 0 => return (None, None),
+            _ => {}
+        }
+    }
+    (None, None)
+}
+
+/// The last meaningful identifier of the receiver chain ending at `end`:
+/// `self.inner.cutoff` → `cutoff`; `shard` → `shard`. Skips a closing
+/// paren group (`self.cell().store(..)` → `cell`).
+fn last_path_component(tokens: &[Token], mut end: usize) -> Option<String> {
+    // Skip one trailing call: `foo()` → name `foo`.
+    if tokens.get(end).map(|t| &t.tok) == Some(&Tok::Punct(')')) {
+        let mut depth = 0i32;
+        loop {
+            match tokens.get(end).map(|t| &t.tok) {
+                Some(Tok::Punct(')')) => depth += 1,
+                Some(Tok::Punct('(')) => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = end.checked_sub(1)?;
+                        break;
+                    }
+                }
+                None => return None,
+                _ => {}
+            }
+            end = end.checked_sub(1)?;
+        }
+    }
+    match tokens.get(end).map(|t| &t.tok) {
+        Some(Tok::Ident(name)) if name != "self" => Some(name.clone()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, strip_test_code};
+    use crate::policy;
+
+    fn run(src: &str) -> Report {
+        let lexed = lex(src);
+        let tokens = strip_test_code(&lexed.tokens);
+        let pol = policy::parse(&lexed.comments);
+        let mut report = Report::default();
+        let mut cells = BTreeMap::new();
+        check_file("fixture.rs", &tokens, &pol, &mut cells, &mut report);
+        finish(&cells, &mut report);
+        check_unused_declarations("fixture.rs", &pol, &cells, &mut report);
+        report
+    }
+
+    #[test]
+    fn site_extraction_sees_receiver_and_method() {
+        let l = lex("self.cutoff.store(v.to_bits(), Ordering::Release);");
+        let sites = extract_sites(&l.tokens);
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].variant, "Release");
+        assert_eq!(sites[0].receiver.as_deref(), Some("cutoff"));
+        assert_eq!(sites[0].method.as_deref(), Some("store"));
+    }
+
+    #[test]
+    fn cmp_ordering_is_not_an_atomic_site() {
+        let l = lex("a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal)");
+        assert!(extract_sites(&l.tokens).is_empty());
+    }
+
+    #[test]
+    fn seqcst_without_allow_is_a_finding() {
+        let r = run("fn f(x: &AtomicBool) { x.store(true, Ordering::SeqCst); }");
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, "seqcst");
+        assert_eq!(r.findings[0].line, 1);
+    }
+
+    #[test]
+    fn seqcst_with_allow_is_clean() {
+        let r = run("fn f(x: &AtomicBool) {\n\
+             // analyze::allow(seqcst, \"total order against the watchdog\")\n\
+             x.store(true, Ordering::SeqCst);\n}");
+        assert!(r.is_clean(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn relaxed_only_policy_flags_stronger_orderings() {
+        let r = run("// analyze::policy(atomics: relaxed)\n\
+             fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Release); }");
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, "relaxed-only");
+    }
+
+    #[test]
+    fn relaxed_only_policy_accepts_relaxed_counters() {
+        let r = run("// analyze::policy(atomics: relaxed)\n\
+             fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }");
+        assert!(r.is_clean(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn publish_cell_with_relaxed_store_is_a_finding() {
+        let r = run("// analyze::policy(publish: cutoff)\n\
+             fn p(c: &C) { c.cutoff.store(1, Ordering::Relaxed); }\n\
+             fn g(c: &C) -> u64 { c.cutoff.load(Ordering::Acquire) }");
+        assert!(r.findings.iter().any(|f| f.rule == "publish-relaxed"));
+        // The Relaxed store is not release-side, so pairing also fails.
+        assert!(r
+            .findings
+            .iter()
+            .any(|f| f.rule == "publish-no-release-store"));
+    }
+
+    #[test]
+    fn publish_release_store_without_acquire_load_is_a_finding() {
+        let r = run("// analyze::policy(publish: flag)\n\
+             fn p(c: &C) { c.flag.store(true, Ordering::Release); }");
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        assert_eq!(r.findings[0].rule, "publish-no-acquire-load");
+    }
+
+    #[test]
+    fn publish_release_acquire_pair_is_clean() {
+        let r = run("// analyze::policy(publish: flag)\n\
+             fn p(c: &C) { c.flag.store(true, Ordering::Release); }\n\
+             fn g(c: &C) -> bool { c.flag.load(Ordering::Acquire) }");
+        assert!(r.is_clean(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn acqrel_rmw_counts_as_both_sides() {
+        let r = run("// analyze::policy(publish: count)\n\
+             fn p(c: &C) { c.count.fetch_add(1, Ordering::AcqRel); }");
+        assert!(r.is_clean(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn unused_publish_declaration_is_a_finding() {
+        let r = run("// analyze::policy(publish: ghost)\nfn f() {}\n");
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, "publish-unused");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let r = run("#[cfg(test)]\nmod tests {\n    fn t(x: &AtomicBool) { \
+             x.store(true, Ordering::SeqCst); }\n}");
+        assert!(r.is_clean(), "{:?}", r.findings);
+    }
+}

@@ -1,0 +1,418 @@
+//! Pass 2: lock-acquisition order.
+//!
+//! Extracts every blocking `.lock()` acquisition per function, names the
+//! lock by the receiver's last path component (`self.chan.state.lock()` →
+//! `state`), and records an ordered edge `A → B` whenever B is acquired
+//! after A inside one function body (a conservative over-approximation:
+//! guards are assumed held to the end of the function). The workspace
+//! acquisition graph must be acyclic; a cycle — including the 2-cycle of
+//! an inconsistent pairwise order — is the classic deadlock shape and
+//! fails the build, naming one witness site per edge.
+//!
+//! `try_lock` never blocks and is ignored. A site that is provably fine
+//! (the first guard is dropped before the second acquisition) can carry
+//! `analyze::allow(lock-order, reason)`, which suppresses the edges
+//! *originating* at that acquisition.
+
+use crate::findings::{Finding, Report};
+use crate::lexer::{Tok, Token};
+use crate::policy::FilePolicy;
+use std::collections::{BTreeMap, BTreeSet};
+
+const PASS: &str = "locks";
+
+/// One acquisition edge `from → to` with a witness site (file, line of the
+/// second acquisition, function name).
+#[derive(Debug, Clone)]
+pub struct Edge {
+    pub from: String,
+    pub to: String,
+    pub file: String,
+    pub line: usize,
+    pub func: String,
+}
+
+/// The workspace acquisition graph under construction.
+#[derive(Debug, Default)]
+pub struct LockGraph {
+    pub edges: Vec<Edge>,
+    /// Total acquisitions seen (for the checked-sites count).
+    pub acquisitions: usize,
+}
+
+/// One function's acquisitions, in source order.
+#[derive(Debug)]
+struct Acq {
+    name: String,
+    line: usize,
+}
+
+/// Scans a file's (test-stripped) tokens and adds its edges to the graph.
+pub fn scan_file(file: &str, tokens: &[Token], policy: &FilePolicy, graph: &mut LockGraph) {
+    for (func, body) in function_bodies(tokens) {
+        let acqs = acquisitions(body);
+        graph.acquisitions += acqs.len();
+        for i in 0..acqs.len() {
+            for j in (i + 1)..acqs.len() {
+                if acqs[i].name == acqs[j].name {
+                    continue;
+                }
+                if policy.allowed("lock-order", acqs[i].line) {
+                    continue;
+                }
+                graph.edges.push(Edge {
+                    from: acqs[i].name.clone(),
+                    to: acqs[j].name.clone(),
+                    file: file.to_string(),
+                    line: acqs[j].line,
+                    func: func.clone(),
+                });
+            }
+        }
+    }
+}
+
+/// Cycle detection over the completed graph.
+pub fn finish(graph: &LockGraph, report: &mut Report) {
+    // Adjacency with one witness edge per (from, to).
+    let mut adj: BTreeMap<&str, BTreeMap<&str, &Edge>> = BTreeMap::new();
+    for e in &graph.edges {
+        adj.entry(&e.from).or_default().entry(&e.to).or_insert(e);
+    }
+
+    // Inconsistent pairwise order (2-cycles) get a dedicated message.
+    for (a, outs) in &adj {
+        for (b, e_ab) in outs {
+            if a < b {
+                if let Some(e_ba) = adj.get(b).and_then(|m| m.get(a)) {
+                    report.findings.push(Finding::new(
+                        PASS,
+                        "lock-order-conflict",
+                        e_ab.file.clone(),
+                        e_ab.line,
+                        format!(
+                            "inconsistent lock order: `{a}` then `{b}` here (fn {}), but \
+                             `{b}` then `{a}` at {}:{} (fn {}) — concurrent callers can \
+                             deadlock",
+                            e_ab.func, e_ba.file, e_ba.line, e_ba.func
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // Longer cycles (2-cycles are fully covered above; DFS reports only
+    // length >= 3): path-stack DFS, each cycle reported once,
+    // canonicalized by its smallest node.
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+    for &start in &nodes {
+        let mut stack: Vec<&str> = vec![start];
+        let mut onpath: BTreeSet<&str> = [start].into();
+        dfs(
+            start,
+            start,
+            &adj,
+            &mut stack,
+            &mut onpath,
+            &mut reported,
+            report,
+        );
+    }
+}
+
+fn dfs<'a>(
+    start: &'a str,
+    cur: &'a str,
+    adj: &BTreeMap<&'a str, BTreeMap<&'a str, &'a Edge>>,
+    stack: &mut Vec<&'a str>,
+    onpath: &mut BTreeSet<&'a str>,
+    reported: &mut BTreeSet<Vec<String>>,
+    report: &mut Report,
+) {
+    let Some(outs) = adj.get(cur) else { return };
+    for (&next, edge) in outs {
+        if next == start {
+            if stack.len() >= 3 {
+                // Canonical form: rotate so the smallest node is first.
+                let mut cyc: Vec<String> = stack.iter().map(|s| s.to_string()).collect();
+                let min_pos = cyc
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.cmp(b.1))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                cyc.rotate_left(min_pos);
+                if reported.insert(cyc.clone()) {
+                    report.findings.push(Finding::new(
+                        PASS,
+                        "lock-cycle",
+                        edge.file.clone(),
+                        edge.line,
+                        format!(
+                            "lock-order cycle: {} → {} (closing edge in fn {}) — \
+                             acquisition order must form a DAG",
+                            cyc.join(" → "),
+                            cyc[0],
+                            edge.func
+                        ),
+                    ));
+                }
+            }
+            continue;
+        }
+        if onpath.contains(next) {
+            continue;
+        }
+        if stack.len() >= 8 {
+            continue; // bound pathological graphs
+        }
+        stack.push(next);
+        onpath.insert(next);
+        dfs(start, next, adj, stack, onpath, reported, report);
+        stack.pop();
+        onpath.remove(next);
+    }
+}
+
+/// Splits a token stream into `(function name, body tokens)` pairs.
+/// Closures and nested items stay part of the enclosing function.
+fn function_bodies(tokens: &[Token]) -> Vec<(String, &[Token])> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].tok == Tok::Ident("fn".into()) {
+            let name = match tokens.get(i + 1).map(|t| &t.tok) {
+                Some(Tok::Ident(n)) => n.clone(),
+                _ => {
+                    i += 1;
+                    continue;
+                }
+            };
+            // Find the body's '{', skipping the signature. A ';' first
+            // means a trait/extern declaration with no body.
+            let mut j = i + 2;
+            let mut angle = 0i32;
+            let mut paren = 0i32;
+            let mut body_start = None;
+            while j < tokens.len() {
+                match tokens[j].tok {
+                    Tok::Punct('<') => angle += 1,
+                    Tok::Punct('>') => angle -= 1,
+                    Tok::Punct('(') => paren += 1,
+                    Tok::Punct(')') => paren -= 1,
+                    Tok::Punct(';') if paren == 0 => break,
+                    Tok::Punct('{') if paren == 0 && angle <= 0 => {
+                        body_start = Some(j);
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            let Some(open) = body_start else {
+                i = j + 1;
+                continue;
+            };
+            // Matching close brace.
+            let mut depth = 0usize;
+            let mut k = open;
+            while k < tokens.len() {
+                match tokens[k].tok {
+                    Tok::Punct('{') => depth += 1,
+                    Tok::Punct('}') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            let end = k.min(tokens.len());
+            out.push((name, &tokens[open..end]));
+            // Nested fns inside this body are *also* scanned on their own
+            // (their acquisitions double-count into the outer fn — the
+            // conservative direction), so just continue past the `fn` kw.
+            i = open + 1;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Extracts `.lock()` acquisitions (receiver last component + line).
+fn acquisitions(body: &[Token]) -> Vec<Acq> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + 3 < body.len() {
+        if body[i].tok == Tok::Punct('.')
+            && body[i + 1].tok == Tok::Ident("lock".into())
+            && body[i + 2].tok == Tok::Punct('(')
+            && body[i + 3].tok == Tok::Punct(')')
+        {
+            if let Some(name) = receiver_before(body, i) {
+                out.push(Acq {
+                    name,
+                    line: body[i + 1].line,
+                });
+            }
+            i += 4;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// The identifier component directly before the `.` at index `dot`.
+fn receiver_before(body: &[Token], dot: usize) -> Option<String> {
+    let mut end = dot.checked_sub(1)?;
+    // Skip a call or index group: `groups[node].lock()`, `cell().lock()`.
+    loop {
+        match &body[end].tok {
+            Tok::Punct(')') | Tok::Punct(']') => {
+                let close = match body[end].tok {
+                    Tok::Punct(')') => '(',
+                    _ => '[',
+                };
+                let open_c = close;
+                let close_c = match open_c {
+                    '(' => ')',
+                    _ => ']',
+                };
+                let mut depth = 0i32;
+                loop {
+                    match &body[end].tok {
+                        Tok::Punct(c) if *c == close_c => depth += 1,
+                        Tok::Punct(c) if *c == open_c => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    end = end.checked_sub(1)?;
+                }
+                end = end.checked_sub(1)?;
+            }
+            Tok::Ident(name) => {
+                if name == "self" {
+                    return None;
+                }
+                return Some(name.clone());
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// Convenience for tests and the workspace driver: number of distinct
+/// ordered pairs (the graph's edge set size after dedup).
+pub fn distinct_edges(graph: &LockGraph) -> usize {
+    graph
+        .edges
+        .iter()
+        .map(|e| (e.from.as_str(), e.to.as_str()))
+        .collect::<BTreeSet<_>>()
+        .len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, strip_test_code};
+    use crate::policy;
+
+    fn run(files: &[(&str, &str)]) -> Report {
+        let mut graph = LockGraph::default();
+        let mut report = Report::default();
+        for (name, src) in files {
+            let lexed = lex(src);
+            let tokens = strip_test_code(&lexed.tokens);
+            let pol = policy::parse(&lexed.comments);
+            scan_file(name, &tokens, &pol, &mut graph);
+        }
+        finish(&graph, &mut report);
+        report
+    }
+
+    #[test]
+    fn consistent_order_across_functions_is_clean() {
+        let r = run(&[(
+            "a.rs",
+            "fn f(s: &S) { let a = s.alpha.lock(); let b = s.beta.lock(); }\n\
+             fn g(s: &S) { let a = s.alpha.lock(); let b = s.beta.lock(); }",
+        )]);
+        assert!(r.is_clean(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn inconsistent_pairwise_order_is_a_conflict() {
+        let r = run(&[(
+            "a.rs",
+            "fn f(s: &S) { let a = s.alpha.lock(); let b = s.beta.lock(); }\n\
+             fn g(s: &S) { let b = s.beta.lock(); let a = s.alpha.lock(); }",
+        )]);
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        assert_eq!(r.findings[0].rule, "lock-order-conflict");
+        assert!(r.findings[0].message.contains("alpha"));
+        assert!(r.findings[0].message.contains("beta"));
+    }
+
+    #[test]
+    fn three_cycle_across_files_is_found() {
+        let r = run(&[
+            ("a.rs", "fn f(s: &S) { s.a.lock(); s.b.lock(); }"),
+            ("b.rs", "fn g(s: &S) { s.b.lock(); s.c.lock(); }"),
+            ("c.rs", "fn h(s: &S) { s.c.lock(); s.a.lock(); }"),
+        ]);
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        assert_eq!(r.findings[0].rule, "lock-cycle");
+        assert!(r.findings[0].message.contains("a → b → c"));
+    }
+
+    #[test]
+    fn allow_suppresses_edges_from_the_annotated_acquisition() {
+        let r = run(&[(
+            "a.rs",
+            "fn f(s: &S) { s.alpha.lock(); s.beta.lock(); }\n\
+             fn g(s: &S) {\n\
+             // analyze::allow(lock-order, \"beta guard dropped before alpha\")\n\
+             s.beta.lock();\n s.alpha.lock(); }",
+        )]);
+        assert!(r.is_clean(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn try_lock_and_relocking_same_name_are_ignored() {
+        let r = run(&[(
+            "a.rs",
+            "fn f(s: &S) { s.a.lock(); s.a.lock(); if let Some(g) = s.b.try_lock() {} }",
+        )]);
+        assert!(r.is_clean(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn indexed_receivers_get_the_field_name() {
+        let l = lex("fn f(s: &S) { s.groups[node].lock(); }");
+        let bodies = function_bodies(&l.tokens);
+        assert_eq!(bodies.len(), 1);
+        let acqs = acquisitions(bodies[0].1);
+        assert_eq!(acqs.len(), 1);
+        assert_eq!(acqs[0].name, "groups");
+    }
+
+    #[test]
+    fn locks_in_different_functions_do_not_create_edges() {
+        let r = run(&[(
+            "a.rs",
+            "fn f(s: &S) { s.alpha.lock(); }\nfn g(s: &S) { s.beta.lock(); }",
+        )]);
+        assert!(r.is_clean());
+    }
+}

@@ -1,0 +1,14 @@
+//! The four analysis passes.
+//!
+//! * [`atomics`] — atomic-ordering policy (SeqCst ban, relaxed-only
+//!   modules, publication-cell Release/Acquire pairing).
+//! * [`locks`] — lock-acquisition order (workspace graph must be a DAG).
+//! * [`pins`] — pinned-constant drift (verbs, error codes, wire codes,
+//!   metric families vs `analyze/pins.toml` and `docs/ARCHITECTURE.md`).
+//! * [`panics`] — panic-surface audit (unwrap/expect/panic!/indexing vs
+//!   `analyze/panic_baseline.tsv`).
+
+pub mod atomics;
+pub mod locks;
+pub mod panics;
+pub mod pins;

@@ -1,0 +1,351 @@
+//! Pass 4: panic-surface audit.
+//!
+//! The serving crates (`ftgemm-serve`, `ftgemm-net`, `ftgemm-obs`) hold
+//! request lifetimes: a panic in a connection or dispatcher thread strands
+//! clients, leaks handles, and (under `std::sync` mutexes) poisons locks
+//! for every other thread. This pass inventories panic-capable sites in
+//! non-test code — `.unwrap()`, `.expect(..)`, `panic!(..)`, and slice
+//! indexing `x[i]` — and diffs them against the committed baseline
+//! `analyze/panic_baseline.tsv`.
+//!
+//! The baseline is a *multiset* keyed on `(file, kind, trimmed-snippet)`
+//! rather than line numbers, so unrelated edits that shift lines do not
+//! churn it. New sites fail the build (add handling, or consciously
+//! regenerate with `--write-baseline`); stale entries also fail, so the
+//! baseline only ever shrinks by being re-earned.
+
+use crate::findings::{Finding, Report};
+use crate::lexer::{Tok, Token};
+use crate::policy::FilePolicy;
+use std::collections::BTreeMap;
+
+const PASS: &str = "panics";
+
+/// One panic-capable site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Site {
+    pub kind: &'static str,
+    pub file: String,
+    pub line: usize,
+    pub snippet: String,
+}
+
+/// `(file, kind, snippet) → count`.
+pub type Baseline = BTreeMap<(String, String, String), usize>;
+
+/// Keywords that can legally precede `[` without it being an index
+/// expression (array literals, types, patterns).
+fn keyword_before_bracket(id: &str) -> bool {
+    matches!(
+        id,
+        "in" | "return"
+            | "if"
+            | "else"
+            | "match"
+            | "for"
+            | "while"
+            | "loop"
+            | "move"
+            | "mut"
+            | "ref"
+            | "break"
+            | "continue"
+            | "where"
+            | "dyn"
+            | "as"
+            | "const"
+            | "static"
+            | "let"
+            | "fn"
+            | "pub"
+            | "use"
+            | "impl"
+            | "type"
+    )
+}
+
+/// Collects panic-capable sites from a (test-stripped) token stream.
+/// `src_lines` supplies the snippet text; `policy` supplies
+/// `analyze::allow(panic, ...)` suppressions.
+pub fn collect_sites(
+    file: &str,
+    tokens: &[Token],
+    src_lines: &[&str],
+    policy: &FilePolicy,
+) -> Vec<Site> {
+    let mut out = Vec::new();
+    let mut push = |kind: &'static str, line: usize| {
+        if policy.allowed("panic", line) {
+            return;
+        }
+        let snippet = src_lines
+            .get(line.saturating_sub(1))
+            .map(|l| trim_snippet(l))
+            .unwrap_or_default();
+        out.push(Site {
+            kind,
+            file: file.to_string(),
+            line,
+            snippet,
+        });
+    };
+
+    for (i, t) in tokens.iter().enumerate() {
+        match &t.tok {
+            Tok::Punct('.') => {
+                let (Some(name_t), Some(paren_t)) = (tokens.get(i + 1), tokens.get(i + 2)) else {
+                    continue;
+                };
+                if paren_t.tok != Tok::Punct('(') {
+                    continue;
+                }
+                match &name_t.tok {
+                    Tok::Ident(n) if n == "unwrap" => push("unwrap", name_t.line),
+                    Tok::Ident(n) if n == "expect" => push("expect", name_t.line),
+                    _ => {}
+                }
+            }
+            Tok::Ident(id)
+                if id == "panic" && tokens.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct('!')) =>
+            {
+                // `core::panic!` paths still end with `panic !`; a
+                // preceding `.` would be a method, which can't happen.
+                push("panic", t.line);
+            }
+            Tok::Punct('[') => {
+                // Index expression iff the previous token is a value:
+                // an identifier (not a keyword), `)`, or `]`.
+                let Some(prev) = (i > 0).then(|| &tokens[i - 1]) else {
+                    continue;
+                };
+                let is_index = match &prev.tok {
+                    Tok::Ident(id) => !keyword_before_bracket(id),
+                    Tok::Punct(')') | Tok::Punct(']') => true,
+                    _ => false,
+                };
+                // `#[attr]` never matches: prev is `#`. `vec![..]`: prev is
+                // `!`. `&[..]`: prev is `&`.
+                if is_index {
+                    push("slice-index", t.line);
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Truncated, tab-free, trimmed source line for baseline keys.
+fn trim_snippet(line: &str) -> String {
+    let s: String = line.trim().replace('\t', " ");
+    if s.chars().count() > 120 {
+        let cut: String = s.chars().take(117).collect();
+        format!("{cut}...")
+    } else {
+        s
+    }
+}
+
+/// Parses `analyze/panic_baseline.tsv`: `count<TAB>kind<TAB>file<TAB>snippet`
+/// per line, `#` comments and blanks skipped.
+pub fn parse_baseline(text: &str) -> Result<Baseline, (usize, String)> {
+    let mut out = Baseline::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(4, '\t');
+        let (Some(count), Some(kind), Some(file), Some(snippet)) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            return Err((lineno, format!("expected 4 tab-separated fields: `{raw}`")));
+        };
+        let count: usize = count
+            .trim()
+            .parse()
+            .map_err(|_| (lineno, format!("bad count `{count}`")))?;
+        let key = (file.to_string(), kind.to_string(), snippet.to_string());
+        if out.insert(key, count).is_some() {
+            return Err((lineno, format!("duplicate baseline entry: `{raw}`")));
+        }
+    }
+    Ok(out)
+}
+
+/// Serializes sites back into baseline format (sorted, stable).
+pub fn write_baseline(sites: &[Site]) -> String {
+    let mut counts: Baseline = Baseline::new();
+    for s in sites {
+        *counts
+            .entry((s.file.clone(), s.kind.to_string(), s.snippet.clone()))
+            .or_insert(0) += 1;
+    }
+    let mut out = String::from(
+        "# Panic-surface baseline: count<TAB>kind<TAB>file<TAB>snippet.\n\
+         # New panic sites in serving crates fail `cargo run -p ftgemm-analyze`.\n\
+         # Regenerate deliberately with `-- --write-baseline`; prefer shrinking it.\n",
+    );
+    for ((file, kind, snippet), count) in &counts {
+        out.push_str(&format!("{count}\t{kind}\t{file}\t{snippet}\n"));
+    }
+    out
+}
+
+/// Diffs collected sites against the baseline. New sites and stale
+/// entries are both findings.
+pub fn diff(sites: &[Site], baseline: &Baseline, report: &mut Report) {
+    // Group actual sites by key, keeping line order.
+    let mut grouped: BTreeMap<(String, String, String), Vec<&Site>> = BTreeMap::new();
+    for s in sites {
+        grouped
+            .entry((s.file.clone(), s.kind.to_string(), s.snippet.clone()))
+            .or_default()
+            .push(s);
+    }
+    for (key, group) in &grouped {
+        let allowed = baseline.get(key).copied().unwrap_or(0);
+        for site in group.iter().skip(allowed) {
+            report.findings.push(Finding::new(
+                PASS,
+                "new-panic-site",
+                &site.file,
+                site.line,
+                format!(
+                    "{} site not in analyze/panic_baseline.tsv: `{}` — handle the error \
+                     (typed error, lock-poison tolerance) or regenerate the baseline \
+                     deliberately with --write-baseline",
+                    site.kind, site.snippet
+                ),
+            ));
+        }
+    }
+    for ((file, kind, snippet), count) in baseline {
+        let actual = grouped
+            .get(&(file.clone(), kind.clone(), snippet.clone()))
+            .map(|g| g.len())
+            .unwrap_or(0);
+        if actual < *count {
+            report.findings.push(Finding::new(
+                PASS,
+                "stale-baseline",
+                file,
+                0,
+                format!(
+                    "baseline lists {count}× {kind} `{snippet}` but only {actual} remain — \
+                     shrink the baseline (the panic surface only ratchets down)"
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, strip_test_code};
+    use crate::policy::FilePolicy;
+
+    fn sites_of(src: &str) -> Vec<Site> {
+        let l = lex(src);
+        let kept = strip_test_code(&l.tokens);
+        let lines: Vec<&str> = src.lines().collect();
+        collect_sites("f.rs", &kept, &lines, &FilePolicy::default())
+    }
+
+    #[test]
+    fn finds_unwrap_expect_panic_and_index() {
+        let src = r#"
+fn f(v: Vec<u8>, m: &Mutex<u8>) -> u8 {
+    let g = m.lock().unwrap();
+    let x = v.first().expect("empty");
+    if v.is_empty() { panic!("boom"); }
+    v[0]
+}
+"#;
+        let sites = sites_of(src);
+        let kinds: Vec<&str> = sites.iter().map(|s| s.kind).collect();
+        assert_eq!(kinds, vec!["unwrap", "expect", "panic", "slice-index"]);
+        assert_eq!(sites[0].line, 3);
+        assert!(sites[0].snippet.contains("m.lock().unwrap()"));
+    }
+
+    #[test]
+    fn attributes_macros_and_slices_are_not_indexing() {
+        let src = r#"
+#[derive(Debug)]
+fn f() {
+    let a = vec![1, 2];
+    let b: &[u8] = &[3, 4];
+    let c = [5u8; 2];
+    for _x in [1, 2] {}
+}
+"#;
+        assert!(sites_of(src).is_empty(), "{:?}", sites_of(src));
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = r#"
+fn real() {}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { x.unwrap(); v[0]; panic!("ok in tests"); }
+}
+"#;
+        assert!(sites_of(src).is_empty());
+    }
+
+    #[test]
+    fn allow_panic_suppresses_a_site() {
+        let src = "fn f() {\n    // analyze::allow(panic, \"startup only\")\n    x.unwrap();\n}\n";
+        let l = lex(src);
+        let policy = crate::policy::parse(&l.comments);
+        let lines: Vec<&str> = src.lines().collect();
+        let sites = collect_sites("f.rs", &l.tokens, &lines, &policy);
+        assert!(sites.is_empty(), "{sites:?}");
+    }
+
+    #[test]
+    fn baseline_roundtrip_and_diff() {
+        let src = "fn f() {\n    a.unwrap();\n    b.unwrap();\n}\n";
+        let sites = sites_of(src);
+        assert_eq!(sites.len(), 2);
+
+        // Self-generated baseline is clean.
+        let text = write_baseline(&sites);
+        let baseline = parse_baseline(&text).unwrap();
+        let mut r = Report::default();
+        diff(&sites, &baseline, &mut r);
+        assert!(r.is_clean(), "{:?}", r.findings);
+
+        // A second `a.unwrap();` exceeds the multiset count for that
+        // snippet even though line numbers shifted.
+        let src2 = "fn f() {\n    a.unwrap();\n    b.unwrap();\n}\nfn g() {\n    a.unwrap();\n}\n";
+        let sites2 = sites_of(src2);
+        let mut r2 = Report::default();
+        diff(&sites2, &baseline, &mut r2);
+        assert_eq!(r2.findings.len(), 1, "{:?}", r2.findings);
+        assert_eq!(r2.findings[0].rule, "new-panic-site");
+        assert_eq!(r2.findings[0].line, 6);
+
+        // Removing a site makes the baseline stale: the ratchet only
+        // tightens by editing the baseline down.
+        let src3 = "fn f() {\n    a.unwrap();\n}\n";
+        let sites3 = sites_of(src3);
+        let mut r3 = Report::default();
+        diff(&sites3, &baseline, &mut r3);
+        assert_eq!(r3.findings.len(), 1, "{:?}", r3.findings);
+        assert_eq!(r3.findings[0].rule, "stale-baseline");
+    }
+
+    #[test]
+    fn baseline_parse_errors_are_line_numbered() {
+        let e = parse_baseline("1\tunwrap\tonly-three-fields\n").unwrap_err();
+        assert_eq!(e.0, 1);
+        let e = parse_baseline("# ok\nnope\tunwrap\tf.rs\tsnippet\n").unwrap_err();
+        assert_eq!(e.0, 2);
+    }
+}

@@ -1,0 +1,238 @@
+//! In-source policy and allow annotations.
+//!
+//! Modules declare their concurrency contract in ordinary comments that
+//! the analyzer parses out of the lexer's comment stream:
+//!
+//! ```text
+//! // analyze::policy(atomics: relaxed)
+//! // analyze::policy(atomics: any)
+//! // analyze::policy(publish: cutoff, server_stop as stop)
+//! // analyze::allow(seqcst, "store pairs with Acquire in the signal handler")
+//! // analyze::allow(lock-order, "guard provably dropped by the match above")
+//! ```
+//!
+//! * `atomics: relaxed` — every `Ordering::` site in the file must be
+//!   `Relaxed` unless the cell is declared `publish` (counters-only
+//!   modules: metrics, stats).
+//! * `atomics: any` — no per-site restriction beyond the workspace-wide
+//!   `SeqCst` ban.
+//! * `publish: a, b as c` — the named atomics are cross-thread
+//!   publication cells: stores must be `Release`/`AcqRel`, loads
+//!   `Acquire`/`AcqRel`, and somewhere in the workspace each canonical
+//!   cell must have **both** a release store and an acquire load. `x as y`
+//!   aliases a local field name to the workspace-wide canonical cell name
+//!   (the stop flag is `server_stop` in `conn.rs` but `stop` in
+//!   `server.rs`).
+//! * `allow(rule, reason)` — suppresses rule findings on the annotation's
+//!   line and the line after it. An empty reason is itself a finding.
+
+use crate::lexer::Comment;
+
+/// Per-file atomic-ordering default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AtomicsPolicy {
+    /// Only the workspace-wide SeqCst ban applies.
+    #[default]
+    Any,
+    /// Every site must be `Relaxed` (except declared publish cells).
+    RelaxedOnly,
+}
+
+/// A declared publication cell: local receiver name plus the canonical
+/// workspace-wide cell name it aliases to (usually the same).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PublishCell {
+    pub local: String,
+    pub canonical: String,
+}
+
+/// One `analyze::allow(rule, reason)` annotation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Allow {
+    pub line: usize,
+    pub rule: String,
+    pub reason: String,
+}
+
+/// Everything declared in one file.
+#[derive(Debug, Default)]
+pub struct FilePolicy {
+    pub atomics: AtomicsPolicy,
+    pub publish: Vec<PublishCell>,
+    pub allows: Vec<Allow>,
+    /// Malformed annotations (reported as findings by the caller).
+    pub errors: Vec<(usize, String)>,
+}
+
+impl FilePolicy {
+    /// The canonical cell name a local receiver publishes to, if declared.
+    pub fn publish_canonical(&self, local: &str) -> Option<&str> {
+        self.publish
+            .iter()
+            .find(|c| c.local == local)
+            .map(|c| c.canonical.as_str())
+    }
+
+    /// True when `rule` is allowed at `line` (annotation on the same line
+    /// or the line directly above).
+    pub fn allowed(&self, rule: &str, line: usize) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.rule == rule && (a.line == line || a.line + 1 == line))
+    }
+}
+
+/// Parses the policy/allow annotations out of a file's comments.
+pub fn parse(comments: &[Comment]) -> FilePolicy {
+    let mut p = FilePolicy::default();
+    for c in comments {
+        let text = c
+            .text
+            .trim()
+            .trim_start_matches('!')
+            .trim_start_matches('/')
+            .trim();
+        let Some(rest) = text.strip_prefix("analyze::") else {
+            continue;
+        };
+        if let Some(body) = strip_call(rest, "policy") {
+            parse_policy(body, c.line, &mut p);
+        } else if let Some(body) = strip_call(rest, "allow") {
+            parse_allow(body, c.line, &mut p);
+        } else {
+            p.errors.push((
+                c.line,
+                format!("unrecognized analyze:: annotation: `{text}`"),
+            ));
+        }
+    }
+    p
+}
+
+/// `strip_call("policy(x: y)", "policy")` → `Some("x: y")`.
+fn strip_call<'a>(s: &'a str, name: &str) -> Option<&'a str> {
+    let s = s.strip_prefix(name)?.trim_start();
+    let s = s.strip_prefix('(')?;
+    let end = s.rfind(')')?;
+    Some(&s[..end])
+}
+
+fn parse_policy(body: &str, line: usize, p: &mut FilePolicy) {
+    let Some((key, value)) = body.split_once(':') else {
+        p.errors
+            .push((line, format!("policy body `{body}` is not `key: value`")));
+        return;
+    };
+    match key.trim() {
+        "atomics" => match value.trim() {
+            "relaxed" => p.atomics = AtomicsPolicy::RelaxedOnly,
+            "any" => p.atomics = AtomicsPolicy::Any,
+            other => p
+                .errors
+                .push((line, format!("unknown atomics policy `{other}`"))),
+        },
+        "publish" => {
+            for cell in value.split(',') {
+                let cell = cell.trim();
+                if cell.is_empty() {
+                    continue;
+                }
+                let (local, canonical) = match cell.split_once(" as ") {
+                    Some((l, c)) => (l.trim(), c.trim()),
+                    None => (cell, cell),
+                };
+                if local.is_empty() || canonical.is_empty() {
+                    p.errors
+                        .push((line, format!("malformed publish cell `{cell}`")));
+                    continue;
+                }
+                p.publish.push(PublishCell {
+                    local: local.to_string(),
+                    canonical: canonical.to_string(),
+                });
+            }
+            if p.publish.is_empty() {
+                p.errors
+                    .push((line, "publish policy names no cells".to_string()));
+            }
+        }
+        other => p
+            .errors
+            .push((line, format!("unknown policy key `{other}`"))),
+    }
+}
+
+fn parse_allow(body: &str, line: usize, p: &mut FilePolicy) {
+    let Some((rule, reason)) = body.split_once(',') else {
+        p.errors.push((
+            line,
+            format!("allow `{body}` is missing a reason: analyze::allow(rule, reason)"),
+        ));
+        return;
+    };
+    let reason = reason.trim().trim_matches('"').trim();
+    if reason.is_empty() {
+        p.errors
+            .push((line, format!("allow({}) has an empty reason", rule.trim())));
+        return;
+    }
+    p.allows.push(Allow {
+        line,
+        rule: rule.trim().to_string(),
+        reason: reason.to_string(),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn policy_of(src: &str) -> FilePolicy {
+        parse(&lex(src).comments)
+    }
+
+    #[test]
+    fn parses_relaxed_policy_and_publish_alias() {
+        let p = policy_of(
+            "// analyze::policy(atomics: relaxed)\n\
+             // analyze::policy(publish: cutoff, server_stop as stop)\n",
+        );
+        assert_eq!(p.atomics, AtomicsPolicy::RelaxedOnly);
+        assert_eq!(p.publish.len(), 2);
+        assert_eq!(p.publish_canonical("cutoff"), Some("cutoff"));
+        assert_eq!(p.publish_canonical("server_stop"), Some("stop"));
+        assert!(p.errors.is_empty());
+    }
+
+    #[test]
+    fn allow_scopes_to_its_line_and_the_next() {
+        let p = policy_of("fn f() {\n// analyze::allow(seqcst, \"handshake\")\n}\n");
+        assert!(p.allowed("seqcst", 2));
+        assert!(p.allowed("seqcst", 3));
+        assert!(!p.allowed("seqcst", 4));
+        assert!(!p.allowed("lock-order", 3));
+    }
+
+    #[test]
+    fn allow_without_reason_is_an_error() {
+        let p = policy_of("// analyze::allow(seqcst)\n");
+        assert!(p.allows.is_empty());
+        assert_eq!(p.errors.len(), 1);
+        let p2 = policy_of("// analyze::allow(seqcst, \"\")\n");
+        assert!(p2.allows.is_empty());
+        assert_eq!(p2.errors.len(), 1);
+    }
+
+    #[test]
+    fn unknown_annotations_are_errors_not_ignored() {
+        let p = policy_of("// analyze::policy(locks: none)\n// analyze::frobnicate(x)\n");
+        assert_eq!(p.errors.len(), 2);
+    }
+
+    #[test]
+    fn doc_comments_parse_too() {
+        let p = policy_of("//! analyze::policy(atomics: relaxed)\n");
+        assert_eq!(p.atomics, AtomicsPolicy::RelaxedOnly);
+    }
+}

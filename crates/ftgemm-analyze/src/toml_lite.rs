@@ -1,0 +1,210 @@
+//! A minimal TOML-subset reader for `analyze/pins.toml`.
+//!
+//! Supported (all the manifest needs, nothing more): `[section]` headers,
+//! `key = <integer>`, `key = "<string>"`, `key = ["a", "b", ...]`
+//! (single-line or multi-line arrays), `#` comments, blank lines. No
+//! registry access means no `toml` crate; parse errors are precise
+//! (line-numbered) because a corrupt golden manifest must fail loudly,
+//! not check vacuously.
+
+use std::collections::BTreeMap;
+
+/// A parsed value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Int(i64),
+    Str(String),
+    StrArray(Vec<String>),
+}
+
+/// section name → (key → value), preserving order via BTreeMap.
+pub type Doc = BTreeMap<String, BTreeMap<String, Value>>;
+
+/// Parses the subset. Returns `Err((line, message))` on the first error.
+pub fn parse(src: &str) -> Result<Doc, (usize, String)> {
+    let mut doc: Doc = BTreeMap::new();
+    let mut section = String::new();
+    let mut lines = src.lines().enumerate().peekable();
+
+    while let Some((idx, raw)) = lines.next() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let Some(name) = rest.strip_suffix(']') else {
+                return Err((lineno, format!("unterminated section header `{raw}`")));
+            };
+            section = name.trim().to_string();
+            if section.is_empty() {
+                return Err((lineno, "empty section name".to_string()));
+            }
+            doc.entry(section.clone()).or_default();
+            continue;
+        }
+        let Some((key, val)) = line.split_once('=') else {
+            return Err((lineno, format!("expected `key = value`, got `{raw}`")));
+        };
+        let key = key.trim().to_string();
+        if key.is_empty() {
+            return Err((lineno, "empty key".to_string()));
+        }
+        let mut val = val.trim().to_string();
+        // Multi-line array: accumulate until the closing bracket.
+        if val.starts_with('[') && !balanced_array(&val) {
+            loop {
+                let Some((_, more)) = lines.next() else {
+                    return Err((lineno, format!("unterminated array for key `{key}`")));
+                };
+                val.push(' ');
+                val.push_str(strip_comment(more).trim());
+                if balanced_array(&val) {
+                    break;
+                }
+            }
+        }
+        let value = parse_value(&val).map_err(|m| (lineno, format!("key `{key}`: {m}")))?;
+        let sect = doc.entry(section.clone()).or_default();
+        if sect.insert(key.clone(), value).is_some() {
+            return Err((lineno, format!("duplicate key `{key}` in [{section}]")));
+        }
+    }
+    Ok(doc)
+}
+
+/// Strips a `#` comment, respecting `"` strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut prev_escape = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !prev_escape => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        prev_escape = c == '\\' && !prev_escape;
+    }
+    line
+}
+
+/// True when the accumulated array text has its closing `]` (outside
+/// strings).
+fn balanced_array(s: &str) -> bool {
+    let mut in_str = false;
+    let mut depth = 0i32;
+    let mut closed = false;
+    for c in s.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => {
+                depth -= 1;
+                if depth == 0 {
+                    closed = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    closed
+}
+
+fn parse_value(s: &str) -> Result<Value, String> {
+    let s = s.trim();
+    if let Some(body) = s.strip_prefix('[') {
+        let Some(body) = body.strip_suffix(']') else {
+            return Err("unterminated array".to_string());
+        };
+        let mut items = Vec::new();
+        for item in split_array(body) {
+            let item = item.trim();
+            if item.is_empty() {
+                continue;
+            }
+            match parse_value(item)? {
+                Value::Str(st) => items.push(st),
+                _ => return Err(format!("array item `{item}` is not a string")),
+            }
+        }
+        return Ok(Value::StrArray(items));
+    }
+    if let Some(body) = s.strip_prefix('"') {
+        let Some(body) = body.strip_suffix('"') else {
+            return Err(format!("unterminated string `{s}`"));
+        };
+        return Ok(Value::Str(body.to_string()));
+    }
+    s.parse::<i64>()
+        .map(Value::Int)
+        .map_err(|_| format!("`{s}` is not an integer, string, or string array"))
+}
+
+/// Splits an array body on commas outside strings.
+fn split_array(body: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    for c in body.chars() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            ',' if !in_str => {
+                out.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_ints_and_arrays() {
+        let doc = parse(
+            "# golden manifest\n\
+             [verbs]\n\
+             HELLO = 1  # pinned\n\
+             ERROR = 15\n\
+             \n\
+             [metrics]\n\
+             serve = [\"ftgemm_a\", \"ftgemm_b\"]\n\
+             net = [\n  \"ftgemm_net_x\",\n  \"ftgemm_net_y\",\n]\n",
+        )
+        .unwrap();
+        assert_eq!(doc["verbs"]["HELLO"], Value::Int(1));
+        assert_eq!(doc["verbs"]["ERROR"], Value::Int(15));
+        assert_eq!(
+            doc["metrics"]["serve"],
+            Value::StrArray(vec!["ftgemm_a".into(), "ftgemm_b".into()])
+        );
+        assert_eq!(
+            doc["metrics"]["net"],
+            Value::StrArray(vec!["ftgemm_net_x".into(), "ftgemm_net_y".into()])
+        );
+    }
+
+    #[test]
+    fn duplicate_keys_and_garbage_are_line_numbered_errors() {
+        let e = parse("[a]\nx = 1\nx = 2\n").unwrap_err();
+        assert_eq!(e.0, 3);
+        let e = parse("[a]\nwhat even is this\n").unwrap_err();
+        assert_eq!(e.0, 2);
+        let e = parse("[a]\nx = nope\n").unwrap_err();
+        assert_eq!(e.0, 2);
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let doc = parse("[a]\nx = \"anchor#5\"\n").unwrap();
+        assert_eq!(doc["a"]["x"], Value::Str("anchor#5".into()));
+    }
+}

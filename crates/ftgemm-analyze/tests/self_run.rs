@@ -1,0 +1,153 @@
+//! The analyzer's own acceptance gate, run from `cargo test`.
+//!
+//! `workspace_is_clean` keeps the real tree at zero findings. The other
+//! tests copy the workspace into a temp dir, deliberately break one
+//! invariant (a pinned verb byte, a lock acquisition order, a fresh
+//! `unwrap()` in an audited crate), and assert the analyzer reports it —
+//! so a regression in any pass fails `cargo test`, not just CI.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use ftgemm_analyze::findings::Report;
+use ftgemm_analyze::workspace::{run, Config};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn run_root(root: &Path) -> Report {
+    run(&Config {
+        root: root.to_path_buf(),
+        write_baseline: false,
+    })
+    .expect("analyzer configuration error")
+}
+
+/// Copies the parts of the workspace the analyzer reads (`crates/*/src`,
+/// `shims`, `analyze`, `docs`) into a fresh temp dir named after `tag`.
+fn copy_workspace(tag: &str) -> PathBuf {
+    let dst = std::env::temp_dir().join(format!("ftgemm-analyze-{}-{}", tag, std::process::id()));
+    let _ = fs::remove_dir_all(&dst);
+    let src = workspace_root();
+    for part in ["crates", "shims", "analyze", "docs"] {
+        copy_tree(&src.join(part), &dst.join(part));
+    }
+    dst
+}
+
+fn copy_tree(src: &Path, dst: &Path) {
+    fs::create_dir_all(dst).expect("create temp dir");
+    for entry in fs::read_dir(src).expect("read source dir") {
+        let entry = entry.expect("dir entry");
+        let name = entry.file_name();
+        if name == "target" || name == ".git" {
+            continue;
+        }
+        let from = entry.path();
+        let to = dst.join(&name);
+        if from.is_dir() {
+            copy_tree(&from, &to);
+        } else {
+            fs::copy(&from, &to).expect("copy file");
+        }
+    }
+}
+
+#[test]
+fn workspace_is_clean() {
+    let report = run_root(&workspace_root());
+    assert!(
+        report.is_clean(),
+        "workspace has analyzer findings:\n{}",
+        report.to_text()
+    );
+}
+
+#[test]
+fn pin_drift_is_detected() {
+    let root = copy_workspace("pindrift");
+    let pins = root.join("analyze/pins.toml");
+    let text = fs::read_to_string(&pins).expect("read pins.toml");
+    assert!(text.contains("HELLO = 1"), "expected pinned HELLO verb");
+    fs::write(&pins, text.replace("HELLO = 1", "HELLO = 9")).expect("write pins.toml");
+
+    let report = run_root(&root);
+    let drift: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.pass == "pins" && f.rule == "pin-drift")
+        .collect();
+    assert!(
+        !drift.is_empty(),
+        "mutated verb byte not flagged:\n{}",
+        report.to_text()
+    );
+    assert!(
+        drift
+            .iter()
+            .any(|f| f.file.contains("proto.rs") && f.line > 0),
+        "pin-drift finding should name the source file and line: {drift:?}"
+    );
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn lock_order_inversion_is_detected() {
+    let root = copy_workspace("lockorder");
+    // An orphan module still gets scanned: the walker reads every `.rs`
+    // under `crates/*/src`, mod-included or not.
+    fs::write(
+        root.join("crates/ftgemm-serve/src/analyze_fixture_locks.rs"),
+        r#"use std::sync::Mutex;
+
+pub fn forward(alpha: &Mutex<u32>, beta: &Mutex<u32>) -> u32 {
+    let a = alpha.lock().unwrap();
+    let b = beta.lock().unwrap();
+    *a + *b
+}
+
+pub fn backward(alpha: &Mutex<u32>, beta: &Mutex<u32>) -> u32 {
+    let b = beta.lock().unwrap();
+    let a = alpha.lock().unwrap();
+    *a + *b
+}
+"#,
+    )
+    .expect("write lock fixture");
+
+    let report = run_root(&root);
+    assert!(
+        report.findings.iter().any(|f| f.pass == "locks"
+            && f.rule == "lock-order-conflict"
+            && f.file.contains("analyze_fixture_locks.rs")
+            && f.line > 0),
+        "inverted lock order not flagged:\n{}",
+        report.to_text()
+    );
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn new_unwrap_in_audited_crate_is_detected() {
+    let root = copy_workspace("newpanic");
+    fs::write(
+        root.join("crates/ftgemm-serve/src/analyze_fixture_panic.rs"),
+        r#"pub fn first_byte(input: &[u8]) -> u8 {
+    *input.first().unwrap()
+}
+"#,
+    )
+    .expect("write panic fixture");
+
+    let report = run_root(&root);
+    assert!(
+        report.findings.iter().any(|f| f.pass == "panics"
+            && f.rule == "new-panic-site"
+            && f.file.contains("analyze_fixture_panic.rs")
+            && f.line == 2),
+        "fresh unwrap not flagged at its line:\n{}",
+        report.to_text()
+    );
+    let _ = fs::remove_dir_all(&root);
+}

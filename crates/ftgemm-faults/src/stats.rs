@@ -1,5 +1,9 @@
 //! Cross-thread injection/detection/correction counters.
 
+// analyze::policy(atomics: relaxed)
+// Concurrency contract (checked by `cargo run -p ftgemm-analyze`):
+// injection tallies only — Relaxed, never a synchronization point.
+
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Atomic counters describing the life cycle of injected errors.

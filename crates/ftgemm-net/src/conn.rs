@@ -18,13 +18,22 @@
 //! owns, so a killed client returns the store's resident bytes to
 //! baseline.
 
+// analyze::policy(publish: server_stop as net_stop)
+// Concurrency contract (checked by `cargo run -p ftgemm-analyze`):
+// `server_stop` aliases the server's `stop` publication cell — a Shutdown
+// frame Release-stores it here and the accept loop Acquire-loads it. The
+// `in_flight` gauge is a plain Relaxed counter (the in-flight cap is
+// advisory backpressure, not a synchronization point).
+
 use std::collections::{HashMap, HashSet};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
-use std::thread;
+use std::sync::{mpsc, Arc};
 use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+use std::thread;
 
 use ftgemm_abft::FtPolicy;
 use ftgemm_core::Matrix;
@@ -203,7 +212,7 @@ pub(crate) fn handle_conn(stream: TcpStream, ctx: ConnContext) {
                 match completions.recv() {
                     Some(c) => {
                         let frame = completion_to_frame(c);
-                        let mut st = shared.state.lock().unwrap();
+                        let mut st = shared.state.lock();
                         if let Some(slot) = st.held.get_mut(&frame.id) {
                             *slot = Some(frame);
                             shared.held_ready.notify_all();
@@ -214,9 +223,9 @@ pub(crate) fn handle_conn(stream: TcpStream, ctx: ConnContext) {
                         in_flight.fetch_sub(1, Ordering::Relaxed);
                     }
                     None => {
-                        let mut st = shared.state.lock().unwrap();
+                        let mut st = shared.state.lock();
                         while st.submitted_gen == seen_gen && !st.closing {
-                            st = shared.gate.wait(st).unwrap();
+                            shared.gate.wait(&mut st);
                         }
                         if st.closing && st.submitted_gen == seen_gen {
                             break;
@@ -349,7 +358,7 @@ pub(crate) fn handle_conn(stream: TcpStream, ctx: ConnContext) {
                     };
                     // Hold the shared lock across submit so a hold-delivery id
                     // is registered before its completion can be pumped.
-                    let mut st = shared.state.lock().unwrap();
+                    let mut st = shared.state.lock();
                     in_flight.fetch_add(1, Ordering::Relaxed);
                     match ctx.service.submit_streamed(req, &sink) {
                         Ok(id) => {
@@ -369,8 +378,8 @@ pub(crate) fn handle_conn(stream: TcpStream, ctx: ConnContext) {
                     }
                 }
                 Frame::Poll { id } => {
-                    let mut st = shared.state.lock().unwrap();
-                    match st.held.get(&id) {
+                    let mut st = shared.state.lock();
+                    match st.held.get_mut(&id) {
                         None => {
                             drop(st);
                             protocol_error(
@@ -379,19 +388,21 @@ pub(crate) fn handle_conn(stream: TcpStream, ctx: ConnContext) {
                                 format!("request {id} is not held on this connection"),
                             );
                         }
-                        Some(Some(_)) => {
-                            let c = st.held.remove(&id).unwrap().unwrap();
-                            drop(st);
-                            send(Frame::Completion(c));
-                        }
-                        Some(None) => {
-                            drop(st);
-                            send(Frame::Pending { id });
-                        }
+                        Some(slot) => match slot.take() {
+                            Some(c) => {
+                                st.held.remove(&id);
+                                drop(st);
+                                send(Frame::Completion(c));
+                            }
+                            None => {
+                                drop(st);
+                                send(Frame::Pending { id });
+                            }
+                        },
                     }
                 }
                 Frame::Wait { id } => {
-                    let mut st = shared.state.lock().unwrap();
+                    let mut st = shared.state.lock();
                     if !st.held.contains_key(&id) {
                         drop(st);
                         protocol_error(
@@ -402,11 +413,26 @@ pub(crate) fn handle_conn(stream: TcpStream, ctx: ConnContext) {
                         continue;
                     }
                     while matches!(st.held.get(&id), Some(None)) {
-                        st = shared.held_ready.wait(st).unwrap();
+                        shared.held_ready.wait(&mut st);
                     }
-                    let c = st.held.remove(&id).unwrap().unwrap();
-                    drop(st);
-                    send(Frame::Completion(c));
+                    match st.held.remove(&id) {
+                        Some(Some(c)) => {
+                            drop(st);
+                            send(Frame::Completion(c));
+                        }
+                        // Only this reader thread removes held entries, so
+                        // the slot it just observed cannot vanish — but a
+                        // protocol error beats a poisoned connection if
+                        // that invariant ever breaks.
+                        _ => {
+                            drop(st);
+                            protocol_error(
+                                id,
+                                error_code::UNKNOWN_REQUEST,
+                                format!("request {id} was lost while waiting"),
+                            );
+                        }
+                    }
                 }
                 Frame::ReleaseHandle { handle } => {
                     if owned.remove(&handle) {
@@ -448,7 +474,7 @@ pub(crate) fn handle_conn(stream: TcpStream, ctx: ConnContext) {
     // Teardown: let the pump drain in-flight work, then stop it; close
     // the writer; return owned operands to the store.
     {
-        let mut st = shared.state.lock().unwrap();
+        let mut st = shared.state.lock();
         st.closing = true;
         shared.gate.notify_all();
     }
@@ -461,7 +487,7 @@ pub(crate) fn handle_conn(stream: TcpStream, ctx: ConnContext) {
     metrics::connections().add(-1.0);
 
     if stop_server {
-        ctx.server_stop.store(true, Ordering::SeqCst);
+        ctx.server_stop.store(true, Ordering::Release);
         // Wake the accept loop blocked in accept().
         let _ = TcpStream::connect(ctx.server_addr);
     }

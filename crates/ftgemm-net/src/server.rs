@@ -10,10 +10,19 @@
 //! live connection's socket and joins its thread, which releases that
 //! connection's operand handles.
 
+// analyze::policy(publish: stop as net_stop)
+// Concurrency contract (checked by `cargo run -p ftgemm-analyze`): `stop`
+// is the shutdown publication cell, shared with connection threads as
+// `ConnContext::server_stop`. Release store on shutdown, Acquire loads in
+// the accept loop and connection pumps — a thread that observes the flag
+// also observes everything the stopping thread wrote before raising it.
+
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
 use std::thread::{self, JoinHandle};
 
 use ftgemm_serve::GemmService;
@@ -83,7 +92,7 @@ impl NetServer {
             let conns = Arc::clone(&conns);
             thread::spawn(move || {
                 for incoming in listener.incoming() {
-                    if stop.load(Ordering::SeqCst) {
+                    if stop.load(Ordering::Acquire) {
                         break;
                     }
                     let stream = match incoming {
@@ -106,7 +115,7 @@ impl NetServer {
                         server_addr: local,
                     };
                     let handle = thread::spawn(move || handle_conn(stream, ctx));
-                    conns.lock().unwrap().push((peer, handle));
+                    conns.lock().push((peer, handle));
                 }
             })
         };
@@ -138,13 +147,13 @@ impl NetServer {
     }
 
     fn shutdown_inner(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
+        self.stop.store(true, Ordering::Release);
         // Wake the accept loop if it is parked in accept().
         let _ = TcpStream::connect(self.addr);
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
-        let conns = std::mem::take(&mut *self.conns.lock().unwrap());
+        let conns = std::mem::take(&mut *self.conns.lock());
         for (stream, handle) in conns {
             let _ = stream.shutdown(Shutdown::Both);
             let _ = handle.join();

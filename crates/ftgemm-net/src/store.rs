@@ -14,9 +14,16 @@
 //! the handles it owns and releases them on disconnect, so a killed client
 //! cannot leak resident bytes.
 
+// analyze::policy(atomics: relaxed)
+// Concurrency contract (checked by `cargo run -p ftgemm-analyze`): the
+// byte/handle gauges are advisory accounting read by metrics and the
+// admission check; the authoritative state lives under `inner`'s lock.
+
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use ftgemm_core::Matrix;
 
@@ -79,15 +86,18 @@ impl OperandStore {
             });
         }
         let handle = self.next_handle.fetch_add(1, Ordering::Relaxed);
-        let mut map = self.inner.lock().unwrap();
+        let mut map = self.inner.lock();
         // Evict until the newcomer fits.
         while self.resident.load(Ordering::Relaxed) + bytes > self.budget {
-            let victim = map
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(h, _)| *h)
-                .expect("resident bytes nonzero implies a resident entry");
-            let gone = map.remove(&victim).unwrap();
+            // Resident bytes over budget implies a resident entry; if the
+            // gauge ever drifts from the map, stop evicting rather than
+            // panic the connection thread mid-upload.
+            let Some(victim) = map.iter().min_by_key(|(_, e)| e.last_used).map(|(h, _)| *h) else {
+                break;
+            };
+            let Some(gone) = map.remove(&victim) else {
+                break;
+            };
             self.account_removal(gone.bytes);
             self.evictions.fetch_add(1, Ordering::Relaxed);
             metrics::operand_evictions_total().inc();
@@ -110,7 +120,7 @@ impl OperandStore {
     /// Resolves a handle to its shared matrix (bumping its LRU position),
     /// or `None` if the handle was never minted, released, or evicted.
     pub fn get(&self, handle: u64) -> Option<Arc<Matrix<f64>>> {
-        let mut map = self.inner.lock().unwrap();
+        let mut map = self.inner.lock();
         let e = map.get_mut(&handle)?;
         e.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
         Some(Arc::clone(&e.m))
@@ -120,7 +130,7 @@ impl OperandStore {
     /// holding the `Arc` keep the data alive until they finish — release
     /// only un-counts it from the store.
     pub fn release(&self, handle: u64) -> bool {
-        let mut map = self.inner.lock().unwrap();
+        let mut map = self.inner.lock();
         match map.remove(&handle) {
             Some(e) => {
                 self.account_removal(e.bytes);

@@ -2,6 +2,11 @@
 //! histograms. Every hot-path operation is a handful of relaxed atomic
 //! read-modify-writes — no locks, no allocation.
 
+// analyze::policy(atomics: relaxed)
+// Concurrency contract (checked by `cargo run -p ftgemm-analyze`): every
+// atomic here is a monotonic counter or gauge scraped asynchronously —
+// Relaxed only; none of them may become a synchronization point.
+
 use crate::percentile::nearest_rank;
 use std::sync::atomic::{AtomicU64, Ordering};
 

@@ -12,6 +12,10 @@
 //! HTTP client (or `curl`) can scrape it. Shutdown sets a stop flag and
 //! pokes the listener with a loopback connection so `accept` returns.
 
+// analyze::policy(publish: stop as obs_stop)
+// Concurrency contract (checked by `cargo run -p ftgemm-analyze`): `stop`
+// publishes shutdown to the accept thread — Release store, Acquire loads.
+
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};

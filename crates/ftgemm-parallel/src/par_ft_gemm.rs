@@ -21,6 +21,13 @@
 //! vectors); column checksums cross thread boundaries and go through
 //! sharded-lane reductions.
 
+// analyze::policy(publish: abort as par_abort)
+// Concurrency contract (checked by `cargo run -p ftgemm-analyze`):
+// `abort` publishes an unrecoverable-fault verdict across workers —
+// Release store next to the verdict write, Acquire load after the
+// barrier. `correction_scale` stays Relaxed: it is a monotonic hint
+// re-derived every panel, never a synchronization point.
+
 use crate::ctx::ParGemmContext;
 use crate::shared::SendPtr;
 use crate::workspace::ParFtWorkspace;
@@ -397,6 +404,7 @@ pub fn par_ft_gemm_with_ws<T: Scalar>(
                                 if let Some(inj) = cfg.injector.as_ref() {
                                     inj.stats().record_unrecoverable();
                                 }
+                                // analyze::allow(lock-order, "verdict guard is a statement temporary, dropped before report is re-locked")
                                 *verdict.lock() =
                                     Some(FtError::Unrecoverable { jc, pc, detail });
                                 abort.store(true, Ordering::Release);

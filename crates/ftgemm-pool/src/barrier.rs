@@ -13,6 +13,14 @@
 //! kernel sweep), so wake-up latency is irrelevant but burning a core is
 //! not acceptable when the machine is oversubscribed.
 
+// analyze::policy(publish: epoch)
+// Concurrency contract (checked by `cargo run -p ftgemm-analyze`): the
+// barrier publishes phase completion through `epoch` (Release store by
+// the last arriver, Acquire loads by spinners). `count` is deliberately
+// not a publication cell: its AcqRel fetch_add orders arrivals, and the
+// Relaxed reset is safe because only the last arriver (who won the
+// AcqRel race) writes it before the Release store of `epoch`.
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A reusable barrier for a fixed set of `n` participants.

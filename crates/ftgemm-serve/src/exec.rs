@@ -12,6 +12,11 @@
 //! `examples/async_serving.rs` hand-rolls the same ~40 lines to show there
 //! is no magic in here.
 
+// analyze::policy(publish: notified)
+// Concurrency contract (checked by `cargo run -p ftgemm-analyze`):
+// `notified` carries waker hand-off — Release store by the completing
+// thread, Acquire swap by the polling thread.
+
 use std::future::Future;
 use std::pin::Pin;
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -40,6 +40,14 @@
 //! the load measure flops-aware placement and deadline admission control
 //! consume.
 
+// analyze::policy(publish: closed, depth, pending_flops)
+// Concurrency contract (checked by `cargo run -p ftgemm-analyze`): these
+// cells publish queue state across shards without the shard locks —
+// `closed` gates submission against shutdown, `depth`/`pending_flops`
+// feed placement and steal decisions. Release on write, Acquire on read,
+// so a reader acting on a depth also sees the envelope that produced it.
+// `next_id`/`rr`/`steal_wakeups` are plain Relaxed counters.
+
 use crate::handle::ResponseSlot;
 use crate::qos::{DrrScheduler, TenantTable, NO_DEADLINE};
 use crate::request::GemmRequest;

@@ -35,6 +35,14 @@
 //! violently, pin the boundary with
 //! [`RoutingPolicy::Fixed`] or re-seed via [`AdaptiveConfig::seed_cutoff`].
 
+// analyze::policy(atomics: relaxed)
+// analyze::policy(publish: cutoff)
+// Concurrency contract (checked by `cargo run -p ftgemm-analyze`): the
+// observation counters are plain Relaxed tallies, but `cutoff` is a
+// publication cell — the learner Release-stores it under the model lock
+// and the scheduler Acquire-loads it lock-free, so a reader that routes by
+// a new cutoff also sees every model write that preceded its publication.
+
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
@@ -199,7 +207,7 @@ impl CutoffLearner {
 
     /// The crossover estimate the scheduler should route by right now.
     pub fn current(&self) -> u64 {
-        self.cutoff.load(Ordering::Relaxed)
+        self.cutoff.load(Ordering::Acquire)
     }
 
     /// Folds one completed region into the model: `path` served a problem
@@ -235,7 +243,7 @@ impl CutoffLearner {
             // observers cannot interleave between model update and publish
             // (determinism under a single observer, sanity under many).
             if let Some(new_cutoff) = self.reestimate(&state) {
-                self.cutoff.store(new_cutoff, Ordering::Relaxed);
+                self.cutoff.store(new_cutoff, Ordering::Release);
                 self.cutoff_updates.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -274,7 +282,7 @@ impl CutoffLearner {
             None => self.cfg.max_cutoff, // batched wins everywhere observed
         };
 
-        let current = self.cutoff.load(Ordering::Relaxed);
+        let current = self.cutoff.load(Ordering::Acquire);
         let stepped = target.clamp(current / 2, current.saturating_mul(2));
         let clamped = stepped.clamp(self.cfg.min_cutoff, self.cfg.max_cutoff);
         (clamped != current).then_some(clamped)

@@ -1,6 +1,12 @@
 //! The service: per-node dispatcher threads, placement, routing, batching,
 //! stealing, and lifecycle.
 
+// analyze::policy(publish: abort as serve_abort)
+// Concurrency contract (checked by `cargo run -p ftgemm-analyze`):
+// `abort` publishes service shutdown to the dispatcher and region
+// threads — Release store in abort(), Acquire loads at the dispatch and
+// batch boundaries. The per-node stats are Relaxed counters.
+
 use crate::export::{render_service_metrics, ServiceObs};
 use crate::handle::{AsyncRequestHandle, RequestHandle, ResponseSlot};
 use crate::placement::{PlacementPolicy, Placer};
@@ -223,15 +229,29 @@ impl<T: Scalar> GemmService<T> {
             obs: config.obs_addr.map(|_| ServiceObs::new(nnodes)),
             config,
         });
-        let dispatchers = (0..nnodes)
-            .map(|node| {
+        let dispatchers: Vec<_> = (0..nnodes)
+            .filter_map(|node| {
                 let inner = Arc::clone(&inner);
-                std::thread::Builder::new()
+                let spawned = std::thread::Builder::new()
                     .name(format!("ftgemm-serve-dispatch-{node}"))
-                    .spawn(move || dispatcher_loop(&inner, node))
-                    .expect("failed to spawn dispatcher thread")
+                    .spawn(move || dispatcher_loop(&inner, node));
+                match spawned {
+                    Ok(h) => Some(h),
+                    Err(e) => {
+                        // Degraded but alive: work placed on this node is
+                        // drained by the other dispatchers' steal path.
+                        eprintln!("ftgemm-serve: dispatcher {node} failed to spawn: {e}");
+                        None
+                    }
+                }
             })
             .collect();
+        // With zero dispatchers nothing would ever drain the queue; that
+        // environment cannot serve and must fail construction loudly.
+        assert!(
+            !dispatchers.is_empty(),
+            "failed to spawn any dispatcher thread"
+        );
         // The endpoint holds only a Weak ref: a scrape racing teardown
         // renders a tombstone instead of keeping the service alive.
         let obs_server = inner.config.obs_addr.map(|addr| {
@@ -678,7 +698,9 @@ fn dispatcher_loop<T: Scalar>(inner: &Inner<T>, node: usize) {
         if let Some(victim) = victim {
             let stolen = inner.queue.pop_node(victim, inner.config.max_batch);
             if !stolen.is_empty() {
-                inner.stats.stolen[node].fetch_add(stolen.len() as u64, Ordering::Relaxed);
+                if let Some(c) = inner.stats.stolen.get(node) {
+                    c.fetch_add(stolen.len() as u64, Ordering::Relaxed);
+                }
                 dispatch(inner, node, &workspace, stolen);
             }
             continue;
@@ -810,7 +832,9 @@ fn run_large<T: Scalar>(inner: &Inner<T>, node: usize, env: Envelope<T>) {
     // Counted here — at execution — rather than per popped sweep, so
     // requests a shutdown_now abort fails mid-sweep never inflate the
     // per-node "executed" counters.
-    inner.stats.dispatched[node].fetch_add(1, Ordering::Relaxed);
+    if let Some(c) = inner.stats.dispatched.get(node) {
+        c.fetch_add(1, Ordering::Relaxed);
+    }
     if let Some(obs) = &inner.obs {
         obs.trace.record(
             node,
@@ -890,7 +914,9 @@ fn run_batch<T: Scalar>(
         .batched_requests
         .fetch_add(envs.len() as u64, Ordering::Relaxed);
     // At-execution counting, same as run_large.
-    inner.stats.dispatched[node].fetch_add(envs.len() as u64, Ordering::Relaxed);
+    if let Some(c) = inner.stats.dispatched.get(node) {
+        c.fetch_add(envs.len() as u64, Ordering::Relaxed);
+    }
     if let Some(obs) = &inner.obs {
         for env in &envs {
             obs.trace.record(

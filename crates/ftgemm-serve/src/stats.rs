@@ -1,5 +1,9 @@
 //! Service-level counters and derived metrics.
 
+// analyze::policy(atomics: relaxed)
+// Concurrency contract (checked by `cargo run -p ftgemm-analyze`):
+// snapshot counters only — Relaxed, never a synchronization point.
+
 use crate::qos::TenantId;
 use crate::routing::RoutingSnapshot;
 use ftgemm_abft::FtReport;
