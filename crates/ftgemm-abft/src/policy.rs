@@ -61,6 +61,32 @@ impl FtPolicy {
     pub fn is_protected(self) -> bool {
         !matches!(self, FtPolicy::Off)
     }
+
+    /// Composes the policy with a *floor*: the stronger of the two.
+    ///
+    /// This is how the serving layer's error-aware monitor escalates a
+    /// node — the node's floor is applied on top of each request's own
+    /// policy and can only ever *raise* protection
+    /// (`Off < Detect < DetectCorrect`), never lower it: a request that
+    /// asked for `DetectCorrect` keeps it on a clean node whose floor is
+    /// `Off`.
+    #[must_use]
+    pub fn at_least(self, floor: FtPolicy) -> FtPolicy {
+        if floor.strength() > self.strength() {
+            floor
+        } else {
+            self
+        }
+    }
+
+    /// Total order of protection strength used by [`FtPolicy::at_least`].
+    fn strength(self) -> u8 {
+        match self {
+            FtPolicy::Off => 0,
+            FtPolicy::Detect => 1,
+            FtPolicy::DetectCorrect => 2,
+        }
+    }
 }
 
 /// The configuration the fused-ABFT driver runs under *if* the policy is
@@ -111,6 +137,23 @@ mod tests {
     #[test]
     fn default_is_detect_correct() {
         assert_eq!(FtPolicy::default(), FtPolicy::DetectCorrect);
+    }
+
+    #[test]
+    fn at_least_takes_the_stronger_policy() {
+        use FtPolicy::{Detect, DetectCorrect, Off};
+        // The floor raises weaker policies...
+        assert_eq!(Off.at_least(Detect), Detect);
+        assert_eq!(Off.at_least(DetectCorrect), DetectCorrect);
+        assert_eq!(Detect.at_least(DetectCorrect), DetectCorrect);
+        // ...and never lowers stronger ones.
+        assert_eq!(DetectCorrect.at_least(Off), DetectCorrect);
+        assert_eq!(DetectCorrect.at_least(Detect), DetectCorrect);
+        assert_eq!(Detect.at_least(Off), Detect);
+        // Identity on equal strength.
+        for p in [Off, Detect, DetectCorrect] {
+            assert_eq!(p.at_least(p), p);
+        }
     }
 
     #[test]

@@ -54,7 +54,13 @@ impl Tolerance {
     pub fn threshold<T: Scalar>(&self, k_done: usize, extent: usize, scale: T) -> T {
         let eps = T::EPSILON.to_f64();
         let work = (k_done.max(1) + extent) as f64;
-        let t = self.factor * eps * work * scale.to_f64().max(1.0);
+        // The bound is *relative* to the observed checksum magnitude; the
+        // `floor` field alone guards underflow. Clamping the magnitude to
+        // 1.0 here (as an earlier version did) inflates the threshold
+        // ~1000x for operands with entries ~1e-3 and masks proportionally
+        // small injected errors (pinned by
+        // `small_magnitude_errors_stay_above_threshold`).
+        let t = self.factor * eps * work * scale.to_f64();
         T::from_f64(t.max(self.floor))
     }
 }
@@ -95,6 +101,32 @@ mod tests {
         let tol = Tolerance::default();
         let t = tol.threshold::<f64>(20_480, 20_480, 20_480.0);
         assert!(t < 1.0, "threshold {t} too large to detect 1e6 errors");
+    }
+
+    #[test]
+    fn small_magnitude_errors_stay_above_threshold() {
+        // Regression for the old `scale.max(1.0)` clamp: checksums over
+        // operands drawn from (-1e-3, 1e-3) have magnitude ~1e-3 * k, and
+        // an additive error just above true roundoff must land above the
+        // threshold. With the clamp, a k=128 problem's threshold was
+        // ~128 * eps * 256 * 1.0 ≈ 7.3e-12 — masking a 1e-12-scale error
+        // the relative bound (≈ 2.4e-13 at scale 0.128) flags.
+        let tol = Tolerance::default();
+        let (k, extent) = (128, 128);
+        // Checksums of (-1e-3, 1e-3) data are signed sums, so the observed
+        // max |checksum| sits near the element magnitude, not k times it.
+        let scale = 1e-3;
+        let t = tol.threshold::<f64>(k, extent, scale);
+        let clamped = tol.factor * f64::EPSILON * (k + extent) as f64 * 1.0;
+        assert!(
+            t < clamped / 500.0,
+            "threshold {t} still inflated (clamped bound {clamped})"
+        );
+        // An injected error 10x the honest roundoff bound is detectable...
+        let injected = 10.0 * t;
+        assert!(injected > t);
+        // ...but would have been masked by the old clamp.
+        assert!(injected < clamped, "regression case lost its teeth");
     }
 
     #[test]

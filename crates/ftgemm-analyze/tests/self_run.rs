@@ -93,6 +93,46 @@ fn pin_drift_is_detected() {
 }
 
 #[test]
+fn renamed_scrub_metric_family_is_detected() {
+    let root = copy_workspace("scrubmetric");
+    let metrics = root.join("crates/ftgemm-net/src/metrics.rs");
+    let text = fs::read_to_string(&metrics).expect("read net metrics.rs");
+    assert!(
+        text.contains("\"ftgemm_scrub_passes_total\""),
+        "expected the scrub-passes family literal"
+    );
+    // Renaming a family is exactly the dashboard-breaking change the
+    // metric pins exist to catch: the new name is unpinned AND the pinned
+    // name is no longer emitted.
+    fs::write(
+        &metrics,
+        text.replace(
+            "\"ftgemm_scrub_passes_total\"",
+            "\"ftgemm_scrub_sweeps_total\"",
+        ),
+    )
+    .expect("write net metrics.rs");
+
+    let report = run_root(&root);
+    assert!(
+        report.findings.iter().any(|f| f.pass == "pins"
+            && f.rule == "pin-unpinned"
+            && f.file.contains("metrics.rs")
+            && f.message.contains("ftgemm_scrub_sweeps_total")),
+        "renamed scrub family not flagged as unpinned:\n{}",
+        report.to_text()
+    );
+    assert!(
+        report.findings.iter().any(|f| f.pass == "pins"
+            && f.rule == "pin-stale"
+            && f.message.contains("ftgemm_scrub_passes_total")),
+        "vanished pinned scrub family not flagged as stale:\n{}",
+        report.to_text()
+    );
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
 fn lock_order_inversion_is_detected() {
     let root = copy_workspace("lockorder");
     // An orphan module still gets scanned: the walker reads every `.rs`

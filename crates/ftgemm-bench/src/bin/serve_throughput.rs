@@ -27,8 +27,14 @@
 //! wire-transport pass — the same request stream through a
 //! `NetClient`/`NetServer` pair (operands uploaded once, submits by
 //! handle) vs in-process `submit_streamed` on the same service — pricing
-//! the TCP framing round trip in the `transport_overhead` JSON section.
-//! Everything is written as machine-readable
+//! the TCP framing round trip in the `transport_overhead` JSON section;
+//! a final error-aware pass prices `ServiceConfig::fault_policy` three
+//! ways — monitor overhead on clean traffic (the Off-cost delta clean
+//! nodes pay), escalation latency on a deliberately faulty node (requests
+//! and wall time until that node's floor reaches `DetectCorrect`, with
+//! the clean node's floor asserted untouched), and the operand-store
+//! scrubber's verification throughput — in the `fault_policy` JSON
+//! section. Everything is written as machine-readable
 //! `bench_results/BENCH_serve_throughput.json` (per-node rows land in the
 //! `numa.per_node` section) so the perf trajectory can be tracked across
 //! PRs.
@@ -39,12 +45,13 @@
 
 use ftgemm_bench::{percentile, write_bench_json, Args, JsonValue, Table};
 use ftgemm_core::Matrix;
-use ftgemm_net::{NetClient, NetServer, NetServerConfig, NetSubmit};
+use ftgemm_faults::{ErrorModel, FaultInjector, Rate};
+use ftgemm_net::{NetClient, NetServer, NetServerConfig, NetSubmit, OperandStore};
 use ftgemm_serve::exec::block_on_all;
 use ftgemm_serve::{
-    completion_channel, AdaptiveConfig, FtPolicy, GemmRequest, GemmService, PlacementPolicy,
-    Priority, RoutingPolicy, ServeError, ServiceConfig, TenantTable, Topology,
-    DEFAULT_SMALL_FLOPS_CUTOFF,
+    completion_channel, AdaptiveConfig, FaultPolicyConfig, FtPolicy, GemmRequest, GemmService,
+    PlacementPolicy, Priority, RoutingPolicy, ServeError, ServiceConfig, StatsSnapshot,
+    TenantTable, Topology, DEFAULT_SMALL_FLOPS_CUTOFF,
 };
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -550,6 +557,143 @@ fn run_net(threads: usize, max_batch: usize, requests: usize) -> NetRun {
     }
 }
 
+/// The error-aware fault-policy pass: what arming
+/// `ServiceConfig::fault_policy` costs on clean traffic, how quickly a
+/// faulty node's policy floor escalates to `DetectCorrect`, and how fast
+/// the wire frontend's operand-store scrubber re-verifies resident bytes.
+struct FaultPolicyRun {
+    monitor_off_rps: f64,
+    monitor_on_rps: f64,
+    escalation_requests: u64,
+    escalation_us: f64,
+    escalated_floor: u8,
+    clean_node_floor: u8,
+    scrub_verified: u64,
+    scrub_verified_per_sec: f64,
+}
+
+/// Escalation-scenario edge: large enough that one `Rate::Count`-driven
+/// detection per request pushes the per-node EWMA over the thresholds in
+/// a handful of requests (mirrors `tests/integration_faults_serve.rs`).
+const ESC_DIM: usize = 96;
+
+fn node_floor(snap: &StatsSnapshot, node: usize) -> u8 {
+    snap.per_node
+        .iter()
+        .find(|n| n.node == node)
+        .map(|n| n.ft_floor)
+        .unwrap_or(0)
+}
+
+fn run_fault_policy(threads: usize, max_batch: usize, requests: usize) -> FaultPolicyRun {
+    // Monitor overhead: the same clean sync Off-policy workload with the
+    // monitor absent vs armed. Clean traffic never trips the default
+    // thresholds, so the delta is pure bookkeeping — the Off-cost clean
+    // nodes pay for error-awareness.
+    let clean_rps = |fault_policy: Option<FaultPolicyConfig>| {
+        let service = GemmService::<f64>::new(ServiceConfig {
+            threads,
+            max_batch,
+            fault_policy,
+            ..ServiceConfig::default()
+        });
+        let problems: Vec<_> = (0..requests as u64)
+            .map(|i| {
+                (
+                    Matrix::<f64>::random(DIM, DIM, i),
+                    Matrix::<f64>::random(DIM, DIM, i + 1_000),
+                )
+            })
+            .collect();
+        let t0 = Instant::now();
+        let handles: Vec<_> = problems
+            .into_iter()
+            .map(|(a, b)| service.submit(GemmRequest::new(a, b)).expect("submit"))
+            .collect();
+        for h in handles {
+            h.wait().expect("request failed");
+        }
+        requests as f64 / t0.elapsed().as_secs_f64()
+    };
+    let monitor_off_rps = clean_rps(None);
+    let monitor_on_rps = clean_rps(Some(FaultPolicyConfig::default()));
+
+    // Escalation latency: a two-node synthetic service with tight
+    // thresholds; faulty requests pinned to node 0 until its floor hits
+    // DetectCorrect. Node 1 sees no traffic and must keep floor Off.
+    let service = GemmService::<f64>::new(ServiceConfig {
+        threads: 0,
+        max_batch: 4,
+        routing: RoutingPolicy::Fixed(2 * (ESC_DIM as u64).pow(3)),
+        topology: Some(Topology::synthetic(2, 2)),
+        placement: PlacementPolicy::OperandHome,
+        fault_policy: Some(FaultPolicyConfig {
+            tau_flops: 2.0e6,
+            detect_threshold: 1.0e-7,
+            correct_threshold: 4.0e-7,
+            quiet_flops: u64::MAX,
+        }),
+        ..ServiceConfig::default()
+    });
+    let mut escalation_requests = 0u64;
+    let t0 = Instant::now();
+    for i in 0..32u64 {
+        let a = Matrix::<f64>::random(ESC_DIM, ESC_DIM, 9_000 + i);
+        let b = Matrix::<f64>::random(ESC_DIM, ESC_DIM, 9_100 + i);
+        let inj = FaultInjector::new(
+            9_200 + i,
+            ErrorModel::Additive { magnitude: 1.0e6 },
+            Rate::Count(4),
+        );
+        let req = GemmRequest::new(a, b)
+            .with_policy(FtPolicy::DetectCorrect)
+            .with_home(0)
+            .with_injector(inj);
+        service
+            .submit(req)
+            .expect("submit")
+            .wait()
+            .expect("faulty request failed");
+        escalation_requests += 1;
+        if node_floor(&service.stats(), 0) == 2 {
+            break;
+        }
+    }
+    let escalation_us = t0.elapsed().as_secs_f64() * 1e6;
+    let snap = service.stats();
+    let escalated_floor = node_floor(&snap, 0);
+    let clean_node_floor = node_floor(&snap, 1);
+    drop(service);
+
+    // Scrubber throughput: a resident population of small operands,
+    // repeatedly re-verified against their upload-time checksums.
+    const SCRUB_RESIDENT: usize = 64;
+    const SCRUB_PASSES: usize = 32;
+    let store = OperandStore::new(u64::MAX);
+    for i in 0..SCRUB_RESIDENT as u64 {
+        store
+            .insert(Matrix::<f64>::random(DIM, DIM, 20_000 + i))
+            .expect("insert operand");
+    }
+    let t0 = Instant::now();
+    for _ in 0..SCRUB_PASSES {
+        store.scrub(SCRUB_RESIDENT);
+    }
+    let scrub_elapsed = t0.elapsed().as_secs_f64();
+    let scrub_verified = store.scrub_verified();
+
+    FaultPolicyRun {
+        monitor_off_rps,
+        monitor_on_rps,
+        escalation_requests,
+        escalation_us,
+        escalated_floor,
+        clean_node_floor,
+        scrub_verified,
+        scrub_verified_per_sec: scrub_verified as f64 / scrub_elapsed,
+    }
+}
+
 fn main() {
     let args = Args::parse();
     let threads = args.threads;
@@ -895,6 +1039,49 @@ fn main() {
             .field("in_process_p99_us", inproc_p99)
     });
 
+    // Eighth pass: the error-aware fault-policy layer — what the monitor
+    // costs on clean traffic, how fast a faulty node escalates to the
+    // DetectCorrect floor, and the operand-store scrubber's throughput.
+    let fp = run_fault_policy(threads, SURFACE_BATCH, requests);
+    let monitor_overhead_pct = (fp.monitor_off_rps / fp.monitor_on_rps - 1.0) * 100.0;
+    let mut fp_table = Table::new(
+        "Error-aware fault policy — monitor cost, escalation latency, scrub throughput",
+        &["measure", "value"],
+    );
+    fp_table.row(vec![
+        "clean rps, monitor off".to_string(),
+        format!("{:.0}", fp.monitor_off_rps),
+    ]);
+    fp_table.row(vec![
+        "clean rps, monitor on".to_string(),
+        format!("{:.0}", fp.monitor_on_rps),
+    ]);
+    fp_table.row(vec![
+        "monitor overhead".to_string(),
+        format!("{monitor_overhead_pct:.2}%"),
+    ]);
+    fp_table.row(vec![
+        "faulty requests to DetectCorrect floor".to_string(),
+        fp.escalation_requests.to_string(),
+    ]);
+    fp_table.row(vec![
+        "escalation wall time (us)".to_string(),
+        format!("{:.0}", fp.escalation_us),
+    ]);
+    fp_table.row(vec![
+        "clean-node floor after campaign".to_string(),
+        fp.clean_node_floor.to_string(),
+    ]);
+    fp_table.row(vec![
+        "scrub verifications/sec".to_string(),
+        format!("{:.0}", fp.scrub_verified_per_sec),
+    ]);
+    fp_table.print();
+    println!(
+        "fault policy: node 0 floor {} after {} faulty requests; node 1 floor {}",
+        fp.escalated_floor, fp.escalation_requests, fp.clean_node_floor
+    );
+
     let json = JsonValue::obj()
         .field("bench", "serve_throughput")
         .field("requests", requests)
@@ -942,6 +1129,20 @@ fn main() {
                 .field("placement", "round_robin")
                 .field("rps", numa.rps)
                 .field("per_node", json_numa_rows),
+        )
+        .field(
+            "fault_policy",
+            JsonValue::obj()
+                .field("monitor_off_rps", fp.monitor_off_rps)
+                .field("monitor_on_rps", fp.monitor_on_rps)
+                .field("monitor_overhead_pct", monitor_overhead_pct)
+                .field("escalation_dim", ESC_DIM)
+                .field("escalation_requests", fp.escalation_requests)
+                .field("escalation_us", fp.escalation_us)
+                .field("escalated_floor", u64::from(fp.escalated_floor))
+                .field("clean_node_floor", u64::from(fp.clean_node_floor))
+                .field("scrub_verified_total", fp.scrub_verified)
+                .field("scrub_verified_per_sec", fp.scrub_verified_per_sec),
         );
     let json = match qos {
         Some(qos) => json.field("qos", qos),

@@ -35,6 +35,13 @@ pub enum ErrorModel {
     },
     /// Multiply the value by a constant factor (models dropped/duplicated
     /// partial products).
+    ///
+    /// On an exactly-zero value this is a **no-op** by construction
+    /// (`0 * factor == 0`): a dropped partial product of zero changes
+    /// nothing, so a `Scale` event landing on a zero element injects no
+    /// error. Campaigns over sparse/zero-heavy data that must guarantee
+    /// every event perturbs its victim should use [`ErrorModel::BitFlip`]
+    /// or [`ErrorModel::Additive`] (pinned by `scale_is_noop_on_zero`).
     Scale {
         /// Multiplicative factor.
         factor: f64,
@@ -99,9 +106,13 @@ impl ErrorEvent {
                     flipped
                 } else {
                     // Exponent flips can overflow to inf; fall back to a
-                    // large finite corruption so the fail-continue model
-                    // holds.
-                    v + 1.0e12
+                    // corruption *relative* to the value (halving = an
+                    // exponent-decrement flip) so the fail-continue model
+                    // holds at any magnitude. An absolute addend would be
+                    // absorbed by rounding for |v| beyond its precision
+                    // (e.g. `v + 1e12` is a no-op at 1e300) and the
+                    // "injected" error would silently change nothing.
+                    v * 0.5
                 }
             }
             ErrorModel::Additive { magnitude } => {
@@ -123,7 +134,9 @@ impl ErrorEvent {
                 if flipped.is_finite() {
                     flipped
                 } else {
-                    v + 1.0e6
+                    // Same relative fallback as `apply_f64`: `v + 1e6`
+                    // was absorbed for |v| ≳ 1e30.
+                    v * 0.5
                 }
             }
             ErrorModel::Additive { magnitude } => {
@@ -210,10 +223,40 @@ mod tests {
 
     #[test]
     fn infinity_fallback() {
-        // Flipping the top exponent bit of a large number overflows; the
-        // model must stay finite (fail-continue).
-        let e = event(ErrorModel::BitFlip { bit: Some(62) }, 5);
-        let c = e.apply_f64(1.0e300);
+        // Exponent flips on large values must stay finite (fail-continue)
+        // AND still corrupt the value — the old absolute fallback
+        // (`v + 1e12`) was absorbed by rounding at 1e300 and "injected"
+        // nothing. Bit 62 at 1e300 clears the already-set exponent MSB
+        // (finite but corrupted); bit 52 at 1e308 sets the exponent to
+        // 2047 (inf) and exercises the fallback itself.
+        for (bit, v) in [(62u32, 1.0e300_f64), (52, 1.0e308)] {
+            let e = event(ErrorModel::BitFlip { bit: Some(bit) }, 5);
+            let c = e.apply_f64(v);
+            assert!(c.is_finite(), "bit {bit} at {v}");
+            assert_ne!(c, v, "bit {bit} at {v}: corruption was absorbed");
+        }
+        // The 1e308 case really does overflow before the fallback.
+        assert!(!f64::from_bits(1.0e308_f64.to_bits() ^ (1 << 52)).is_finite());
+    }
+
+    #[test]
+    fn f32_infinity_fallback() {
+        // f32 analogue at 1e38: flipping exponent bit 1 (bit index 24)
+        // lands on exponent 255 = inf, so the fallback fires; the old
+        // `v + 1e6` fallback was absorbed at this magnitude.
+        let e = event(ErrorModel::BitFlip { bit: Some(24) }, 5);
+        assert!(!f32::from_bits(1.0e38_f32.to_bits() ^ (1 << 24)).is_finite());
+        let c = e.apply_f32(1.0e38);
         assert!(c.is_finite());
+        assert_ne!(c, 1.0e38, "fallback corruption was absorbed");
+    }
+
+    #[test]
+    fn scale_is_noop_on_zero() {
+        // Documented blind spot: a Scale event on an exactly-zero value
+        // changes nothing (0 * factor == 0). See the ErrorModel docs.
+        let e = event(ErrorModel::Scale { factor: 100.0 }, 6);
+        assert_eq!(e.apply_f64(0.0), 0.0);
+        assert_eq!(e.apply_f32(0.0), 0.0);
     }
 }

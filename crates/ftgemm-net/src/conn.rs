@@ -47,7 +47,7 @@ use crate::proto::{
     error_code, CompletionFrame, CompletionOk, Frame, OperandRef, SubmitFrame, FEATURES,
     PROTO_VERSION,
 };
-use crate::store::OperandStore;
+use crate::store::{OperandStore, StoreGetError};
 
 /// Everything a connection needs from its server.
 pub(crate) struct ConnContext {
@@ -117,10 +117,23 @@ fn build_request(s: SubmitFrame, store: &OperandStore) -> Result<GemmRequest<f64
                     .map(Operand::Owned)
                     .map_err(|e| (error_code::MALFORMED_FRAME, e.to_string()))
             }
-            OperandRef::Handle(h) => store.get(h).map(Operand::Shared).ok_or((
-                error_code::UNKNOWN_HANDLE,
-                format!("operand handle {h} is not resident"),
-            )),
+            OperandRef::Handle(h) => {
+                store
+                    .try_get(h)
+                    .map(Operand::Shared)
+                    .map_err(|e| match e {
+                        StoreGetError::Quarantined => (
+                            error_code::OPERAND_QUARANTINED,
+                            format!(
+                                "operand handle {h} was quarantined by the scrubber (resident bytes no longer match upload-time checksums); release and re-upload"
+                            ),
+                        ),
+                        StoreGetError::Unknown => (
+                            error_code::UNKNOWN_HANDLE,
+                            format!("operand handle {h} is not resident"),
+                        ),
+                    })
+            }
         }
     };
     let a = resolve(s.a)?;

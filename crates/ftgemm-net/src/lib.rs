@@ -24,7 +24,8 @@
 //! - [`codec`]: total encode/decode plus blocking frame I/O that survives
 //!   oversized and malformed frames.
 //! - [`store`]: [`OperandStore`] — ref-counted server-resident operands
-//!   with byte-budget LRU eviction.
+//!   with byte-budget LRU eviction and a checksum scrubber that
+//!   quarantines operands that rot after upload.
 //! - `conn`: per-connection reader/writer/completion-pump threads
 //!   bridging into `submit_streamed`.
 //! - [`server`] / [`client`]: the two endpoints.
@@ -45,4 +46,4 @@ pub use proto::{
     PROTO_VERSION,
 };
 pub use server::{NetServer, NetServerConfig};
-pub use store::{BudgetExceeded, OperandStore};
+pub use store::{BudgetExceeded, OperandStore, ScrubReport, StoreGetError};

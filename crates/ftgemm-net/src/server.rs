@@ -21,6 +21,7 @@ use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::Mutex;
 use std::thread::{self, JoinHandle};
@@ -47,6 +48,14 @@ pub struct NetServerConfig {
     /// Byte budget of the server-resident operand store (LRU eviction
     /// past it).
     pub operand_budget: u64,
+    /// How often the background scrubber re-verifies resident operands'
+    /// checksums ([`OperandStore::scrub`]). `None` (the default) disables
+    /// the scrub thread entirely.
+    pub scrub_interval: Option<Duration>,
+    /// Operands each scrub pass re-verifies at most (the pass resumes
+    /// from a rotating cursor, so bounded passes still cover the whole
+    /// store over time).
+    pub scrub_batch: usize,
 }
 
 impl Default for NetServerConfig {
@@ -55,6 +64,8 @@ impl Default for NetServerConfig {
             max_frame: DEFAULT_MAX_FRAME,
             max_in_flight: 64,
             operand_budget: 256 * 1024 * 1024,
+            scrub_interval: None,
+            scrub_batch: 32,
         }
     }
 }
@@ -66,6 +77,7 @@ pub struct NetServer {
     stop: Arc<AtomicBool>,
     store: Arc<OperandStore>,
     accept: Option<JoinHandle<()>>,
+    scrub: Option<JoinHandle<()>>,
     conns: ConnTable,
 }
 
@@ -120,11 +132,35 @@ impl NetServer {
             })
         };
 
+        let scrub = config.scrub_interval.map(|interval| {
+            let stop = Arc::clone(&stop);
+            let store = Arc::clone(&store);
+            let batch = config.scrub_batch;
+            thread::spawn(move || {
+                // Sleep in short chunks so shutdown never waits out a long
+                // scrub interval.
+                const CHUNK: Duration = Duration::from_millis(10);
+                let mut since_scrub = Duration::ZERO;
+                loop {
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    thread::sleep(CHUNK.min(interval));
+                    since_scrub += CHUNK.min(interval);
+                    if since_scrub >= interval {
+                        since_scrub = Duration::ZERO;
+                        store.scrub(batch);
+                    }
+                }
+            })
+        });
+
         Ok(NetServer {
             addr: local,
             stop,
             store,
             accept: Some(accept),
+            scrub,
             conns,
         })
     }
@@ -151,6 +187,9 @@ impl NetServer {
         // Wake the accept loop if it is parked in accept().
         let _ = TcpStream::connect(self.addr);
         if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.scrub.take() {
             let _ = h.join();
         }
         let conns = std::mem::take(&mut *self.conns.lock());

@@ -47,6 +47,10 @@
 //! | `ftgemm_node_stolen_total` | counter | `node` | `per_node[].stolen` |
 //! | `ftgemm_node_batch_wall_seconds_total` | counter | `node` | `per_node[].batch_wall` |
 //! | `ftgemm_node_batch_busy_seconds_total` | counter | `node` | `per_node[].batch_busy` |
+//! | `ftgemm_ftpolicy_node_floor` | gauge | `node` | `per_node[].ft_floor` |
+//! | `ftgemm_ftpolicy_escalations_total` | counter | `node` | `per_node[].ft_escalations` |
+//! | `ftgemm_ftpolicy_deescalations_total` | counter | `node` | `per_node[].ft_deescalations` |
+//! | `ftgemm_ftpolicy_error_rate_per_flop` | gauge | `node` | `ft_error_rate_per_node` |
 //! | `ftgemm_tenant_admitted_total` | counter | `tenant` | `per_tenant[].admitted` |
 //! | `ftgemm_tenant_completed_total` | counter | `tenant` | `per_tenant[].completed` |
 //! | `ftgemm_tenant_shed_total` | counter | `tenant` | `per_tenant[].shed` |
@@ -364,6 +368,26 @@ pub fn render_snapshot(expo: &mut Exposition, snap: &StatsSnapshot) {
         Counter,
         "Summed busy time of each node's threads inside its batched regions.",
     );
+    expo.family(
+        "ftgemm_ftpolicy_node_floor",
+        Gauge,
+        "Fault-policy floor the error-aware monitor enforces per node (0=Off, 1=Detect, 2=DetectCorrect).",
+    );
+    expo.family(
+        "ftgemm_ftpolicy_escalations_total",
+        Counter,
+        "Times the error-aware monitor raised each node's policy floor.",
+    );
+    expo.family(
+        "ftgemm_ftpolicy_deescalations_total",
+        Counter,
+        "Times the error-aware monitor stepped each node's policy floor back down.",
+    );
+    expo.family(
+        "ftgemm_ftpolicy_error_rate_per_flop",
+        Gauge,
+        "Detected-errors-per-flop EWMA the error-aware monitor tracks per node.",
+    );
     for n in &snap.per_node {
         let node = n.node.to_string();
         let labels = [("node", node.as_str())];
@@ -380,6 +404,25 @@ pub fn render_snapshot(expo: &mut Exposition, snap: &StatsSnapshot) {
             "ftgemm_node_batch_busy_seconds_total",
             &labels,
             n.batch_busy.as_secs_f64(),
+        );
+        expo.sample("ftgemm_ftpolicy_node_floor", &labels, n.ft_floor as f64);
+        expo.sample(
+            "ftgemm_ftpolicy_escalations_total",
+            &labels,
+            n.ft_escalations as f64,
+        );
+        expo.sample(
+            "ftgemm_ftpolicy_deescalations_total",
+            &labels,
+            n.ft_deescalations as f64,
+        );
+        expo.sample(
+            "ftgemm_ftpolicy_error_rate_per_flop",
+            &labels,
+            snap.ft_error_rate_per_node
+                .get(n.node)
+                .copied()
+                .unwrap_or(0.0),
         );
     }
 
@@ -500,6 +543,10 @@ mod tests {
         assert!(s.contains("ftgemm_requests_rejected_total{reason=\"deadline\"} 0\n"));
         assert!(s.contains("ftgemm_requests_shed_deadline_total 0\n"));
         assert!(s.contains("ftgemm_batch_thread_busy_seconds_total{thread=\"2\"} 0\n"));
+        assert!(s.contains("ftgemm_ftpolicy_node_floor{node=\"0\"} 0\n"));
+        assert!(s.contains("ftgemm_ftpolicy_escalations_total{node=\"1\"} 0\n"));
+        assert!(s.contains("ftgemm_ftpolicy_deescalations_total{node=\"0\"} 0\n"));
+        assert!(s.contains("ftgemm_ftpolicy_error_rate_per_flop{node=\"1\"} 0\n"));
         // One TYPE header per family even with labeled instances.
         for family in [
             "ftgemm_node_queue_depth",

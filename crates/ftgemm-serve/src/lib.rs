@@ -59,6 +59,14 @@
 //!   (`Off` / `Detect` / `DetectCorrect`) mapped onto the paper's
 //!   [`FtConfig`](ftgemm_abft::FtConfig); each response carries its own
 //!   [`FtReport`](ftgemm_abft::FtReport).
+//! * **Error-aware escalation.** With [`ServiceConfig::fault_policy`] set,
+//!   a monitor tracks each node's detected errors per flop (an EWMA fed by
+//!   every completed request's report) and raises that node's *policy
+//!   floor* (`Off → Detect → DetectCorrect`) when the rate crosses the
+//!   configured thresholds — applied on top of each request's own policy
+//!   via [`FtPolicy::at_least`], never below it — then steps it back down
+//!   after a configured quiet volume of clean flops. Clean nodes keep
+//!   serving `Off` requests at the unprotected driver's cost.
 //! * **Observability.** [`GemmService::stats`] reports throughput, queue
 //!   depth, batch occupancy, per-surface submission counts, live async
 //!   futures, per-thread batch busy time (occupancy imbalance),
@@ -122,6 +130,7 @@
 
 pub mod exec;
 pub mod export;
+mod fault_policy;
 mod handle;
 mod placement;
 pub mod qos;
@@ -141,6 +150,7 @@ pub use ftgemm_abft::FtPolicy;
 /// decision deterministic for tests).
 pub use ftgemm_pool::{NodeSpec, Topology};
 
+pub use fault_policy::FaultPolicyConfig;
 pub use handle::{AsyncRequestHandle, RequestHandle};
 pub use placement::PlacementPolicy;
 pub use qos::{Priority, SchedSim, TenantId, TenantTable, DEFAULT_TENANT};

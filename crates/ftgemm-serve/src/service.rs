@@ -8,6 +8,7 @@
 // batch boundaries. The per-node stats are Relaxed counters.
 
 use crate::export::{render_service_metrics, ServiceObs};
+use crate::fault_policy::{FaultPolicyConfig, FaultPolicyMonitor};
 use crate::handle::{AsyncRequestHandle, RequestHandle, ResponseSlot};
 use crate::placement::{PlacementPolicy, Placer};
 use crate::qos::{TenantId, TenantTable};
@@ -93,6 +94,18 @@ pub struct ServiceConfig {
     /// config error worth failing loudly at construction, not at first
     /// scrape).
     pub obs_addr: Option<SocketAddr>,
+    /// When set, an error-aware monitor watches each node's detected
+    /// errors per flop (an EWMA fed by every completed request's
+    /// [`FtReport`]) and escalates that node's *policy floor*
+    /// (`Off → Detect → DetectCorrect`) when the rate crosses the
+    /// configured thresholds. The floor composes with each request's own
+    /// [`FtPolicy`](crate::FtPolicy) via
+    /// [`FtPolicy::at_least`](crate::FtPolicy::at_least) — it only ever
+    /// raises protection — and steps back down after
+    /// [`FaultPolicyConfig::quiet_flops`] of clean traffic. `None` (the
+    /// default) disables the monitor entirely: requests run exactly the
+    /// policy they asked for.
+    pub fault_policy: Option<FaultPolicyConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -107,6 +120,7 @@ impl Default for ServiceConfig {
             placement: PlacementPolicy::default(),
             tenants: TenantTable::default(),
             obs_addr: None,
+            fault_policy: None,
         }
     }
 }
@@ -133,6 +147,9 @@ struct Inner<T: Scalar> {
     /// [`ServiceConfig::obs_addr`] is set (obs-disabled services skip all
     /// recording).
     obs: Option<ServiceObs>,
+    /// Error-aware per-node policy floors, present only when
+    /// [`ServiceConfig::fault_policy`] is set.
+    monitor: Option<FaultPolicyMonitor>,
 }
 
 /// A batched GEMM server: accepts concurrent [`GemmRequest`]s, coalesces
@@ -227,6 +244,10 @@ impl<T: Scalar> GemmService<T> {
             nodes,
             abort: AtomicBool::new(false),
             obs: config.obs_addr.map(|_| ServiceObs::new(nnodes)),
+            monitor: config
+                .fault_policy
+                .clone()
+                .map(|cfg| FaultPolicyMonitor::new(cfg, nnodes)),
             config,
         });
         let dispatchers: Vec<_> = (0..nnodes)
@@ -622,12 +643,16 @@ fn snapshot_of<T: Scalar>(inner: &Inner<T>) -> StatsSnapshot {
             barrier_crossings: acc.barrier_crossings + s.barrier_crossings,
         }
     });
-    inner.stats.snapshot(
+    let mut snap = inner.stats.snapshot(
         &depths,
         pool,
         inner.route.snapshot(),
         inner.queue.steal_wakeups(),
-    )
+    );
+    if let Some(monitor) = &inner.monitor {
+        monitor.overlay(&mut snap);
+    }
+    snap
 }
 
 /// One service's complete `/metrics` body.
@@ -828,6 +853,21 @@ fn dispatch<T: Scalar>(
     }
 }
 
+/// The policy a request actually runs under on `node`: its own policy,
+/// raised to the node's error-aware floor when the monitor is enabled.
+/// Read at execution time (not submit), so a request queued before an
+/// escalation still gets the protection the escalation demanded.
+fn effective_policy<T: Scalar>(
+    inner: &Inner<T>,
+    node: usize,
+    requested: crate::FtPolicy,
+) -> crate::FtPolicy {
+    match &inner.monitor {
+        Some(monitor) => requested.at_least(monitor.floor(node)),
+        None => requested,
+    }
+}
+
 fn run_large<T: Scalar>(inner: &Inner<T>, node: usize, env: Envelope<T>) {
     // Counted here — at execution — rather than per popped sweep, so
     // requests a shutdown_now abort fails mid-sweep never inflate the
@@ -855,7 +895,7 @@ fn run_large<T: Scalar>(inner: &Inner<T>, node: usize, env: Envelope<T>) {
         flops,
     } = env;
     let tenant = req.tenant;
-    let cfg = req.policy.to_config(req.injector.clone());
+    let cfg = effective_policy(inner, node, req.policy).to_config(req.injector.clone());
     let started = Instant::now();
     let result: FtResult<FtReport> = match &cfg {
         Some(cfg) => par_ft_gemm(
@@ -932,7 +972,9 @@ fn run_batch<T: Scalar>(
     // Per-request configs must outlive the borrowed batch items.
     let cfgs: Vec<_> = envs
         .iter()
-        .map(|env| env.req.policy.to_config(env.req.injector.clone()))
+        .map(|env| {
+            effective_policy(inner, node, env.req.policy).to_config(env.req.injector.clone())
+        })
         .collect();
     let mut items: Vec<BatchItem<'_, T>> = envs
         .iter_mut()
@@ -1059,6 +1101,12 @@ fn finish<T: Scalar>(
                 .stats
                 .tenant_complete(tenant, flops, deadline.map(|d| finished <= d));
             inner.stats.absorb_report(&report);
+            // One rate observation per completed request, attributed to
+            // the node that *executed* it (stolen requests are evidence
+            // about the stealing node's hardware).
+            if let Some(monitor) = &inner.monitor {
+                monitor.observe(executed_node, report.detected as u64, flops);
+            }
             slot.fulfill(Ok(GemmResponse {
                 c,
                 report,
@@ -1094,6 +1142,10 @@ mod tests {
             }],
             abort: AtomicBool::new(false),
             obs: None,
+            monitor: config
+                .fault_policy
+                .clone()
+                .map(|cfg| FaultPolicyMonitor::new(cfg, 1)),
             config,
         }
     }

@@ -299,6 +299,13 @@ impl ServiceStats {
                         self.batch_wall_ns[node].load(Ordering::Relaxed),
                     ),
                     batch_busy: Duration::from_nanos(busy_ns),
+                    // The fault-policy monitor lives beside the stats (it
+                    // needs the topology and a lock, not atomics); the
+                    // service overlays its values after this call. Zeroed
+                    // here so monitor-less services report all-clear.
+                    ft_floor: 0,
+                    ft_escalations: 0,
+                    ft_deescalations: 0,
                 }
             })
             .collect();
@@ -394,6 +401,7 @@ impl ServiceStats {
                 busy_total.as_secs_f64() / occupancy_denom
             },
             steal_wakeups,
+            ft_error_rate_per_node: vec![0.0; self.node_threads.len()],
             per_node,
             pool,
         }
@@ -450,6 +458,16 @@ pub struct NodeStats {
     /// Summed busy time of this node's threads inside those regions (its
     /// slice of [`StatsSnapshot::batch_busy_per_thread`]).
     pub batch_busy: Duration,
+    /// The fault-policy floor the error-aware monitor currently enforces
+    /// on this node: `0` = Off (no floor), `1` = Detect, `2` =
+    /// DetectCorrect. Always `0` on services without
+    /// [`ServiceConfig::fault_policy`](crate::ServiceConfig::fault_policy).
+    pub ft_floor: u8,
+    /// Times the monitor raised this node's floor.
+    pub ft_escalations: u64,
+    /// Times the monitor stepped this node's floor back down after a quiet
+    /// period of clean flops.
+    pub ft_deescalations: u64,
 }
 
 /// Point-in-time view of a service's activity.
@@ -552,6 +570,10 @@ pub struct StatsSnapshot {
     /// group past the steal threshold; `0` under balanced load (below the
     /// threshold no cross-node wakeup ever fires).
     pub steal_wakeups: u64,
+    /// The error-aware monitor's detected-errors-per-flop EWMA per node,
+    /// indexed by node id; all zeros on services without
+    /// [`ServiceConfig::fault_policy`](crate::ServiceConfig::fault_policy).
+    pub ft_error_rate_per_node: Vec<f64>,
     /// Per-node serving activity, indexed by node id: shard-group depth,
     /// dispatch counts, steal counts, and batched wall/busy time (one
     /// entry per topology node).
